@@ -1,0 +1,74 @@
+//! Ablation benchmarks for the design choices DESIGN.md §5 calls out:
+//! defragmentation gates, cache capacity, prefetch window, and mechanism
+//! stacking. Each target prints its sweep table once and benchmarks the
+//! sweep end-to-end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smrseek_bench::bench_opts;
+use smrseek_sim::experiments::ablation;
+use smrseek_workloads::profiles;
+use std::hint::black_box;
+use std::sync::Once;
+
+fn ablation_defrag_thresholds(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    let opts = bench_opts();
+    let w91 = profiles::by_name("w91").expect("w91 exists");
+    let w20 = profiles::by_name("w20").expect("w20 exists");
+    ONCE.call_once(|| {
+        println!(
+            "\n{}{}",
+            ablation::render(&[ablation::defrag_thresholds(&w91, &opts)]),
+            ablation::render(&[ablation::defrag_thresholds(&w20, &opts)])
+        );
+    });
+    c.bench_function("ablation_defrag_thresholds", |b| {
+        b.iter(|| black_box(ablation::defrag_thresholds(&w91, &opts)))
+    });
+}
+
+fn ablation_cache_size(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    let opts = bench_opts();
+    let w91 = profiles::by_name("w91").expect("w91 exists");
+    ONCE.call_once(|| println!("\n{}", ablation::render(&[ablation::cache_size(&w91, &opts)])));
+    c.bench_function("ablation_cache_size", |b| {
+        b.iter(|| black_box(ablation::cache_size(&w91, &opts)))
+    });
+}
+
+fn ablation_prefetch_window(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    let opts = bench_opts();
+    let w84 = profiles::by_name("w84").expect("w84 exists");
+    ONCE.call_once(|| {
+        println!(
+            "\n{}",
+            ablation::render(&[ablation::prefetch_window(&w84, &opts)])
+        )
+    });
+    c.bench_function("ablation_prefetch_window", |b| {
+        b.iter(|| black_box(ablation::prefetch_window(&w84, &opts)))
+    });
+}
+
+fn ablation_stacking(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    let opts = bench_opts();
+    let w91 = profiles::by_name("w91").expect("w91 exists");
+    ONCE.call_once(|| println!("\n{}", ablation::render(&[ablation::stacking(&w91, &opts)])));
+    c.bench_function("ablation_stacking", |b| {
+        b.iter(|| black_box(ablation::stacking(&w91, &opts)))
+    });
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets =
+        ablation_defrag_thresholds,
+        ablation_cache_size,
+        ablation_prefetch_window,
+        ablation_stacking,
+}
+criterion_main!(ablations);

@@ -1,0 +1,110 @@
+//! Benchmarks for the beyond-the-paper extensions: time-weighted
+//! amplification, host-cache interaction, the finite cleaning log, and the
+//! zoned-backed log. Each prints its result table once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smrseek_bench::{bench_opts, bench_trace};
+use smrseek_sim::experiments::{classify, cleaning, host_cache, reorder, time_amp, ExpOptions};
+use smrseek_stl::{CleanerConfig, CleaningLog, LogStructured, LsConfig, TranslationLayer};
+use smrseek_trace::Pba;
+use std::hint::black_box;
+use std::sync::Once;
+
+fn extension_time_amp(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    let opts = ExpOptions {
+        ops: 4000,
+        ..bench_opts()
+    };
+    ONCE.call_once(|| println!("\n{}", time_amp::render(&time_amp::run(&opts))));
+    c.bench_function("extension_time_amp", |b| {
+        b.iter(|| black_box(time_amp::run(&opts)))
+    });
+}
+
+fn extension_host_cache(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    let opts = bench_opts();
+    ONCE.call_once(|| println!("\n{}", host_cache::render(&host_cache::run(&opts))));
+    c.bench_function("extension_host_cache", |b| {
+        b.iter(|| black_box(host_cache::run(&opts)))
+    });
+}
+
+fn extension_cleaning(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    let opts = ExpOptions {
+        ops: 4000,
+        ..bench_opts()
+    };
+    ONCE.call_once(|| println!("\n{}", cleaning::render(&cleaning::run(&opts))));
+    c.bench_function("extension_cleaning", |b| {
+        b.iter(|| black_box(cleaning::run(&opts)))
+    });
+}
+
+fn extension_classify(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    let opts = bench_opts();
+    ONCE.call_once(|| println!("\n{}", classify::render(&classify::run(&opts))));
+    c.bench_function("extension_classify", |b| {
+        b.iter(|| black_box(classify::run(&opts)))
+    });
+}
+
+fn extension_reorder(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    let opts = bench_opts();
+    ONCE.call_once(|| println!("\n{}", reorder::render(&reorder::run(&opts))));
+    c.bench_function("extension_reorder", |b| {
+        b.iter(|| black_box(reorder::run(&opts)))
+    });
+}
+
+/// Replay throughput of the two extension layers, for comparison with the
+/// `simulator` group in `micro`.
+fn extension_layer_throughput(c: &mut Criterion) {
+    let trace = bench_trace("w91");
+    let mut group = c.benchmark_group("extension_layers");
+    group.bench_function("zoned_log_replay_w91", |b| {
+        b.iter(|| {
+            let mut ls = LogStructured::new(
+                LsConfig::for_trace(&trace).with_zones(256 * 1024 * 2), // 256 MiB zones
+            );
+            let mut ops = 0usize;
+            for rec in &trace {
+                ops += ls.apply(rec).len();
+            }
+            black_box(ops)
+        })
+    });
+    group.bench_function("cleaning_log_replay_synthetic", |b| {
+        b.iter(|| {
+            let mut log = CleaningLog::new(CleanerConfig::new(Pba::new(1 << 30), 2048, 64));
+            let mut ops = 0usize;
+            for i in 0..4000u64 {
+                let rec = smrseek_trace::TraceRecord::write(
+                    i,
+                    smrseek_trace::Lba::new((i % 64) * 512),
+                    64,
+                );
+                ops += log.apply(&rec).len();
+            }
+            black_box(ops)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = extensions;
+    config = Criterion::default().sample_size(10);
+    targets =
+        extension_time_amp,
+        extension_host_cache,
+        extension_cleaning,
+        extension_classify,
+        extension_reorder,
+        extension_layer_throughput,
+}
+criterion_main!(extensions);

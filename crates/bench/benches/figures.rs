@@ -1,0 +1,97 @@
+//! One Criterion group per paper table/figure. Each group benchmarks the
+//! end-to-end regeneration of the result and prints the rendered table
+//! once, so `cargo bench -p smrseek-bench --bench figures` both measures
+//! and reproduces the evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smrseek_bench::bench_opts;
+use smrseek_sim::experiments::{fig10, fig11, fig2, fig3, fig4, fig5, fig7, fig8, table1};
+use std::hint::black_box;
+use std::sync::Once;
+
+fn print_once(once: &Once, render: impl FnOnce() -> String) {
+    once.call_once(|| println!("\n{}", render()));
+}
+
+fn table1_characterize(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    let opts = bench_opts();
+    print_once(&ONCE, || table1::render(&table1::run(&opts)));
+    c.bench_function("table1_characterize", |b| {
+        b.iter(|| black_box(table1::run(&opts)))
+    });
+}
+
+fn fig2_seek_counts(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    let opts = bench_opts();
+    print_once(&ONCE, || fig2::render(&fig2::run(&opts)));
+    c.bench_function("fig2_seek_counts", |b| b.iter(|| black_box(fig2::run(&opts))));
+}
+
+fn fig3_longseek_series(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    let opts = bench_opts();
+    print_once(&ONCE, || fig3::render(&fig3::run(&opts)));
+    c.bench_function("fig3_longseek_series", |b| {
+        b.iter(|| black_box(fig3::run(&opts)))
+    });
+}
+
+fn fig4_distance_cdf(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    let opts = bench_opts();
+    print_once(&ONCE, || fig4::render(&fig4::run(&opts)));
+    c.bench_function("fig4_distance_cdf", |b| b.iter(|| black_box(fig4::run(&opts))));
+}
+
+fn fig5_frag_cdf(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    let opts = bench_opts();
+    print_once(&ONCE, || fig5::render(&fig5::run(&opts)));
+    c.bench_function("fig5_frag_cdf", |b| b.iter(|| black_box(fig5::run(&opts))));
+}
+
+fn fig7_write_patterns(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    let opts = bench_opts();
+    print_once(&ONCE, || fig7::render(&fig7::run(&opts)));
+    c.bench_function("fig7_write_patterns", |b| b.iter(|| black_box(fig7::run(&opts))));
+}
+
+fn fig8_misordered(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    let opts = bench_opts();
+    print_once(&ONCE, || fig8::render(&fig8::run(&opts)));
+    c.bench_function("fig8_misordered", |b| b.iter(|| black_box(fig8::run(&opts))));
+}
+
+fn fig10_fragment_skew(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    let opts = bench_opts();
+    print_once(&ONCE, || fig10::render(&fig10::run(&opts)));
+    c.bench_function("fig10_fragment_skew", |b| b.iter(|| black_box(fig10::run(&opts))));
+}
+
+fn fig11_saf(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    let opts = bench_opts();
+    print_once(&ONCE, || fig11::render(&fig11::run(&opts)));
+    c.bench_function("fig11_saf", |b| b.iter(|| black_box(fig11::run(&opts))));
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets =
+        table1_characterize,
+        fig2_seek_counts,
+        fig3_longseek_series,
+        fig4_distance_cdf,
+        fig5_frag_cdf,
+        fig7_write_patterns,
+        fig8_misordered,
+        fig10_fragment_skew,
+        fig11_saf,
+}
+criterion_main!(figures);

@@ -1,0 +1,152 @@
+//! Substrate micro-benchmarks: the data structures on the simulator's hot
+//! paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smrseek_bench::{bench_trace, BENCH_OPS};
+use smrseek_cache::{ByteLru, RangeCache};
+use smrseek_extent::ExtentMap;
+use smrseek_sim::{simulate, SimConfig};
+use smrseek_stl::count_misordered_writes;
+use smrseek_trace::{Lba, Pba, MIB};
+use smrseek_workloads::Zipf;
+use std::hint::black_box;
+
+fn extent_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extent_map");
+    let ops: Vec<(u64, u64, u64)> = {
+        let mut rng = StdRng::seed_from_u64(1);
+        (0..10_000u64)
+            .map(|i| (rng.gen_range(0..1 << 20), rng.gen_range(1..64), i * 64))
+            .collect()
+    };
+    group.throughput(Throughput::Elements(ops.len() as u64));
+    group.bench_function("insert_10k_random", |b| {
+        b.iter(|| {
+            let mut map = ExtentMap::new();
+            for &(lba, len, pba) in &ops {
+                map.insert(Lba::new(lba), len, Pba::new(1 << 30 | pba));
+            }
+            black_box(map.len())
+        })
+    });
+
+    let mut map = ExtentMap::new();
+    for &(lba, len, pba) in &ops {
+        map.insert(Lba::new(lba), len, Pba::new(1 << 30 | pba));
+    }
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("lookup_1k", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let queries: Vec<u64> = (0..1000).map(|_| rng.gen_range(0..1 << 20)).collect();
+        b.iter(|| {
+            let mut total = 0usize;
+            for &q in &queries {
+                total += map.lookup(Lba::new(q), 128).len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("fragments_in_1k", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let queries: Vec<u64> = (0..1000).map(|_| rng.gen_range(0..1 << 20)).collect();
+        b.iter(|| {
+            let mut total = 0usize;
+            for &q in &queries {
+                total += map.fragments_in(Lba::new(q), 128);
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+fn caches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("caches");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("byte_lru_insert_10k", |b| {
+        b.iter(|| {
+            let mut lru = ByteLru::new(64 * MIB);
+            for i in 0..10_000u64 {
+                lru.insert(i % 4096, 16 * 1024);
+            }
+            black_box(lru.len())
+        })
+    });
+    group.bench_function("range_cache_mixed_10k", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let ops: Vec<(u64, bool)> = (0..10_000)
+            .map(|_| (rng.gen_range(0..1u64 << 24), rng.gen_bool(0.5)))
+            .collect();
+        b.iter(|| {
+            let mut cache = RangeCache::with_capacity_bytes(64 * MIB);
+            let mut hits = 0u64;
+            for &(pba, is_query) in &ops {
+                if is_query {
+                    hits += u64::from(cache.covers(Pba::new(pba), 32));
+                } else {
+                    cache.insert(Pba::new(pba), 32);
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    let zipf = Zipf::new(100_000, 1.0);
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("zipf_sample_100k", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut acc = 0usize;
+            for _ in 0..100_000 {
+                acc = acc.wrapping_add(zipf.sample(&mut rng));
+            }
+            black_box(acc)
+        })
+    });
+    group.throughput(Throughput::Elements(BENCH_OPS as u64));
+    group.bench_function("profile_w91_generate", |b| {
+        b.iter(|| black_box(bench_trace("w91").len()))
+    });
+    group.finish();
+}
+
+fn simulator_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    let trace = bench_trace("w91");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for (name, config) in [
+        ("nols", SimConfig::no_ls()),
+        ("ls", SimConfig::log_structured()),
+        ("ls_defrag", SimConfig::ls_defrag()),
+        ("ls_prefetch", SimConfig::ls_prefetch()),
+        ("ls_cache", SimConfig::ls_cache()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("replay_w91", name), &config, |b, config| {
+            b.iter(|| black_box(simulate(&trace, config).seeks))
+        });
+    }
+    group.finish();
+}
+
+fn misorder_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("misorder");
+    let trace = bench_trace("src2_2");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("count_misordered_src2_2", |b| {
+        b.iter(|| black_box(count_misordered_writes(&trace, 256 * 1024)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(10);
+    targets = extent_map, caches, generators, simulator_throughput, misorder_scan,
+}
+criterion_main!(micro);

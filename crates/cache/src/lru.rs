@@ -1,0 +1,303 @@
+//! A generic byte-budgeted LRU cache over keys.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<K> {
+    key: K,
+    bytes: u64,
+    prev: usize,
+    next: usize,
+}
+
+/// An LRU cache that tracks keys with associated sizes against a byte
+/// budget. All operations are O(1) expected time.
+///
+/// The cache stores no payloads — the simulator only needs presence and
+/// recency, not data — so a multi-GB modeled cache costs a few bytes per
+/// entry of host memory.
+///
+/// # Example
+///
+/// ```
+/// use smrseek_cache::ByteLru;
+///
+/// let mut lru = ByteLru::new(100);
+/// lru.insert("a", 40);
+/// lru.insert("b", 40);
+/// assert!(lru.touch(&"a"));            // "a" becomes most recent
+/// let evicted = lru.insert("c", 40);   // evicts LRU entries to fit
+/// assert_eq!(evicted, vec!["b"]);
+/// assert!(lru.contains(&"a"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ByteLru<K> {
+    map: HashMap<K, usize>,
+    nodes: Vec<Node<K>>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    bytes_used: u64,
+    capacity_bytes: u64,
+}
+
+impl<K: Hash + Eq + Clone> ByteLru<K> {
+    /// Creates a cache with the given byte budget.
+    pub fn new(capacity_bytes: u64) -> Self {
+        ByteLru {
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            bytes_used: 0,
+            capacity_bytes,
+        }
+    }
+
+    /// Byte budget.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently accounted to entries.
+    pub fn bytes_used(&self) -> u64 {
+        self.bytes_used
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Returns `true` if `key` is cached (without touching recency).
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Marks `key` most-recently-used; returns `false` if absent.
+    pub fn touch(&mut self, key: &K) -> bool {
+        let Some(&idx) = self.map.get(key) else {
+            return false;
+        };
+        self.unlink(idx);
+        self.push_front(idx);
+        true
+    }
+
+    /// Inserts `key` with size `bytes` (or refreshes its recency and size
+    /// if present), then evicts least-recently-used entries until the
+    /// budget holds. Returns the evicted keys, oldest first.
+    ///
+    /// An entry larger than the whole budget is admitted alone and evicted
+    /// by the next insert.
+    pub fn insert(&mut self, key: K, bytes: u64) -> Vec<K> {
+        if let Some(&idx) = self.map.get(&key) {
+            self.bytes_used = self.bytes_used - self.nodes[idx].bytes + bytes;
+            self.nodes[idx].bytes = bytes;
+            self.unlink(idx);
+            self.push_front(idx);
+        } else {
+            let node = Node {
+                key: key.clone(),
+                bytes,
+                prev: NIL,
+                next: NIL,
+            };
+            let idx = match self.free.pop() {
+                Some(i) => {
+                    self.nodes[i] = node;
+                    i
+                }
+                None => {
+                    self.nodes.push(node);
+                    self.nodes.len() - 1
+                }
+            };
+            self.map.insert(key, idx);
+            self.bytes_used += bytes;
+            self.push_front(idx);
+        }
+        self.evict_to_budget()
+    }
+
+    /// Removes `key`; returns `true` if it was present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        let Some(idx) = self.map.remove(key) else {
+            return false;
+        };
+        self.unlink(idx);
+        self.bytes_used -= self.nodes[idx].bytes;
+        self.free.push(idx);
+        true
+    }
+
+    /// The least-recently-used key, if any.
+    pub fn lru_key(&self) -> Option<&K> {
+        (self.tail != NIL).then(|| &self.nodes[self.tail].key)
+    }
+
+    /// Keys from most- to least-recently-used.
+    pub fn keys_by_recency(&self) -> Vec<&K> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            out.push(&self.nodes[cur].key);
+            cur = self.nodes[cur].next;
+        }
+        out
+    }
+
+    fn evict_to_budget(&mut self) -> Vec<K> {
+        let mut evicted = Vec::new();
+        while self.bytes_used > self.capacity_bytes && self.map.len() > 1 {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            let key = self.nodes[victim].key.clone();
+            self.map.remove(&key);
+            self.unlink(victim);
+            self.bytes_used -= self.nodes[victim].bytes;
+            self.free.push(victim);
+            evicted.push(key);
+        }
+        evicted
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut lru = ByteLru::new(100);
+        assert!(lru.is_empty());
+        assert!(lru.insert(1, 40).is_empty());
+        assert!(lru.contains(&1));
+        assert!(!lru.contains(&2));
+        assert_eq!(lru.bytes_used(), 40);
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn eviction_order_is_lru() {
+        let mut lru = ByteLru::new(100);
+        lru.insert('a', 40);
+        lru.insert('b', 40);
+        lru.touch(&'a');
+        let evicted = lru.insert('c', 40); // must evict b (LRU), not a
+        assert_eq!(evicted, vec!['b']);
+        assert!(lru.contains(&'a'));
+        assert!(lru.contains(&'c'));
+        assert_eq!(lru.bytes_used(), 80);
+    }
+
+    #[test]
+    fn multi_eviction() {
+        let mut lru = ByteLru::new(100);
+        lru.insert(1, 30);
+        lru.insert(2, 30);
+        lru.insert(3, 30);
+        let evicted = lru.insert(4, 90);
+        assert_eq!(evicted, vec![1, 2, 3]);
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn oversized_entry_admitted_alone() {
+        let mut lru = ByteLru::new(50);
+        lru.insert(1, 10);
+        let evicted = lru.insert(2, 500);
+        assert_eq!(evicted, vec![1]);
+        assert!(lru.contains(&2));
+        assert_eq!(lru.len(), 1); // never evicts below one entry
+        let evicted = lru.insert(3, 10);
+        assert_eq!(evicted, vec![2]);
+    }
+
+    #[test]
+    fn reinsert_updates_size_and_recency() {
+        let mut lru = ByteLru::new(100);
+        lru.insert('a', 40);
+        lru.insert('b', 40);
+        lru.insert('a', 60); // resize + move to front
+        assert_eq!(lru.bytes_used(), 100);
+        let evicted = lru.insert('c', 40);
+        assert_eq!(evicted, vec!['b']);
+    }
+
+    #[test]
+    fn remove_frees_budget() {
+        let mut lru = ByteLru::new(100);
+        lru.insert(1, 60);
+        assert!(lru.remove(&1));
+        assert!(!lru.remove(&1));
+        assert_eq!(lru.bytes_used(), 0);
+        assert!(lru.insert(2, 100).is_empty());
+    }
+
+    #[test]
+    fn recency_listing() {
+        let mut lru = ByteLru::new(1000);
+        for k in 0..4 {
+            lru.insert(k, 1);
+        }
+        lru.touch(&0);
+        assert_eq!(lru.keys_by_recency(), vec![&0, &3, &2, &1]);
+        assert_eq!(lru.lru_key(), Some(&1));
+    }
+
+    #[test]
+    fn touch_missing_is_false() {
+        let mut lru: ByteLru<u32> = ByteLru::new(10);
+        assert!(!lru.touch(&9));
+        assert_eq!(lru.lru_key(), None);
+    }
+
+    #[test]
+    fn slab_reuse_after_heavy_churn() {
+        let mut lru = ByteLru::new(10);
+        for i in 0..1000u32 {
+            lru.insert(i, 4);
+        }
+        assert!(lru.len() <= 3);
+        // Slab should not have grown unboundedly.
+        assert!(lru.nodes.len() <= 16, "slab grew to {}", lru.nodes.len());
+    }
+}

@@ -1,0 +1,448 @@
+//! An LRU-evicted cache of sector ranges in physical (PBA) space.
+
+use serde::{Deserialize, Serialize};
+use smrseek_trace::{Pba, SECTOR_SIZE};
+use std::collections::BTreeMap;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node {
+    start: u64,
+    sectors: u64,
+    prev: usize,
+    next: usize,
+}
+
+/// Aggregate hit/miss statistics of a [`RangeCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RangeCacheStats {
+    /// `covers` queries answered `true`.
+    pub hits: u64,
+    /// `covers` queries answered `false`.
+    pub misses: u64,
+    /// Entries evicted to stay within budget.
+    pub evictions: u64,
+}
+
+impl RangeCacheStats {
+    /// Hit fraction in `[0, 1]`; 0 when no queries were made.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// An LRU-evicted set of disjoint sector ranges over PBA space with a byte
+/// budget.
+///
+/// This models a data cache indexed by physical location (the paper's
+/// selective-caching fragments and prefetch buffers are both such caches):
+/// only presence and recency are tracked, not payloads. In a log-structured
+/// system physical sectors are written once and never re-used (infinite
+/// disk), so entries never become incoherent — superseded data simply stops
+/// being referenced and ages out.
+///
+/// Ranges are stored at insert granularity (entries are not merged), so LRU
+/// eviction keeps the granularity of the original insertions.
+///
+/// # Example
+///
+/// ```
+/// use smrseek_cache::RangeCache;
+/// use smrseek_trace::Pba;
+///
+/// let mut c = RangeCache::with_capacity_sectors(64);
+/// c.insert(Pba::new(100), 16);
+/// c.insert(Pba::new(116), 16); // adjacent but separately evictable
+/// assert!(c.covers(Pba::new(100), 32));
+/// assert!(!c.covers(Pba::new(96), 8)); // partially outside
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RangeCache {
+    by_start: BTreeMap<u64, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    sectors_used: u64,
+    capacity_sectors: u64,
+    stats: RangeCacheStats,
+}
+
+impl RangeCache {
+    /// Creates a cache with a budget of `capacity_sectors` sectors.
+    pub fn with_capacity_sectors(capacity_sectors: u64) -> Self {
+        RangeCache {
+            by_start: BTreeMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            sectors_used: 0,
+            capacity_sectors,
+            stats: RangeCacheStats::default(),
+        }
+    }
+
+    /// Creates a cache with a budget of `capacity_bytes` bytes (rounded
+    /// down to whole sectors).
+    pub fn with_capacity_bytes(capacity_bytes: u64) -> Self {
+        Self::with_capacity_sectors(capacity_bytes / SECTOR_SIZE)
+    }
+
+    /// Budget in sectors.
+    pub fn capacity_sectors(&self) -> u64 {
+        self.capacity_sectors
+    }
+
+    /// Cached sectors.
+    pub fn sectors_used(&self) -> u64 {
+        self.sectors_used
+    }
+
+    /// Cached bytes.
+    pub fn bytes_used(&self) -> u64 {
+        self.sectors_used * SECTOR_SIZE
+    }
+
+    /// Number of cached ranges.
+    pub fn len(&self) -> usize {
+        self.by_start.len()
+    }
+
+    /// Returns `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.by_start.is_empty()
+    }
+
+    /// Hit/miss/eviction counters.
+    pub fn stats(&self) -> RangeCacheStats {
+        self.stats
+    }
+
+    /// Returns `true` — and refreshes the recency of every involved entry —
+    /// if `[pba, pba + sectors)` is entirely covered by cached ranges.
+    ///
+    /// Zero-length queries are vacuously covered and counted as hits.
+    pub fn covers(&mut self, pba: Pba, sectors: u64) -> bool {
+        match self.covering_nodes(pba.sector(), sectors) {
+            Some(involved) => {
+                for idx in involved {
+                    self.unlink(idx);
+                    self.push_front(idx);
+                }
+                self.stats.hits += 1;
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Like [`covers`](Self::covers) but without touching recency or
+    /// counting toward statistics.
+    pub fn peek_covers(&self, pba: Pba, sectors: u64) -> bool {
+        self.covering_nodes(pba.sector(), sectors).is_some()
+    }
+
+    /// Inserts `[pba, pba + sectors)`, creating entries only for the
+    /// currently-uncovered gaps (existing overlapping entries are touched),
+    /// then evicts least-recently-used ranges to fit the budget. Returns
+    /// the number of sectors evicted.
+    pub fn insert(&mut self, pba: Pba, sectors: u64) -> u64 {
+        if sectors == 0 {
+            return 0;
+        }
+        let start = pba.sector();
+        let end = start + sectors;
+        let mut gaps: Vec<(u64, u64)> = Vec::new();
+        let mut touched: Vec<usize> = Vec::new();
+        let mut cursor = start;
+
+        if let Some((&_es, &idx)) = self.by_start.range(..start).next_back() {
+            let n = &self.nodes[idx];
+            if n.start + n.sectors > start {
+                touched.push(idx);
+                cursor = (n.start + n.sectors).min(end);
+            }
+        }
+        let in_range: Vec<usize> = self.by_start.range(start..end).map(|(_, &i)| i).collect();
+        for idx in in_range {
+            let (es, elen) = (self.nodes[idx].start, self.nodes[idx].sectors);
+            if es > cursor {
+                gaps.push((cursor, es - cursor));
+            }
+            touched.push(idx);
+            cursor = (es + elen).min(end).max(cursor);
+        }
+        if cursor < end {
+            gaps.push((cursor, end - cursor));
+        }
+        for idx in touched {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+        for (gs, glen) in gaps {
+            let idx = self.alloc_node(gs, glen);
+            self.by_start.insert(gs, idx);
+            self.sectors_used += glen;
+            self.push_front(idx);
+        }
+        self.evict_to_budget()
+    }
+
+    /// Drops every cached range.
+    pub fn clear(&mut self) {
+        self.by_start.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.sectors_used = 0;
+    }
+
+    /// Cached ranges in PBA order as `(start, sectors)` pairs.
+    pub fn ranges(&self) -> Vec<(Pba, u64)> {
+        self.by_start
+            .iter()
+            .map(|(_, &i)| (Pba::new(self.nodes[i].start), self.nodes[i].sectors))
+            .collect()
+    }
+
+    /// Returns the node indices covering `[start, start + sectors)` in
+    /// full, or `None` if any sector is uncovered. Never mutates.
+    fn covering_nodes(&self, start: u64, sectors: u64) -> Option<Vec<usize>> {
+        let end = start + sectors;
+        let mut cursor = start;
+        let mut involved: Vec<usize> = Vec::new();
+        if let Some((_, &idx)) = self.by_start.range(..=start).next_back() {
+            let n = &self.nodes[idx];
+            if n.start + n.sectors > start {
+                involved.push(idx);
+                cursor = (n.start + n.sectors).min(end);
+            }
+        }
+        if cursor < end {
+            for (_, &idx) in self.by_start.range(start + 1..end) {
+                let n = &self.nodes[idx];
+                if n.start > cursor {
+                    return None; // gap
+                }
+                involved.push(idx);
+                cursor = (n.start + n.sectors).min(end).max(cursor);
+                if cursor >= end {
+                    break;
+                }
+            }
+        }
+        (cursor >= end).then_some(involved)
+    }
+
+    fn alloc_node(&mut self, start: u64, sectors: u64) -> usize {
+        let node = Node {
+            start,
+            sectors,
+            prev: NIL,
+            next: NIL,
+        };
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    fn evict_to_budget(&mut self) -> u64 {
+        let mut evicted = 0;
+        while self.sectors_used > self.capacity_sectors && self.by_start.len() > 1 {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            let (start, len) = (self.nodes[victim].start, self.nodes[victim].sectors);
+            self.by_start.remove(&start);
+            self.unlink(victim);
+            self.sectors_used -= len;
+            self.free.push(victim);
+            evicted += len;
+            self.stats.evictions += 1;
+        }
+        evicted
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pba(s: u64) -> Pba {
+        Pba::new(s)
+    }
+
+    #[test]
+    fn empty_cache_covers_nothing() {
+        let mut c = RangeCache::with_capacity_sectors(100);
+        assert!(c.is_empty());
+        assert!(!c.covers(pba(0), 1));
+        assert!(c.covers(pba(0), 0)); // vacuous
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn exact_and_partial_coverage() {
+        let mut c = RangeCache::with_capacity_sectors(100);
+        c.insert(pba(10), 10);
+        assert!(c.covers(pba(10), 10));
+        assert!(c.covers(pba(12), 4));
+        assert!(!c.covers(pba(5), 10));
+        assert!(!c.covers(pba(15), 10));
+        assert!(!c.covers(pba(30), 1));
+    }
+
+    #[test]
+    fn coverage_across_multiple_entries() {
+        let mut c = RangeCache::with_capacity_sectors(100);
+        c.insert(pba(0), 10);
+        c.insert(pba(10), 10);
+        c.insert(pba(20), 10);
+        assert!(c.covers(pba(5), 20)); // spans three entries
+        c.insert(pba(40), 5);
+        assert!(!c.covers(pba(25), 20)); // gap [30,40)
+    }
+
+    #[test]
+    fn insert_fills_only_gaps() {
+        let mut c = RangeCache::with_capacity_sectors(100);
+        c.insert(pba(10), 10);
+        c.insert(pba(5), 20); // covers [5,10) and [20,25) as new entries
+        assert_eq!(c.sectors_used(), 20);
+        assert_eq!(c.len(), 3);
+        assert!(c.covers(pba(5), 20));
+    }
+
+    #[test]
+    fn eviction_is_lru_over_ranges() {
+        let mut c = RangeCache::with_capacity_sectors(30);
+        c.insert(pba(0), 10);
+        c.insert(pba(100), 10);
+        c.insert(pba(200), 10);
+        assert!(c.covers(pba(0), 10)); // refresh the oldest
+        c.insert(pba(300), 10); // must evict [100,110)
+        assert!(c.peek_covers(pba(0), 10));
+        assert!(!c.peek_covers(pba(100), 10));
+        assert!(c.peek_covers(pba(200), 10));
+        assert!(c.peek_covers(pba(300), 10));
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.sectors_used(), 30);
+    }
+
+    #[test]
+    fn peek_does_not_touch() {
+        let mut c = RangeCache::with_capacity_sectors(20);
+        c.insert(pba(0), 10);
+        c.insert(pba(100), 10);
+        assert!(c.peek_covers(pba(0), 10)); // would refresh if it touched
+        c.insert(pba(200), 10); // evicts true LRU: [0,10)
+        assert!(!c.peek_covers(pba(0), 10));
+        assert!(c.peek_covers(pba(100), 10));
+    }
+
+    #[test]
+    fn covering_query_protects_from_eviction() {
+        let mut c = RangeCache::with_capacity_sectors(20);
+        c.insert(pba(0), 10);
+        c.insert(pba(100), 10);
+        assert!(c.covers(pba(0), 10)); // touch
+        c.insert(pba(200), 10); // evicts [100,110)
+        assert!(c.peek_covers(pba(0), 10));
+        assert!(!c.peek_covers(pba(100), 10));
+    }
+
+    #[test]
+    fn byte_capacity_constructor() {
+        let c = RangeCache::with_capacity_bytes(64 * 1024 * 1024);
+        assert_eq!(c.capacity_sectors(), 131_072);
+        assert_eq!(c.bytes_used(), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = RangeCache::with_capacity_sectors(100);
+        c.insert(pba(0), 50);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.sectors_used(), 0);
+        assert!(!c.covers(pba(0), 1));
+        c.insert(pba(0), 10);
+        assert!(c.covers(pba(0), 10));
+    }
+
+    #[test]
+    fn ranges_listing_sorted() {
+        let mut c = RangeCache::with_capacity_sectors(100);
+        c.insert(pba(50), 5);
+        c.insert(pba(0), 5);
+        assert_eq!(c.ranges(), vec![(pba(0), 5), (pba(50), 5)]);
+    }
+
+    #[test]
+    fn overlapping_insert_touches_existing() {
+        let mut c = RangeCache::with_capacity_sectors(25);
+        c.insert(pba(0), 10);
+        c.insert(pba(100), 10);
+        // Overlapping insert refreshes [0,10) and adds [10,15).
+        c.insert(pba(0), 15);
+        c.insert(pba(200), 10); // evicts LRU = [100,110)
+        assert!(c.peek_covers(pba(0), 15));
+        assert!(!c.peek_covers(pba(100), 10));
+    }
+
+    #[test]
+    fn heavy_churn_reuses_slab() {
+        let mut c = RangeCache::with_capacity_sectors(64);
+        for i in 0..10_000u64 {
+            c.insert(pba(i * 1000), 32);
+        }
+        assert!(c.nodes.len() <= 64, "slab grew to {}", c.nodes.len());
+        assert!(c.sectors_used() <= 64);
+    }
+}

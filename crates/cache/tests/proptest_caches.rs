@@ -1,0 +1,188 @@
+//! Property tests: `ByteLru` against a naive recency-list model, and
+//! `RangeCache` against a per-sector timestamp model.
+
+use proptest::prelude::*;
+use smrseek_cache::{ByteLru, RangeCache};
+use smrseek_trace::Pba;
+use std::collections::HashMap;
+
+// ---------- ByteLru vs naive model ----------
+
+#[derive(Debug, Clone)]
+enum LruOp {
+    Insert(u16, u64),
+    Touch(u16),
+    Remove(u16),
+}
+
+fn lru_ops() -> impl Strategy<Value = Vec<LruOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (0u16..64, 1u64..50).prop_map(|(k, b)| LruOp::Insert(k, b)),
+            1 => (0u16..64).prop_map(LruOp::Touch),
+            1 => (0u16..64).prop_map(LruOp::Remove),
+        ],
+        1..120,
+    )
+}
+
+/// Naive model: vector ordered most-recent-first.
+#[derive(Default)]
+struct LruModel {
+    entries: Vec<(u16, u64)>, // (key, bytes), MRU first
+    capacity: u64,
+}
+
+impl LruModel {
+    fn bytes(&self) -> u64 {
+        self.entries.iter().map(|&(_, b)| b).sum()
+    }
+
+    fn apply(&mut self, op: &LruOp) -> Vec<u16> {
+        match *op {
+            LruOp::Insert(k, b) => {
+                self.entries.retain(|&(key, _)| key != k);
+                self.entries.insert(0, (k, b));
+                let mut evicted = Vec::new();
+                while self.bytes() > self.capacity && self.entries.len() > 1 {
+                    let (k, _) = self.entries.pop().expect("nonempty");
+                    evicted.push(k);
+                }
+                evicted
+            }
+            LruOp::Touch(k) => {
+                if let Some(pos) = self.entries.iter().position(|&(key, _)| key == k) {
+                    let e = self.entries.remove(pos);
+                    self.entries.insert(0, e);
+                }
+                Vec::new()
+            }
+            LruOp::Remove(k) => {
+                self.entries.retain(|&(key, _)| key != k);
+                Vec::new()
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn byte_lru_matches_model(ops in lru_ops(), capacity in 50u64..400) {
+        let mut lru = ByteLru::new(capacity);
+        let mut model = LruModel {
+            capacity,
+            ..LruModel::default()
+        };
+        for op in &ops {
+            let evicted_model = model.apply(op);
+            let evicted_real = match *op {
+                LruOp::Insert(k, b) => lru.insert(k, b),
+                LruOp::Touch(k) => {
+                    lru.touch(&k);
+                    Vec::new()
+                }
+                LruOp::Remove(k) => {
+                    lru.remove(&k);
+                    Vec::new()
+                }
+            };
+            prop_assert_eq!(&evicted_real, &evicted_model, "op {:?}", op);
+            prop_assert_eq!(lru.bytes_used(), model.bytes());
+            prop_assert_eq!(lru.len(), model.entries.len());
+        }
+        // Final recency order matches exactly.
+        let real: Vec<u16> = lru.keys_by_recency().into_iter().copied().collect();
+        let want: Vec<u16> = model.entries.iter().map(|&(k, _)| k).collect();
+        prop_assert_eq!(real, want);
+    }
+}
+
+// ---------- RangeCache vs per-sector model ----------
+
+#[derive(Debug, Clone)]
+enum RangeOp {
+    Insert(u64, u64),
+    Covers(u64, u64),
+}
+
+fn range_ops() -> impl Strategy<Value = Vec<RangeOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            2 => (0u64..512, 1u64..48).prop_map(|(s, l)| RangeOp::Insert(s, l)),
+            1 => (0u64..512, 1u64..64).prop_map(|(s, l)| RangeOp::Covers(s, l)),
+        ],
+        1..100,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// With an effectively unbounded budget, `covers` must answer exactly
+    /// "was every sector of the range inserted before".
+    #[test]
+    fn range_cache_coverage_matches_model(ops in range_ops()) {
+        let mut cache = RangeCache::with_capacity_sectors(1 << 20);
+        let mut model: HashMap<u64, ()> = HashMap::new();
+        for op in &ops {
+            match *op {
+                RangeOp::Insert(s, l) => {
+                    cache.insert(Pba::new(s), l);
+                    for x in s..s + l {
+                        model.insert(x, ());
+                    }
+                }
+                RangeOp::Covers(s, l) => {
+                    let want = (s..s + l).all(|x| model.contains_key(&x));
+                    prop_assert_eq!(
+                        cache.covers(Pba::new(s), l),
+                        want,
+                        "covers({}, {})", s, l
+                    );
+                    prop_assert_eq!(cache.peek_covers(Pba::new(s), l), want);
+                }
+            }
+            // Accounting: cached sectors equal distinct inserted sectors.
+            prop_assert_eq!(cache.sectors_used(), model.len() as u64);
+        }
+    }
+
+    /// Under a tight budget the cache never exceeds it (beyond the single
+    /// oversized-entry allowance) and never reports uninserted sectors.
+    #[test]
+    fn range_cache_respects_budget(ops in range_ops(), budget in 16u64..128) {
+        let mut cache = RangeCache::with_capacity_sectors(budget);
+        let mut inserted: HashMap<u64, ()> = HashMap::new();
+        // The cache never evicts below one entry, so a single oversized
+        // insert may linger; the allowance tracks the largest insert seen.
+        let mut max_insert = 0u64;
+        for op in &ops {
+            match *op {
+                RangeOp::Insert(s, l) => {
+                    cache.insert(Pba::new(s), l);
+                    max_insert = max_insert.max(l);
+                    for x in s..s + l {
+                        inserted.insert(x, ());
+                    }
+                    prop_assert!(
+                        cache.sectors_used() <= budget.max(max_insert),
+                        "budget {} exceeded: {}",
+                        budget,
+                        cache.sectors_used()
+                    );
+                }
+                RangeOp::Covers(s, l) => {
+                    if cache.covers(Pba::new(s), l) {
+                        // No false positives: everything covered was
+                        // inserted at some point.
+                        for x in s..s + l {
+                            prop_assert!(inserted.contains_key(&x));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

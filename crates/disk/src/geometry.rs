@@ -1,0 +1,304 @@
+//! Zoned-bit-recording (ZBR) disk geometry.
+//!
+//! The paper's seek-cost discussion (§III) abstracts geometry away; this
+//! module supplies the concrete layer beneath it for analyses that need
+//! cylinders and angles: modern drives pack more sectors per track near
+//! the outer diameter, so the same sector distance spans *more cylinders*
+//! (and seeks longer) near the spindle.
+//!
+//! [`DiskGeometry`] maps physical sectors to `(cylinder, angle)`
+//! positions; combined with a [`crate::DiskProfile`] it yields a
+//! geometry-aware seek time via [`DiskGeometry::seek_time_us`].
+
+use crate::cost::DiskProfile;
+use serde::{Deserialize, Serialize};
+use smrseek_trace::Pba;
+
+/// One recording zone: a run of cylinders sharing a sectors-per-track
+/// count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordingZone {
+    /// First sector of the zone.
+    pub start_sector: u64,
+    /// Sectors per track within the zone.
+    pub sectors_per_track: u64,
+    /// Tracks (cylinders, with a single-surface simplification).
+    pub tracks: u64,
+    /// First cylinder number of the zone.
+    pub start_cylinder: u64,
+}
+
+impl RecordingZone {
+    /// Sectors held by the zone.
+    pub fn sectors(&self) -> u64 {
+        self.sectors_per_track * self.tracks
+    }
+
+    /// One past the zone's last sector.
+    pub fn end_sector(&self) -> u64 {
+        self.start_sector + self.sectors()
+    }
+}
+
+/// The angular and radial position of a sector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Location {
+    /// Radial position (track index from the outer diameter).
+    pub cylinder: u64,
+    /// Angular position in sector units within the track.
+    pub angle: u64,
+    /// Track length at this cylinder, in sectors.
+    pub track_sectors: u64,
+}
+
+/// A zoned-bit-recording layout: outer zones (low sector numbers, as
+/// drives number from the outer diameter) hold more sectors per track.
+///
+/// # Example
+///
+/// ```
+/// use smrseek_disk::DiskGeometry;
+/// use smrseek_trace::Pba;
+///
+/// let geo = DiskGeometry::zbr(1 << 24, 2400, 1200, 8);
+/// let outer = geo.locate(Pba::new(0)).unwrap();
+/// let inner = geo.locate(Pba::new(geo.capacity_sectors() - 1)).unwrap();
+/// assert!(outer.track_sectors > inner.track_sectors);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiskGeometry {
+    zones: Vec<RecordingZone>,
+}
+
+impl DiskGeometry {
+    /// Builds a ZBR layout of roughly `capacity_sectors`, with
+    /// `zone_count` zones whose sectors-per-track fall linearly from
+    /// `outer_spt` (zone 0) to `inner_spt` (last zone). Each zone gets an
+    /// equal share of the capacity, rounded to whole tracks (the actual
+    /// capacity may therefore differ slightly; see
+    /// [`Self::capacity_sectors`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zone_count == 0`, `inner_spt == 0`, or
+    /// `outer_spt < inner_spt`.
+    pub fn zbr(capacity_sectors: u64, outer_spt: u64, inner_spt: u64, zone_count: usize) -> Self {
+        assert!(zone_count > 0, "need at least one zone");
+        assert!(inner_spt > 0, "tracks must hold sectors");
+        assert!(outer_spt >= inner_spt, "outer tracks are longer on ZBR disks");
+        let per_zone = capacity_sectors / zone_count as u64;
+        let mut zones = Vec::with_capacity(zone_count);
+        let mut start_sector = 0;
+        let mut start_cylinder = 0;
+        for z in 0..zone_count as u64 {
+            let spt = if zone_count == 1 {
+                outer_spt
+            } else {
+                outer_spt - (outer_spt - inner_spt) * z / (zone_count as u64 - 1)
+            };
+            let tracks = (per_zone / spt).max(1);
+            zones.push(RecordingZone {
+                start_sector,
+                sectors_per_track: spt,
+                tracks,
+                start_cylinder,
+            });
+            start_sector += spt * tracks;
+            start_cylinder += tracks;
+        }
+        DiskGeometry { zones }
+    }
+
+    /// The recording zones, outer to inner.
+    pub fn zones(&self) -> &[RecordingZone] {
+        &self.zones
+    }
+
+    /// Exact capacity in sectors.
+    pub fn capacity_sectors(&self) -> u64 {
+        self.zones.last().map_or(0, RecordingZone::end_sector)
+    }
+
+    /// Total cylinder count.
+    pub fn cylinders(&self) -> u64 {
+        self.zones
+            .last()
+            .map_or(0, |z| z.start_cylinder + z.tracks)
+    }
+
+    /// Maps a sector to its cylinder/angle, or `None` past the end.
+    pub fn locate(&self, pba: Pba) -> Option<Location> {
+        let sector = pba.sector();
+        let zone = self
+            .zones
+            .iter()
+            .take_while(|z| z.start_sector <= sector)
+            .last()?;
+        if sector >= zone.end_sector() {
+            return None;
+        }
+        let offset = sector - zone.start_sector;
+        Some(Location {
+            cylinder: zone.start_cylinder + offset / zone.sectors_per_track,
+            angle: offset % zone.sectors_per_track,
+            track_sectors: zone.sectors_per_track,
+        })
+    }
+
+    /// Geometry-aware seek time between two sectors, in microseconds:
+    /// head travel over the cylinder distance (square-root curve from the
+    /// profile) plus the rotational delay to reach the target angle after
+    /// the head settles.
+    ///
+    /// Returns `None` if either sector is outside the geometry.
+    pub fn seek_time_us(&self, profile: &DiskProfile, from: Pba, to: Pba) -> Option<f64> {
+        let a = self.locate(from)?;
+        let b = self.locate(to)?;
+        let cylinder_delta = a.cylinder.abs_diff(b.cylinder);
+        let head_us = if cylinder_delta == 0 {
+            0.0
+        } else {
+            let frac = cylinder_delta as f64 / self.cylinders().max(1) as f64;
+            profile.min_seek_us + (profile.max_seek_us - profile.min_seek_us) * frac.sqrt()
+        };
+        // Angle the platter sweeps while the head moves, then the wait
+        // until the target angle comes around.
+        let rotation_us = profile.rotation_us();
+        let start_angle_frac = a.angle as f64 / a.track_sectors as f64;
+        let target_angle_frac = b.angle as f64 / b.track_sectors as f64;
+        let arrival_frac = start_angle_frac + head_us / rotation_us;
+        let mut wait_frac = target_angle_frac - arrival_frac % 1.0;
+        if wait_frac < 0.0 {
+            wait_frac += 1.0;
+        }
+        Some(head_us + wait_frac * rotation_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo() -> DiskGeometry {
+        DiskGeometry::zbr(1 << 22, 2048, 1024, 4)
+    }
+
+    #[test]
+    fn zones_tile_the_capacity() {
+        let g = geo();
+        assert_eq!(g.zones().len(), 4);
+        let mut cursor = 0;
+        let mut cyl = 0;
+        for z in g.zones() {
+            assert_eq!(z.start_sector, cursor);
+            assert_eq!(z.start_cylinder, cyl);
+            cursor = z.end_sector();
+            cyl += z.tracks;
+        }
+        assert_eq!(cursor, g.capacity_sectors());
+        assert_eq!(cyl, g.cylinders());
+    }
+
+    #[test]
+    fn spt_decreases_inward() {
+        let g = geo();
+        let spts: Vec<u64> = g.zones().iter().map(|z| z.sectors_per_track).collect();
+        assert!(spts.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(spts[0], 2048);
+        assert_eq!(*spts.last().unwrap(), 1024);
+    }
+
+    #[test]
+    fn locate_first_and_last() {
+        let g = geo();
+        let first = g.locate(Pba::new(0)).unwrap();
+        assert_eq!(first.cylinder, 0);
+        assert_eq!(first.angle, 0);
+        let last = g.locate(Pba::new(g.capacity_sectors() - 1)).unwrap();
+        assert_eq!(last.cylinder, g.cylinders() - 1);
+        assert!(g.locate(Pba::new(g.capacity_sectors())).is_none());
+    }
+
+    #[test]
+    fn same_distance_spans_more_cylinders_inward() {
+        let g = geo();
+        let span = 1 << 18;
+        let outer_a = g.locate(Pba::new(0)).unwrap();
+        let outer_b = g.locate(Pba::new(span)).unwrap();
+        let inner_end = g.capacity_sectors() - 1;
+        let inner_a = g.locate(Pba::new(inner_end - span)).unwrap();
+        let inner_b = g.locate(Pba::new(inner_end)).unwrap();
+        let outer_cyls = outer_b.cylinder - outer_a.cylinder;
+        let inner_cyls = inner_b.cylinder - inner_a.cylinder;
+        assert!(
+            inner_cyls > outer_cyls,
+            "inner {inner_cyls} vs outer {outer_cyls}"
+        );
+    }
+
+    #[test]
+    fn seek_time_zero_for_same_sector_track() {
+        let g = geo();
+        let p = DiskProfile::default();
+        let t = g.seek_time_us(&p, Pba::new(100), Pba::new(100)).unwrap();
+        assert!(t.abs() < 1e-9, "same position costs nothing, got {t}");
+    }
+
+    #[test]
+    fn intra_track_seek_is_rotation_only() {
+        let g = geo();
+        let p = DiskProfile::default();
+        // Within the first track: forward skip by a quarter track.
+        let quarter = 2048 / 4;
+        let t = g
+            .seek_time_us(&p, Pba::new(0), Pba::new(quarter))
+            .unwrap();
+        assert!((t - p.rotation_us() / 4.0).abs() < 1.0, "{t}");
+    }
+
+    #[test]
+    fn long_seek_dominated_by_head_travel() {
+        let g = geo();
+        let p = DiskProfile::default();
+        let t = g
+            .seek_time_us(&p, Pba::new(0), Pba::new(g.capacity_sectors() - 1))
+            .unwrap();
+        assert!(t >= p.max_seek_us * 0.9, "full stroke {t}");
+        assert!(t <= p.max_seek_us + p.rotation_us() + 1.0);
+    }
+
+    #[test]
+    fn seek_time_symmetric_in_cylinder_cost() {
+        let g = geo();
+        let p = DiskProfile::default();
+        let a = Pba::new(1000);
+        let b = Pba::new(3_000_000);
+        let fwd = g.seek_time_us(&p, a, b).unwrap();
+        let back = g.seek_time_us(&p, b, a).unwrap();
+        // Rotational phases differ but head travel dominates; the two
+        // directions must be within one rotation of each other.
+        assert!((fwd - back).abs() <= p.rotation_us() + 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_is_none() {
+        let g = geo();
+        let p = DiskProfile::default();
+        assert!(g.seek_time_us(&p, Pba::new(0), Pba::new(u64::MAX)).is_none());
+        assert!(g.locate(Pba::new(u64::MAX)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "outer tracks are longer")]
+    fn inverted_spt_panics() {
+        DiskGeometry::zbr(1 << 20, 100, 200, 4);
+    }
+
+    #[test]
+    fn single_zone_geometry() {
+        let g = DiskGeometry::zbr(1 << 20, 512, 512, 1);
+        assert_eq!(g.zones().len(), 1);
+        assert_eq!(g.zones()[0].sectors_per_track, 512);
+        assert!(g.capacity_sectors() <= 1 << 20);
+    }
+}

@@ -1,0 +1,214 @@
+//! Empirical CDFs and histograms over seek/access distances (Fig 4).
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical cumulative distribution function built from samples.
+///
+/// # Example
+///
+/// ```
+/// use smrseek_disk::Cdf;
+///
+/// let cdf = Cdf::from_samples(vec![-5i64, 0, 0, 10]);
+/// assert_eq!(cdf.fraction_at_or_below(-6), 0.0);
+/// assert_eq!(cdf.fraction_at_or_below(0), 0.75);
+/// assert_eq!(cdf.fraction_at_or_below(10), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Cdf {
+    sorted: Vec<i64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from raw samples (consumed and sorted).
+    pub fn from_samples(mut samples: Vec<i64>) -> Self {
+        samples.sort_unstable();
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` if the CDF has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `<= value`, in `[0, 1]`; 0 for an empty CDF.
+    pub fn fraction_at_or_below(&self, value: i64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&s| s <= value);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by the nearest-rank method, or `None`
+    /// for an empty CDF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<i64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let n = self.sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.sorted[rank - 1])
+    }
+
+    /// Fraction of samples in the closed interval `[lo, hi]`.
+    pub fn fraction_within(&self, lo: i64, hi: i64) -> f64 {
+        if self.sorted.is_empty() || lo > hi {
+            return 0.0;
+        }
+        let a = self.sorted.partition_point(|&s| s < lo);
+        let b = self.sorted.partition_point(|&s| s <= hi);
+        (b - a) as f64 / self.sorted.len() as f64
+    }
+
+    /// Samples the CDF at `points` evenly spaced values across `[lo, hi]`,
+    /// returning `(x, F(x))` pairs — the series plotted in Fig 4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2` or `lo >= hi`.
+    pub fn curve(&self, lo: i64, hi: i64, points: usize) -> Vec<(i64, f64)> {
+        assert!(points >= 2, "need at least two points");
+        assert!(lo < hi, "lo must be below hi");
+        let span = (hi - lo) as f64;
+        (0..points)
+            .map(|i| {
+                let x = lo + (span * i as f64 / (points - 1) as f64).round() as i64;
+                (x, self.fraction_at_or_below(x))
+            })
+            .collect()
+    }
+
+    /// The sorted samples.
+    pub fn samples(&self) -> &[i64] {
+        &self.sorted
+    }
+}
+
+impl FromIterator<i64> for Cdf {
+    fn from_iter<I: IntoIterator<Item = i64>>(iter: I) -> Self {
+        Cdf::from_samples(iter.into_iter().collect())
+    }
+}
+
+/// A fixed-bin histogram over absolute distances, log-2 spaced, for compact
+/// summaries of seek length distributions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// `bins[i]` counts samples with `2^i <= |x| < 2^(i+1)`; `zero` counts
+    /// exact zeros.
+    bins: Vec<u64>,
+    zero: u64,
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram able to represent any `i64`.
+    pub fn new() -> Self {
+        LogHistogram {
+            bins: vec![0; 64],
+            zero: 0,
+        }
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, value: i64) {
+        match value.unsigned_abs() {
+            0 => self.zero += 1,
+            m => self.bins[63 - m.leading_zeros() as usize] += 1,
+        }
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.zero + self.bins.iter().sum::<u64>()
+    }
+
+    /// Count of exact-zero samples.
+    pub fn zeros(&self) -> u64 {
+        self.zero
+    }
+
+    /// Non-empty `(bin_floor, count)` pairs where `bin_floor = 2^i`.
+    pub fn nonzero_bins(&self) -> Vec<(u64, u64)> {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (1u64 << i, c))
+            .collect()
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cdf() {
+        let cdf = Cdf::default();
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_at_or_below(0), 0.0);
+        assert_eq!(cdf.quantile(0.5), None);
+        assert_eq!(cdf.fraction_within(-1, 1), 0.0);
+    }
+
+    #[test]
+    fn fractions_and_quantiles() {
+        let cdf: Cdf = vec![1i64, 2, 3, 4].into_iter().collect();
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf.fraction_at_or_below(2), 0.5);
+        assert_eq!(cdf.quantile(0.0), Some(1));
+        assert_eq!(cdf.quantile(0.5), Some(2));
+        assert_eq!(cdf.quantile(1.0), Some(4));
+        assert_eq!(cdf.fraction_within(2, 3), 0.5);
+        assert_eq!(cdf.fraction_within(5, 9), 0.0);
+        assert_eq!(cdf.fraction_within(3, 1), 0.0); // inverted range
+    }
+
+    #[test]
+    fn curve_endpoints() {
+        let cdf: Cdf = vec![0i64, 10].into_iter().collect();
+        let pts = cdf.curve(-10, 10, 3);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0], (-10, 0.0));
+        assert_eq!(pts[1], (0, 0.5));
+        assert_eq!(pts[2], (10, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_validates() {
+        Cdf::default().quantile(1.5);
+    }
+
+    #[test]
+    fn log_histogram_binning() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(-1);
+        h.record(2);
+        h.record(3);
+        h.record(-1024);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.zeros(), 1);
+        let bins = h.nonzero_bins();
+        assert_eq!(bins, vec![(1, 2), (2, 2), (1024, 1)]);
+    }
+}

@@ -1,0 +1,80 @@
+//! The physical I/O operation: what a translation layer emits and the seek
+//! model consumes.
+
+use serde::{Deserialize, Serialize};
+use smrseek_trace::{OpKind, Pba, SECTOR_SIZE};
+use std::fmt;
+
+/// One physical disk operation: `sectors` sectors starting at `pba`.
+///
+/// Translation layers turn each logical [`smrseek_trace::TraceRecord`] into
+/// one or more `PhysIo`s — one per physically-contiguous piece.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PhysIo {
+    /// Read or write, as seen at the medium.
+    pub op: OpKind,
+    /// First physical sector.
+    pub pba: Pba,
+    /// Length in sectors.
+    pub sectors: u64,
+}
+
+impl PhysIo {
+    /// Creates a physical operation.
+    pub const fn new(op: OpKind, pba: Pba, sectors: u64) -> Self {
+        PhysIo { op, pba, sectors }
+    }
+
+    /// Creates a physical read.
+    pub const fn read(pba: Pba, sectors: u64) -> Self {
+        Self::new(OpKind::Read, pba, sectors)
+    }
+
+    /// Creates a physical write.
+    pub const fn write(pba: Pba, sectors: u64) -> Self {
+        Self::new(OpKind::Write, pba, sectors)
+    }
+
+    /// One past the last physical sector.
+    pub fn end(&self) -> Pba {
+        self.pba + self.sectors
+    }
+
+    /// Length in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.sectors * SECTOR_SIZE
+    }
+}
+
+impl fmt::Display for PhysIo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} pba={} +{}", self.op, self.pba, self.sectors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let io = PhysIo::read(Pba::new(10), 4);
+        assert_eq!(io.end(), Pba::new(14));
+        assert_eq!(io.len_bytes(), 2048);
+        assert_eq!(io.op, OpKind::Read);
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(PhysIo::write(Pba::new(1), 1).op, OpKind::Write);
+        assert_eq!(
+            PhysIo::new(OpKind::Read, Pba::new(1), 1),
+            PhysIo::read(Pba::new(1), 1)
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(PhysIo::read(Pba::new(2), 3).to_string(), "Read pba=2 +3");
+    }
+}

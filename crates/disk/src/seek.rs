@@ -1,0 +1,88 @@
+//! Seek events and the long-seek threshold.
+
+use serde::{Deserialize, Serialize};
+use smrseek_trace::{OpKind, KIB, SECTOR_SIZE};
+use std::fmt;
+
+/// Threshold above which the paper calls a seek "long": ±500 KB
+/// (Fig 3 ignores shorter seeks, "which have much noisier behavior").
+pub const LONG_SEEK_SECTORS: u64 = 500 * KIB / SECTOR_SIZE;
+
+/// One detected seek.
+///
+/// Per the paper's definition a seek is classified by the kind of the
+/// *second* of the two operations involved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Seek {
+    /// Kind of the operation that incurred the seek.
+    pub op: OpKind,
+    /// Signed distance in sectors from the previous operation's end to this
+    /// operation's start. Positive = outward (higher addresses). Never zero.
+    pub distance: i64,
+    /// Zero-based index of the physical operation that seeked.
+    pub op_index: u64,
+}
+
+impl Seek {
+    /// Returns `true` for seeks of magnitude strictly greater than
+    /// [`LONG_SEEK_SECTORS`].
+    pub fn is_long(&self) -> bool {
+        self.distance.unsigned_abs() > LONG_SEEK_SECTORS
+    }
+
+    /// Absolute distance in bytes.
+    pub fn distance_bytes(&self) -> u64 {
+        self.distance.unsigned_abs() * SECTOR_SIZE
+    }
+}
+
+impl fmt::Display for Seek {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} seek of {} sectors at op {}",
+            self.op, self.distance, self.op_index
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_is_500kb() {
+        assert_eq!(LONG_SEEK_SECTORS, 1000);
+    }
+
+    #[test]
+    fn long_classification_is_symmetric() {
+        let short = Seek {
+            op: OpKind::Read,
+            distance: 1000,
+            op_index: 0,
+        };
+        let long_pos = Seek {
+            distance: 1001,
+            ..short
+        };
+        let long_neg = Seek {
+            distance: -1001,
+            ..short
+        };
+        assert!(!short.is_long());
+        assert!(long_pos.is_long());
+        assert!(long_neg.is_long());
+    }
+
+    #[test]
+    fn distance_bytes() {
+        let s = Seek {
+            op: OpKind::Write,
+            distance: -8,
+            op_index: 3,
+        };
+        assert_eq!(s.distance_bytes(), 4096);
+        assert_eq!(s.to_string(), "Write seek of -8 sectors at op 3");
+    }
+}

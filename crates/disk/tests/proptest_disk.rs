@@ -1,0 +1,138 @@
+//! Property tests for the disk crate: the seek counter against a direct
+//! re-implementation, CDF axioms, cost-model monotonicity, geometry
+//! consistency, and zoned-device conservation.
+
+use proptest::prelude::*;
+use smrseek_disk::{Cdf, DiskGeometry, DiskProfile, PhysIo, SeekCounter, ZonedDevice};
+use smrseek_trace::{OpKind, Pba};
+
+fn io_strategy() -> impl Strategy<Value = PhysIo> {
+    (0u64..1 << 20, 1u64..256, prop::bool::ANY).prop_map(|(pba, len, is_read)| {
+        PhysIo::new(
+            if is_read { OpKind::Read } else { OpKind::Write },
+            Pba::new(pba),
+            len,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The counter's totals equal a direct scan of the operation stream.
+    #[test]
+    fn seek_counter_matches_direct_scan(ios in prop::collection::vec(io_strategy(), 1..200)) {
+        let mut counter = SeekCounter::with_distances();
+        counter.observe_all(&ios);
+        let stats = counter.stats();
+
+        let mut next = 0u64;
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        let mut distances = Vec::new();
+        for io in &ios {
+            if io.pba.sector() != next {
+                match io.op {
+                    OpKind::Read => reads += 1,
+                    OpKind::Write => writes += 1,
+                }
+                distances.push(io.pba.sector() as i64 - next as i64);
+            }
+            next = io.pba.sector() + io.sectors;
+        }
+        prop_assert_eq!(stats.read_seeks, reads);
+        prop_assert_eq!(stats.write_seeks, writes);
+        prop_assert_eq!(stats.ops, ios.len() as u64);
+        prop_assert_eq!(counter.distances(), &distances[..]);
+    }
+
+    /// CDF axioms: monotone, bounded, and consistent with quantiles.
+    #[test]
+    fn cdf_axioms(samples in prop::collection::vec(-1_000_000i64..1_000_000, 1..300)) {
+        let cdf = Cdf::from_samples(samples.clone());
+        prop_assert_eq!(cdf.len(), samples.len());
+        let lo = *samples.iter().min().expect("nonempty");
+        let hi = *samples.iter().max().expect("nonempty");
+        prop_assert!((cdf.fraction_at_or_below(hi) - 1.0).abs() < 1e-12);
+        prop_assert_eq!(cdf.fraction_at_or_below(lo - 1), 0.0);
+        // Monotonicity on a coarse grid.
+        let mut prev = 0.0;
+        for i in 0..20 {
+            let x = lo + (hi - lo) * i / 19;
+            let f = cdf.fraction_at_or_below(x);
+            prop_assert!(f >= prev - 1e-12);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prev = f;
+        }
+        // Quantile inverts fraction: F(q_p) >= p.
+        for &p in &[0.01, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            let q = cdf.quantile(p).expect("nonempty");
+            prop_assert!(cdf.fraction_at_or_below(q) >= p - 1e-12);
+        }
+    }
+
+    /// Seek cost is nonnegative, and for long seeks monotone in distance.
+    #[test]
+    fn cost_model_sane(d in 1i64..1 << 40) {
+        let p = DiskProfile::default();
+        let t = p.seek_time_us(d);
+        prop_assert!(t >= 0.0 && t.is_finite());
+        let further = p.seek_time_us(d.saturating_mul(2));
+        if d as u64 >= p.sectors_per_track {
+            prop_assert!(further >= t - 1e-9, "d={d}: {t} then {further}");
+        }
+        // Backward never cheaper than forward for short hops.
+        if (d as u64) < p.sectors_per_track {
+            prop_assert!(p.seek_time_us(-d) >= t - 1e-9);
+        }
+    }
+
+    /// Geometry: locate() is injective over sectors and cylinders are
+    /// nondecreasing in sector number.
+    #[test]
+    fn geometry_locate_monotone(step in 1u64..10_000) {
+        let geo = DiskGeometry::zbr(1 << 22, 2048, 512, 6);
+        let mut prev_cyl = 0u64;
+        let mut sector = 0u64;
+        while sector < geo.capacity_sectors() {
+            let loc = geo.locate(Pba::new(sector)).expect("in range");
+            prop_assert!(loc.cylinder >= prev_cyl);
+            prop_assert!(loc.angle < loc.track_sectors);
+            prev_cyl = loc.cylinder;
+            sector += step;
+        }
+    }
+
+    /// Zoned device: appended runs are disjoint, in-order, within zones,
+    /// and conserve the appended sector count.
+    #[test]
+    fn zoned_appends_conserve(lens in prop::collection::vec(1u64..300, 1..40)) {
+        let mut dev = ZonedDevice::new(64, 256);
+        let mut all_runs: Vec<(u64, u64)> = Vec::new();
+        let mut appended = 0u64;
+        for &len in &lens {
+            if len > dev.remaining_sectors() {
+                prop_assert!(dev.append(len).is_err());
+                continue;
+            }
+            let runs = dev.append(len).expect("fits");
+            let total: u64 = runs.iter().map(|&(_, l)| l).sum();
+            prop_assert_eq!(total, len);
+            for &(start, l) in &runs {
+                // Within a single zone.
+                let z = dev.zone_of(start).expect("valid");
+                prop_assert_eq!(dev.zone_of(start + l - 1), Some(z));
+                all_runs.push((start.sector(), l));
+            }
+            appended += len;
+        }
+        // Runs are strictly ordered and disjoint.
+        for pair in all_runs.windows(2) {
+            prop_assert!(pair[0].0 + pair[0].1 <= pair[1].0);
+        }
+        prop_assert_eq!(
+            dev.capacity_sectors() - dev.remaining_sectors(),
+            appended
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests for `ExtentMap`: the map must agree with a trivially
+//! correct sector-by-sector model under arbitrary insert/remove sequences.
+
+use proptest::prelude::*;
+use smrseek_extent::{ExtentMap, Segment};
+use smrseek_trace::{Lba, Pba};
+use std::collections::HashMap;
+
+const SPACE: u64 = 512; // small logical space so overlaps are common
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { lba: u64, len: u64, pba: u64 },
+    Remove { lba: u64, len: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..SPACE, 1..64u64, 0..1_000_000u64)
+            .prop_map(|(lba, len, pba)| Op::Insert { lba, len, pba }),
+        1 => (0..SPACE, 1..64u64).prop_map(|(lba, len)| Op::Remove { lba, len }),
+    ]
+}
+
+/// Reference model: one entry per sector.
+#[derive(Default)]
+struct Model {
+    sectors: HashMap<u64, u64>, // lba sector -> pba sector
+}
+
+impl Model {
+    fn apply(&mut self, op: &Op) {
+        match *op {
+            Op::Insert { lba, len, pba } => {
+                for i in 0..len {
+                    self.sectors.insert(lba + i, pba + i);
+                }
+            }
+            Op::Remove { lba, len } => {
+                for i in 0..len {
+                    self.sectors.remove(&(lba + i));
+                }
+            }
+        }
+    }
+}
+
+fn apply(map: &mut ExtentMap, op: &Op) {
+    match *op {
+        Op::Insert { lba, len, pba } => map.insert(Lba::new(lba), len, Pba::new(pba)),
+        Op::Remove { lba, len } => map.remove(Lba::new(lba), len),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every sector translates exactly as the reference model says.
+    #[test]
+    fn translation_matches_reference(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let mut map = ExtentMap::new();
+        let mut model = Model::default();
+        for op in &ops {
+            apply(&mut map, op);
+            model.apply(op);
+        }
+        for sector in 0..SPACE + 64 {
+            let got = map.translate(Lba::new(sector)).map(|p| p.sector());
+            let want = model.sectors.get(&sector).copied();
+            prop_assert_eq!(got, want, "sector {}", sector);
+        }
+    }
+
+    /// Mapped-sector accounting equals the reference model's count.
+    #[test]
+    fn mapped_sectors_accounting(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let mut map = ExtentMap::new();
+        let mut model = Model::default();
+        for op in &ops {
+            apply(&mut map, op);
+            model.apply(op);
+        }
+        prop_assert_eq!(map.mapped_sectors(), model.sectors.len() as u64);
+    }
+
+    /// Stored extents are disjoint, sorted, and maximal (no coalescible
+    /// neighbours survive).
+    #[test]
+    fn extents_are_disjoint_and_maximal(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let mut map = ExtentMap::new();
+        for op in &ops {
+            apply(&mut map, op);
+        }
+        let extents: Vec<_> = map.iter().collect();
+        for pair in extents.windows(2) {
+            prop_assert!(pair[0].lba_end() <= pair[1].lba, "overlap: {} vs {}", pair[0], pair[1]);
+            prop_assert!(!pair[0].abuts(&pair[1]), "uncoalesced neighbours: {} {}", pair[0], pair[1]);
+        }
+        let total: u64 = extents.iter().map(|e| e.sectors).sum();
+        prop_assert_eq!(total, map.mapped_sectors());
+    }
+
+    /// Lookups tile the queried range exactly: in order, gap-free,
+    /// overlap-free, and consistent with `translate`.
+    #[test]
+    fn lookup_tiles_exactly(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        qlba in 0..SPACE,
+        qlen in 1..128u64,
+    ) {
+        let mut map = ExtentMap::new();
+        for op in &ops {
+            apply(&mut map, op);
+        }
+        let segs = map.lookup(Lba::new(qlba), qlen);
+        let mut cursor = qlba;
+        for seg in &segs {
+            prop_assert_eq!(seg.lba().sector(), cursor);
+            prop_assert!(seg.sectors() > 0);
+            match seg {
+                Segment::Mapped(e) => {
+                    for i in 0..e.sectors {
+                        prop_assert_eq!(
+                            map.translate(Lba::new(e.lba.sector() + i)),
+                            Some(Pba::new(e.pba.sector() + i))
+                        );
+                    }
+                }
+                Segment::Hole { lba, sectors } => {
+                    for i in 0..*sectors {
+                        prop_assert_eq!(map.translate(Lba::new(lba.sector() + i)), None);
+                    }
+                }
+            }
+            cursor += seg.sectors();
+        }
+        prop_assert_eq!(cursor, qlba + qlen);
+    }
+
+    /// Dynamic fragmentation is between 1 and the number of lookup pieces,
+    /// and exactly 1 when the whole range is one physically-contiguous run.
+    #[test]
+    fn fragments_bounded_by_segments(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        qlba in 0..SPACE,
+        qlen in 1..128u64,
+    ) {
+        let mut map = ExtentMap::new();
+        for op in &ops {
+            apply(&mut map, op);
+        }
+        let frags = map.fragments_in(Lba::new(qlba), qlen);
+        let segs = map.lookup(Lba::new(qlba), qlen).len();
+        prop_assert!(frags >= 1);
+        prop_assert!(frags <= segs);
+    }
+
+    /// Re-inserting data at its identity location makes any range read as a
+    /// single fragment.
+    #[test]
+    fn identity_mapping_defragments(qlba in 0..SPACE, qlen in 1..128u64) {
+        let mut map = ExtentMap::new();
+        map.insert(Lba::new(qlba), qlen, Pba::new(qlba));
+        prop_assert_eq!(map.fragments_in(Lba::new(qlba), qlen), 1);
+        prop_assert_eq!(map.fragments_in(Lba::new(0), SPACE + 128), 1);
+    }
+}

@@ -1,0 +1,414 @@
+//! The `smrseek` command-line interface.
+//!
+//! Regenerates every table and figure of *"Minimizing Read Seeks for SMR
+//! Disk"* (IISWC 2018) from the synthetic Table-I workload profiles, and
+//! can characterize or simulate external traces in the MSR or
+//! CloudPhysics CSV formats.
+//!
+//! ```text
+//! smrseek <command> [--ops N] [--seed S] [--json FILE]
+//!
+//! commands:
+//!   table1 | fig2 | fig3 | fig4 | fig5 | fig7 | fig8 | fig10 | fig11
+//!   classify               log-friendly / agnostic / sensitive taxonomy
+//!   analyze                trace-level analysis vs seek class
+//!   frag                   static vs dynamic fragmentation (§IV-A)
+//!   ablate                 run the parameter-sweep ablations
+//!   timeamp                extension: seek-time amplification
+//!   hostcache              extension: host buffer-cache interaction
+//!   clean                  extension: finite-log cleaning sweep
+//!   reorder                extension: NCQ elevator vs prefetching
+//!   zones                  extension: SAF robustness to ZBC zone backing
+//!   plotdata [--out DIR]   write plot-ready CSV series for every figure
+//!   all                    run every experiment in order
+//!   characterize <file>    Table-I style stats for an external trace
+//!   simulate <file>        NoLS/LS/mechanism SAF for an external trace
+//!   gen <profile>          emit a synthetic trace as CloudPhysics CSV
+//!   list                   list the 21 workload profiles
+//! ```
+//!
+//! Trace files may be MSR CSV, CloudPhysics CSV, or blkparse text
+//! (`--format msr|cp|blktrace`, auto-sniffed by default).
+
+use smrseek_sim::experiments::{
+    ablation, analyze, classify, cleaning, fig10, fig11, fig2, fig3, fig4, fig5, fig7, fig8,
+    fragmentation, host_cache, reorder, table1, time_amp, zones, ExpOptions,
+};
+use smrseek_sim::{simulate, Saf, SimConfig, TextTable};
+use smrseek_trace::parse::{parse_reader, BlktraceParser, CpParser, MsrParser};
+use smrseek_trace::writer::write_cp_csv;
+use smrseek_trace::{characterize, TraceRecord};
+use std::fs::File;
+use std::io::{BufRead, BufReader, Write};
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    file: Option<String>,
+    opts: ExpOptions,
+    json: Option<String>,
+    out: Option<String>,
+    format: TraceFormat,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum TraceFormat {
+    Auto,
+    Msr,
+    Cp,
+    Blktrace,
+}
+
+fn usage() -> String {
+    "usage: smrseek <table1|fig2|...|fig11|ablate|timeamp|hostcache|clean|all|list> \
+     [--ops N] [--seed S] [--json FILE]\n       \
+     smrseek <characterize|simulate> <trace> [--format msr|cp|blktrace] [--json FILE]\n       \
+     smrseek gen <profile> [--ops N] [--seed S] [--out FILE]"
+        .to_owned()
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut it = argv.iter();
+    let command = it.next().ok_or_else(usage)?.clone();
+    let mut args = Args {
+        command,
+        file: None,
+        opts: ExpOptions::default(),
+        json: None,
+        out: None,
+        format: TraceFormat::Auto,
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--ops" => {
+                args.opts.ops = it
+                    .next()
+                    .ok_or("--ops needs a value")?
+                    .parse()
+                    .map_err(|_| "--ops must be an integer")?;
+            }
+            "--seed" => {
+                args.opts.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer")?;
+            }
+            "--json" => {
+                args.json = Some(it.next().ok_or("--json needs a path")?.clone());
+            }
+            "--out" => {
+                args.out = Some(it.next().ok_or("--out needs a path")?.clone());
+            }
+            "--format" => {
+                args.format = match it.next().ok_or("--format needs msr|cp|blktrace")?.as_str() {
+                    "msr" => TraceFormat::Msr,
+                    "cp" => TraceFormat::Cp,
+                    "blktrace" => TraceFormat::Blktrace,
+                    other => return Err(format!("unknown format {other:?}")),
+                };
+            }
+            other if args.file.is_none() && !other.starts_with("--") => {
+                args.file = Some(other.to_owned());
+            }
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn load_trace(path: &str, format: TraceFormat) -> Result<Vec<TraceRecord>, String> {
+    let format = match format {
+        TraceFormat::Auto => sniff_format(path)?,
+        other => other,
+    };
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let reader = BufReader::new(file);
+    match format {
+        TraceFormat::Msr => parse_reader(reader, MsrParser::new()).map_err(|e| e.to_string()),
+        TraceFormat::Cp => parse_reader(reader, CpParser::new()).map_err(|e| e.to_string()),
+        TraceFormat::Blktrace => {
+            parse_reader(reader, BlktraceParser::new()).map_err(|e| e.to_string())
+        }
+        TraceFormat::Auto => unreachable!("resolved above"),
+    }
+}
+
+/// MSR lines have 7 comma-separated fields; CloudPhysics lines have 4;
+/// blkparse lines are whitespace-separated with a `+` before the count.
+fn sniff_format(path: &str) -> Result<TraceFormat, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    for line in BufReader::new(file).lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with("timestamp_us") {
+            continue;
+        }
+        if t.split_whitespace().any(|f| f == "+") {
+            return Ok(TraceFormat::Blktrace);
+        }
+        return Ok(if t.split(',').count() >= 7 {
+            TraceFormat::Msr
+        } else {
+            TraceFormat::Cp
+        });
+    }
+    Err(format!("{path}: no data lines to sniff the format from"))
+}
+
+fn maybe_write_json<T: serde::Serialize>(json: &Option<String>, value: &T) -> Result<(), String> {
+    if let Some(path) = json {
+        let text = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
+        let mut f = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        f.write_all(text.as_bytes()).map_err(|e| e.to_string())?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn run_experiment(args: &Args) -> Result<String, String> {
+    let opts = &args.opts;
+    Ok(match args.command.as_str() {
+        "table1" => {
+            let rows = table1::run(opts);
+            maybe_write_json(&args.json, &rows)?;
+            table1::render(&rows)
+        }
+        "fig2" => {
+            let rows = fig2::run(opts);
+            maybe_write_json(&args.json, &rows)?;
+            fig2::render(&rows)
+        }
+        "fig3" => {
+            let series = fig3::run(opts);
+            maybe_write_json(&args.json, &series)?;
+            fig3::render(&series)
+        }
+        "fig4" => {
+            let cdfs = fig4::run(opts);
+            maybe_write_json(&args.json, &cdfs)?;
+            fig4::render(&cdfs)
+        }
+        "fig5" => {
+            let dists = fig5::run(opts);
+            maybe_write_json(&args.json, &dists)?;
+            fig5::render(&dists)
+        }
+        "fig7" => {
+            let patterns = fig7::run(opts);
+            maybe_write_json(&args.json, &patterns)?;
+            fig7::render(&patterns)
+        }
+        "fig8" => {
+            let rows = fig8::run(opts);
+            maybe_write_json(&args.json, &rows)?;
+            fig8::render(&rows)
+        }
+        "fig10" => {
+            let stats = fig10::run(opts);
+            maybe_write_json(&args.json, &stats)?;
+            fig10::render(&stats)
+        }
+        "fig11" => {
+            let rows = fig11::run(opts);
+            maybe_write_json(&args.json, &rows)?;
+            fig11::render(&rows)
+        }
+        "ablate" => {
+            let sweeps = ablation::run(opts);
+            maybe_write_json(&args.json, &sweeps)?;
+            ablation::render(&sweeps)
+        }
+        "analyze" => {
+            let rows = analyze::run(opts);
+            maybe_write_json(&args.json, &rows)?;
+            analyze::render(&rows)
+        }
+        "frag" => {
+            let rows = fragmentation::run(opts);
+            maybe_write_json(&args.json, &rows)?;
+            fragmentation::render(&rows)
+        }
+        "classify" => {
+            let rows = classify::run(opts);
+            maybe_write_json(&args.json, &rows)?;
+            classify::render(&rows)
+        }
+        "timeamp" => {
+            let rows = time_amp::run(opts);
+            maybe_write_json(&args.json, &rows)?;
+            time_amp::render(&rows)
+        }
+        "hostcache" => {
+            let sweeps = host_cache::run(opts);
+            maybe_write_json(&args.json, &sweeps)?;
+            host_cache::render(&sweeps)
+        }
+        "clean" => {
+            let points = cleaning::run(opts);
+            let policies = cleaning::compare_policies(opts);
+            maybe_write_json(&args.json, &(&points, &policies))?;
+            format!(
+                "{}\n{}",
+                cleaning::render(&points),
+                cleaning::render_policies(&policies)
+            )
+        }
+        "zones" => {
+            let rows = zones::run(opts);
+            maybe_write_json(&args.json, &rows)?;
+            zones::render(&rows)
+        }
+        "reorder" => {
+            let rows = reorder::run(opts);
+            maybe_write_json(&args.json, &rows)?;
+            reorder::render(&rows)
+        }
+        "all" => {
+            let mut out = String::new();
+            out.push_str(&table1::render(&table1::run(opts)));
+            out.push('\n');
+            out.push_str(&fig2::render(&fig2::run(opts)));
+            out.push_str(&fig3::render(&fig3::run(opts)));
+            out.push('\n');
+            out.push_str(&fig4::render(&fig4::run(opts)));
+            out.push('\n');
+            out.push_str(&fig5::render(&fig5::run(opts)));
+            out.push('\n');
+            out.push_str(&fig7::render(&fig7::run(opts)));
+            out.push('\n');
+            out.push_str(&fig8::render(&fig8::run(opts)));
+            out.push('\n');
+            out.push_str(&fig10::render(&fig10::run(opts)));
+            out.push('\n');
+            out.push_str(&fig11::render(&fig11::run(opts)));
+            out.push_str(&classify::render(&classify::run(opts)));
+            out.push('\n');
+            out.push_str(&analyze::render(&analyze::run(opts)));
+            out.push('\n');
+            out.push_str(&fragmentation::render(&fragmentation::run(opts)));
+            out.push('\n');
+            out.push_str(&ablation::render(&ablation::run(opts)));
+            out.push_str(&time_amp::render(&time_amp::run(opts)));
+            out.push('\n');
+            out.push_str(&host_cache::render(&host_cache::run(opts)));
+            out.push_str(&cleaning::render(&cleaning::run(opts)));
+            out.push('\n');
+            out.push_str(&reorder::render(&reorder::run(opts)));
+            out.push('\n');
+            out.push_str(&zones::render(&zones::run(opts)));
+            out
+        }
+        "plotdata" => {
+            let dir = args
+                .out
+                .clone()
+                .unwrap_or_else(|| "plotdata".to_owned());
+            let written = smrseek_sim::plotdata::export_all(opts, std::path::Path::new(&dir))?;
+            let mut out = format!("wrote {} CSV files to {dir}/:\n", written.len());
+            for p in written {
+                out.push_str(&format!("  {}\n", p.display()));
+            }
+            out
+        }
+        "list" => {
+            let mut table = TextTable::new(vec!["name", "family", "reads", "writes", "guest OS"]);
+            for p in smrseek_workloads::profiles::all() {
+                table.row(vec![
+                    p.name.to_owned(),
+                    p.family.to_string(),
+                    p.row.read_count.to_string(),
+                    p.row.write_count.to_string(),
+                    p.row.os.to_owned(),
+                ]);
+            }
+            format!("Table-I workload profiles\n{table}")
+        }
+        "gen" => {
+            let name = args.file.as_ref().ok_or("gen needs a profile name")?;
+            let profile = smrseek_workloads::profiles::by_name(name)
+                .ok_or_else(|| format!("unknown profile {name:?} (try `smrseek list`)"))?;
+            let trace = profile.generate_scaled(opts.seed, opts.ops);
+            match &args.out {
+                Some(path) => {
+                    let mut f = File::create(path)
+                        .map_err(|e| format!("cannot create {path}: {e}"))?;
+                    write_cp_csv(&mut f, &trace).map_err(|e| e.to_string())?;
+                    format!("wrote {} records to {path}\n", trace.len())
+                }
+                None => {
+                    let mut buf = Vec::new();
+                    write_cp_csv(&mut buf, &trace).map_err(|e| e.to_string())?;
+                    String::from_utf8(buf).expect("CSV is UTF-8")
+                }
+            }
+        }
+        "characterize" => {
+            let path = args.file.as_ref().ok_or("characterize needs a trace file")?;
+            let trace = load_trace(path, args.format)?;
+            let stats = characterize(&trace);
+            let analysis = smrseek_trace::summarize(&trace);
+            maybe_write_json(&args.json, &(&stats, &analysis))?;
+            format!(
+                "{path}: {stats}\n  sequentiality {:.1}%, footprint {:.1} MiB\n  {} overwrites (median interval {}), read-after-write {:.1}%\n  WSS mean {:.0} / peak {} blocks of 4 KiB\n",
+                100.0 * stats.sequentiality(),
+                stats.footprint_sectors as f64 / 2048.0,
+                analysis.overwrites,
+                analysis
+                    .median_overwrite_interval
+                    .map_or_else(|| "n/a".to_owned(), |v| v.to_string()),
+                100.0 * analysis.read_after_write,
+                analysis.mean_wss_blocks,
+                analysis.peak_wss_blocks,
+            )
+        }
+        "simulate" => {
+            let path = args.file.as_ref().ok_or("simulate needs a trace file")?;
+            let trace = load_trace(path, args.format)?;
+            let base = simulate(&trace, &SimConfig::no_ls()).seeks;
+            let mut table = TextTable::new(vec!["layer", "read seeks", "write seeks", "SAF"]);
+            let mut safs: Vec<(String, Saf)> = Vec::new();
+            for config in [
+                SimConfig::no_ls(),
+                SimConfig::log_structured(),
+                SimConfig::ls_defrag(),
+                SimConfig::ls_prefetch(),
+                SimConfig::ls_cache(),
+            ] {
+                let report = simulate(&trace, &config);
+                let saf = Saf::from_stats(&report.seeks, &base);
+                table.row(vec![
+                    report.layer_name.clone(),
+                    report.seeks.read_seeks.to_string(),
+                    report.seeks.write_seeks.to_string(),
+                    format!("{:.2}", saf.total),
+                ]);
+                safs.push((report.layer_name, saf));
+            }
+            maybe_write_json(&args.json, &safs)?;
+            format!("{path}: {} ops\n{table}", trace.len())
+        }
+        other => return Err(format!("unknown command {other:?}\n{}", usage())),
+    })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run_experiment(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

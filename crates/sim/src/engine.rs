@@ -1,0 +1,367 @@
+//! The simulation engine: trace × translation layer → seek statistics.
+
+use serde::{Deserialize, Serialize};
+use smrseek_disk::{Cdf, LongSeekSeries, SeekCounter, SeekStats};
+use smrseek_stl::{
+    CacheConfig, DefragConfig, FragmentAccessTracker, LogStructured, LsConfig, LsStats, NoLs,
+    PrefetchConfig, TranslationLayer,
+};
+use smrseek_trace::TraceRecord;
+
+/// Which translation layer to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LayerChoice {
+    /// Conventional update-in-place (the paper's NoLS baseline).
+    NoLs,
+    /// Log-structured translation with optional mechanisms.
+    Ls {
+        /// Opportunistic defragmentation (§IV-A).
+        defrag: Option<DefragConfig>,
+        /// Look-ahead-behind prefetching (§IV-B).
+        prefetch: Option<PrefetchConfig>,
+        /// Selective caching (§IV-C).
+        cache: Option<CacheConfig>,
+    },
+}
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// The translation layer under test.
+    pub layer: LayerChoice,
+    /// Record every seek's signed distance (needed for Fig 4 CDFs;
+    /// memory-heavy on large traces).
+    pub record_distances: bool,
+    /// Long-seek series bucket width in logical operations
+    /// (0 disables the Fig 3 series).
+    pub longseek_bucket_ops: u64,
+    /// Track per-fragment access statistics (Fig 5 / Fig 10).
+    pub track_fragments: bool,
+    /// Model a host buffer cache of this many bytes in front of the
+    /// translation layer (extension; §IV-C's competition argument): reads
+    /// fully covered by recently-touched LBA ranges never reach the
+    /// device, writes are write-through and populate the cache.
+    pub host_cache_bytes: Option<u64>,
+    /// Back the log with ZBC-style zones of this many sectors (guard-band
+    /// splits; extension) instead of the paper's continuous infinite
+    /// frontier. Ignored for the NoLS baseline.
+    pub zone_sectors: Option<u64>,
+}
+
+impl SimConfig {
+    /// The NoLS baseline.
+    pub fn no_ls() -> Self {
+        SimConfig {
+            layer: LayerChoice::NoLs,
+            record_distances: false,
+            longseek_bucket_ops: 0,
+            track_fragments: false,
+            host_cache_bytes: None,
+            zone_sectors: None,
+        }
+    }
+
+    /// Plain log-structured translation.
+    pub fn log_structured() -> Self {
+        SimConfig {
+            layer: LayerChoice::Ls {
+                defrag: None,
+                prefetch: None,
+                cache: None,
+            },
+            record_distances: false,
+            longseek_bucket_ops: 0,
+            track_fragments: false,
+            host_cache_bytes: None,
+            zone_sectors: None,
+        }
+    }
+
+    /// Log-structured + opportunistic defragmentation (paper defaults).
+    pub fn ls_defrag() -> Self {
+        Self::ls_with(Some(DefragConfig::default()), None, None)
+    }
+
+    /// Log-structured + look-ahead-behind prefetching (paper defaults).
+    pub fn ls_prefetch() -> Self {
+        Self::ls_with(None, Some(PrefetchConfig::default()), None)
+    }
+
+    /// Log-structured + 64 MB selective caching (paper defaults).
+    pub fn ls_cache() -> Self {
+        Self::ls_with(None, None, Some(CacheConfig::default()))
+    }
+
+    /// Log-structured with an arbitrary mechanism combination.
+    pub fn ls_with(
+        defrag: Option<DefragConfig>,
+        prefetch: Option<PrefetchConfig>,
+        cache: Option<CacheConfig>,
+    ) -> Self {
+        SimConfig {
+            layer: LayerChoice::Ls {
+                defrag,
+                prefetch,
+                cache,
+            },
+            record_distances: false,
+            longseek_bucket_ops: 0,
+            track_fragments: false,
+            host_cache_bytes: None,
+            zone_sectors: None,
+        }
+    }
+
+    /// Enables seek-distance recording.
+    pub fn with_distances(mut self) -> Self {
+        self.record_distances = true;
+        self
+    }
+
+    /// Enables the long-seek series with the given bucket width.
+    pub fn with_longseek_series(mut self, bucket_ops: u64) -> Self {
+        self.longseek_bucket_ops = bucket_ops;
+        self
+    }
+
+    /// Enables fragment tracking.
+    pub fn with_fragment_tracking(mut self) -> Self {
+        self.track_fragments = true;
+        self
+    }
+
+    /// Interposes a host buffer cache of `bytes` bytes.
+    pub fn with_host_cache(mut self, bytes: u64) -> Self {
+        self.host_cache_bytes = Some(bytes);
+        self
+    }
+
+    /// Backs the log with zones of `sectors` sectors.
+    pub fn with_zones(mut self, sectors: u64) -> Self {
+        self.zone_sectors = Some(sectors);
+        self
+    }
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// Layer name ("NoLS", "LS", "LS+cache", ...).
+    pub layer_name: String,
+    /// Logical operations replayed.
+    pub logical_ops: u64,
+    /// Seek statistics at the medium.
+    pub seeks: SeekStats,
+    /// Signed seek distances (when enabled).
+    pub distances: Option<Vec<i64>>,
+    /// Long-seek series (when enabled).
+    pub longseek_series: Option<LongSeekSeries>,
+    /// Total sectors moved by physical operations (for time weighting).
+    pub phys_sectors: u64,
+    /// Logical reads absorbed by the modeled host buffer cache.
+    pub host_cache_hits: u64,
+    /// Layer-internal counters (log-structured layers only).
+    pub ls_stats: Option<LsStats>,
+    /// Fragment statistics (when tracked; log-structured layers only).
+    pub fragments: Option<FragmentAccessTracker>,
+}
+
+impl RunReport {
+    /// Builds a distance CDF from the recorded distances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run did not record distances.
+    pub fn distance_cdf(&self) -> Cdf {
+        let d = self
+            .distances
+            .as_ref()
+            .expect("run was not configured with record_distances");
+        Cdf::from_samples(d.clone())
+    }
+}
+
+/// The concrete layers the engine can drive (static dispatch keeps the hot
+/// loop monomorphic and lets the engine extract layer-specific results
+/// after the run).
+enum LayerImpl {
+    NoLs(NoLs),
+    Ls(Box<LogStructured>),
+}
+
+impl LayerImpl {
+    fn apply(&mut self, rec: &TraceRecord) -> Vec<smrseek_disk::PhysIo> {
+        match self {
+            LayerImpl::NoLs(l) => l.apply(rec),
+            LayerImpl::Ls(l) => l.apply(rec),
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            LayerImpl::NoLs(l) => l.name(),
+            LayerImpl::Ls(l) => l.name(),
+        }
+    }
+}
+
+/// Replays `trace` through the configured layer, feeding every physical
+/// operation to the seek model.
+///
+/// For log-structured layers the write frontier is placed just above the
+/// trace's highest LBA (§III).
+pub fn simulate(trace: &[TraceRecord], config: &SimConfig) -> RunReport {
+    let mut layer = match config.layer {
+        LayerChoice::NoLs => LayerImpl::NoLs(NoLs::new()),
+        LayerChoice::Ls {
+            defrag,
+            prefetch,
+            cache,
+        } => {
+            let mut ls_config = LsConfig::for_trace(trace);
+            ls_config.defrag = defrag;
+            ls_config.prefetch = prefetch;
+            ls_config.cache = cache;
+            ls_config.track_fragments = config.track_fragments;
+            ls_config.zone_sectors = config.zone_sectors;
+            LayerImpl::Ls(Box::new(LogStructured::new(ls_config)))
+        }
+    };
+
+    let mut counter = if config.record_distances {
+        SeekCounter::with_distances()
+    } else {
+        SeekCounter::new()
+    };
+    let mut series = (config.longseek_bucket_ops > 0)
+        .then(|| LongSeekSeries::new(config.longseek_bucket_ops));
+    // The host cache is indexed by *logical* sector; `RangeCache` is
+    // address-space agnostic, so LBA sectors are passed as its keys.
+    let mut host_cache = config
+        .host_cache_bytes
+        .map(smrseek_cache::RangeCache::with_capacity_bytes);
+    let mut host_cache_hits = 0u64;
+    let mut phys_sectors = 0u64;
+
+    for (i, rec) in trace.iter().enumerate() {
+        if let Some(cache) = &mut host_cache {
+            let key = smrseek_trace::Pba::new(rec.lba.sector());
+            if rec.op.is_read() && cache.covers(key, u64::from(rec.sectors)) {
+                host_cache_hits += 1;
+                continue; // served from host RAM: nothing reaches the device
+            }
+            cache.insert(key, u64::from(rec.sectors));
+        }
+        for io in layer.apply(rec) {
+            phys_sectors += io.sectors;
+            if let Some(seek) = counter.observe(&io) {
+                if let Some(series) = &mut series {
+                    series.record(i as u64, &seek);
+                }
+            }
+        }
+    }
+
+    let layer_name = layer.name().to_owned();
+    let (ls_stats, fragments) = match layer {
+        LayerImpl::NoLs(_) => (None, None),
+        LayerImpl::Ls(ls) => (
+            Some(ls.stats()),
+            ls.fragment_tracker().cloned(),
+        ),
+    };
+
+    RunReport {
+        layer_name,
+        logical_ops: trace.len() as u64,
+        phys_sectors,
+        host_cache_hits,
+        seeks: counter.stats(),
+        distances: config.record_distances.then(|| counter.into_distances()),
+        longseek_series: series,
+        ls_stats,
+        fragments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smrseek_trace::Lba;
+
+    fn toy_trace() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::write(0, Lba::new(0), 8),
+            TraceRecord::write(1, Lba::new(1000), 8),
+            TraceRecord::read(2, Lba::new(0), 8),
+        ]
+    }
+
+    #[test]
+    fn nols_counts_trace_seeks() {
+        let report = simulate(&toy_trace(), &SimConfig::no_ls());
+        assert_eq!(report.layer_name, "NoLS");
+        assert_eq!(report.logical_ops, 3);
+        // write@0 (no seek from rest at 0), write@1000 (seek), read@0 (seek)
+        assert_eq!(report.seeks.write_seeks, 1);
+        assert_eq!(report.seeks.read_seeks, 1);
+    }
+
+    #[test]
+    fn ls_removes_write_seeks() {
+        let report = simulate(&toy_trace(), &SimConfig::log_structured());
+        // Both writes land contiguously at the frontier: one frontier seek.
+        assert_eq!(report.seeks.write_seeks, 1);
+    }
+
+    #[test]
+    fn distances_recorded_when_enabled() {
+        let report = simulate(&toy_trace(), &SimConfig::no_ls().with_distances());
+        let cdf = report.distance_cdf();
+        assert_eq!(cdf.len() as u64, report.seeks.total());
+        let report = simulate(&toy_trace(), &SimConfig::no_ls());
+        assert!(report.distances.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "record_distances")]
+    fn distance_cdf_requires_recording() {
+        simulate(&toy_trace(), &SimConfig::no_ls()).distance_cdf();
+    }
+
+    #[test]
+    fn longseek_series_when_enabled() {
+        let trace = vec![
+            TraceRecord::write(0, Lba::new(0), 8),
+            TraceRecord::read(1, Lba::new(10_000_000), 8),
+        ];
+        let report = simulate(&trace, &SimConfig::no_ls().with_longseek_series(1));
+        let series = report.longseek_series.unwrap();
+        assert_eq!(series.total(), 1);
+        assert_eq!(series.buckets(), &[0, 1]);
+    }
+
+    #[test]
+    fn config_constructors() {
+        assert!(matches!(SimConfig::no_ls().layer, LayerChoice::NoLs));
+        for (config, has_defrag, has_prefetch, has_cache) in [
+            (SimConfig::log_structured(), false, false, false),
+            (SimConfig::ls_defrag(), true, false, false),
+            (SimConfig::ls_prefetch(), false, true, false),
+            (SimConfig::ls_cache(), false, false, true),
+        ] {
+            match config.layer {
+                LayerChoice::Ls {
+                    defrag,
+                    prefetch,
+                    cache,
+                } => {
+                    assert_eq!(defrag.is_some(), has_defrag);
+                    assert_eq!(prefetch.is_some(), has_prefetch);
+                    assert_eq!(cache.is_some(), has_cache);
+                }
+                LayerChoice::NoLs => panic!("expected LS"),
+            }
+        }
+    }
+}

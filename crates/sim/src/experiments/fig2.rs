@@ -1,0 +1,146 @@
+//! Fig 2: read and write seek counts under non-log-structured (NoLS) and
+//! log-structured (LS) translation for every workload.
+//!
+//! Expected shape (§III): write seeks collapse under LS for every
+//! workload; read seeks grow modestly for log-friendly workloads
+//! (`src2_2`, `wdev_0`, `w36`), hugely for log-sensitive ones
+//! (`w91`, `w33`, `w20` — up to ~5x net), and in between for `hm_1`,
+//! `w93`, `w55`.
+
+use super::ExpOptions;
+use crate::engine::{simulate, SimConfig};
+use crate::report::TextTable;
+use serde::Serialize;
+use smrseek_disk::SeekStats;
+use smrseek_workloads::profiles::{self, Family, Profile};
+
+/// Seek counts of one workload under both translations.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2Row {
+    /// Workload name.
+    pub workload: String,
+    /// Trace family.
+    pub family: Family,
+    /// Seeks under conventional translation.
+    pub nols: SeekStats,
+    /// Seeks under log-structured translation.
+    pub ls: SeekStats,
+}
+
+impl Fig2Row {
+    /// Net total-seek change, `ls.total() / nols.total()`.
+    pub fn net_ratio(&self) -> f64 {
+        self.ls.total() as f64 / self.nols.total().max(1) as f64
+    }
+
+    /// Read-seek growth, `ls.read / nols.read`.
+    pub fn read_ratio(&self) -> f64 {
+        self.ls.read_seeks as f64 / self.nols.read_seeks.max(1) as f64
+    }
+}
+
+/// Simulates one workload under both translations.
+pub fn run_one(profile: &Profile, opts: &ExpOptions) -> Fig2Row {
+    let trace = profile.generate_scaled(opts.seed, opts.ops);
+    Fig2Row {
+        workload: profile.name.to_owned(),
+        family: profile.family,
+        nols: simulate(&trace, &SimConfig::no_ls()).seeks,
+        ls: simulate(&trace, &SimConfig::log_structured()).seeks,
+    }
+}
+
+/// Simulates every Table-I workload (Fig 2a + 2b).
+pub fn run(opts: &ExpOptions) -> Vec<Fig2Row> {
+    profiles::all().iter().map(|p| run_one(p, opts)).collect()
+}
+
+/// Renders the text analogue of Fig 2's stacked bars.
+pub fn render(rows: &[Fig2Row]) -> String {
+    let mut out = String::new();
+    for family in [Family::Msr, Family::CloudPhysics] {
+        let mut table = TextTable::new(vec![
+            "workload",
+            "NoLS rd",
+            "NoLS wr",
+            "LS rd",
+            "LS wr",
+            "net",
+        ]);
+        for row in rows.iter().filter(|r| r.family == family) {
+            table.row(vec![
+                row.workload.clone(),
+                row.nols.read_seeks.to_string(),
+                row.nols.write_seeks.to_string(),
+                row.ls.read_seeks.to_string(),
+                row.ls.write_seeks.to_string(),
+                format!("{:.2}x", row.net_ratio()),
+            ]);
+        }
+        out.push_str(&format!(
+            "Fig 2{} — seek counts, NoLS vs LS ({} workloads)\n",
+            if family == Family::Msr { "a" } else { "b" },
+            family
+        ));
+        out.push_str(&table.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> ExpOptions {
+        ExpOptions { seed: 5, ops: 6000 }
+    }
+
+    #[test]
+    fn write_seeks_collapse_under_ls_everywhere() {
+        for row in run(&opts()) {
+            assert!(
+                row.ls.write_seeks * 5 <= row.nols.write_seeks.max(5),
+                "{}: LS write seeks {} vs NoLS {}",
+                row.workload,
+                row.ls.write_seeks,
+                row.nols.write_seeks
+            );
+        }
+    }
+
+    #[test]
+    fn read_seeks_grow_for_log_sensitive() {
+        for name in ["w91", "w20", "usr_1"] {
+            let row = run_one(&profiles::by_name(name).unwrap(), &opts());
+            assert!(
+                row.read_ratio() > 2.0,
+                "{name}: LS read seeks must grow, ratio {:.2}",
+                row.read_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn net_reduction_for_log_friendly() {
+        for name in ["src2_2", "wdev_0", "w36", "mds_0"] {
+            let row = run_one(&profiles::by_name(name).unwrap(), &opts());
+            assert!(
+                row.net_ratio() < 1.0,
+                "{name}: net ratio {:.2} should be below 1",
+                row.net_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn render_shows_both_panels() {
+        let rows = vec![
+            run_one(&profiles::by_name("hm_1").unwrap(), &opts()),
+            run_one(&profiles::by_name("w36").unwrap(), &opts()),
+        ];
+        let text = render(&rows);
+        assert!(text.contains("Fig 2a"));
+        assert!(text.contains("Fig 2b"));
+    }
+}

@@ -1,0 +1,45 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! Each module exposes a structured `run(...)` returning the data behind
+//! the figure plus a `render(...)`/`Display` path producing the text table
+//! the CLI prints. The experiment index in `DESIGN.md` maps figures to
+//! these modules.
+
+pub mod ablation;
+pub mod analyze;
+pub mod classify;
+pub mod cleaning;
+pub mod fig10;
+pub mod fig11;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig7;
+pub mod fig8;
+pub mod fragmentation;
+pub mod host_cache;
+pub mod reorder;
+pub mod table1;
+pub mod time_amp;
+pub mod zones;
+
+use serde::{Deserialize, Serialize};
+
+/// Common options for experiment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExpOptions {
+    /// Seed for the synthetic workload generators.
+    pub seed: u64,
+    /// Operations per workload trace.
+    pub ops: usize,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            seed: 42,
+            ops: smrseek_workloads::profiles::DEFAULT_OPS,
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Trace-driven simulation engine and experiment harnesses.
+//!
+//! This crate drives traces through translation layers
+//! ([`smrseek_stl`]) and the seek model ([`smrseek_disk`]), producing
+//! [`RunReport`]s; computes the paper's **seek amplification factor**
+//! ([`Saf`]); and regenerates every table and figure of the evaluation via
+//! [`experiments`].
+//!
+//! # Example
+//!
+//! ```
+//! use smrseek_sim::{simulate, SimConfig};
+//! use smrseek_workloads::profiles;
+//!
+//! let trace = profiles::by_name("mds_0").unwrap().generate_scaled(1, 4000);
+//! let nols = simulate(&trace, &SimConfig::no_ls());
+//! let ls = simulate(&trace, &SimConfig::log_structured());
+//! // mds_0 is write-intensive: log-structuring removes most seeks.
+//! assert!(ls.seeks.total() < nols.seeks.total());
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod engine;
+pub mod experiments;
+pub mod plotdata;
+pub mod report;
+pub mod saf;
+pub mod scheduler;
+
+pub use engine::{simulate, LayerChoice, RunReport, SimConfig};
+pub use report::TextTable;
+pub use saf::Saf;

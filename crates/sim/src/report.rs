@@ -1,0 +1,146 @@
+//! Plain-text table rendering for experiment output.
+
+use std::fmt;
+
+/// A simple aligned text table: header row plus data rows, columns padded
+/// to the widest cell, numeric-looking cells right-aligned.
+///
+/// # Example
+///
+/// ```
+/// use smrseek_sim::TextTable;
+///
+/// let mut t = TextTable::new(vec!["workload", "SAF"]);
+/// t.row(vec!["w91".into(), "3.70".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("workload"));
+/// assert!(s.contains("3.70"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row; missing cells render empty, extra cells are
+    /// kept (the table widens).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn column_count(&self) -> usize {
+        self.rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+fn is_numeric(cell: &str) -> bool {
+    !cell.is_empty()
+        && cell
+            .chars()
+            .all(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'x' | '%' | 'i' | 'n' | 'f'))
+        && cell.chars().any(|c| c.is_ascii_digit() || c == 'i')
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.column_count();
+        let mut widths = vec![0usize; cols];
+        for (w, h) in widths.iter_mut().zip(&self.headers) {
+            *w = (*w).max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, &width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    f.write_str("  ")?;
+                }
+                if is_numeric(cell) {
+                    write!(f, "{cell:>width$}")?;
+                } else {
+                    write!(f, "{cell:<width$}")?;
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["alpha".into(), "1.25".into()]);
+        t.row(vec!["b".into(), "100.00".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // numeric right-aligned: widths equal
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[2].ends_with("1.25"));
+    }
+
+    #[test]
+    fn tolerates_ragged_rows() {
+        let mut t = TextTable::new(vec!["a"]);
+        t.row(vec!["x".into(), "extra".into()]);
+        t.row(vec![]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let s = t.to_string();
+        assert!(s.contains("extra"));
+    }
+
+    #[test]
+    fn numeric_detection() {
+        assert!(is_numeric("3.14"));
+        assert!(is_numeric("-42"));
+        assert!(is_numeric("2.8x"));
+        assert!(is_numeric("inf"));
+        assert!(is_numeric("95%"));
+        assert!(!is_numeric("w91"));
+        assert!(!is_numeric(""));
+        assert!(!is_numeric("name"));
+    }
+}

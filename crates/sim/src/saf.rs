@@ -1,0 +1,135 @@
+//! The seek amplification factor (SAF), the paper's evaluation metric.
+//!
+//! §II: *"Performance is expressed as seek amplification: the ratio of
+//! seeks (read, write, or total) for the log-structured system to seeks
+//! incurred on a conventional drive by the workload trace."*
+
+use serde::{Deserialize, Serialize};
+use smrseek_disk::SeekStats;
+use std::fmt;
+
+/// Seek amplification of one run relative to the NoLS baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Saf {
+    /// Read-seek amplification.
+    pub read: f64,
+    /// Write-seek amplification.
+    pub write: f64,
+    /// Total-seek amplification (the bars of Fig 11).
+    pub total: f64,
+}
+
+impl Saf {
+    /// Computes SAF from the seek statistics of a translated run and its
+    /// NoLS baseline. A zero-seek baseline component yields a ratio of 0
+    /// when the translated count is also 0, `f64::INFINITY` otherwise.
+    pub fn from_stats(translated: &SeekStats, baseline: &SeekStats) -> Self {
+        Saf {
+            read: ratio(translated.read_seeks, baseline.read_seeks),
+            write: ratio(translated.write_seeks, baseline.write_seeks),
+            total: ratio(translated.total(), baseline.total()),
+        }
+    }
+
+    /// Improvement factor of `self` over `other` in total SAF
+    /// (`other.total / self.total`) — how the paper reports mechanism wins
+    /// ("up to 18x improvement").
+    pub fn improvement_over(&self, other: &Saf) -> f64 {
+        if self.total == 0.0 {
+            if other.total == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            other.total / self.total
+        }
+    }
+}
+
+impl fmt::Display for Saf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SAF total {:.2} (read {:.2}, write {:.2})",
+            self.total, self.read, self.write
+        )
+    }
+}
+
+fn ratio(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        if a == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(read: u64, write: u64) -> SeekStats {
+        SeekStats {
+            read_seeks: read,
+            write_seeks: write,
+            ops: read + write,
+            ..SeekStats::default()
+        }
+    }
+
+    #[test]
+    fn basic_ratios() {
+        let saf = Saf::from_stats(&stats(20, 5), &stats(10, 50));
+        assert!((saf.read - 2.0).abs() < 1e-12);
+        assert!((saf.write - 0.1).abs() < 1e-12);
+        assert!((saf.total - 25.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_baseline_handling() {
+        let saf = Saf::from_stats(&stats(3, 0), &stats(0, 0));
+        assert!(saf.read.is_infinite());
+        assert_eq!(saf.write, 0.0);
+        assert!(saf.total.is_infinite());
+        let saf = Saf::from_stats(&stats(0, 0), &stats(0, 0));
+        assert_eq!(saf.total, 0.0);
+    }
+
+    #[test]
+    fn improvement_factor() {
+        let ls = Saf {
+            read: 3.7,
+            write: 0.1,
+            total: 3.7,
+        };
+        let cached = Saf {
+            read: 0.2,
+            write: 0.1,
+            total: 0.2,
+        };
+        assert!((cached.improvement_over(&ls) - 18.5).abs() < 1e-9);
+        assert!((ls.improvement_over(&ls) - 1.0).abs() < 1e-12);
+        let zero = Saf {
+            read: 0.0,
+            write: 0.0,
+            total: 0.0,
+        };
+        assert!(zero.improvement_over(&ls).is_infinite());
+        assert_eq!(zero.improvement_over(&zero), 1.0);
+    }
+
+    #[test]
+    fn display() {
+        let saf = Saf {
+            read: 1.0,
+            write: 2.0,
+            total: 1.5,
+        };
+        assert_eq!(saf.to_string(), "SAF total 1.50 (read 1.00, write 2.00)");
+    }
+}

@@ -1,0 +1,169 @@
+//! End-to-end tests of the `smrseek` binary: argument handling, figure
+//! commands, JSON output, trace generation and ingestion.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn smrseek(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_smrseek"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("smrseek_cli_test_{}_{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = smrseek(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = smrseek(&["fig99"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn list_shows_all_profiles() {
+    let out = smrseek(&["list"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for name in ["usr_1", "w91", "ts_0", "w106"] {
+        assert!(text.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn fig11_runs_small() {
+    let out = smrseek(&["fig11", "--ops", "1500", "--seed", "3"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("Fig 11a"));
+    assert!(text.contains("Fig 11b"));
+    assert!(text.contains("LS+cache"));
+}
+
+#[test]
+fn fig8_json_output_is_valid() {
+    let json_path = tmp("fig8.json");
+    let out = smrseek(&[
+        "fig8",
+        "--ops",
+        "1500",
+        "--json",
+        json_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let data = std::fs::read_to_string(&json_path).expect("json written");
+    let value: serde_json::Value = serde_json::from_str(&data).expect("valid JSON");
+    assert_eq!(value.as_array().expect("array of rows").len(), 21);
+    std::fs::remove_file(&json_path).ok();
+}
+
+#[test]
+fn gen_characterize_simulate_pipeline() {
+    let csv_path = tmp("w95.csv");
+    let out = smrseek(&[
+        "gen",
+        "w95",
+        "--ops",
+        "1200",
+        "--out",
+        csv_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = smrseek(&["characterize", csv_path.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("reads"));
+
+    let out = smrseek(&["simulate", csv_path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("NoLS"));
+    assert!(text.contains("LS+cache"));
+    std::fs::remove_file(&csv_path).ok();
+}
+
+#[test]
+fn gen_without_out_prints_csv() {
+    let out = smrseek(&["gen", "hm_1", "--ops", "200"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.starts_with("timestamp_us,op,offset_bytes,length_bytes"));
+    assert!(text.lines().count() > 100);
+}
+
+#[test]
+fn gen_unknown_profile_fails() {
+    let out = smrseek(&["gen", "bogus"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown profile"));
+}
+
+#[test]
+fn simulate_blktrace_format() {
+    let blk_path = tmp("t.blk");
+    std::fs::write(
+        &blk_path,
+        "  8,0 1 1 0.000000000 1 Q W 0 + 64 [x]\n  8,0 1 2 0.100000000 1 Q R 0 + 64 [x]\n",
+    )
+    .expect("write temp");
+    // Auto-sniffed.
+    let out = smrseek(&["characterize", blk_path.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("1 reads / 1 writes"));
+    // Explicit format flag.
+    let out = smrseek(&[
+        "characterize",
+        blk_path.to_str().unwrap(),
+        "--format",
+        "blktrace",
+    ]);
+    assert!(out.status.success());
+    std::fs::remove_file(&blk_path).ok();
+}
+
+#[test]
+fn characterize_missing_file_fails_cleanly() {
+    let out = smrseek(&["characterize", "/nonexistent/trace.csv"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+}
+
+#[test]
+fn bad_flag_values_rejected() {
+    for args in [
+        &["fig2", "--ops", "abc"][..],
+        &["fig2", "--seed"][..],
+        &["fig2", "--format", "weird"][..],
+    ] {
+        let out = smrseek(args);
+        assert!(!out.status.success(), "{args:?} should fail");
+    }
+}
+
+#[test]
+fn extension_commands_run() {
+    for command in ["timeamp", "hostcache", "clean"] {
+        let out = smrseek(&[command, "--ops", "1000"]);
+        assert!(
+            out.status.success(),
+            "{command}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(stdout(&out).contains("Extension"));
+    }
+}

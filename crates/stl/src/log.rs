@@ -1,0 +1,728 @@
+//! The log-structured translation layer with composable seek-reduction
+//! mechanisms.
+
+use crate::config::{DefragTiming, LsConfig};
+use crate::fragstats::FragmentAccessTracker;
+use crate::layer::TranslationLayer;
+use crate::stats::LsStats;
+use smrseek_cache::RangeCache;
+use smrseek_disk::PhysIo;
+use smrseek_extent::{ExtentMap, Segment};
+use smrseek_trace::{Lba, OpKind, Pba, TraceRecord};
+use std::collections::HashMap;
+
+/// Full-extent-map log-structured translation on an infinite disk
+/// (Section II's disk model).
+///
+/// * Every write is appended at the **write frontier**, which starts above
+///   the highest LBA of the workload and only ever advances — cleaning is
+///   never needed (infinite disk, §II).
+/// * Reads translate through the extent map; never-written (pre-trace)
+///   data falls through to its identity location (PBA = LBA, §III).
+/// * The three seek-reduction mechanisms of Section IV hook the read path
+///   when enabled in [`LsConfig`].
+///
+/// # Example
+///
+/// ```
+/// use smrseek_stl::{LogStructured, LsConfig, TranslationLayer};
+/// use smrseek_trace::{Lba, Pba, TraceRecord};
+///
+/// let mut ls = LogStructured::new(LsConfig::new(Lba::new(1000)));
+/// let w = ls.apply(&TraceRecord::write(0, Lba::new(7), 2));
+/// assert_eq!(w[0].pba, Pba::new(1000)); // appended at the frontier
+/// let r = ls.apply(&TraceRecord::read(1, Lba::new(7), 2));
+/// assert_eq!(r[0].pba, Pba::new(1000)); // translated back
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogStructured {
+    config: LsConfig,
+    map: ExtentMap,
+    frontier: Pba,
+    stats: LsStats,
+    tracker: Option<FragmentAccessTracker>,
+    cache: Option<RangeCache>,
+    prefetch_buffer: Option<RangeCache>,
+    /// Fragmented-read access counts per exact logical range, for the
+    /// defragmentation `min_accesses` gate.
+    range_accesses: HashMap<(u64, u32), u64>,
+    /// Ranges queued for idle-time defragmentation.
+    pending_defrag: Vec<(Lba, u64)>,
+    /// Timestamp of the last applied operation (idle-gap detection).
+    last_timestamp_us: u64,
+}
+
+impl LogStructured {
+    /// Creates a layer from a configuration.
+    pub fn new(config: LsConfig) -> Self {
+        LogStructured {
+            frontier: config.frontier_start,
+            map: ExtentMap::new(),
+            stats: LsStats::default(),
+            tracker: config.track_fragments.then(FragmentAccessTracker::new),
+            cache: config
+                .cache
+                .map(|c| RangeCache::with_capacity_bytes(c.capacity_bytes)),
+            prefetch_buffer: config
+                .prefetch
+                .map(|p| RangeCache::with_capacity_bytes(p.buffer_bytes)),
+            range_accesses: HashMap::new(),
+            pending_defrag: Vec::new(),
+            last_timestamp_us: 0,
+            config,
+        }
+    }
+
+    /// Convenience constructor: plain log-structured translation with the
+    /// frontier derived from the trace (see [`LsConfig::for_trace`]).
+    pub fn for_trace(records: &[TraceRecord]) -> Self {
+        Self::new(LsConfig::for_trace(records))
+    }
+
+    /// Current write-frontier position.
+    pub fn frontier(&self) -> Pba {
+        self.frontier
+    }
+
+    /// The extent map (for fragmentation analyses).
+    pub fn map(&self) -> &ExtentMap {
+        &self.map
+    }
+
+    /// Instrumentation counters.
+    pub fn stats(&self) -> LsStats {
+        self.stats
+    }
+
+    /// The configuration this layer was built from.
+    pub fn config(&self) -> &LsConfig {
+        &self.config
+    }
+
+    /// Fragment statistics, when tracking was enabled.
+    pub fn fragment_tracker(&self) -> Option<&FragmentAccessTracker> {
+        self.tracker.as_ref()
+    }
+
+    /// The selective cache, when enabled.
+    pub fn cache(&self) -> Option<&RangeCache> {
+        self.cache.as_ref()
+    }
+
+    /// The prefetch buffer, when enabled.
+    pub fn prefetch_buffer(&self) -> Option<&RangeCache> {
+        self.prefetch_buffer.as_ref()
+    }
+
+    /// Ranges currently queued for idle-time defragmentation.
+    pub fn pending_defrag(&self) -> &[(Lba, u64)] {
+        &self.pending_defrag
+    }
+
+    /// Rewrites every queued range as one batch at the frontier (a single
+    /// seek for the whole batch) and returns the physical writes. Called
+    /// automatically when an idle gap is detected; callable directly to
+    /// model an explicit flush (e.g. at shutdown).
+    pub fn flush_defrag_queue(&mut self) -> Vec<PhysIo> {
+        let pending = std::mem::take(&mut self.pending_defrag);
+        let mut out = Vec::with_capacity(pending.len());
+        for (lba, sectors) in pending {
+            // Skip ranges that became contiguous in the meantime (e.g. a
+            // host overwrite re-wrote the whole range).
+            if self.physical_runs(lba, sectors).len() < 2 {
+                continue;
+            }
+            out.extend(self.append(lba, sectors));
+            self.stats.defrag_rewrites += 1;
+            self.stats.defrag_sectors += sectors;
+        }
+        out
+    }
+
+    /// Appends `sectors` at the frontier for logical range starting `lba`,
+    /// returning the physical writes (one, unless zoned backing splits the
+    /// append at guard bands).
+    fn append(&mut self, lba: Lba, sectors: u64) -> Vec<PhysIo> {
+        match self.config.zone_sectors {
+            None => {
+                let at = self.frontier;
+                self.map.insert(lba, sectors, at);
+                self.frontier += sectors;
+                self.stats.phys_writes += 1;
+                vec![PhysIo::write(at, sectors)]
+            }
+            Some(z) => self.append_zoned(lba, sectors, z),
+        }
+    }
+
+    /// Zoned append: the last sector of each zone is a guard band; the
+    /// frontier skips it and the write splits into per-zone pieces. Pieces
+    /// are physically non-adjacent (the guard separates them), so later
+    /// reads see the discontinuity.
+    fn append_zoned(&mut self, lba: Lba, sectors: u64, z: u64) -> Vec<PhysIo> {
+        let mut out = Vec::new();
+        let mut cur_lba = lba;
+        let mut left = sectors;
+        while left > 0 {
+            let offset = self.frontier.sector() % z;
+            if offset == z - 1 {
+                // Skip the guard sector.
+                self.frontier += 1;
+                continue;
+            }
+            let room = (z - 1) - offset;
+            let take = left.min(room);
+            self.map.insert(cur_lba, take, self.frontier);
+            out.push(PhysIo::write(self.frontier, take));
+            self.stats.phys_writes += 1;
+            self.frontier += take;
+            cur_lba += take;
+            left -= take;
+        }
+        out
+    }
+
+    /// The physically-contiguous runs a read of `[lba, lba+sectors)` must
+    /// fetch, holes resolved to identity placement, adjacent pieces merged.
+    pub fn physical_runs(&self, lba: Lba, sectors: u64) -> Vec<(Pba, u64)> {
+        let mut runs: Vec<(u64, u64)> = Vec::new();
+        for seg in self.map.lookup(lba, sectors) {
+            let (start, len) = match seg {
+                Segment::Mapped(e) => (e.pba.sector(), e.sectors),
+                Segment::Hole { lba, sectors } => (lba.sector(), sectors),
+            };
+            match runs.last_mut() {
+                Some(last) if last.0 + last.1 == start => last.1 += len,
+                _ => runs.push((start, len)),
+            }
+        }
+        runs.into_iter()
+            .map(|(s, l)| (Pba::new(s), l))
+            .collect()
+    }
+
+    fn handle_read(&mut self, rec: &TraceRecord) -> Vec<PhysIo> {
+        let sectors = u64::from(rec.sectors);
+        let runs = self.physical_runs(rec.lba, sectors);
+        let fragmented = runs.len() > 1;
+        if fragmented {
+            self.stats.fragmented_reads += 1;
+            if let Some(tracker) = &mut self.tracker {
+                tracker.record_read(&runs);
+            }
+        }
+
+        let mut phys = Vec::with_capacity(runs.len());
+        for &(pba, len) in &runs {
+            // Alg. 3: only fragments of fragmented reads consult the cache.
+            if fragmented {
+                if let Some(cache) = &mut self.cache {
+                    if cache.covers(pba, len) {
+                        self.stats.cache_hit_fragments += 1;
+                        continue; // served from RAM: no physical I/O
+                    }
+                    // Alg. 3: ReadDisk(fragment); WriteCache(fragment).
+                    cache.insert(pba, len);
+                    self.stats.cache_miss_fragments += 1;
+                }
+                // Alg. 2: look-ahead-behind around fragments.
+                if let (Some(buffer), Some(p)) =
+                    (&mut self.prefetch_buffer, self.config.prefetch)
+                {
+                    if buffer.covers(pba, len) {
+                        self.stats.prefetch_hit_fragments += 1;
+                        continue; // already in the drive buffer
+                    }
+                    let pre_start =
+                        Pba::new(pba.sector().saturating_sub(p.behind_sectors));
+                    let total = (pba.sector() - pre_start.sector())
+                        + len
+                        + p.ahead_sectors;
+                    buffer.insert(pre_start, total);
+                    self.stats.prefetched_sectors += total - len;
+                    self.stats.phys_reads += 1;
+                    phys.push(PhysIo::read(pre_start, total));
+                    continue;
+                }
+            }
+            self.stats.phys_reads += 1;
+            phys.push(PhysIo::read(pba, len));
+        }
+
+        // Alg. 1: opportunistic defragmentation — the fragmented data was
+        // just reordered in RAM to serve the read; write it back
+        // contiguously at the frontier.
+        if fragmented {
+            if let Some(d) = self.config.defrag {
+                let key = (rec.lba.sector(), rec.sectors);
+                let count = self.range_accesses.entry(key).or_insert(0);
+                *count += 1;
+                if runs.len() >= d.min_fragments && *count >= d.min_accesses {
+                    match d.timing {
+                        DefragTiming::Immediate => {
+                            phys.extend(self.append(rec.lba, sectors));
+                            self.stats.defrag_rewrites += 1;
+                            self.stats.defrag_sectors += sectors;
+                        }
+                        DefragTiming::Idle { .. } => {
+                            let entry = (rec.lba, sectors);
+                            if !self.pending_defrag.contains(&entry) {
+                                self.pending_defrag.push(entry);
+                            }
+                        }
+                    }
+                    self.range_accesses.remove(&key);
+                }
+            }
+        }
+        phys
+    }
+}
+
+impl TranslationLayer for LogStructured {
+    fn apply(&mut self, rec: &TraceRecord) -> Vec<PhysIo> {
+        // Idle-time defragmentation: if the gap since the previous
+        // operation was long enough, the queued rewrites happened during
+        // it — emit them before this operation's I/O.
+        let mut prologue = Vec::new();
+        if let Some(d) = self.config.defrag {
+            if let DefragTiming::Idle { min_gap_us } = d.timing {
+                if !self.pending_defrag.is_empty()
+                    && rec.timestamp_us.saturating_sub(self.last_timestamp_us)
+                        >= min_gap_us
+                {
+                    prologue = self.flush_defrag_queue();
+                }
+            }
+        }
+        self.last_timestamp_us = rec.timestamp_us;
+        let mut phys = match rec.op {
+            OpKind::Write => {
+                self.stats.logical_writes += 1;
+                self.append(rec.lba, u64::from(rec.sectors))
+            }
+            OpKind::Read => {
+                self.stats.logical_reads += 1;
+                self.handle_read(rec)
+            }
+        };
+        if prologue.is_empty() {
+            phys
+        } else {
+            prologue.append(&mut phys);
+            prologue
+        }
+    }
+
+    fn name(&self) -> &str {
+        match (
+            self.config.defrag.is_some(),
+            self.config.prefetch.is_some(),
+            self.config.cache.is_some(),
+        ) {
+            (false, false, false) => "LS",
+            (true, false, false) => "LS+defrag",
+            (false, true, false) => "LS+prefetch",
+            (false, false, true) => "LS+cache",
+            _ => "LS+combined",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CacheConfig, DefragConfig, PrefetchConfig};
+
+    fn lba(s: u64) -> Lba {
+        Lba::new(s)
+    }
+    fn pba(s: u64) -> Pba {
+        Pba::new(s)
+    }
+
+    fn plain(frontier: u64) -> LogStructured {
+        LogStructured::new(LsConfig::new(lba(frontier)))
+    }
+
+    #[test]
+    fn writes_append_sequentially() {
+        let mut ls = plain(1000);
+        let a = ls.apply(&TraceRecord::write(0, lba(500), 8));
+        let b = ls.apply(&TraceRecord::write(1, lba(0), 4));
+        assert_eq!(a, vec![PhysIo::write(pba(1000), 8)]);
+        assert_eq!(b, vec![PhysIo::write(pba(1008), 4)]);
+        assert_eq!(ls.frontier(), pba(1012));
+        assert_eq!(ls.stats().logical_writes, 2);
+    }
+
+    #[test]
+    fn read_of_unwritten_data_is_identity() {
+        let mut ls = plain(1000);
+        let r = ls.apply(&TraceRecord::read(0, lba(10), 8));
+        assert_eq!(r, vec![PhysIo::read(pba(10), 8)]);
+        assert_eq!(ls.stats().fragmented_reads, 0);
+    }
+
+    #[test]
+    fn read_after_write_translates() {
+        let mut ls = plain(1000);
+        ls.apply(&TraceRecord::write(0, lba(50), 8));
+        let r = ls.apply(&TraceRecord::read(1, lba(50), 8));
+        assert_eq!(r, vec![PhysIo::read(pba(1000), 8)]);
+    }
+
+    #[test]
+    fn update_fragments_subsequent_read() {
+        // The paper's Fig 6 scenario: contiguous data fragmented by updates.
+        let mut ls = plain(1000);
+        ls.apply(&TraceRecord::write(0, lba(0), 6)); // LBA 0..6 at 1000..1006
+        ls.apply(&TraceRecord::write(1, lba(2), 1)); // update LBA 2 -> 1006
+        ls.apply(&TraceRecord::write(2, lba(4), 1)); // update LBA 4 -> 1007
+        let r = ls.apply(&TraceRecord::read(3, lba(1), 4)); // read LBA 1..5
+        // pieces: LBA1 @1001, LBA2 @1006, LBA3 @1003, LBA4 @1007
+        assert_eq!(
+            r,
+            vec![
+                PhysIo::read(pba(1001), 1),
+                PhysIo::read(pba(1006), 1),
+                PhysIo::read(pba(1003), 1),
+                PhysIo::read(pba(1007), 1),
+            ]
+        );
+        assert_eq!(ls.stats().fragmented_reads, 1);
+    }
+
+    #[test]
+    fn straddling_read_merges_identity_and_log() {
+        let mut ls = plain(1000);
+        ls.apply(&TraceRecord::write(0, lba(10), 2)); // 10..12 -> 1000..1002
+        // Read 8..14: hole [8,10) @8, mapped [10,12) @1000, hole [12,14) @12.
+        let r = ls.apply(&TraceRecord::read(1, lba(8), 6));
+        assert_eq!(
+            r,
+            vec![
+                PhysIo::read(pba(8), 2),
+                PhysIo::read(pba(1000), 2),
+                PhysIo::read(pba(12), 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn sequential_log_writes_coalesce_for_reads() {
+        let mut ls = plain(1000);
+        // Logically-sequential writes land physically sequential: the
+        // "small file creation" log-friendly case.
+        ls.apply(&TraceRecord::write(0, lba(0), 4));
+        ls.apply(&TraceRecord::write(1, lba(4), 4));
+        ls.apply(&TraceRecord::write(2, lba(8), 4));
+        let r = ls.apply(&TraceRecord::read(3, lba(0), 12));
+        assert_eq!(r, vec![PhysIo::read(pba(1000), 12)]);
+    }
+
+    #[test]
+    fn defrag_rewrites_fragmented_read() {
+        let cfg = LsConfig::new(lba(1000)).with_defrag(DefragConfig::default());
+        let mut ls = LogStructured::new(cfg);
+        ls.apply(&TraceRecord::write(0, lba(0), 6));
+        ls.apply(&TraceRecord::write(1, lba(2), 1));
+        let r1 = ls.apply(&TraceRecord::read(2, lba(0), 6));
+        // 3 fragment reads + 1 defrag write at the frontier.
+        assert_eq!(r1.len(), 4);
+        let w = r1.last().unwrap();
+        assert_eq!(w.op, OpKind::Write);
+        assert_eq!(w.sectors, 6);
+        assert_eq!(ls.stats().defrag_rewrites, 1);
+        assert_eq!(ls.stats().defrag_sectors, 6);
+        // Re-read: now contiguous, single physical read, no more rewrites.
+        let r2 = ls.apply(&TraceRecord::read(3, lba(0), 6));
+        assert_eq!(r2.len(), 1);
+        assert_eq!(r2[0].pba, w.pba);
+        assert_eq!(ls.stats().defrag_rewrites, 1);
+    }
+
+    #[test]
+    fn defrag_min_fragments_gate() {
+        let cfg = LsConfig::new(lba(1000)).with_defrag(DefragConfig {
+            min_fragments: 3,
+            min_accesses: 1,
+            ..DefragConfig::default()
+        });
+        let mut ls = LogStructured::new(cfg);
+        ls.apply(&TraceRecord::write(0, lba(0), 6));
+        ls.apply(&TraceRecord::write(1, lba(2), 1));
+        // 3 fragments -> meets N=3.
+        let r = ls.apply(&TraceRecord::read(2, lba(0), 6));
+        assert_eq!(ls.stats().defrag_rewrites, 1);
+        assert_eq!(r.len(), 4);
+        // A 2-fragment read elsewhere does not trigger.
+        ls.apply(&TraceRecord::write(3, lba(100), 2));
+        let r = ls.apply(&TraceRecord::read(4, lba(100), 3)); // mapped + hole
+        assert_eq!(r.len(), 2);
+        assert_eq!(ls.stats().defrag_rewrites, 1);
+    }
+
+    #[test]
+    fn defrag_min_accesses_gate() {
+        let cfg = LsConfig::new(lba(1000)).with_defrag(DefragConfig {
+            min_fragments: 2,
+            min_accesses: 2,
+            ..DefragConfig::default()
+        });
+        let mut ls = LogStructured::new(cfg);
+        ls.apply(&TraceRecord::write(0, lba(0), 6));
+        ls.apply(&TraceRecord::write(1, lba(2), 1));
+        ls.apply(&TraceRecord::read(2, lba(0), 6)); // 1st access: no rewrite
+        assert_eq!(ls.stats().defrag_rewrites, 0);
+        ls.apply(&TraceRecord::read(3, lba(0), 6)); // 2nd access: rewrite
+        assert_eq!(ls.stats().defrag_rewrites, 1);
+        ls.apply(&TraceRecord::read(4, lba(0), 6)); // now defragmented
+        assert_eq!(ls.stats().defrag_rewrites, 1);
+    }
+
+    #[test]
+    fn selective_cache_absorbs_repeat_fragmented_reads() {
+        let cfg = LsConfig::new(lba(1000)).with_cache(CacheConfig::default());
+        let mut ls = LogStructured::new(cfg);
+        ls.apply(&TraceRecord::write(0, lba(0), 6));
+        ls.apply(&TraceRecord::write(1, lba(2), 1));
+        let r1 = ls.apply(&TraceRecord::read(2, lba(0), 6));
+        assert_eq!(r1.len(), 3); // all misses -> all disk reads
+        assert_eq!(ls.stats().cache_miss_fragments, 3);
+        let r2 = ls.apply(&TraceRecord::read(3, lba(0), 6));
+        assert!(r2.is_empty(), "fully cached: no physical I/O");
+        assert_eq!(ls.stats().cache_hit_fragments, 3);
+    }
+
+    #[test]
+    fn unfragmented_reads_bypass_cache() {
+        let cfg = LsConfig::new(lba(1000)).with_cache(CacheConfig::default());
+        let mut ls = LogStructured::new(cfg);
+        ls.apply(&TraceRecord::write(0, lba(0), 6));
+        let r1 = ls.apply(&TraceRecord::read(1, lba(0), 6));
+        let r2 = ls.apply(&TraceRecord::read(2, lba(0), 6));
+        assert_eq!(r1.len(), 1);
+        assert_eq!(r2.len(), 1); // not cached: Alg. 3 gates on fragmentation
+        assert_eq!(ls.stats().cache_hit_fragments, 0);
+        assert_eq!(ls.stats().cache_miss_fragments, 0);
+    }
+
+    #[test]
+    fn prefetch_covers_nearby_fragments() {
+        // The paper's Fig 9 scenario: mis-ordered updates land physically
+        // near each other; fetching around one fragment captures the rest.
+        let cfg = LsConfig::new(lba(10_000)).with_prefetch(PrefetchConfig {
+            behind_sectors: 8,
+            ahead_sectors: 8,
+            buffer_bytes: 1 << 20,
+        });
+        let mut ls = LogStructured::new(cfg);
+        ls.apply(&TraceRecord::write(0, lba(0), 6)); // 0..6 @10000
+        ls.apply(&TraceRecord::write(1, lba(3), 1)); // @10006
+        ls.apply(&TraceRecord::write(2, lba(2), 1)); // @10007
+        ls.apply(&TraceRecord::write(3, lba(4), 1)); // @10008
+        // Read 0..6: fragments @10000(len2), @10007(1), @10006(1), @10008(1), @10005(1)
+        let r = ls.apply(&TraceRecord::read(4, lba(0), 6));
+        // First fragment read enlarges to cover 8 ahead: 10000-8..10000+2+8,
+        // which covers 10006..10009 -> remaining fragments all hit buffer
+        // except @10005? 10005 < 10010 so covered too.
+        assert_eq!(r.len(), 1, "one enlarged read serves all fragments: {r:?}");
+        assert_eq!(ls.stats().prefetch_hit_fragments, 4);
+        assert!(ls.stats().prefetched_sectors >= 8);
+    }
+
+    #[test]
+    fn prefetch_far_fragments_still_seek() {
+        let cfg = LsConfig::new(lba(100_000)).with_prefetch(PrefetchConfig {
+            behind_sectors: 4,
+            ahead_sectors: 4,
+            buffer_bytes: 1 << 20,
+        });
+        let mut ls = LogStructured::new(cfg);
+        ls.apply(&TraceRecord::write(0, lba(0), 4)); // @100000
+        // Push the frontier far away.
+        ls.apply(&TraceRecord::write(1, lba(1000), 5000)); // @100004..105004
+        ls.apply(&TraceRecord::write(2, lba(2), 1)); // @105004
+        let r = ls.apply(&TraceRecord::read(3, lba(0), 4));
+        // Fragments: @100000(2), @105004(1), @100003(1). The second is far
+        // beyond the first's look-ahead, so it needs its own read; the third
+        // was covered by the first read's look-behind+data... check len.
+        assert_eq!(r.len(), 2, "{r:?}");
+        assert_eq!(ls.stats().prefetch_hit_fragments, 1);
+    }
+
+    #[test]
+    fn fragment_tracking_records_reads() {
+        let cfg = LsConfig::new(lba(1000)).with_fragment_tracking();
+        let mut ls = LogStructured::new(cfg);
+        ls.apply(&TraceRecord::write(0, lba(0), 6));
+        ls.apply(&TraceRecord::write(1, lba(2), 1));
+        ls.apply(&TraceRecord::read(2, lba(0), 6));
+        ls.apply(&TraceRecord::read(3, lba(0), 6));
+        ls.apply(&TraceRecord::read(4, lba(100), 1)); // unfragmented: ignored
+        let t = ls.fragment_tracker().unwrap();
+        assert_eq!(t.fragmented_read_count(), 2);
+        assert_eq!(t.per_read_fragment_counts(), &[3, 3]);
+        assert_eq!(t.popularity()[0].access_count, 2);
+    }
+
+    #[test]
+    fn name_reflects_mechanisms() {
+        assert_eq!(plain(0).name(), "LS");
+        let d = LogStructured::new(LsConfig::default().with_defrag(DefragConfig::default()));
+        assert_eq!(d.name(), "LS+defrag");
+        let p =
+            LogStructured::new(LsConfig::default().with_prefetch(PrefetchConfig::default()));
+        assert_eq!(p.name(), "LS+prefetch");
+        let c = LogStructured::new(LsConfig::default().with_cache(CacheConfig::default()));
+        assert_eq!(c.name(), "LS+cache");
+        let all = LogStructured::new(
+            LsConfig::default()
+                .with_defrag(DefragConfig::default())
+                .with_cache(CacheConfig::default()),
+        );
+        assert_eq!(all.name(), "LS+combined");
+    }
+
+    #[test]
+    fn idle_defrag_queues_until_gap() {
+        use crate::config::DefragConfig;
+        let cfg = LsConfig::new(lba(1000)).with_defrag(DefragConfig::idle(10_000));
+        let mut ls = LogStructured::new(cfg);
+        ls.apply(&TraceRecord::write(0, lba(0), 6));
+        ls.apply(&TraceRecord::write(100, lba(2), 1));
+        // Fragmented read: queues, does not rewrite inline.
+        let r = ls.apply(&TraceRecord::read(200, lba(0), 6));
+        assert_eq!(r.len(), 3, "no inline rewrite: {r:?}");
+        assert_eq!(ls.pending_defrag(), &[(lba(0), 6)]);
+        assert_eq!(ls.stats().defrag_rewrites, 0);
+        // Next op arrives within the gap: still queued.
+        let r = ls.apply(&TraceRecord::read(5_000, lba(0), 6));
+        assert_eq!(r.len(), 3);
+        assert_eq!(ls.pending_defrag().len(), 1); // dedup via access gate reset
+        // An op after a >=10ms gap flushes the queue first.
+        let r = ls.apply(&TraceRecord::read(50_000, lba(0), 6));
+        let writes: Vec<_> = r.iter().filter(|io| io.op == OpKind::Write).collect();
+        assert_eq!(writes.len(), 1, "batched rewrite: {r:?}");
+        assert_eq!(ls.stats().defrag_rewrites, 1);
+        assert!(ls.pending_defrag().is_empty());
+        // The read that triggered the flush now sees defragmented data.
+        let r = ls.apply(&TraceRecord::read(50_100, lba(0), 6));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn idle_defrag_batch_is_sequential_at_frontier() {
+        use crate::config::DefragConfig;
+        let cfg = LsConfig::new(lba(1000)).with_defrag(DefragConfig::idle(1_000));
+        let mut ls = LogStructured::new(cfg);
+        // Create two separate fragmented ranges.
+        ls.apply(&TraceRecord::write(0, lba(0), 6));
+        ls.apply(&TraceRecord::write(1, lba(2), 1));
+        ls.apply(&TraceRecord::write(2, lba(100), 6));
+        ls.apply(&TraceRecord::write(3, lba(102), 1));
+        ls.apply(&TraceRecord::read(4, lba(0), 6));
+        ls.apply(&TraceRecord::read(5, lba(100), 6));
+        assert_eq!(ls.pending_defrag().len(), 2);
+        // Idle gap: the next op is preceded by BOTH rewrites,
+        // back-to-back at the frontier (physically contiguous).
+        let r = ls.apply(&TraceRecord::read(1_000_000, lba(500), 1));
+        let writes: Vec<&PhysIo> =
+            r.iter().filter(|io| io.op == OpKind::Write).collect();
+        assert_eq!(writes.len(), 2);
+        assert_eq!(writes[0].end(), writes[1].pba, "batch is contiguous");
+        assert_eq!(ls.stats().defrag_rewrites, 2);
+    }
+
+    #[test]
+    fn idle_defrag_skips_ranges_fixed_meanwhile() {
+        use crate::config::DefragConfig;
+        let cfg = LsConfig::new(lba(1000)).with_defrag(DefragConfig::idle(1_000));
+        let mut ls = LogStructured::new(cfg);
+        ls.apply(&TraceRecord::write(0, lba(0), 6));
+        ls.apply(&TraceRecord::write(1, lba(2), 1));
+        ls.apply(&TraceRecord::read(2, lba(0), 6)); // queued
+        // The host overwrites the whole range: now contiguous by itself.
+        ls.apply(&TraceRecord::write(3, lba(0), 6));
+        let flushed = ls.flush_defrag_queue();
+        assert!(flushed.is_empty(), "nothing left to defragment: {flushed:?}");
+        assert_eq!(ls.stats().defrag_rewrites, 0);
+    }
+
+    #[test]
+    fn zoned_append_splits_at_guard_bands() {
+        let cfg = LsConfig::new(lba(1000)).with_zones(8); // 7 data + 1 guard
+        let mut ls = LogStructured::new(cfg);
+        // Frontier starts at 1000 (offset 0 in its zone of [1000..1008)?
+        // zones are absolute: zone of 1000 is [1000/8*8=1000? 1000%8=0].
+        let w = ls.apply(&TraceRecord::write(0, lba(0), 10));
+        // Zone layout: sectors ..1006 data, 1007 guard, 1008.. next zone.
+        assert_eq!(
+            w,
+            vec![PhysIo::write(pba(1000), 7), PhysIo::write(pba(1008), 3)]
+        );
+        assert_eq!(ls.frontier(), pba(1011));
+        // A read of the whole range splits at the guard.
+        let r = ls.apply(&TraceRecord::read(1, lba(0), 10));
+        assert_eq!(
+            r,
+            vec![PhysIo::read(pba(1000), 7), PhysIo::read(pba(1008), 3)]
+        );
+    }
+
+    #[test]
+    fn zoned_append_skips_guard_exactly() {
+        let cfg = LsConfig::new(lba(0)).with_zones(4); // 3 data + 1 guard
+        let mut ls = LogStructured::new(cfg);
+        // Writes of 3 sectors fill exactly one zone's data each.
+        for t in 0..3u64 {
+            let w = ls.apply(&TraceRecord::write(t, lba(t * 3), 3));
+            assert_eq!(w.len(), 1, "no split needed: {w:?}");
+            assert_eq!(w[0].pba, pba(t * 4));
+        }
+        assert_eq!(ls.frontier(), pba(11)); // 8 + 3, guard at 11 pending
+        // Map translations stay correct across guards.
+        assert_eq!(ls.map().translate(lba(4)), Some(pba(5)));
+        assert_eq!(ls.map().translate(lba(8)), Some(pba(10)));
+    }
+
+    #[test]
+    fn zoned_log_increases_fragmentation_realistically() {
+        // Same workload, with and without zones: the zoned log can only
+        // have equal or more physical reads (guard-band splits).
+        let mk = |zones: Option<u64>| {
+            let mut cfg = LsConfig::new(lba(100_000));
+            cfg.zone_sectors = zones;
+            let mut ls = LogStructured::new(cfg);
+            let mut phys_reads = 0usize;
+            for i in 0..200u64 {
+                ls.apply(&TraceRecord::write(i, lba(i * 64), 48));
+            }
+            for i in 0..200u64 {
+                phys_reads += ls
+                    .apply(&TraceRecord::read(1000 + i, lba(i * 64), 48))
+                    .len();
+            }
+            phys_reads
+        };
+        let flat = mk(None);
+        let zoned = mk(Some(256));
+        assert!(zoned >= flat, "zoned {zoned} < flat {flat}");
+        assert!(zoned > flat, "expected some guard-band splits");
+    }
+
+    #[test]
+    fn stats_count_physical_ops() {
+        let mut ls = plain(1000);
+        ls.apply(&TraceRecord::write(0, lba(0), 6));
+        ls.apply(&TraceRecord::write(1, lba(2), 1));
+        ls.apply(&TraceRecord::read(2, lba(0), 6));
+        let s = ls.stats();
+        assert_eq!(s.phys_writes, 2);
+        assert_eq!(s.phys_reads, 3);
+        assert_eq!(s.logical_reads, 1);
+        assert_eq!(s.logical_writes, 2);
+        assert!((s.fragmented_read_rate() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,239 @@
+//! Deeper trace analyses behind the paper's workload observations.
+//!
+//! Three lenses that explain *why* a workload is log-friendly or
+//! log-sensitive before any simulation runs:
+//!
+//! * [`overwrite_intervals`] — how quickly written data is overwritten
+//!   (short intervals ⇒ churn the log absorbs; §III's write-intensive
+//!   MSR workloads),
+//! * [`wss_series`] — working-set size per window (the diurnal phases of
+//!   Fig 3 show up here as WSS swings),
+//! * [`read_after_write_fraction`] — how much read traffic targets data
+//!   written earlier in the trace (the reads that can be fragmented at
+//!   all; reads of pre-trace data always come from the identity area).
+
+use crate::record::{OpKind, TraceRecord};
+use std::collections::HashMap;
+
+/// Analysis granularity: one 4 KiB block = 8 sectors.
+const BLOCK_SECTORS: u64 = 8;
+
+fn blocks_of(rec: &TraceRecord) -> impl Iterator<Item = u64> {
+    let first = rec.lba.sector() / BLOCK_SECTORS;
+    let last = (rec.end().sector().saturating_sub(1)) / BLOCK_SECTORS;
+    first..=last
+}
+
+/// For every write that overwrites a 4 KiB block written earlier in the
+/// trace, the number of intervening *write operations* since that block
+/// was last written. Short intervals mean hot churn; an empty result means
+/// the trace never overwrites (the archival regime).
+pub fn overwrite_intervals(records: &[TraceRecord]) -> Vec<u64> {
+    let mut last_write: HashMap<u64, u64> = HashMap::new();
+    let mut intervals = Vec::new();
+    let mut write_index = 0u64;
+    for rec in records {
+        if rec.op != OpKind::Write {
+            continue;
+        }
+        for block in blocks_of(rec) {
+            if let Some(prev) = last_write.insert(block, write_index) {
+                intervals.push(write_index - prev);
+            }
+        }
+        write_index += 1;
+    }
+    intervals
+}
+
+/// Distinct 4 KiB blocks touched (read or written) in each consecutive
+/// window of `window_ops` operations — the working-set-size series.
+///
+/// # Panics
+///
+/// Panics if `window_ops` is zero.
+pub fn wss_series(records: &[TraceRecord], window_ops: usize) -> Vec<u64> {
+    assert!(window_ops > 0, "window must be positive");
+    records
+        .chunks(window_ops)
+        .map(|window| {
+            let mut blocks: HashMap<u64, ()> = HashMap::new();
+            for rec in window {
+                for block in blocks_of(rec) {
+                    blocks.insert(block, ());
+                }
+            }
+            blocks.len() as u64
+        })
+        .collect()
+}
+
+/// Fraction of read *bytes* that target blocks written earlier in the
+/// trace, in `[0, 1]`. Only these reads can be fragmented by
+/// log-structured translation; the remainder always reads from the
+/// identity area.
+pub fn read_after_write_fraction(records: &[TraceRecord]) -> f64 {
+    let mut written: HashMap<u64, ()> = HashMap::new();
+    let mut read_blocks = 0u64;
+    let mut read_after_write_blocks = 0u64;
+    for rec in records {
+        match rec.op {
+            OpKind::Write => {
+                for block in blocks_of(rec) {
+                    written.insert(block, ());
+                }
+            }
+            OpKind::Read => {
+                for block in blocks_of(rec) {
+                    read_blocks += 1;
+                    if written.contains_key(&block) {
+                        read_after_write_blocks += 1;
+                    }
+                }
+            }
+        }
+    }
+    if read_blocks == 0 {
+        0.0
+    } else {
+        read_after_write_blocks as f64 / read_blocks as f64
+    }
+}
+
+/// Summary of the three analyses, for reports.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct AnalysisSummary {
+    /// Number of overwrite events.
+    pub overwrites: usize,
+    /// Median overwrite interval in write ops (`None` without overwrites).
+    pub median_overwrite_interval: Option<u64>,
+    /// Mean working-set size per 1000-op window, in 4 KiB blocks.
+    pub mean_wss_blocks: f64,
+    /// Peak working-set size, in 4 KiB blocks.
+    pub peak_wss_blocks: u64,
+    /// Fraction of read bytes targeting trace-written data.
+    pub read_after_write: f64,
+}
+
+/// Computes the [`AnalysisSummary`] with 1000-op WSS windows.
+pub fn summarize(records: &[TraceRecord]) -> AnalysisSummary {
+    let mut intervals = overwrite_intervals(records);
+    intervals.sort_unstable();
+    let median = (!intervals.is_empty()).then(|| intervals[intervals.len() / 2]);
+    let wss = wss_series(records, 1000);
+    let mean_wss = if wss.is_empty() {
+        0.0
+    } else {
+        wss.iter().sum::<u64>() as f64 / wss.len() as f64
+    };
+    AnalysisSummary {
+        overwrites: intervals.len(),
+        median_overwrite_interval: median,
+        mean_wss_blocks: mean_wss,
+        peak_wss_blocks: wss.iter().copied().max().unwrap_or(0),
+        read_after_write: read_after_write_fraction(records),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Lba;
+
+    fn w(t: u64, lba: u64, sectors: u32) -> TraceRecord {
+        TraceRecord::write(t, Lba::new(lba), sectors)
+    }
+    fn r(t: u64, lba: u64, sectors: u32) -> TraceRecord {
+        TraceRecord::read(t, Lba::new(lba), sectors)
+    }
+
+    #[test]
+    fn no_overwrites_in_append_only_trace() {
+        let trace: Vec<_> = (0..10).map(|i| w(i, i * 8, 8)).collect();
+        assert!(overwrite_intervals(&trace).is_empty());
+        let s = summarize(&trace);
+        assert_eq!(s.overwrites, 0);
+        assert_eq!(s.median_overwrite_interval, None);
+    }
+
+    #[test]
+    fn overwrite_interval_counts_intervening_writes() {
+        let trace = vec![
+            w(0, 0, 8),   // write block 0  (write #0)
+            w(1, 80, 8),  // unrelated      (write #1)
+            w(2, 160, 8), // unrelated      (write #2)
+            w(3, 0, 8),   // overwrite block 0 at write #3: interval 3
+        ];
+        assert_eq!(overwrite_intervals(&trace), vec![3]);
+    }
+
+    #[test]
+    fn sub_block_writes_count_once_per_block() {
+        let trace = vec![
+            w(0, 0, 16), // blocks 0 and 1
+            w(1, 4, 8),  // straddles blocks 0 and 1: two overwrite events
+        ];
+        assert_eq!(overwrite_intervals(&trace), vec![1, 1]);
+    }
+
+    #[test]
+    fn reads_do_not_advance_write_clock() {
+        let trace = vec![w(0, 0, 8), r(1, 0, 8), r(2, 0, 8), w(3, 0, 8)];
+        assert_eq!(overwrite_intervals(&trace), vec![1]);
+    }
+
+    #[test]
+    fn wss_counts_distinct_blocks_per_window() {
+        let trace = vec![
+            w(0, 0, 8),
+            w(1, 0, 8),   // same block: still 1 distinct
+            r(2, 80, 16), // blocks 10, 11
+            w(3, 800, 8),
+        ];
+        assert_eq!(wss_series(&trace, 2), vec![1, 3]);
+        assert_eq!(wss_series(&trace, 10), vec![4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn wss_zero_window_panics() {
+        wss_series(&[], 0);
+    }
+
+    #[test]
+    fn read_after_write_fraction_splits_correctly() {
+        let trace = vec![
+            w(0, 0, 8),   // block 0 written
+            r(1, 0, 8),   // read of written data
+            r(2, 800, 8), // read of pre-trace data
+        ];
+        assert!((read_after_write_fraction(&trace) - 0.5).abs() < 1e-12);
+        assert_eq!(read_after_write_fraction(&[w(0, 0, 8)]), 0.0);
+    }
+
+    #[test]
+    fn order_matters_for_read_after_write() {
+        // A read *before* the write targets pre-trace data.
+        let trace = vec![r(0, 0, 8), w(1, 0, 8), r(2, 0, 8)];
+        assert!((read_after_write_fraction(&trace) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let trace: Vec<_> = (0..50)
+            .map(|i| {
+                if i % 2 == 0 {
+                    w(i, (i % 10) * 8, 8)
+                } else {
+                    r(i, (i % 10) * 8, 8)
+                }
+            })
+            .collect();
+        let s = summarize(&trace);
+        assert!(s.overwrites > 0);
+        assert!(s.median_overwrite_interval.is_some());
+        assert!(s.mean_wss_blocks > 0.0);
+        assert!(s.peak_wss_blocks >= s.mean_wss_blocks as u64);
+        assert!((0.0..=1.0).contains(&s.read_after_write));
+    }
+}

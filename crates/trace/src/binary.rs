@@ -1,0 +1,149 @@
+//! Compact binary trace format for fast replay.
+//!
+//! Multi-million-operation traces parse slowly from CSV; the binary format
+//! stores each record in 21 bytes little-endian:
+//!
+//! ```text
+//! magic  "SMRT1\0"           (6 bytes, once)
+//! count  u64                 (8 bytes, once)
+//! record: timestamp_us u64 | op u8 (0=read, 1=write) | lba u64 | sectors u32
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use smrseek_trace::binary::{read_binary, write_binary};
+//! use smrseek_trace::{Lba, TraceRecord};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let recs = vec![TraceRecord::read(1, Lba::new(8), 16)];
+//! let mut buf = Vec::new();
+//! write_binary(&mut buf, &recs)?;
+//! assert_eq!(read_binary(&buf[..])?, recs);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::{Error, Result};
+use crate::record::{OpKind, TraceRecord};
+use crate::types::Lba;
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 6] = b"SMRT1\0";
+const RECORD_LEN: usize = 8 + 1 + 8 + 4;
+
+/// Serializes `records` to `writer` in the binary format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_binary<W: Write>(mut writer: W, records: &[TraceRecord]) -> Result<()> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&(records.len() as u64).to_le_bytes())?;
+    let mut buf = [0u8; RECORD_LEN];
+    for rec in records {
+        buf[0..8].copy_from_slice(&rec.timestamp_us.to_le_bytes());
+        buf[8] = match rec.op {
+            OpKind::Read => 0,
+            OpKind::Write => 1,
+        };
+        buf[9..17].copy_from_slice(&rec.lba.sector().to_le_bytes());
+        buf[17..21].copy_from_slice(&rec.sectors.to_le_bytes());
+        writer.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+/// Deserializes a binary trace from `reader`.
+///
+/// # Errors
+///
+/// Returns [`Error::Format`] on a bad magic number, a bad op byte, or a
+/// truncated payload; propagates I/O errors otherwise.
+pub fn read_binary<R: Read>(mut reader: R) -> Result<Vec<TraceRecord>> {
+    let mut magic = [0u8; 6];
+    reader
+        .read_exact(&mut magic)
+        .map_err(|_| Error::Format("missing magic".into()))?;
+    if &magic != MAGIC {
+        return Err(Error::Format("bad magic number".into()));
+    }
+    let mut count_buf = [0u8; 8];
+    reader
+        .read_exact(&mut count_buf)
+        .map_err(|_| Error::Format("missing record count".into()))?;
+    let count = u64::from_le_bytes(count_buf);
+    let cap = usize::try_from(count).map_err(|_| Error::Format("count too large".into()))?;
+    let mut out = Vec::with_capacity(cap.min(1 << 24));
+    let mut buf = [0u8; RECORD_LEN];
+    for i in 0..count {
+        reader
+            .read_exact(&mut buf)
+            .map_err(|_| Error::Format(format!("truncated at record {i}")))?;
+        let timestamp_us = u64::from_le_bytes(buf[0..8].try_into().expect("fixed slice"));
+        let op = match buf[8] {
+            0 => OpKind::Read,
+            1 => OpKind::Write,
+            b => return Err(Error::Format(format!("bad op byte {b} at record {i}"))),
+        };
+        let lba = Lba::new(u64::from_le_bytes(buf[9..17].try_into().expect("fixed slice")));
+        let sectors = u32::from_le_bytes(buf[17..21].try_into().expect("fixed slice"));
+        out.push(TraceRecord::new(timestamp_us, op, lba, sectors));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::read(0, Lba::new(0), 1),
+            TraceRecord::write(10, Lba::new(u64::MAX - 8), u32::MAX),
+            TraceRecord::read(u64::MAX, Lba::new(12345), 8),
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let recs = sample();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &recs).unwrap();
+        assert_eq!(buf.len(), 6 + 8 + 3 * RECORD_LEN);
+        assert_eq!(read_binary(&buf[..]).unwrap(), recs);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &[]).unwrap();
+        assert!(read_binary(&buf[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(read_binary(&buf[..]), Err(Error::Format(_))));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        buf.truncate(buf.len() - 1);
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn rejects_bad_op_byte() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        buf[6 + 8 + 8] = 9; // first record's op byte
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("bad op byte"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Parsers for on-disk trace formats.
+//!
+//! Two text formats are supported, matching the two trace families used in
+//! the paper's evaluation:
+//!
+//! * [`msr`] — the SNIA MSR Cambridge CSV format (production Windows
+//!   servers, 2007–2008), so the original public traces can be replayed
+//!   unmodified.
+//! * [`cloudphysics`] — a compact CSV schema for CloudPhysics-style traces
+//!   (the originals are proprietary; this is the schema our synthetic
+//!   stand-ins serialize to).
+//!
+//! * [`blktrace`] — Linux `blkparse` text output, so locally-captured
+//!   traces feed the simulator directly.
+//!
+//! Binary replay format lives in [`crate::binary`].
+
+pub mod blktrace;
+pub mod cloudphysics;
+pub mod msr;
+
+pub use blktrace::BlktraceParser;
+pub use cloudphysics::CpParser;
+pub use msr::MsrParser;
+
+use crate::error::Result;
+use crate::record::TraceRecord;
+use std::io::BufRead;
+
+/// A line-oriented trace parser.
+///
+/// Implementations turn one text line into zero or one [`TraceRecord`];
+/// blank lines and comment lines yield `None`.
+pub trait LineParser {
+    /// Parses one line. `line_no` is 1-based, used only for error messages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Parse`] when the line is malformed.
+    fn parse_line(&mut self, line: &str, line_no: u64) -> Result<Option<TraceRecord>>;
+}
+
+/// Reads an entire trace from `reader` using `parser`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the reader and parse errors from the parser.
+///
+/// # Example
+///
+/// ```
+/// use smrseek_trace::parse::{parse_reader, CpParser};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let text = "100,R,4096,8192\n200,W,0,512\n";
+/// let recs = parse_reader(text.as_bytes(), CpParser::new())?;
+/// assert_eq!(recs.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_reader<R: BufRead, P: LineParser>(
+    reader: R,
+    mut parser: P,
+) -> Result<Vec<TraceRecord>> {
+    let mut out = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        if let Some(rec) = parser.parse_line(&line, idx as u64 + 1)? {
+            out.push(rec);
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,179 @@
+//! The trace record model: one block I/O operation.
+
+use crate::types::{Lba, SECTOR_SIZE};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a block operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// A read of already-stored data.
+    Read,
+    /// A write (initial write or overwrite).
+    Write,
+}
+
+impl OpKind {
+    /// Returns `true` for [`OpKind::Read`].
+    pub const fn is_read(self) -> bool {
+        matches!(self, OpKind::Read)
+    }
+
+    /// Returns `true` for [`OpKind::Write`].
+    pub const fn is_write(self) -> bool {
+        matches!(self, OpKind::Write)
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Read => f.write_str("Read"),
+            OpKind::Write => f.write_str("Write"),
+        }
+    }
+}
+
+/// One block I/O operation from a trace.
+///
+/// Records are the unit of simulation: a trace is any
+/// `IntoIterator<Item = TraceRecord>`. The record is deliberately small
+/// (24 bytes) so multi-million-operation traces replay from memory.
+///
+/// # Example
+///
+/// ```
+/// use smrseek_trace::{Lba, OpKind, TraceRecord};
+///
+/// let w = TraceRecord::new(0, OpKind::Write, Lba::new(0), 8);
+/// let r = TraceRecord::new(100, OpKind::Read, Lba::new(0), 8);
+/// assert!(w.overlaps(&r));
+/// assert!(r.contains(Lba::new(7)));
+/// assert!(!r.contains(Lba::new(8)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Submission timestamp in microseconds from an arbitrary epoch.
+    pub timestamp_us: u64,
+    /// Read or write.
+    pub op: OpKind,
+    /// First sector of the operation.
+    pub lba: Lba,
+    /// Length in sectors. Well-formed traces have `sectors > 0`.
+    pub sectors: u32,
+}
+
+impl TraceRecord {
+    /// Creates a record.
+    pub const fn new(timestamp_us: u64, op: OpKind, lba: Lba, sectors: u32) -> Self {
+        TraceRecord {
+            timestamp_us,
+            op,
+            lba,
+            sectors,
+        }
+    }
+
+    /// Creates a read record.
+    pub const fn read(timestamp_us: u64, lba: Lba, sectors: u32) -> Self {
+        Self::new(timestamp_us, OpKind::Read, lba, sectors)
+    }
+
+    /// Creates a write record.
+    pub const fn write(timestamp_us: u64, lba: Lba, sectors: u32) -> Self {
+        Self::new(timestamp_us, OpKind::Write, lba, sectors)
+    }
+
+    /// First sector *after* the operation (`lba + sectors`).
+    pub fn end(&self) -> Lba {
+        self.lba + u64::from(self.sectors)
+    }
+
+    /// Length in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        u64::from(self.sectors) * SECTOR_SIZE
+    }
+
+    /// Returns `true` if `lba` lies within `[self.lba, self.end())`.
+    pub fn contains(&self, lba: Lba) -> bool {
+        lba >= self.lba && lba < self.end()
+    }
+
+    /// Returns `true` if the sector ranges of the two records intersect.
+    pub fn overlaps(&self, other: &TraceRecord) -> bool {
+        self.lba < other.end() && other.lba < self.end()
+    }
+
+    /// Returns `true` if `other` begins at exactly the sector following
+    /// this record — i.e. the pair is seek-free under the paper's seek
+    /// definition (Section II).
+    pub fn is_followed_contiguously_by(&self, other: &TraceRecord) -> bool {
+        other.lba == self.end()
+    }
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @{}us lba={} +{}",
+            self.op, self.timestamp_us, self.lba, self.sectors
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_and_len() {
+        let r = TraceRecord::read(5, Lba::new(10), 4);
+        assert_eq!(r.end(), Lba::new(14));
+        assert_eq!(r.len_bytes(), 2048);
+    }
+
+    #[test]
+    fn containment() {
+        let r = TraceRecord::write(0, Lba::new(10), 4);
+        assert!(!r.contains(Lba::new(9)));
+        assert!(r.contains(Lba::new(10)));
+        assert!(r.contains(Lba::new(13)));
+        assert!(!r.contains(Lba::new(14)));
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_exclusive_of_touching() {
+        let a = TraceRecord::read(0, Lba::new(0), 8);
+        let b = TraceRecord::read(0, Lba::new(8), 8); // touches, no overlap
+        let c = TraceRecord::read(0, Lba::new(7), 2);
+        assert!(!a.overlaps(&b));
+        assert!(!b.overlaps(&a));
+        assert!(a.overlaps(&c));
+        assert!(c.overlaps(&a));
+        assert!(b.overlaps(&c));
+    }
+
+    #[test]
+    fn contiguity_matches_seek_rule() {
+        let a = TraceRecord::write(0, Lba::new(100), 8);
+        let b = TraceRecord::write(1, Lba::new(108), 8);
+        let c = TraceRecord::write(2, Lba::new(109), 8);
+        assert!(a.is_followed_contiguously_by(&b));
+        assert!(!a.is_followed_contiguously_by(&c));
+        assert!(!b.is_followed_contiguously_by(&a));
+    }
+
+    #[test]
+    fn op_kind_predicates() {
+        assert!(OpKind::Read.is_read());
+        assert!(!OpKind::Read.is_write());
+        assert!(OpKind::Write.is_write());
+        assert_eq!(OpKind::Write.to_string(), "Write");
+    }
+
+    #[test]
+    fn record_is_small() {
+        assert!(std::mem::size_of::<TraceRecord>() <= 24);
+    }
+}

@@ -1,0 +1,251 @@
+//! Workload characterization: the columns of Table I in the paper.
+//!
+//! For each workload the paper reports read/write operation counts,
+//! read/written volumes in GB, and mean write size in KB. [`characterize`]
+//! computes those plus a few extras used elsewhere in the evaluation
+//! (sequentiality, footprint, max LBA).
+
+use crate::record::{OpKind, TraceRecord};
+use crate::types::{Lba, GIB, KIB};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Characteristics of one workload trace (Table I row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TraceStats {
+    /// Number of read operations.
+    pub read_count: u64,
+    /// Number of write operations.
+    pub write_count: u64,
+    /// Total bytes read.
+    pub read_bytes: u64,
+    /// Total bytes written.
+    pub written_bytes: u64,
+    /// Highest sector touched, `None` for an empty trace.
+    pub max_lba: Option<Lba>,
+    /// Number of distinct sectors touched (the workload footprint).
+    pub footprint_sectors: u64,
+    /// Operations (read or write) whose start sector immediately follows
+    /// the previous operation's end — "no seek" pairs in the original,
+    /// untranslated ordering.
+    pub contiguous_ops: u64,
+}
+
+impl TraceStats {
+    /// Total operation count.
+    pub fn total_ops(&self) -> u64 {
+        self.read_count + self.write_count
+    }
+
+    /// Volume read, in GB (decimal GiB as the paper's table, i.e. 2^30).
+    pub fn read_volume_gb(&self) -> f64 {
+        self.read_bytes as f64 / GIB as f64
+    }
+
+    /// Volume written, in GB.
+    pub fn written_volume_gb(&self) -> f64 {
+        self.written_bytes as f64 / GIB as f64
+    }
+
+    /// Mean write size in KB, 0 for traces without writes.
+    pub fn mean_write_size_kb(&self) -> f64 {
+        if self.write_count == 0 {
+            0.0
+        } else {
+            self.written_bytes as f64 / self.write_count as f64 / KIB as f64
+        }
+    }
+
+    /// Mean read size in KB, 0 for traces without reads.
+    pub fn mean_read_size_kb(&self) -> f64 {
+        if self.read_count == 0 {
+            0.0
+        } else {
+            self.read_bytes as f64 / self.read_count as f64 / KIB as f64
+        }
+    }
+
+    /// Fraction of operations that are writes, in `[0, 1]`.
+    pub fn write_ratio(&self) -> f64 {
+        let total = self.total_ops();
+        if total == 0 {
+            0.0
+        } else {
+            self.write_count as f64 / total as f64
+        }
+    }
+
+    /// Fraction of operations starting exactly where the previous ended.
+    pub fn sequentiality(&self) -> f64 {
+        let total = self.total_ops();
+        if total == 0 {
+            0.0
+        } else {
+            self.contiguous_ops as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} reads / {} writes, {:.2} GB read / {:.2} GB written, mean write {:.1} KB",
+            self.read_count,
+            self.write_count,
+            self.read_volume_gb(),
+            self.written_volume_gb(),
+            self.mean_write_size_kb()
+        )
+    }
+}
+
+/// Computes [`TraceStats`] over a record sequence.
+///
+/// # Example
+///
+/// ```
+/// use smrseek_trace::{characterize, Lba, TraceRecord};
+///
+/// let trace = vec![
+///     TraceRecord::write(0, Lba::new(0), 2048),      // 1 MiB
+///     TraceRecord::read(1, Lba::new(0), 2048),
+///     TraceRecord::read(2, Lba::new(2048), 2048),    // contiguous with prev
+/// ];
+/// let stats = characterize(&trace);
+/// assert_eq!(stats.read_count, 2);
+/// assert_eq!(stats.write_count, 1);
+/// assert_eq!(stats.contiguous_ops, 1);
+/// assert_eq!(stats.footprint_sectors, 4096);
+/// ```
+pub fn characterize(records: &[TraceRecord]) -> TraceStats {
+    let mut stats = TraceStats::default();
+    // Footprint via coalesced interval set keyed by start sector.
+    let mut intervals: BTreeMap<u64, u64> = BTreeMap::new(); // start -> end (exclusive)
+    let mut prev_end: Option<Lba> = None;
+
+    for rec in records {
+        match rec.op {
+            OpKind::Read => {
+                stats.read_count += 1;
+                stats.read_bytes += rec.len_bytes();
+            }
+            OpKind::Write => {
+                stats.write_count += 1;
+                stats.written_bytes += rec.len_bytes();
+            }
+        }
+        let last = if rec.sectors == 0 { rec.lba } else { rec.end() - 1 };
+        stats.max_lba = Some(stats.max_lba.map_or(last, |m| m.max(last)));
+        if prev_end == Some(rec.lba) {
+            stats.contiguous_ops += 1;
+        }
+        prev_end = Some(rec.end());
+        insert_interval(&mut intervals, rec.lba.sector(), rec.end().sector());
+    }
+    stats.footprint_sectors = intervals.iter().map(|(s, e)| e - s).sum();
+    stats
+}
+
+/// Inserts `[start, end)` into the coalesced interval set.
+fn insert_interval(intervals: &mut BTreeMap<u64, u64>, mut start: u64, mut end: u64) {
+    if start >= end {
+        return;
+    }
+    // Merge with a predecessor that overlaps or touches.
+    if let Some((&ps, &pe)) = intervals.range(..=start).next_back() {
+        if pe >= start {
+            start = ps;
+            end = end.max(pe);
+            intervals.remove(&ps);
+        }
+    }
+    // Merge all successors that overlap or touch.
+    let successors: Vec<u64> = intervals
+        .range(start..=end)
+        .map(|(&s, _)| s)
+        .collect();
+    for s in successors {
+        let e = intervals.remove(&s).expect("key just observed");
+        end = end.max(e);
+    }
+    intervals.insert(start, end);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trace() {
+        let stats = characterize(&[]);
+        assert_eq!(stats.total_ops(), 0);
+        assert_eq!(stats.max_lba, None);
+        assert_eq!(stats.write_ratio(), 0.0);
+        assert_eq!(stats.mean_write_size_kb(), 0.0);
+        assert_eq!(stats.sequentiality(), 0.0);
+    }
+
+    #[test]
+    fn counts_and_volumes() {
+        let trace = vec![
+            TraceRecord::write(0, Lba::new(0), 8),   // 4 KiB
+            TraceRecord::write(1, Lba::new(100), 24), // 12 KiB
+            TraceRecord::read(2, Lba::new(0), 8),
+        ];
+        let stats = characterize(&trace);
+        assert_eq!(stats.write_count, 2);
+        assert_eq!(stats.read_count, 1);
+        assert_eq!(stats.written_bytes, 16 * KIB);
+        assert_eq!(stats.read_bytes, 4 * KIB);
+        assert!((stats.mean_write_size_kb() - 8.0).abs() < 1e-9);
+        assert!((stats.mean_read_size_kb() - 4.0).abs() < 1e-9);
+        assert!((stats.write_ratio() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(stats.max_lba, Some(Lba::new(123)));
+    }
+
+    #[test]
+    fn footprint_coalesces_overlaps() {
+        let trace = vec![
+            TraceRecord::write(0, Lba::new(0), 10),
+            TraceRecord::write(1, Lba::new(5), 10),  // overlaps -> [0,15)
+            TraceRecord::write(2, Lba::new(15), 5),  // touches  -> [0,20)
+            TraceRecord::write(3, Lba::new(100), 1), // separate
+            TraceRecord::read(4, Lba::new(3), 2),    // inside
+        ];
+        let stats = characterize(&trace);
+        assert_eq!(stats.footprint_sectors, 21);
+    }
+
+    #[test]
+    fn footprint_merges_bridging_interval() {
+        let trace = vec![
+            TraceRecord::write(0, Lba::new(0), 5),
+            TraceRecord::write(1, Lba::new(10), 5),
+            TraceRecord::write(2, Lba::new(4), 7), // bridges both
+        ];
+        let stats = characterize(&trace);
+        assert_eq!(stats.footprint_sectors, 15);
+    }
+
+    #[test]
+    fn contiguity_counting() {
+        let trace = vec![
+            TraceRecord::write(0, Lba::new(0), 8),
+            TraceRecord::write(1, Lba::new(8), 8),  // contiguous
+            TraceRecord::read(2, Lba::new(16), 8),  // contiguous (op kind irrelevant)
+            TraceRecord::read(3, Lba::new(16), 8),  // not contiguous (same start)
+        ];
+        let stats = characterize(&trace);
+        assert_eq!(stats.contiguous_ops, 2);
+        assert!((stats.sequentiality() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let stats = characterize(&[TraceRecord::write(0, Lba::new(0), 2)]);
+        let s = stats.to_string();
+        assert!(s.contains("0 reads / 1 writes"));
+    }
+}

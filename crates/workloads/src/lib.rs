@@ -1,0 +1,40 @@
+//! Deterministic synthetic block workloads.
+//!
+//! The paper evaluates on two proprietary-or-unavailable trace families
+//! (MSR Cambridge 2007–08 and CloudPhysics). This crate synthesizes
+//! stand-in traces for all 21 Table-I workloads:
+//!
+//! * [`zipf`] — a Zipf(θ) sampler for skewed popularity,
+//! * [`builder`] — the deterministic [`builder::TraceBuilder`] with
+//!   archetype operations (sequential/random/descending/interleaved writes,
+//!   scans, temporal-replay reads, Zipf re-reads),
+//! * [`behavior`] — the [`behavior::Behavior`] knob set and the recipe
+//!   engine that turns knobs + Table-I ratios into a trace,
+//! * [`profiles`] — the 21 named profiles with the paper's Table-I numbers
+//!   and a behaviour tuned to reproduce each workload's qualitative seek
+//!   profile (log-friendly, log-sensitive, or log-agnostic).
+//!
+//! Every generator takes an explicit `u64` seed and is fully reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use smrseek_workloads::profiles;
+//!
+//! let profile = profiles::by_name("w91").expect("w91 is in Table I");
+//! let trace = profile.generate(42);
+//! assert!(!trace.is_empty());
+//! assert_eq!(trace, profile.generate(42)); // deterministic
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod behavior;
+pub mod builder;
+pub mod profiles;
+pub mod zipf;
+
+pub use behavior::Behavior;
+pub use builder::TraceBuilder;
+pub use profiles::{Family, Profile, TableRow};
+pub use zipf::Zipf;

@@ -1,0 +1,673 @@
+//! Named workload profiles for every trace in Table I of the paper.
+//!
+//! Each profile carries the paper's published characteristics
+//! ([`TableRow`]) and a [`Behavior`] tuned so the synthetic stand-in
+//! reproduces the workload's *qualitative* seek profile: log-friendly
+//! (SAF < 1), log-sensitive (SAF ≫ 1) or log-agnostic, plus the
+//! mis-ordered-write and fragment-skew phenomena the mechanisms target.
+//!
+//! OCR notes on Table I as printed: the read-volume column for `w36` and
+//! `w106` repeats the values of neighbouring rows (399.6 / 2353 GB, which
+//! would imply multi-MB mean reads); we substitute plausible volumes (4.0 /
+//! 11.8 GB) consistent with each trace's read count and typical op sizes.
+
+use crate::behavior::{self, Behavior};
+use serde::{Deserialize, Serialize};
+use smrseek_trace::{TraceRecord, GIB, SECTOR_SIZE};
+
+/// Which published trace family a profile stands in for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Family {
+    /// MSR Cambridge traces (Narayanan et al., FAST '08; 2007–08 era).
+    Msr,
+    /// CloudPhysics traces (Waldspurger et al., FAST '15; newer).
+    CloudPhysics,
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Family::Msr => f.write_str("MSR"),
+            Family::CloudPhysics => f.write_str("CloudPhysics"),
+        }
+    }
+}
+
+/// One row of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TableRow {
+    /// Read operations in the original trace.
+    pub read_count: u64,
+    /// Write operations in the original trace.
+    pub write_count: u64,
+    /// Volume read, GB.
+    pub read_gb: f64,
+    /// Volume written, GB.
+    pub written_gb: f64,
+    /// Mean write size, KB.
+    pub mean_write_kb: f64,
+    /// Guest operating system, as published.
+    pub os: &'static str,
+}
+
+impl TableRow {
+    /// Total operations.
+    pub fn total_ops(&self) -> u64 {
+        self.read_count + self.write_count
+    }
+
+    /// Fraction of operations that are reads.
+    pub fn read_fraction(&self) -> f64 {
+        self.read_count as f64 / self.total_ops() as f64
+    }
+
+    /// Mean read size in sectors implied by the row, clamped to
+    /// `[8, 1024]` and rounded to 4 KiB.
+    pub fn mean_read_sectors(&self) -> u32 {
+        if self.read_count == 0 {
+            return 8;
+        }
+        let sectors = self.read_gb * GIB as f64 / SECTOR_SIZE as f64 / self.read_count as f64;
+        (((sectors / 8.0).round() as u32) * 8).clamp(8, 1024)
+    }
+
+    /// Mean write size in sectors implied by the row, clamped like reads.
+    pub fn mean_write_sectors(&self) -> u32 {
+        ((((self.mean_write_kb * 2.0) / 8.0).round() as u32) * 8).clamp(8, 1024)
+    }
+}
+
+/// A named synthetic workload profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Workload name as in the paper (`w91`, `src2_2`, ...).
+    pub name: &'static str,
+    /// Trace family.
+    pub family: Family,
+    /// The paper's Table-I characteristics.
+    pub row: TableRow,
+    /// The behavioural knobs of the stand-in generator.
+    pub behavior: Behavior,
+}
+
+/// Default operation count for [`Profile::generate`].
+pub const DEFAULT_OPS: usize = 40_000;
+
+impl Profile {
+    /// Generates the stand-in trace with [`DEFAULT_OPS`] operations.
+    pub fn generate(&self, seed: u64) -> Vec<TraceRecord> {
+        self.generate_scaled(seed, DEFAULT_OPS)
+    }
+
+    /// Generates the stand-in trace scaled to approximately
+    /// `total_ops` operations, preserving the row's read/write ratio and
+    /// mean op sizes.
+    pub fn generate_scaled(&self, seed: u64, total_ops: usize) -> Vec<TraceRecord> {
+        let reads = (total_ops as f64 * self.row.read_fraction()).round() as usize;
+        let writes = total_ops - reads;
+        behavior::generate(
+            &self.behavior,
+            reads,
+            writes,
+            self.row.mean_read_sectors(),
+            self.row.mean_write_sectors(),
+            seed ^ fxhash(self.name),
+        )
+    }
+}
+
+/// Stable tiny string hash so each profile gets distinct streams from the
+/// same user seed.
+fn fxhash(s: &str) -> u64 {
+    s.bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
+        })
+}
+
+/// Behaviour of the write-intensive MSR servers (`wdev_0`, `mds_0`, ...):
+/// dominated by small random writes; reads partly replay recent writes.
+/// Log-friendly — log-structuring removes far more write seeks than it
+/// adds read seeks.
+fn write_intensive_msr() -> Behavior {
+    Behavior {
+        rd_replay: 0.4,
+        rd_zipf: 0.2,
+        zipf_theta: 0.9,
+        region_mib: 256,
+        cycles: 4,
+        ..Behavior::default()
+    }
+}
+
+/// All 21 profiles of Table I.
+pub fn all() -> Vec<Profile> {
+    vec![
+        // ---------------- MSR traces ----------------
+        Profile {
+            name: "usr_0",
+            family: Family::Msr,
+            row: TableRow {
+                read_count: 904_483,
+                write_count: 1_333_406,
+                read_gb: 35.3,
+                written_gb: 13.0,
+                mean_write_kb: 10.2,
+                os: "Microsoft Windows",
+            },
+            behavior: write_intensive_msr(),
+        },
+        Profile {
+            name: "src2_2",
+            family: Family::Msr,
+            row: TableRow {
+                read_count: 350_930,
+                write_count: 805_955,
+                read_gb: 22.7,
+                written_gb: 39.2,
+                mean_write_kb: 51.1,
+                os: "Microsoft Windows",
+            },
+            // ~1-in-20 mis-ordered writes (Fig 8) from descending dispatch
+            // bursts; single-pass scans keep it log-friendly overall.
+            behavior: Behavior {
+                wr_descending: 0.25,
+                rd_scan: 0.3,
+                rd_replay: 0.3,
+                scan_repeats: 1,
+                region_mib: 512,
+                cycles: 4,
+                ..Behavior::default()
+            },
+        },
+        Profile {
+            name: "hm_1",
+            family: Family::Msr,
+            row: TableRow {
+                read_count: 580_896,
+                write_count: 28_415,
+                read_gb: 8.2,
+                written_gb: 0.5,
+                mean_write_kb: 19.9,
+                os: "Microsoft Windows",
+            },
+            // Fig 7a: descending write bursts; reads straddle the resulting
+            // fragments with strong popularity skew (Fig 10b). One of the
+            // two MSR workloads with SAF > 1.
+            behavior: Behavior {
+                wr_descending: 0.7,
+                rd_straddle: 0.3,
+                rd_zipf: 0.4,
+                zipf_theta: 1.1,
+                region_mib: 64,
+                cycles: 4,
+                ..Behavior::default()
+            },
+        },
+        Profile {
+            name: "web_0",
+            family: Family::Msr,
+            row: TableRow {
+                read_count: 606_487,
+                write_count: 1_423_458,
+                read_gb: 17.3,
+                written_gb: 11.6,
+                mean_write_kb: 8.5,
+                os: "Microsoft Windows",
+            },
+            behavior: write_intensive_msr(),
+        },
+        Profile {
+            name: "usr_1",
+            family: Family::Msr,
+            row: TableRow {
+                read_count: 41_426_266,
+                write_count: 3_857_714,
+                read_gb: 2_079.2,
+                written_gb: 56.1,
+                mean_write_kb: 15.2,
+                os: "Microsoft Windows",
+            },
+            // Massive repeated sequential scans over a randomly-updated
+            // region far larger than any drive cache: the paper's
+            // log-sensitive MSR outlier where even selective caching
+            // struggles.
+            behavior: Behavior {
+                rd_scan: 0.85,
+                rd_zipf: 0.05,
+                scan_repeats: 6,
+                region_mib: 256,
+                cycles: 4,
+                ..Behavior::default()
+            },
+        },
+        Profile {
+            name: "wdev_0",
+            family: Family::Msr,
+            row: TableRow {
+                read_count: 229_529,
+                write_count: 913_732,
+                read_gb: 2.7,
+                written_gb: 7.1,
+                mean_write_kb: 8.2,
+                os: "Microsoft Windows",
+            },
+            behavior: write_intensive_msr(),
+        },
+        Profile {
+            name: "mds_0",
+            family: Family::Msr,
+            row: TableRow {
+                read_count: 143_973,
+                write_count: 1_067_061,
+                read_gb: 3.2,
+                written_gb: 7.3,
+                mean_write_kb: 7.2,
+                os: "Microsoft Windows",
+            },
+            behavior: write_intensive_msr(),
+        },
+        Profile {
+            name: "rsrch_0",
+            family: Family::Msr,
+            row: TableRow {
+                read_count: 133_625,
+                write_count: 1_300_030,
+                read_gb: 1.3,
+                written_gb: 10.8,
+                mean_write_kb: 8.7,
+                os: "Microsoft Windows",
+            },
+            behavior: write_intensive_msr(),
+        },
+        Profile {
+            name: "ts_0",
+            family: Family::Msr,
+            row: TableRow {
+                read_count: 316_692,
+                write_count: 1_485_042,
+                read_gb: 4.1,
+                written_gb: 4.1,
+                mean_write_kb: 8.0,
+                os: "Microsoft Windows",
+            },
+            behavior: write_intensive_msr(),
+        },
+        // ---------------- CloudPhysics traces ----------------
+        Profile {
+            name: "w84",
+            family: Family::CloudPhysics,
+            row: TableRow {
+                read_count: 655_397,
+                write_count: 4_158_838,
+                read_gb: 13.7,
+                written_gb: 124.1,
+                mean_write_kb: 31.2,
+                os: "Red Hat Enterprise Linux 5",
+            },
+            // Heavily mis-ordered writes (descending + interleaved); reads
+            // straddle the resulting near-adjacent fragments — the pattern
+            // look-ahead-behind prefetching repairs (3.7x in the paper).
+            behavior: Behavior {
+                wr_descending: 0.35,
+                wr_interleaved: 0.35,
+                rd_straddle: 0.55,
+                rd_zipf: 0.15,
+                zipf_theta: 0.8,
+                region_mib: 256,
+                cycles: 4,
+                ..Behavior::default()
+            },
+        },
+        Profile {
+            name: "w95",
+            family: Family::CloudPhysics,
+            row: TableRow {
+                read_count: 1_264_721,
+                write_count: 2_672_520,
+                read_gb: 30.3,
+                written_gb: 27.7,
+                mean_write_kb: 10.8,
+                os: "Microsoft Windows Server 2008",
+            },
+            behavior: Behavior {
+                wr_descending: 0.3,
+                wr_interleaved: 0.3,
+                rd_straddle: 0.5,
+                rd_scan: 0.25,
+                zipf_theta: 0.9,
+                scan_repeats: 2,
+                region_mib: 128,
+                cycles: 4,
+                ..Behavior::default()
+            },
+        },
+        Profile {
+            name: "w64",
+            family: Family::CloudPhysics,
+            row: TableRow {
+                read_count: 6_434_453,
+                write_count: 1_023_814,
+                read_gb: 399.6,
+                written_gb: 36.9,
+                mean_write_kb: 37.8,
+                os: "Microsoft Windows Server 2008 R2",
+            },
+            behavior: Behavior {
+                rd_scan: 0.6,
+                rd_zipf: 0.2,
+                scan_repeats: 2,
+                zipf_theta: 0.9,
+                region_mib: 384,
+                cycles: 4,
+                ..Behavior::default()
+            },
+        },
+        Profile {
+            name: "w93",
+            family: Family::CloudPhysics,
+            row: TableRow {
+                read_count: 2_928_984,
+                write_count: 422_470,
+                read_gb: 115.7,
+                written_gb: 11.4,
+                mean_write_kb: 28.3,
+                os: "Microsoft Windows Server 2003",
+            },
+            // Single-pass scans: fragmented reads that never repeat, so
+            // defragmentation's rewrite cost is pure overhead (Fig 11).
+            behavior: Behavior {
+                rd_scan: 0.8,
+                scan_repeats: 1,
+                region_mib: 512,
+                cycles: 4,
+                ..Behavior::default()
+            },
+        },
+        Profile {
+            name: "w20",
+            family: Family::CloudPhysics,
+            row: TableRow {
+                read_count: 19_652_684,
+                write_count: 10_189_634,
+                read_gb: 2_353.0,
+                written_gb: 332.8,
+                mean_write_kb: 34.25,
+                os: "Microsoft Windows Server 2003",
+            },
+            // Huge single-pass scans (mean read ~120 KB) over a heavily
+            // random-written space: large SAF, and the workload where
+            // defrag *worsens* SAF 2.8x in the paper.
+            behavior: Behavior {
+                rd_scan: 0.85,
+                scan_repeats: 1,
+                region_mib: 1536,
+                cycles: 4,
+                ..Behavior::default()
+            },
+        },
+        Profile {
+            name: "w91",
+            family: Family::CloudPhysics,
+            row: TableRow {
+                read_count: 3_147_384,
+                write_count: 1_169_222,
+                read_gb: 52.9,
+                written_gb: 15.3,
+                mean_write_kb: 17.1,
+                os: "Microsoft Windows Server 2003",
+            },
+            // The paper's most log-sensitive workload (SAF 3.7–5):
+            // repeated scans and hot re-reads over a modest region that a
+            // 64 MB fragment cache can largely absorb (SAF -> 0.2).
+            behavior: Behavior {
+                rd_scan: 0.6,
+                rd_straddle: 0.25,
+                scan_repeats: 6,
+                zipf_theta: 1.2,
+                region_mib: 64,
+                cycles: 4,
+                ..Behavior::default()
+            },
+        },
+        Profile {
+            name: "w76",
+            family: Family::CloudPhysics,
+            row: TableRow {
+                read_count: 258_852,
+                write_count: 5_817_421,
+                read_gb: 30.3,
+                written_gb: 5.15,
+                mean_write_kb: 35.7,
+                os: "Microsoft Windows Server 2008 R2",
+            },
+            behavior: Behavior {
+                rd_replay: 0.3,
+                rd_zipf: 0.2,
+                zipf_theta: 0.9,
+                region_mib: 256,
+                cycles: 4,
+                ..Behavior::default()
+            },
+        },
+        Profile {
+            name: "w36",
+            family: Family::CloudPhysics,
+            row: TableRow {
+                read_count: 113_090,
+                write_count: 18_802_536,
+                read_gb: 4.0, // OCR correction; printed value repeats w64's
+                written_gb: 4.02,
+                mean_write_kb: 141.8,
+                os: "Red Hat Enterprise Linux 5",
+            },
+            // Overwhelmingly write-dominated with large sequential-ish
+            // writes: the canonical log-friendly case (Fig 2b).
+            behavior: Behavior {
+                wr_sequential: 0.3,
+                rd_replay: 0.3,
+                region_mib: 512,
+                cycles: 4,
+                ..Behavior::default()
+            },
+        },
+        Profile {
+            name: "w89",
+            family: Family::CloudPhysics,
+            row: TableRow {
+                read_count: 1_536_898,
+                write_count: 2_089_042,
+                read_gb: 115.7,
+                written_gb: 20.5,
+                mean_write_kb: 31.7,
+                os: "Microsoft Windows Server 2008 R2",
+            },
+            behavior: Behavior {
+                rd_scan: 0.4,
+                rd_zipf: 0.2,
+                scan_repeats: 2,
+                zipf_theta: 0.9,
+                region_mib: 256,
+                cycles: 4,
+                ..Behavior::default()
+            },
+        },
+        Profile {
+            name: "w106",
+            family: Family::CloudPhysics,
+            row: TableRow {
+                read_count: 576_666,
+                write_count: 2_699_254,
+                read_gb: 11.8, // OCR correction; printed value repeats w20's
+                written_gb: 8.4,
+                mean_write_kb: 21.2,
+                os: "Microsoft Windows Server 2003 Standard",
+            },
+            // Fig 7b's small-scale randomness with ~1-in-25 mis-ordered
+            // writes from descending dispatch.
+            behavior: Behavior {
+                wr_descending: 0.12,
+                rd_replay: 0.3,
+                rd_zipf: 0.2,
+                zipf_theta: 0.9,
+                region_mib: 128,
+                cycles: 4,
+                ..Behavior::default()
+            },
+        },
+        Profile {
+            name: "w55",
+            family: Family::CloudPhysics,
+            row: TableRow {
+                read_count: 7_797_622,
+                write_count: 1_057_909,
+                read_gb: 35.8,
+                written_gb: 18.4,
+                mean_write_kb: 18.2,
+                os: "Microsoft Windows Server 2008 R2",
+            },
+            // Low average SAF but strongly diurnal (Fig 3d): many cycles
+            // whose read phases alternate between benign re-reads and
+            // fragmented scans.
+            behavior: Behavior {
+                rd_zipf: 0.45,
+                rd_scan: 0.25,
+                rd_straddle: 0.05,
+                zipf_theta: 0.9,
+                scan_repeats: 2,
+                region_mib: 96,
+                cycles: 10,
+                ..Behavior::default()
+            },
+        },
+        Profile {
+            name: "w33",
+            family: Family::CloudPhysics,
+            row: TableRow {
+                read_count: 7_603_814,
+                write_count: 8_013_607,
+                read_gb: 238.0,
+                written_gb: 241.0,
+                mean_write_kb: 31.6,
+                os: "Red Hat Enterprise Linux 5",
+            },
+            behavior: Behavior {
+                rd_scan: 0.5,
+                rd_straddle: 0.1,
+                scan_repeats: 3,
+                zipf_theta: 0.9,
+                region_mib: 512,
+                cycles: 4,
+                ..Behavior::default()
+            },
+        },
+    ]
+}
+
+/// Looks a profile up by its paper name (case-sensitive).
+pub fn by_name(name: &str) -> Option<Profile> {
+    all().into_iter().find(|p| p.name == name)
+}
+
+/// The profiles of one family, in Table-I order.
+pub fn by_family(family: Family) -> Vec<Profile> {
+    all().into_iter().filter(|p| p.family == family).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smrseek_trace::{characterize, OpKind};
+
+    #[test]
+    fn has_21_profiles_with_unique_names() {
+        let profiles = all();
+        assert_eq!(profiles.len(), 21);
+        let mut names: Vec<_> = profiles.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 21);
+    }
+
+    #[test]
+    fn family_split_matches_paper() {
+        assert_eq!(by_family(Family::Msr).len(), 9);
+        assert_eq!(by_family(Family::CloudPhysics).len(), 12);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("w91").is_some());
+        assert!(by_name("hm_1").is_some());
+        assert!(by_name("nope").is_none());
+        assert_eq!(by_name("usr_1").unwrap().family, Family::Msr);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_distinct_across_profiles() {
+        let a = by_name("w91").unwrap();
+        let b = by_name("w20").unwrap();
+        assert_eq!(a.generate(1), a.generate(1));
+        assert_ne!(a.generate(1), b.generate(1));
+        assert_ne!(a.generate(1), a.generate(2));
+    }
+
+    #[test]
+    fn scaled_op_counts_and_ratio() {
+        for profile in all() {
+            let trace = profile.generate_scaled(7, 10_000);
+            let reads = trace.iter().filter(|r| r.op == OpKind::Read).count();
+            let writes = trace.len() - reads;
+            let want_reads = 10_000.0 * profile.row.read_fraction();
+            assert!(
+                (reads as f64 - want_reads).abs() < 0.15 * 10_000.0,
+                "{}: reads {reads} vs expected {want_reads:.0}",
+                profile.name
+            );
+            assert!(
+                writes > 0 || profile.row.write_count == 0,
+                "{}: no writes generated",
+                profile.name
+            );
+        }
+    }
+
+    #[test]
+    fn mean_sizes_tracked() {
+        // Write-size fidelity: within 50% of the Table-I mean (size
+        // sampler is quantized and clamped).
+        for name in ["w36", "w91", "src2_2", "mds_0"] {
+            let profile = by_name(name).unwrap();
+            let trace = profile.generate_scaled(3, 20_000);
+            let stats = characterize(&trace);
+            if stats.write_count > 0 {
+                let want = f64::from(profile.row.mean_write_sectors()) / 2.0; // KB
+                let got = stats.mean_write_size_kb();
+                assert!(
+                    got > want * 0.5 && got < want * 2.0,
+                    "{name}: mean write {got:.1} KB vs target {want:.1} KB"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn row_derived_sizes_clamped() {
+        for profile in all() {
+            let r = profile.row.mean_read_sectors();
+            let w = profile.row.mean_write_sectors();
+            assert!((8..=1024).contains(&r) && r % 8 == 0, "{}: {r}", profile.name);
+            assert!((8..=1024).contains(&w) && w % 8 == 0, "{}: {w}", profile.name);
+        }
+    }
+
+    #[test]
+    fn read_fraction_bounds() {
+        for profile in all() {
+            let f = profile.row.read_fraction();
+            assert!((0.0..=1.0).contains(&f), "{}", profile.name);
+        }
+        assert!(by_name("usr_1").unwrap().row.read_fraction() > 0.9);
+        assert!(by_name("w36").unwrap().row.read_fraction() < 0.01);
+    }
+}

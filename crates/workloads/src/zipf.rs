@@ -1,0 +1,170 @@
+//! A Zipf(θ) sampler over ranks `0..n`.
+//!
+//! Fragment access popularity in the paper's workloads is highly skewed
+//! (Fig 10: "a small number of fragments responsible for a large number of
+//! seeks"); the synthetic profiles reproduce that skew by sampling re-read
+//! targets from a Zipf distribution.
+
+use rand::Rng;
+
+/// A Zipf distribution over `n` ranks with exponent `theta`:
+/// `P(rank = k) ∝ 1 / (k + 1)^theta`.
+///
+/// Sampling is inverse-CDF over a precomputed table: O(n) memory,
+/// O(log n) per sample, exact.
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use smrseek_workloads::Zipf;
+///
+/// let zipf = Zipf::new(1000, 1.0);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let mut hits0 = 0;
+/// for _ in 0..1000 {
+///     if zipf.sample(&mut rng) == 0 {
+///         hits0 += 1;
+///     }
+/// }
+/// assert!(hits0 > 50, "rank 0 must dominate, got {hits0}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    /// cdf[k] = P(rank <= k), strictly increasing to 1.0.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative or non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "theta must be a non-negative finite number"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if the distribution has exactly one rank (never the
+    /// case for a valid distribution to be empty).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability of rank `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 0.99);
+        let sum: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn higher_theta_more_skewed() {
+        let flat = Zipf::new(100, 0.5);
+        let steep = Zipf::new(100, 1.5);
+        assert!(steep.pmf(0) > flat.pmf(0));
+        assert!(steep.pmf(99) < flat.pmf(99));
+    }
+
+    #[test]
+    fn samples_within_range_and_skewed() {
+        let z = Zipf::new(50, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 50];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[49] * 5);
+        assert_eq!(counts.iter().map(|&c| c as usize).sum::<usize>(), 10_000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = Zipf::new(10, 1.2);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..20).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..20).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_rank() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.len(), 1);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_theta_panics() {
+        Zipf::new(10, -1.0);
+    }
+}

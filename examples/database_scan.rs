@@ -1,0 +1,59 @@
+//! The paper's worst-case scenario, built by hand: a database file receives
+//! many small random updates, then is sequentially scanned N times (§III's
+//! "sequential read after random write" thought experiment).
+//!
+//! Demonstrates building traces directly with `TraceBuilder` instead of
+//! using a named profile, and shows the N-fold seek amplification the
+//! paper predicts — plus how each mechanism responds.
+//!
+//! ```sh
+//! cargo run --release --example database_scan
+//! ```
+
+use smrseek::sim::{simulate, Saf, SimConfig};
+use smrseek::trace::{Lba, MIB, SECTOR_SIZE};
+use smrseek::workloads::TraceBuilder;
+
+fn scenario(scans: usize) -> Vec<smrseek::trace::TraceRecord> {
+    let db_sectors = 64 * MIB / SECTOR_SIZE; // a 64 MiB "database file"
+    let mut b = TraceBuilder::new(7);
+    // The file exists before the trace: the disk model places pre-trace
+    // data at its identity location, so we can start with updates.
+    b.write_random(Lba::new(0), db_sectors, 4_000, 16); // 8 KiB updates
+    for _ in 0..scans {
+        b.read_scan(Lba::new(0), db_sectors, 256); // 128 KiB scan reads
+    }
+    b.finish()
+}
+
+fn main() {
+    println!("random updates to a 64 MiB file, then N full sequential scans\n");
+    println!(
+        "{:<8} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9}",
+        "scans", "NoLS", "LS seeks", "LS", "defrag", "prefetch", "cache"
+    );
+    for scans in [1, 2, 4, 8] {
+        let trace = scenario(scans);
+        let base = simulate(&trace, &SimConfig::no_ls());
+        let saf = |config: &SimConfig| {
+            Saf::from_stats(&simulate(&trace, config).seeks, &base.seeks).total
+        };
+        let ls = simulate(&trace, &SimConfig::log_structured());
+        println!(
+            "{:<8} {:>10} {:>10} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            scans,
+            base.seeks.total(),
+            ls.seeks.total(),
+            saf(&SimConfig::log_structured()),
+            saf(&SimConfig::ls_defrag()),
+            saf(&SimConfig::ls_prefetch()),
+            saf(&SimConfig::ls_cache()),
+        );
+    }
+
+    println!();
+    println!("Each additional scan re-pays the fragmentation cost, so plain-LS SAF");
+    println!("grows with N (the paper's N-fold amplification). Opportunistic");
+    println!("defragmentation pays once — on the first scan — and the remaining");
+    println!("scans are sequential; selective caching absorbs repeats in RAM.");
+}

@@ -1,0 +1,78 @@
+//! Working with external traces: generate a synthetic workload, export it
+//! in both supported CSV schemas plus the compact binary format, parse
+//! each back, and verify the roundtrips — then characterize and simulate
+//! the parsed trace exactly as the `smrseek characterize` / `simulate`
+//! commands would.
+//!
+//! This is the path a user with real MSR Cambridge or CloudPhysics-style
+//! traces follows: drop the file in, parse, simulate.
+//!
+//! ```sh
+//! cargo run --release --example trace_roundtrip
+//! ```
+
+use smrseek::sim::{simulate, Saf, SimConfig};
+use smrseek::trace::binary::{read_binary, write_binary};
+use smrseek::trace::parse::{parse_reader, CpParser, MsrParser};
+use smrseek::trace::writer::{write_cp_csv, write_msr_csv};
+use smrseek::trace::characterize;
+use smrseek::workloads::profiles;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = profiles::by_name("hm_1")
+        .expect("hm_1 is a Table-I profile")
+        .generate_scaled(1, 10_000);
+
+    // --- CloudPhysics CSV roundtrip ---
+    let mut cp_csv = Vec::new();
+    write_cp_csv(&mut cp_csv, &trace)?;
+    let parsed = parse_reader(&cp_csv[..], CpParser::new())?;
+    assert_eq!(parsed, trace, "CP CSV roundtrip must be lossless");
+    println!("CP CSV: {} bytes for {} records", cp_csv.len(), parsed.len());
+
+    // --- MSR CSV roundtrip ---
+    // The MSR parser normalizes timestamps to the first record, so the
+    // roundtrip is exact up to a constant time shift.
+    let mut msr_csv = Vec::new();
+    write_msr_csv(&mut msr_csv, &trace, "synthhost", 0)?;
+    let parsed = parse_reader(&msr_csv[..], MsrParser::with_disk(0))?;
+    let t0 = trace[0].timestamp_us;
+    assert!(
+        parsed.len() == trace.len()
+            && parsed.iter().zip(&trace).all(|(p, o)| {
+                p.timestamp_us == o.timestamp_us - t0
+                    && (p.op, p.lba, p.sectors) == (o.op, o.lba, o.sectors)
+            }),
+        "MSR CSV roundtrip must be lossless modulo the time origin"
+    );
+    println!("MSR CSV: {} bytes", msr_csv.len());
+
+    // --- binary roundtrip ---
+    let mut bin = Vec::new();
+    write_binary(&mut bin, &trace)?;
+    let parsed = read_binary(&bin[..])?;
+    assert_eq!(parsed, trace, "binary roundtrip must be lossless");
+    println!(
+        "binary: {} bytes ({:.1}x smaller than CP CSV)\n",
+        bin.len(),
+        cp_csv.len() as f64 / bin.len() as f64
+    );
+
+    // --- characterize + simulate the parsed trace ---
+    let stats = characterize(&parsed);
+    println!("characteristics: {stats}");
+    println!(
+        "footprint {:.1} MiB, sequentiality {:.1}%, write ratio {:.1}%\n",
+        stats.footprint_sectors as f64 / 2048.0,
+        100.0 * stats.sequentiality(),
+        100.0 * stats.write_ratio()
+    );
+
+    let base = simulate(&parsed, &SimConfig::no_ls());
+    for config in [SimConfig::log_structured(), SimConfig::ls_cache()] {
+        let report = simulate(&parsed, &config);
+        let saf = Saf::from_stats(&report.seeks, &base.seeks);
+        println!("{:<9} {saf}", report.layer_name);
+    }
+    Ok(())
+}

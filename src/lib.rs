@@ -1,0 +1,43 @@
+//! # smrseek
+//!
+//! A trace-driven simulator of log-structured translation layers for
+//! Shingled Magnetic Recording (SMR) disks, reproducing
+//! *"Minimizing Read Seeks for SMR Disk"* (Hajkazemi, Abdi, Desnoyers —
+//! IISWC 2018).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`trace`] — block-trace model, parsers, writers, characterization.
+//! * [`extent`] — the LBA→PBA interval map substrate.
+//! * [`disk`] — seek detection, classification, distances, cost model, and
+//!   a zoned-device model.
+//! * [`cache`] — LRU, fragment cache and prefetch buffer substrates.
+//! * [`stl`] — the translation layers (identity and log-structured) and the
+//!   paper's three seek-reduction mechanisms.
+//! * [`workloads`] — deterministic synthetic workload generators with named
+//!   profiles for every Table-I trace.
+//! * [`sim`] — the simulation engine, seek-amplification metrics, reporting
+//!   and per-figure experiment harnesses.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use smrseek::sim::{simulate, SimConfig};
+//! use smrseek::workloads::profiles;
+//!
+//! let trace = profiles::by_name("w91").expect("known profile").generate(42);
+//! let report = simulate(&trace, &SimConfig::log_structured());
+//! let baseline = simulate(&trace, &SimConfig::no_ls());
+//! let saf = report.seeks.total() as f64 / baseline.seeks.total().max(1) as f64;
+//! assert!(saf > 1.0, "w91 is the paper's most log-sensitive workload");
+//! ```
+
+
+#![warn(missing_docs)]
+pub use smrseek_cache as cache;
+pub use smrseek_disk as disk;
+pub use smrseek_extent as extent;
+pub use smrseek_sim as sim;
+pub use smrseek_stl as stl;
+pub use smrseek_trace as trace;
+pub use smrseek_workloads as workloads;

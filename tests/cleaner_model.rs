@@ -1,0 +1,115 @@
+//! Model-based tests for the finite cleaning log: translation must stay
+//! correct through arbitrary churn and cleaning, and the valid-sector
+//! accounting must agree with the extent map.
+
+use proptest::prelude::*;
+use smrseek::stl::{CleanerConfig, CleaningLog, TranslationLayer};
+use smrseek::trace::{Lba, Pba, TraceRecord};
+use std::collections::HashMap;
+
+const SPACE: u64 = 600; // logical sectors (kept < usable log capacity)
+const LOG_START: u64 = 1 << 20;
+
+fn log() -> CleaningLog {
+    // 16 segments x 100 sectors, reserve 2 -> plenty of headroom for a
+    // 600-sector logical space at <50% utilization.
+    CleaningLog::new(CleanerConfig::new(Pba::new(LOG_START), 100, 16))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After arbitrary writes (which force arbitrary cleanings), every
+    /// sector still reads back from wherever its newest version lives,
+    /// and written sectors always read from inside the log region.
+    #[test]
+    fn translation_survives_cleaning(
+        writes in prop::collection::vec((0..SPACE, 1..50u64), 1..120)
+    ) {
+        let mut log = log();
+        let mut model: HashMap<u64, u64> = HashMap::new(); // sector -> version
+        let mut version = 0u64;
+        for (i, &(lba, len)) in writes.iter().enumerate() {
+            let len = len.min(SPACE - lba).max(1);
+            version += 1;
+            log.apply(&TraceRecord::write(
+                i as u64,
+                Lba::new(lba),
+                u32::try_from(len).unwrap(),
+            ));
+            for s in lba..lba + len {
+                model.insert(s, version);
+            }
+        }
+        // Every written sector must be mapped into the log; unwritten
+        // sectors must fall through to identity.
+        for sector in 0..SPACE {
+            let ios = log.apply(&TraceRecord::read(u64::MAX, Lba::new(sector), 1));
+            prop_assert_eq!(ios.len(), 1);
+            let pba = ios[0].pba.sector();
+            if model.contains_key(&sector) {
+                prop_assert!(
+                    pba >= LOG_START,
+                    "written sector {} reads from identity {}",
+                    sector,
+                    pba
+                );
+            } else {
+                prop_assert_eq!(pba, sector, "unwritten sector moved");
+            }
+        }
+    }
+
+    /// The valid-sector accounting always equals the mapped-sector count
+    /// of the extent map, and utilization stays within bounds.
+    #[test]
+    fn valid_accounting_matches_map(
+        writes in prop::collection::vec((0..SPACE, 1..50u64), 1..120)
+    ) {
+        let mut log = log();
+        for (i, &(lba, len)) in writes.iter().enumerate() {
+            let len = len.min(SPACE - lba).max(1);
+            log.apply(&TraceRecord::write(
+                i as u64,
+                Lba::new(lba),
+                u32::try_from(len).unwrap(),
+            ));
+            prop_assert_eq!(
+                log.live_sectors(),
+                log.map_mapped_sectors(),
+                "valid accounting diverged after write {}",
+                i
+            );
+            prop_assert!(log.utilization() <= 1.0);
+        }
+        // WAF is always >= 1 once anything was written.
+        prop_assert!(log.stats().waf() >= 1.0);
+    }
+
+    /// Distinct logical sectors never map to the same physical sector.
+    #[test]
+    fn no_physical_aliasing(
+        writes in prop::collection::vec((0..SPACE, 1..50u64), 1..80)
+    ) {
+        let mut log = log();
+        for (i, &(lba, len)) in writes.iter().enumerate() {
+            let len = len.min(SPACE - lba).max(1);
+            log.apply(&TraceRecord::write(
+                i as u64,
+                Lba::new(lba),
+                u32::try_from(len).unwrap(),
+            ));
+        }
+        let mut seen: HashMap<u64, u64> = HashMap::new(); // pba -> lba
+        for sector in 0..SPACE {
+            let ios = log.apply(&TraceRecord::read(u64::MAX, Lba::new(sector), 1));
+            let pba = ios[0].pba.sector();
+            if pba >= LOG_START {
+                if let Some(&other) = seen.get(&pba) {
+                    prop_assert!(false, "lba {} and {} alias pba {}", other, sector, pba);
+                }
+                seen.insert(pba, sector);
+            }
+        }
+    }
+}

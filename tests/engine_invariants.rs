@@ -1,0 +1,201 @@
+//! Cross-crate invariants of the simulation engine, checked over the full
+//! profile suite and over randomized workloads.
+
+use proptest::prelude::*;
+use smrseek::sim::{simulate, Saf, SimConfig};
+use smrseek::trace::{Lba, TraceRecord};
+use smrseek::workloads::profiles;
+
+fn quick(profile_name: &str) -> Vec<TraceRecord> {
+    profiles::by_name(profile_name)
+        .expect("profile exists")
+        .generate_scaled(13, 4000)
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let trace = quick("w95");
+    for config in [
+        SimConfig::no_ls(),
+        SimConfig::log_structured(),
+        SimConfig::ls_defrag(),
+        SimConfig::ls_prefetch(),
+        SimConfig::ls_cache(),
+    ] {
+        let a = simulate(&trace, &config);
+        let b = simulate(&trace, &config);
+        assert_eq!(a.seeks, b.seeks, "{}", a.layer_name);
+    }
+}
+
+#[test]
+fn ls_write_seeks_bounded_by_read_interruptions() {
+    // Under plain LS, writes only seek when something moved the head away
+    // from the frontier — so write seeks <= logical reads + 1.
+    for profile in profiles::all() {
+        let trace = profile.generate_scaled(3, 3000);
+        let report = simulate(&trace, &SimConfig::log_structured());
+        let reads = trace.iter().filter(|r| r.op.is_read()).count() as u64;
+        assert!(
+            report.seeks.write_seeks <= reads + 1,
+            "{}: {} write seeks vs {} reads",
+            profile.name,
+            report.seeks.write_seeks,
+            reads
+        );
+    }
+}
+
+#[test]
+fn cache_and_prefetch_never_add_seeks() {
+    for name in ["w91", "hm_1", "w20", "mds_0", "w84"] {
+        let trace = quick(name);
+        let ls = simulate(&trace, &SimConfig::log_structured()).seeks;
+        let cached = simulate(&trace, &SimConfig::ls_cache()).seeks;
+        let prefetched = simulate(&trace, &SimConfig::ls_prefetch()).seeks;
+        assert!(
+            cached.total() <= ls.total(),
+            "{name}: cache {} > LS {}",
+            cached.total(),
+            ls.total()
+        );
+        assert!(
+            prefetched.total() <= ls.total(),
+            "{name}: prefetch {} > LS {}",
+            prefetched.total(),
+            ls.total()
+        );
+    }
+}
+
+#[test]
+fn defrag_adds_write_seeks_but_bounded() {
+    for name in ["w91", "w20"] {
+        let trace = quick(name);
+        let ls = simulate(&trace, &SimConfig::log_structured());
+        let defrag = simulate(&trace, &SimConfig::ls_defrag());
+        let rewrites = defrag.ls_stats.unwrap().defrag_rewrites;
+        assert!(rewrites > 0, "{name}: expected rewrites");
+        // Each rewrite costs at most one extra write seek plus one extra
+        // read seek (returning to the data); reads it saves come off.
+        assert!(
+            defrag.seeks.total() <= ls.seeks.total() + 2 * rewrites,
+            "{name}: defrag total {} vs LS {} + 2*{}",
+            defrag.seeks.total(),
+            ls.seeks.total(),
+            rewrites
+        );
+    }
+}
+
+#[test]
+fn saf_of_baseline_is_one() {
+    let trace = quick("w33");
+    let base = simulate(&trace, &SimConfig::no_ls()).seeks;
+    let saf = Saf::from_stats(&base, &base);
+    assert!((saf.total - 1.0).abs() < 1e-12);
+    assert!((saf.read - 1.0).abs() < 1e-12);
+    assert!((saf.write - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn report_counters_are_consistent() {
+    for name in ["w91", "usr_0"] {
+        let trace = quick(name);
+        let report = simulate(
+            &trace,
+            &SimConfig::log_structured().with_fragment_tracking(),
+        );
+        let ls = report.ls_stats.expect("LS run has layer stats");
+        assert_eq!(
+            ls.logical_reads + ls.logical_writes,
+            report.logical_ops,
+            "{name}"
+        );
+        assert_eq!(
+            report.seeks.ops,
+            ls.phys_reads + ls.phys_writes,
+            "{name}: physical op accounting"
+        );
+        let fragments = report.fragments.expect("tracking enabled");
+        assert_eq!(
+            fragments.fragmented_read_count() as u64,
+            ls.fragmented_reads,
+            "{name}: tracker and counter agree"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// On arbitrary small traces: total seeks never exceed physical ops,
+    /// long seeks never exceed seeks, and the engine never panics.
+    #[test]
+    fn seek_accounting_bounds(
+        ops in prop::collection::vec(
+            (0u64..100_000, 1u32..64, prop::bool::ANY),
+            1..200,
+        )
+    ) {
+        let trace: Vec<TraceRecord> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, &(lba, len, is_read))| {
+                if is_read {
+                    TraceRecord::read(i as u64, Lba::new(lba), len)
+                } else {
+                    TraceRecord::write(i as u64, Lba::new(lba), len)
+                }
+            })
+            .collect();
+        for config in [
+            SimConfig::no_ls(),
+            SimConfig::log_structured(),
+            SimConfig::ls_defrag(),
+            SimConfig::ls_prefetch(),
+            SimConfig::ls_cache(),
+        ] {
+            let report = simulate(&trace, &config);
+            let s = report.seeks;
+            prop_assert!(s.total() <= s.ops, "{}: seeks > ops", report.layer_name);
+            prop_assert!(s.total_long() <= s.total());
+            prop_assert!(s.long_read_seeks <= s.read_seeks);
+            prop_assert!(s.long_write_seeks <= s.write_seeks);
+        }
+    }
+
+    /// NoLS seek counts must equal a direct computation from the trace.
+    #[test]
+    fn nols_matches_direct_count(
+        ops in prop::collection::vec((0u64..10_000, 1u32..32, prop::bool::ANY), 1..100)
+    ) {
+        let trace: Vec<TraceRecord> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, &(lba, len, is_read))| {
+                if is_read {
+                    TraceRecord::read(i as u64, Lba::new(lba), len)
+                } else {
+                    TraceRecord::write(i as u64, Lba::new(lba), len)
+                }
+            })
+            .collect();
+        let report = simulate(&trace, &SimConfig::no_ls());
+        let mut expected_read = 0u64;
+        let mut expected_write = 0u64;
+        let mut next = Lba::new(0);
+        for rec in &trace {
+            if rec.lba != next {
+                if rec.op.is_read() {
+                    expected_read += 1;
+                } else {
+                    expected_write += 1;
+                }
+            }
+            next = rec.end();
+        }
+        prop_assert_eq!(report.seeks.read_seeks, expected_read);
+        prop_assert_eq!(report.seeks.write_seeks, expected_write);
+    }
+}

@@ -1,0 +1,78 @@
+//! The paper-facing conclusions must not depend on the generator seed:
+//! across several seeds, the headline classifications and mechanism
+//! orderings hold.
+
+use smrseek::sim::{simulate, Saf, SimConfig};
+use smrseek::workloads::profiles;
+
+const SEEDS: [u64; 3] = [11, 222, 3333];
+const OPS: usize = 5000;
+
+fn saf(name: &str, seed: u64, config: &SimConfig) -> f64 {
+    let trace = profiles::by_name(name)
+        .expect("profile exists")
+        .generate_scaled(seed, OPS);
+    let base = simulate(&trace, &SimConfig::no_ls()).seeks;
+    Saf::from_stats(&simulate(&trace, config).seeks, &base).total
+}
+
+#[test]
+fn w91_is_log_sensitive_for_every_seed() {
+    for seed in SEEDS {
+        let ls = saf("w91", seed, &SimConfig::log_structured());
+        assert!(ls > 1.5, "seed {seed}: w91 LS SAF {ls:.2}");
+        let cached = saf("w91", seed, &SimConfig::ls_cache());
+        assert!(
+            cached < ls / 2.0,
+            "seed {seed}: cache {cached:.2} vs LS {ls:.2}"
+        );
+    }
+}
+
+#[test]
+fn write_intensive_stays_log_friendly_for_every_seed() {
+    for seed in SEEDS {
+        for name in ["mds_0", "w36", "rsrch_0"] {
+            let ls = saf(name, seed, &SimConfig::log_structured());
+            assert!(ls < 0.6, "seed {seed}: {name} LS SAF {ls:.2}");
+        }
+    }
+}
+
+#[test]
+fn defrag_hurts_w20_for_every_seed() {
+    for seed in SEEDS {
+        let ls = saf("w20", seed, &SimConfig::log_structured());
+        let defrag = saf("w20", seed, &SimConfig::ls_defrag());
+        assert!(
+            defrag > ls,
+            "seed {seed}: defrag {defrag:.2} vs LS {ls:.2}"
+        );
+    }
+}
+
+#[test]
+fn prefetch_helps_w84_for_every_seed() {
+    for seed in SEEDS {
+        let ls = saf("w84", seed, &SimConfig::log_structured());
+        let prefetch = saf("w84", seed, &SimConfig::ls_prefetch());
+        assert!(
+            prefetch < ls,
+            "seed {seed}: prefetch {prefetch:.2} vs LS {ls:.2}"
+        );
+    }
+}
+
+#[test]
+fn cache_never_hurts_for_every_seed() {
+    for seed in SEEDS {
+        for name in ["hm_1", "w95", "usr_0"] {
+            let ls = saf(name, seed, &SimConfig::log_structured());
+            let cached = saf(name, seed, &SimConfig::ls_cache());
+            assert!(
+                cached <= ls + 1e-9,
+                "seed {seed}: {name} cache {cached:.2} vs LS {ls:.2}"
+            );
+        }
+    }
+}
