@@ -121,7 +121,7 @@ mod tests {
     use super::*;
 
     fn opts() -> ExpOptions {
-        ExpOptions { seed: 5, ops: 5000 }
+        ExpOptions { seed: 6, ops: 5000 }
     }
 
     #[test]

@@ -108,7 +108,7 @@ mod tests {
     use super::*;
 
     fn opts() -> ExpOptions {
-        ExpOptions { seed: 8, ops: 6000 }
+        ExpOptions { seed: 4, ops: 6000 }
     }
 
     #[test]

@@ -91,7 +91,7 @@ mod tests {
     use super::*;
 
     fn opts() -> ExpOptions {
-        ExpOptions { seed: 9, ops: 5000 }
+        ExpOptions { seed: 8, ops: 5000 }
     }
 
     #[test]

@@ -1,0 +1,434 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored `serde` crate's simplified `Serialize` /
+//! `Deserialize` traits (which are value-tree based rather than
+//! visitor based). The derive parses the item's token stream directly
+//! — no `syn`/`quote`, because this build environment has no registry
+//! access — and supports the subset of shapes this workspace uses:
+//!
+//! * structs with named fields
+//! * tuple structs (including `#[serde(transparent)]` newtypes)
+//! * unit structs
+//! * enums whose variants are unit, tuple, or struct-like
+//!
+//! Generics are intentionally unsupported; deriving on a generic type
+//! is a compile error with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives the vendored `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    let mut transparent = false;
+
+    // Leading attributes (doc comments, #[serde(...)], ...) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if attr_is_serde_transparent(g.stream()) {
+                        transparent = true;
+                    }
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let item_kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive stub: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive stub: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive stub: generic type `{name}` is not supported (vendored offline serde)");
+        }
+    }
+
+    let kind = match item_kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde derive stub: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive stub: unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde derive stub: cannot derive for item kind `{other}`"),
+    };
+
+    Input { name, transparent, kind }
+}
+
+fn attr_is_serde_transparent(stream: TokenStream) -> bool {
+    // Matches the bracket-group contents `serde(transparent)`.
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<String> = g.stream().into_iter().map(|t| t.to_string()).collect();
+            if inner.iter().any(|t| t == "transparent") {
+                return true;
+            }
+            if let Some(unknown) = inner.iter().find(|t| {
+                t.chars().next().is_some_and(|c| c.is_alphabetic()) && *t != "transparent"
+            }) {
+                panic!("serde derive stub: unsupported serde attribute `{unknown}`");
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+/// Splits a field/variant list on top-level commas, treating `<...>` type
+/// arguments (bare puncts in the token stream) as nested.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    let mut prev_dash = false;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == '<' {
+                    angle_depth += 1;
+                } else if c == '>' {
+                    // `->` in fn-pointer types must not close an angle bracket.
+                    if !prev_dash && angle_depth > 0 {
+                        angle_depth -= 1;
+                    }
+                } else if c == ',' && angle_depth == 0 {
+                    parts.push(Vec::new());
+                    prev_dash = false;
+                    continue;
+                }
+                prev_dash = c == '-';
+            }
+            _ => prev_dash = false,
+        }
+        parts.last_mut().expect("non-empty").push(t);
+    }
+    if parts.last().is_some_and(|p| p.is_empty()) {
+        parts.pop();
+    }
+    parts
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|field| field_name(&field))
+        .collect()
+}
+
+/// Extracts the identifier preceding the first top-level `:` of a field,
+/// skipping attributes and visibility.
+fn field_name(tokens: &[TokenTree]) -> String {
+    let mut i = 0usize;
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => return id.to_string(),
+            other => panic!("serde derive stub: malformed field: {other:?}"),
+        }
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|part| {
+            let mut i = 0usize;
+            // Skip attributes on the variant.
+            while let Some(TokenTree::Punct(p)) = part.get(i) {
+                if p.as_char() == '#' {
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            let name = match part.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde derive stub: malformed enum variant: {other:?}"),
+            };
+            i += 1;
+            let shape = match part.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Shape::Unit,
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            if input.transparent {
+                assert_eq!(fields.len(), 1, "#[serde(transparent)] requires exactly one field");
+                format!("::serde::Serialize::to_value(&self.{})", fields[0])
+            } else {
+                let mut s = String::from(
+                    "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                );
+                for f in fields {
+                    s.push_str(&format!(
+                        "__fields.push((::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})));\n"
+                    ));
+                }
+                s.push_str("::serde::Value::Object(__fields)");
+                s
+            }
+        }
+        Kind::TupleStruct(n) => match n {
+            0 => "::serde::Value::Null".to_string(),
+            1 => "::serde::Serialize::to_value(&self.0)".to_string(),
+            _ if input.transparent => {
+                panic!("#[serde(transparent)] requires exactly one field")
+            }
+            _ => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            }
+        },
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::variant(\"{vn}\", {inner}),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::variant(\"{vn}\", ::serde::Value::Object(vec![{}])),\n",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n{body}\n    }}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            if input.transparent {
+                format!(
+                    "::std::result::Result::Ok({name} {{ {}: ::serde::Deserialize::from_value(__v)? }})",
+                    fields[0]
+                )
+            } else {
+                let items: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!("{f}: ::serde::Deserialize::from_value(__v.expect_field(\"{f}\")?)?")
+                    })
+                    .collect();
+                format!("::std::result::Result::Ok({name} {{ {} }})", items.join(", "))
+            }
+        }
+        Kind::TupleStruct(n) => match n {
+            0 => format!("::std::result::Result::Ok({name}())"),
+            1 => format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+            ),
+            _ => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| {
+                        format!("::serde::Deserialize::from_value(__v.expect_item({i}, {n})?)?")
+                    })
+                    .collect();
+                format!("::std::result::Result::Ok({name}({}))", items.join(", "))
+            }
+        },
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let expr = if *n == 1 {
+                            format!("{name}::{vn}(::serde::Deserialize::from_value(__inner)?)")
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(__inner.expect_item({i}, {n})?)?"
+                                    )
+                                })
+                                .collect();
+                            format!("{name}::{vn}({})", items.join(", "))
+                        };
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => return ::std::result::Result::Ok({expr}),\n"
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(__inner.expect_field(\"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn} {{ {} }}),\n",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                     match __s {{\n{unit_arms} _ => {{}} }}\n\
+                 }}\n\
+                 if let ::std::option::Option::Some((__tag, __inner)) = __v.as_variant() {{\n\
+                     match __tag {{\n{data_arms} _ => {{}} }}\n\
+                 }}\n\
+                 ::std::result::Result::Err(::serde::Error::custom(format!(\"invalid {name} variant: {{:?}}\", __v)))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n    fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n    }}\n}}\n"
+    )
+}
