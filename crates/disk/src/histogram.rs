@@ -26,6 +26,12 @@ impl Cdf {
         Cdf { sorted: samples }
     }
 
+    /// Builds a CDF from borrowed samples, leaving the source in place
+    /// (one copy, made here, instead of a clone at every call site).
+    pub fn from_slice(samples: &[i64]) -> Self {
+        Self::from_samples(samples.to_vec())
+    }
+
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.sorted.len()

@@ -6,7 +6,7 @@
 //! CloudPhysics CSV formats.
 //!
 //! ```text
-//! smrseek <command> [--ops N] [--seed S] [--json FILE]
+//! smrseek <command> [--ops N] [--seed S] [--threads N] [--json FILE]
 //!
 //! commands:
 //!   table1 | fig2 | fig3 | fig4 | fig5 | fig7 | fig8 | fig10 | fig11
@@ -34,13 +34,53 @@ use smrseek_sim::experiments::{
     ablation, analyze, classify, cleaning, fig10, fig11, fig2, fig3, fig4, fig5, fig7, fig8,
     fragmentation, host_cache, reorder, table1, time_amp, zones, ExpOptions,
 };
+use smrseek_sim::runner::{self, parallel_map};
 use smrseek_sim::{simulate, Saf, SimConfig, TextTable};
 use smrseek_trace::parse::{parse_reader, BlktraceParser, CpParser, MsrParser};
 use smrseek_trace::writer::write_cp_csv;
 use smrseek_trace::{characterize, TraceRecord};
+use std::fmt;
 use std::fs::File;
 use std::io::{BufRead, BufReader, Write};
+use std::num::NonZeroUsize;
 use std::process::ExitCode;
+use std::time::Instant;
+
+/// A CLI failure, classified so the exit code can tell misuse (2), bad
+/// trace data (65, `EX_DATAERR`) and I/O failure (74, `EX_IOERR`) apart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CliError {
+    /// Bad command line: unknown command/flag, missing operand.
+    Usage(String),
+    /// The environment failed us: open/create/read/write errors.
+    Io(String),
+    /// The input was readable but malformed: trace or format errors.
+    Parse(String),
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> Self {
+        CliError::Usage(msg.into())
+    }
+
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Parse(_) => 65,
+            CliError::Io(_) => 74,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io(msg) => write!(f, "error: {msg}"),
+            CliError::Parse(msg) => write!(f, "error: {msg}"),
+        }
+    }
+}
 
 struct Args {
     command: String,
@@ -49,6 +89,7 @@ struct Args {
     json: Option<String>,
     out: Option<String>,
     format: TraceFormat,
+    threads: NonZeroUsize,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -61,15 +102,15 @@ enum TraceFormat {
 
 fn usage() -> String {
     "usage: smrseek <table1|fig2|...|fig11|ablate|timeamp|hostcache|clean|all|list> \
-     [--ops N] [--seed S] [--json FILE]\n       \
+     [--ops N] [--seed S] [--threads N] [--json FILE]\n       \
      smrseek <characterize|simulate> <trace> [--format msr|cp|blktrace] [--json FILE]\n       \
      smrseek gen <profile> [--ops N] [--seed S] [--out FILE]"
         .to_owned()
 }
 
-fn parse_args(argv: &[String]) -> Result<Args, String> {
+fn parse_args(argv: &[String]) -> Result<Args, CliError> {
     let mut it = argv.iter();
-    let command = it.next().ok_or_else(usage)?.clone();
+    let command = it.next().ok_or_else(|| CliError::usage(usage()))?.clone();
     let mut args = Args {
         command,
         file: None,
@@ -77,69 +118,96 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         json: None,
         out: None,
         format: TraceFormat::Auto,
+        threads: runner::default_threads(),
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--ops" => {
                 args.opts.ops = it
                     .next()
-                    .ok_or("--ops needs a value")?
+                    .ok_or_else(|| CliError::usage("--ops needs a value"))?
                     .parse()
-                    .map_err(|_| "--ops must be an integer")?;
+                    .map_err(|_| CliError::usage("--ops must be an integer"))?;
             }
             "--seed" => {
                 args.opts.seed = it
                     .next()
-                    .ok_or("--seed needs a value")?
+                    .ok_or_else(|| CliError::usage("--seed needs a value"))?
                     .parse()
-                    .map_err(|_| "--seed must be an integer")?;
+                    .map_err(|_| CliError::usage("--seed must be an integer"))?;
+            }
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .ok_or_else(|| CliError::usage("--threads needs a value"))?
+                    .parse()
+                    .map_err(|_| CliError::usage("--threads must be a positive integer"))?;
             }
             "--json" => {
-                args.json = Some(it.next().ok_or("--json needs a path")?.clone());
+                args.json = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::usage("--json needs a path"))?
+                        .clone(),
+                );
             }
             "--out" => {
-                args.out = Some(it.next().ok_or("--out needs a path")?.clone());
+                args.out = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::usage("--out needs a path"))?
+                        .clone(),
+                );
             }
             "--format" => {
-                args.format = match it.next().ok_or("--format needs msr|cp|blktrace")?.as_str() {
+                args.format = match it
+                    .next()
+                    .ok_or_else(|| CliError::usage("--format needs msr|cp|blktrace"))?
+                    .as_str()
+                {
                     "msr" => TraceFormat::Msr,
                     "cp" => TraceFormat::Cp,
                     "blktrace" => TraceFormat::Blktrace,
-                    other => return Err(format!("unknown format {other:?}")),
+                    other => return Err(CliError::usage(format!("unknown format {other:?}"))),
                 };
             }
             other if args.file.is_none() && !other.starts_with("--") => {
                 args.file = Some(other.to_owned());
             }
-            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+            other => {
+                return Err(CliError::usage(format!(
+                    "unknown argument {other:?}\n{}",
+                    usage()
+                )))
+            }
         }
     }
     Ok(args)
 }
 
-fn load_trace(path: &str, format: TraceFormat) -> Result<Vec<TraceRecord>, String> {
+fn load_trace(path: &str, format: TraceFormat) -> Result<Vec<TraceRecord>, CliError> {
     let format = match format {
         TraceFormat::Auto => sniff_format(path)?,
         other => other,
     };
-    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let file = File::open(path).map_err(|e| CliError::Io(format!("cannot open {path}: {e}")))?;
     let reader = BufReader::new(file);
-    match format {
-        TraceFormat::Msr => parse_reader(reader, MsrParser::new()).map_err(|e| e.to_string()),
-        TraceFormat::Cp => parse_reader(reader, CpParser::new()).map_err(|e| e.to_string()),
-        TraceFormat::Blktrace => {
-            parse_reader(reader, BlktraceParser::new()).map_err(|e| e.to_string())
-        }
+    let parsed = match format {
+        TraceFormat::Msr => parse_reader(reader, MsrParser::new()),
+        TraceFormat::Cp => parse_reader(reader, CpParser::new()),
+        TraceFormat::Blktrace => parse_reader(reader, BlktraceParser::new()),
         TraceFormat::Auto => unreachable!("resolved above"),
-    }
+    };
+    parsed.map_err(|e| match e {
+        smrseek_trace::Error::Io(e) => CliError::Io(format!("{path}: {e}")),
+        other => CliError::Parse(format!("{path}: {other}")),
+    })
 }
 
 /// MSR lines have 7 comma-separated fields; CloudPhysics lines have 4;
 /// blkparse lines are whitespace-separated with a `+` before the count.
-fn sniff_format(path: &str) -> Result<TraceFormat, String> {
-    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+fn sniff_format(path: &str) -> Result<TraceFormat, CliError> {
+    let file = File::open(path).map_err(|e| CliError::Io(format!("cannot open {path}: {e}")))?;
     for line in BufReader::new(file).lines() {
-        let line = line.map_err(|e| e.to_string())?;
+        let line = line.map_err(|e| CliError::Io(format!("{path}: {e}")))?;
         let t = line.trim();
         if t.is_empty() || t.starts_with('#') || t.starts_with("timestamp_us") {
             continue;
@@ -153,29 +221,35 @@ fn sniff_format(path: &str) -> Result<TraceFormat, String> {
             TraceFormat::Cp
         });
     }
-    Err(format!("{path}: no data lines to sniff the format from"))
+    Err(CliError::Parse(format!(
+        "{path}: no data lines to sniff the format from"
+    )))
 }
 
-fn maybe_write_json<T: serde::Serialize>(json: &Option<String>, value: &T) -> Result<(), String> {
+fn maybe_write_json<T: serde::Serialize>(json: &Option<String>, value: &T) -> Result<(), CliError> {
     if let Some(path) = json {
-        let text = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
-        let mut f = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
-        f.write_all(text.as_bytes()).map_err(|e| e.to_string())?;
+        let text = serde_json::to_string_pretty(value)
+            .map_err(|e| CliError::Parse(e.to_string()))?;
+        let mut f =
+            File::create(path).map_err(|e| CliError::Io(format!("cannot create {path}: {e}")))?;
+        f.write_all(text.as_bytes())
+            .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
         eprintln!("wrote {path}");
     }
     Ok(())
 }
 
-fn run_experiment(args: &Args) -> Result<String, String> {
+fn run_experiment(args: &Args) -> Result<String, CliError> {
     let opts = &args.opts;
     Ok(match args.command.as_str() {
         "table1" => {
-            let rows = table1::run(opts);
+            let rows = table1::run_with_threads(opts, args.threads);
             maybe_write_json(&args.json, &rows)?;
             table1::render(&rows)
         }
         "fig2" => {
-            let rows = fig2::run(opts);
+            let (rows, stats) = fig2::run_with_threads(opts, args.threads);
+            eprintln!("{}", stats.summary("fig2"));
             maybe_write_json(&args.json, &rows)?;
             fig2::render(&rows)
         }
@@ -215,7 +289,8 @@ fn run_experiment(args: &Args) -> Result<String, String> {
             fig11::render(&rows)
         }
         "ablate" => {
-            let sweeps = ablation::run(opts);
+            let (sweeps, stats) = ablation::run_with_threads(opts, args.threads);
+            eprintln!("{}", stats.summary("ablate"));
             maybe_write_json(&args.json, &sweeps)?;
             ablation::render(&sweeps)
         }
@@ -265,38 +340,109 @@ fn run_experiment(args: &Args) -> Result<String, String> {
             reorder::render(&rows)
         }
         "all" => {
+            // Every section becomes one cell of work for `parallel_map`:
+            // output text and JSON are assembled in this fixed order, so
+            // stdout and `--json` are byte-identical for any --threads.
+            use serde::{Serialize, Value};
+            use std::time::Duration;
+            type Section = (&'static str, Box<dyn Fn() -> (String, Value) + Sync>);
+            let o = *opts;
+            let sections: Vec<Section> = vec![
+                ("table1", Box::new(move || {
+                    let r = table1::run(&o);
+                    (format!("{}\n", table1::render(&r)), r.to_value())
+                })),
+                ("fig2", Box::new(move || {
+                    let r = fig2::run(&o);
+                    (fig2::render(&r), r.to_value())
+                })),
+                ("fig3", Box::new(move || {
+                    let r = fig3::run(&o);
+                    (format!("{}\n", fig3::render(&r)), r.to_value())
+                })),
+                ("fig4", Box::new(move || {
+                    let r = fig4::run(&o);
+                    (format!("{}\n", fig4::render(&r)), r.to_value())
+                })),
+                ("fig5", Box::new(move || {
+                    let r = fig5::run(&o);
+                    (format!("{}\n", fig5::render(&r)), r.to_value())
+                })),
+                ("fig7", Box::new(move || {
+                    let r = fig7::run(&o);
+                    (format!("{}\n", fig7::render(&r)), r.to_value())
+                })),
+                ("fig8", Box::new(move || {
+                    let r = fig8::run(&o);
+                    (format!("{}\n", fig8::render(&r)), r.to_value())
+                })),
+                ("fig10", Box::new(move || {
+                    let r = fig10::run(&o);
+                    (format!("{}\n", fig10::render(&r)), r.to_value())
+                })),
+                ("fig11", Box::new(move || {
+                    let r = fig11::run(&o);
+                    (fig11::render(&r), r.to_value())
+                })),
+                ("classify", Box::new(move || {
+                    let r = classify::run(&o);
+                    (format!("{}\n", classify::render(&r)), r.to_value())
+                })),
+                ("analyze", Box::new(move || {
+                    let r = analyze::run(&o);
+                    (format!("{}\n", analyze::render(&r)), r.to_value())
+                })),
+                ("frag", Box::new(move || {
+                    let r = fragmentation::run(&o);
+                    (format!("{}\n", fragmentation::render(&r)), r.to_value())
+                })),
+                ("ablate", Box::new(move || {
+                    let r = ablation::run(&o);
+                    (ablation::render(&r), r.to_value())
+                })),
+                ("timeamp", Box::new(move || {
+                    let r = time_amp::run(&o);
+                    (format!("{}\n", time_amp::render(&r)), r.to_value())
+                })),
+                ("hostcache", Box::new(move || {
+                    let r = host_cache::run(&o);
+                    (host_cache::render(&r), r.to_value())
+                })),
+                ("clean", Box::new(move || {
+                    let r = cleaning::run(&o);
+                    (format!("{}\n", cleaning::render(&r)), r.to_value())
+                })),
+                ("reorder", Box::new(move || {
+                    let r = reorder::run(&o);
+                    (format!("{}\n", reorder::render(&r)), r.to_value())
+                })),
+                ("zones", Box::new(move || {
+                    let r = zones::run(&o);
+                    (zones::render(&r), r.to_value())
+                })),
+            ];
+            let results: Vec<(String, Value, Duration)> =
+                parallel_map(&sections, args.threads, |(_, job)| {
+                    let t = Instant::now();
+                    let (text, value) = job();
+                    (text, value, t.elapsed())
+                });
             let mut out = String::new();
-            out.push_str(&table1::render(&table1::run(opts)));
-            out.push('\n');
-            out.push_str(&fig2::render(&fig2::run(opts)));
-            out.push_str(&fig3::render(&fig3::run(opts)));
-            out.push('\n');
-            out.push_str(&fig4::render(&fig4::run(opts)));
-            out.push('\n');
-            out.push_str(&fig5::render(&fig5::run(opts)));
-            out.push('\n');
-            out.push_str(&fig7::render(&fig7::run(opts)));
-            out.push('\n');
-            out.push_str(&fig8::render(&fig8::run(opts)));
-            out.push('\n');
-            out.push_str(&fig10::render(&fig10::run(opts)));
-            out.push('\n');
-            out.push_str(&fig11::render(&fig11::run(opts)));
-            out.push_str(&classify::render(&classify::run(opts)));
-            out.push('\n');
-            out.push_str(&analyze::render(&analyze::run(opts)));
-            out.push('\n');
-            out.push_str(&fragmentation::render(&fragmentation::run(opts)));
-            out.push('\n');
-            out.push_str(&ablation::render(&ablation::run(opts)));
-            out.push_str(&time_amp::render(&time_amp::run(opts)));
-            out.push('\n');
-            out.push_str(&host_cache::render(&host_cache::run(opts)));
-            out.push_str(&cleaning::render(&cleaning::run(opts)));
-            out.push('\n');
-            out.push_str(&reorder::render(&reorder::run(opts)));
-            out.push('\n');
-            out.push_str(&zones::render(&zones::run(opts)));
+            let mut doc = Vec::with_capacity(results.len());
+            let mut busy = Duration::ZERO;
+            for ((name, _), (text, value, wall)) in sections.iter().zip(results) {
+                eprintln!("all: {name} {:.2}s", wall.as_secs_f64());
+                busy += wall;
+                out.push_str(&text);
+                doc.push(((*name).to_owned(), value));
+            }
+            eprintln!(
+                "all: {} experiments, {:.2}s of sim time on {} thread(s)",
+                doc.len(),
+                busy.as_secs_f64(),
+                args.threads
+            );
+            maybe_write_json(&args.json, &Value::Object(doc))?;
             out
         }
         "plotdata" => {
@@ -304,7 +450,8 @@ fn run_experiment(args: &Args) -> Result<String, String> {
                 .out
                 .clone()
                 .unwrap_or_else(|| "plotdata".to_owned());
-            let written = smrseek_sim::plotdata::export_all(opts, std::path::Path::new(&dir))?;
+            let written = smrseek_sim::plotdata::export_all(opts, std::path::Path::new(&dir))
+                .map_err(CliError::Io)?;
             let mut out = format!("wrote {} CSV files to {dir}/:\n", written.len());
             for p in written {
                 out.push_str(&format!("  {}\n", p.display()));
@@ -325,26 +472,35 @@ fn run_experiment(args: &Args) -> Result<String, String> {
             format!("Table-I workload profiles\n{table}")
         }
         "gen" => {
-            let name = args.file.as_ref().ok_or("gen needs a profile name")?;
-            let profile = smrseek_workloads::profiles::by_name(name)
-                .ok_or_else(|| format!("unknown profile {name:?} (try `smrseek list`)"))?;
+            let name = args
+                .file
+                .as_ref()
+                .ok_or_else(|| CliError::usage("gen needs a profile name"))?;
+            let profile = smrseek_workloads::profiles::by_name(name).ok_or_else(|| {
+                CliError::usage(format!("unknown profile {name:?} (try `smrseek list`)"))
+            })?;
             let trace = profile.generate_scaled(opts.seed, opts.ops);
             match &args.out {
                 Some(path) => {
                     let mut f = File::create(path)
-                        .map_err(|e| format!("cannot create {path}: {e}"))?;
-                    write_cp_csv(&mut f, &trace).map_err(|e| e.to_string())?;
+                        .map_err(|e| CliError::Io(format!("cannot create {path}: {e}")))?;
+                    write_cp_csv(&mut f, &trace)
+                        .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
                     format!("wrote {} records to {path}\n", trace.len())
                 }
                 None => {
                     let mut buf = Vec::new();
-                    write_cp_csv(&mut buf, &trace).map_err(|e| e.to_string())?;
+                    write_cp_csv(&mut buf, &trace)
+                        .map_err(|e| CliError::Io(e.to_string()))?;
                     String::from_utf8(buf).expect("CSV is UTF-8")
                 }
             }
         }
         "characterize" => {
-            let path = args.file.as_ref().ok_or("characterize needs a trace file")?;
+            let path = args
+                .file
+                .as_ref()
+                .ok_or_else(|| CliError::usage("characterize needs a trace file"))?;
             let trace = load_trace(path, args.format)?;
             let stats = characterize(&trace);
             let analysis = smrseek_trace::summarize(&trace);
@@ -363,7 +519,10 @@ fn run_experiment(args: &Args) -> Result<String, String> {
             )
         }
         "simulate" => {
-            let path = args.file.as_ref().ok_or("simulate needs a trace file")?;
+            let path = args
+                .file
+                .as_ref()
+                .ok_or_else(|| CliError::usage("simulate needs a trace file"))?;
             let trace = load_trace(path, args.format)?;
             let base = simulate(&trace, &SimConfig::no_ls()).seeks;
             let mut table = TextTable::new(vec!["layer", "read seeks", "write seeks", "SAF"]);
@@ -388,7 +547,12 @@ fn run_experiment(args: &Args) -> Result<String, String> {
             maybe_write_json(&args.json, &safs)?;
             format!("{path}: {} ops\n{table}", trace.len())
         }
-        other => return Err(format!("unknown command {other:?}\n{}", usage())),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown command {other:?}\n{}",
+                usage()
+            )))
+        }
     })
 }
 
@@ -396,19 +560,26 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
         Ok(args) => args,
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::from(2);
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::from(err.exit_code());
         }
     };
+    let started = Instant::now();
     match run_experiment(&args) {
         Ok(output) => {
             print!("{output}");
+            eprintln!(
+                "{}: done in {:.2}s ({} thread(s))",
+                args.command,
+                started.elapsed().as_secs_f64(),
+                args.threads
+            );
             ExitCode::SUCCESS
         }
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
+        Err(err) => {
+            eprintln!("{err}");
+            ExitCode::from(err.exit_code())
         }
     }
 }

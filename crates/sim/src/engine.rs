@@ -6,7 +6,7 @@ use smrseek_stl::{
     CacheConfig, DefragConfig, FragmentAccessTracker, LogStructured, LsConfig, LsStats, NoLs,
     PrefetchConfig, TranslationLayer,
 };
-use smrseek_trace::TraceRecord;
+use smrseek_trace::{stream, TraceRecord};
 
 /// Which translation layer to simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -46,6 +46,13 @@ pub struct SimConfig {
     /// splits; extension) instead of the paper's continuous infinite
     /// frontier. Ignored for the NoLS baseline.
     pub zone_sectors: Option<u64>,
+    /// Logical-space bound for streaming runs: one past the highest sector
+    /// the trace touches. Log-structured layers place their write frontier
+    /// at the first 1 MiB boundary at or above this (§III). Required by
+    /// [`simulate_stream`] for LS layers — an iterator cannot be scanned
+    /// for its maximum LBA up front; [`simulate`] derives it from the slice
+    /// when unset. Ignored for the NoLS baseline.
+    pub frontier_hint: Option<u64>,
 }
 
 impl SimConfig {
@@ -58,6 +65,7 @@ impl SimConfig {
             track_fragments: false,
             host_cache_bytes: None,
             zone_sectors: None,
+            frontier_hint: None,
         }
     }
 
@@ -74,6 +82,7 @@ impl SimConfig {
             track_fragments: false,
             host_cache_bytes: None,
             zone_sectors: None,
+            frontier_hint: None,
         }
     }
 
@@ -109,6 +118,7 @@ impl SimConfig {
             track_fragments: false,
             host_cache_bytes: None,
             zone_sectors: None,
+            frontier_hint: None,
         }
     }
 
@@ -141,6 +151,14 @@ impl SimConfig {
         self.zone_sectors = Some(sectors);
         self
     }
+
+    /// Declares the logical-space bound (`top` = one past the highest
+    /// sector the trace touches), letting [`simulate_stream`] place the
+    /// write frontier without scanning the trace.
+    pub fn with_frontier_hint(mut self, top: u64) -> Self {
+        self.frontier_hint = Some(top);
+        self
+    }
 }
 
 /// The result of one simulation run.
@@ -164,20 +182,17 @@ pub struct RunReport {
     pub ls_stats: Option<LsStats>,
     /// Fragment statistics (when tracked; log-structured layers only).
     pub fragments: Option<FragmentAccessTracker>,
+    /// Largest extent-map segment count observed during the run (0 for
+    /// NoLS, which keeps no map) — the run's dominant memory term.
+    pub peak_extent_segments: u64,
 }
 
 impl RunReport {
-    /// Builds a distance CDF from the recorded distances.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the run did not record distances.
-    pub fn distance_cdf(&self) -> Cdf {
-        let d = self
-            .distances
-            .as_ref()
-            .expect("run was not configured with record_distances");
-        Cdf::from_samples(d.clone())
+    /// Builds a distance CDF from the recorded distances, or `None` when
+    /// the run was not configured with
+    /// [`SimConfig::with_distances`](SimConfig::with_distances).
+    pub fn distance_cdf(&self) -> Option<Cdf> {
+        self.distances.as_deref().map(Cdf::from_slice)
     }
 }
 
@@ -205,12 +220,22 @@ impl LayerImpl {
     }
 }
 
-/// Replays `trace` through the configured layer, feeding every physical
-/// operation to the seek model.
+/// Replays a stream of records through the configured layer, feeding every
+/// physical operation to the seek model. This is the engine's core: it
+/// consumes the records one at a time and never materializes the trace, so
+/// memory stays bounded by the layer's own state (extent map, caches)
+/// regardless of trace length.
 ///
-/// For log-structured layers the write frontier is placed just above the
-/// trace's highest LBA (§III).
-pub fn simulate(trace: &[TraceRecord], config: &SimConfig) -> RunReport {
+/// # Panics
+///
+/// Log-structured layers place their write frontier just above the trace's
+/// highest LBA (§III), which a stream cannot reveal up front: running an
+/// LS layer requires [`SimConfig::with_frontier_hint`] and panics without
+/// it. (The [`simulate`] slice wrapper derives the hint automatically.)
+pub fn simulate_stream<I>(records: I, config: &SimConfig) -> RunReport
+where
+    I: IntoIterator<Item = TraceRecord>,
+{
     let mut layer = match config.layer {
         LayerChoice::NoLs => LayerImpl::NoLs(NoLs::new()),
         LayerChoice::Ls {
@@ -218,7 +243,12 @@ pub fn simulate(trace: &[TraceRecord], config: &SimConfig) -> RunReport {
             prefetch,
             cache,
         } => {
-            let mut ls_config = LsConfig::for_trace(trace);
+            let top = config.frontier_hint.expect(
+                "simulate_stream needs SimConfig::with_frontier_hint for log-structured \
+                 layers: a stream cannot be pre-scanned for its highest LBA (use simulate() \
+                 for in-memory slices, or pass the bound from a header or a first pass)",
+            );
+            let mut ls_config = LsConfig::above_sector(top);
             ls_config.defrag = defrag;
             ls_config.prefetch = prefetch;
             ls_config.cache = cache;
@@ -242,8 +272,12 @@ pub fn simulate(trace: &[TraceRecord], config: &SimConfig) -> RunReport {
         .map(smrseek_cache::RangeCache::with_capacity_bytes);
     let mut host_cache_hits = 0u64;
     let mut phys_sectors = 0u64;
+    let mut logical_ops = 0u64;
+    let mut peak_extent_segments = 0u64;
 
-    for (i, rec) in trace.iter().enumerate() {
+    for rec in records {
+        let i = logical_ops;
+        logical_ops += 1;
         if let Some(cache) = &mut host_cache {
             let key = smrseek_trace::Pba::new(rec.lba.sector());
             if rec.op.is_read() && cache.covers(key, u64::from(rec.sectors)) {
@@ -252,13 +286,16 @@ pub fn simulate(trace: &[TraceRecord], config: &SimConfig) -> RunReport {
             }
             cache.insert(key, u64::from(rec.sectors));
         }
-        for io in layer.apply(rec) {
+        for io in layer.apply(&rec) {
             phys_sectors += io.sectors;
             if let Some(seek) = counter.observe(&io) {
                 if let Some(series) = &mut series {
-                    series.record(i as u64, &seek);
+                    series.record(i, &seek);
                 }
             }
+        }
+        if let LayerImpl::Ls(ls) = &layer {
+            peak_extent_segments = peak_extent_segments.max(ls.map().len() as u64);
         }
     }
 
@@ -273,7 +310,7 @@ pub fn simulate(trace: &[TraceRecord], config: &SimConfig) -> RunReport {
 
     RunReport {
         layer_name,
-        logical_ops: trace.len() as u64,
+        logical_ops,
         phys_sectors,
         host_cache_hits,
         seeks: counter.stats(),
@@ -281,7 +318,23 @@ pub fn simulate(trace: &[TraceRecord], config: &SimConfig) -> RunReport {
         longseek_series: series,
         ls_stats,
         fragments,
+        peak_extent_segments,
     }
+}
+
+/// Replays an in-memory `trace` through the configured layer.
+///
+/// Thin wrapper over [`simulate_stream`]: for log-structured layers it
+/// scans the slice for its highest LBA first (exactly what
+/// `LsConfig::for_trace` did) so the frontier lands on the same sector and
+/// reports stay identical to the historical slice-based engine.
+pub fn simulate(trace: &[TraceRecord], config: &SimConfig) -> RunReport {
+    let config = match config.layer {
+        LayerChoice::Ls { .. } if config.frontier_hint.is_none() => config
+            .with_frontier_hint(stream::max_lba(trace).map_or(0, |l| l.sector() + 1)),
+        _ => *config,
+    };
+    simulate_stream(trace.iter().copied(), &config)
 }
 
 #[cfg(test)]
@@ -317,16 +370,68 @@ mod tests {
     #[test]
     fn distances_recorded_when_enabled() {
         let report = simulate(&toy_trace(), &SimConfig::no_ls().with_distances());
-        let cdf = report.distance_cdf();
+        let cdf = report.distance_cdf().expect("distances were recorded");
         assert_eq!(cdf.len() as u64, report.seeks.total());
+        assert!(
+            report.distances.is_some(),
+            "building the CDF must not consume the recorded samples"
+        );
         let report = simulate(&toy_trace(), &SimConfig::no_ls());
         assert!(report.distances.is_none());
     }
 
     #[test]
-    #[should_panic(expected = "record_distances")]
-    fn distance_cdf_requires_recording() {
-        simulate(&toy_trace(), &SimConfig::no_ls()).distance_cdf();
+    fn distance_cdf_is_none_without_recording() {
+        assert!(simulate(&toy_trace(), &SimConfig::no_ls())
+            .distance_cdf()
+            .is_none());
+    }
+
+    #[test]
+    fn stream_matches_slice_for_every_layer() {
+        let trace = toy_trace();
+        let top = smrseek_trace::stream::max_lba(&trace).map_or(0, |l| l.sector() + 1);
+        for config in [
+            SimConfig::no_ls(),
+            SimConfig::log_structured(),
+            SimConfig::ls_defrag(),
+            SimConfig::ls_prefetch(),
+            SimConfig::ls_cache(),
+        ] {
+            let slice = simulate(&trace, &config.with_distances());
+            let stream = simulate_stream(
+                trace.iter().copied(),
+                &config.with_distances().with_frontier_hint(top),
+            );
+            assert_eq!(slice.layer_name, stream.layer_name);
+            assert_eq!(slice.seeks, stream.seeks);
+            assert_eq!(slice.distances, stream.distances);
+            assert_eq!(slice.phys_sectors, stream.phys_sectors);
+            assert_eq!(slice.logical_ops, stream.logical_ops);
+            assert_eq!(slice.peak_extent_segments, stream.peak_extent_segments);
+        }
+    }
+
+    #[test]
+    fn stream_replays_generated_records_without_materializing() {
+        // A generator-backed iterator: no Vec of records ever exists.
+        let n: u64 = if cfg!(debug_assertions) { 200_000 } else { 10_000_000 };
+        let records = (0..n).map(|i| TraceRecord::write(i, Lba::new((i % 1024) * 8), 8));
+        let report = simulate_stream(records, &SimConfig::no_ls());
+        assert_eq!(report.logical_ops, n);
+        assert_eq!(report.peak_extent_segments, 0);
+    }
+
+    #[test]
+    fn streaming_ls_tracks_peak_extent_size() {
+        let report = simulate(&toy_trace(), &SimConfig::log_structured());
+        assert!(report.peak_extent_segments > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "frontier_hint")]
+    fn streaming_ls_requires_frontier_hint() {
+        simulate_stream(toy_trace().into_iter(), &SimConfig::log_structured());
     }
 
     #[test]

@@ -4,15 +4,21 @@
 //! defragmentation; an unspecified prefetch window). These sweeps
 //! characterize the sensitivity of each mechanism to its parameters, and
 //! evaluate mechanism stacking (which the paper leaves to future work).
+//!
+//! Every sweep is a list of `(param, SimConfig)` points replayed against
+//! the same workload; [`run_with_threads`] flattens all sweeps into one
+//! [`RunMatrix`] so the full ablation executes as a single parallel batch.
 
 use super::ExpOptions;
 use crate::engine::{simulate, SimConfig};
 use crate::report::TextTable;
+use crate::runner::{MatrixStats, RunCell, RunMatrix, TraceSource};
 use crate::saf::Saf;
 use serde::Serialize;
 use smrseek_stl::{CacheConfig, DefragConfig, DefragTiming, PrefetchConfig};
 use smrseek_trace::{KIB, MIB};
 use smrseek_workloads::profiles::{self, Profile};
+use std::num::NonZeroUsize;
 
 /// One point of a parameter sweep.
 #[derive(Debug, Clone, Serialize)]
@@ -36,18 +42,10 @@ pub struct Sweep {
     pub points: Vec<SweepPoint>,
 }
 
-fn sweep_base(profile: &Profile, opts: &ExpOptions) -> (Vec<smrseek_trace::TraceRecord>, Saf) {
-    let trace = profile.generate_scaled(opts.seed, opts.ops);
-    let base = simulate(&trace, &SimConfig::no_ls()).seeks;
-    let ls = Saf::from_stats(&simulate(&trace, &SimConfig::log_structured()).seeks, &base);
-    (trace, ls)
-}
-
-/// Sweeps the selective-cache capacity (4–256 MiB; the paper fixes 64 MB).
-pub fn cache_size(profile: &Profile, opts: &ExpOptions) -> Sweep {
-    let (trace, ls) = sweep_base(profile, opts);
-    let base = simulate(&trace, &SimConfig::no_ls()).seeks;
-    let points = [4u64, 16, 64, 128, 256]
+/// Sweep points for the selective-cache capacity (4–256 MiB; the paper
+/// fixes 64 MB).
+fn cache_points() -> Vec<(String, SimConfig)> {
+    [4u64, 16, 64, 128, 256]
         .iter()
         .map(|mib| {
             let config = SimConfig::ls_with(
@@ -57,25 +55,14 @@ pub fn cache_size(profile: &Profile, opts: &ExpOptions) -> Sweep {
                     capacity_bytes: mib * MIB,
                 }),
             );
-            SweepPoint {
-                param: format!("{mib} MiB"),
-                saf: Saf::from_stats(&simulate(&trace, &config).seeks, &base),
-            }
+            (format!("{mib} MiB"), config)
         })
-        .collect();
-    Sweep {
-        workload: profile.name.to_owned(),
-        mechanism: "selective-cache capacity".into(),
-        ls,
-        points,
-    }
+        .collect()
 }
 
-/// Sweeps the defragmentation gates: `N` (min fragments) and `k`
+/// Sweep points for the defragmentation gates: `N` (min fragments) and `k`
 /// (min accesses).
-pub fn defrag_thresholds(profile: &Profile, opts: &ExpOptions) -> Sweep {
-    let (trace, ls) = sweep_base(profile, opts);
-    let base = simulate(&trace, &SimConfig::no_ls()).seeks;
+fn defrag_threshold_points() -> Vec<(String, SimConfig)> {
     let params = [
         (2usize, 1u64),
         (4, 1),
@@ -84,7 +71,7 @@ pub fn defrag_thresholds(profile: &Profile, opts: &ExpOptions) -> Sweep {
         (2, 4),
         (4, 2),
     ];
-    let points = params
+    params
         .iter()
         .map(|&(n, k)| {
             let config = SimConfig::ls_with(
@@ -96,26 +83,15 @@ pub fn defrag_thresholds(profile: &Profile, opts: &ExpOptions) -> Sweep {
                 None,
                 None,
             );
-            SweepPoint {
-                param: format!("N={n} k={k}"),
-                saf: Saf::from_stats(&simulate(&trace, &config).seeks, &base),
-            }
+            (format!("N={n} k={k}"), config)
         })
-        .collect();
-    Sweep {
-        workload: profile.name.to_owned(),
-        mechanism: "defrag thresholds".into(),
-        ls,
-        points,
-    }
+        .collect()
 }
 
-/// Sweeps the look-ahead/look-behind window (the paper leaves it
+/// Sweep points for the look-ahead/look-behind window (the paper leaves it
 /// unspecified; our default is 256 KB each way).
-pub fn prefetch_window(profile: &Profile, opts: &ExpOptions) -> Sweep {
-    let (trace, ls) = sweep_base(profile, opts);
-    let base = simulate(&trace, &SimConfig::no_ls()).seeks;
-    let points = [32u64, 64, 128, 256, 512]
+fn prefetch_points() -> Vec<(String, SimConfig)> {
+    [32u64, 64, 128, 256, 512]
         .iter()
         .map(|kib| {
             let sectors = kib * KIB / 512;
@@ -128,34 +104,23 @@ pub fn prefetch_window(profile: &Profile, opts: &ExpOptions) -> Sweep {
                 }),
                 None,
             );
-            SweepPoint {
-                param: format!("{kib} KiB"),
-                saf: Saf::from_stats(&simulate(&trace, &config).seeks, &base),
-            }
+            (format!("{kib} KiB"), config)
         })
-        .collect();
-    Sweep {
-        workload: profile.name.to_owned(),
-        mechanism: "prefetch window".into(),
-        ls,
-        points,
-    }
+        .collect()
 }
 
-/// Sweeps defragmentation *timing*: immediate (Alg. 1 as printed) versus
-/// idle-batched rewrites at several idle-gap thresholds. Batching pays the
-/// frontier seek once per batch, so it should soften defrag's penalty on
-/// single-pass workloads.
-pub fn defrag_timing(profile: &Profile, opts: &ExpOptions) -> Sweep {
-    let (trace, ls) = sweep_base(profile, opts);
-    let base = simulate(&trace, &SimConfig::no_ls()).seeks;
+/// Sweep points for defragmentation *timing*: immediate (Alg. 1 as
+/// printed) versus idle-batched rewrites at several idle-gap thresholds.
+/// Batching pays the frontier seek once per batch, so it should soften
+/// defrag's penalty on single-pass workloads.
+fn defrag_timing_points() -> Vec<(String, SimConfig)> {
     let timings: [(&str, DefragTiming); 4] = [
         ("immediate", DefragTiming::Immediate),
         ("idle 1ms", DefragTiming::Idle { min_gap_us: 1_000 }),
         ("idle 10ms", DefragTiming::Idle { min_gap_us: 10_000 }),
         ("idle 100ms", DefragTiming::Idle { min_gap_us: 100_000 }),
     ];
-    let points = timings
+    timings
         .iter()
         .map(|&(name, timing)| {
             let config = SimConfig::ls_with(
@@ -166,25 +131,15 @@ pub fn defrag_timing(profile: &Profile, opts: &ExpOptions) -> Sweep {
                 None,
                 None,
             );
-            SweepPoint {
-                param: name.to_owned(),
-                saf: Saf::from_stats(&simulate(&trace, &config).seeks, &base),
-            }
+            (name.to_owned(), config)
         })
-        .collect();
-    Sweep {
-        workload: profile.name.to_owned(),
-        mechanism: "defrag timing".into(),
-        ls,
-        points,
-    }
+        .collect()
 }
 
-/// Evaluates mechanism stacking: each mechanism alone, pairs, and all
-/// three together (an extension beyond the paper's separate evaluation).
-pub fn stacking(profile: &Profile, opts: &ExpOptions) -> Sweep {
-    let (trace, ls) = sweep_base(profile, opts);
-    let base = simulate(&trace, &SimConfig::no_ls()).seeks;
+/// Sweep points for mechanism stacking: each mechanism alone, pairs, and
+/// all three together (an extension beyond the paper's separate
+/// evaluation).
+fn stacking_points() -> Vec<(String, SimConfig)> {
     let d = Some(DefragConfig::default());
     let p = Some(PrefetchConfig::default());
     let c = Some(CacheConfig::default());
@@ -197,34 +152,136 @@ pub fn stacking(profile: &Profile, opts: &ExpOptions) -> Sweep {
         ("prefetch+cache", SimConfig::ls_with(None, p, c)),
         ("all three", SimConfig::ls_with(d, p, c)),
     ];
-    let points = combos
+    combos
         .iter()
-        .map(|(name, config)| SweepPoint {
-            param: (*name).to_owned(),
+        .map(|(name, config)| ((*name).to_owned(), *config))
+        .collect()
+}
+
+/// Replays one sweep sequentially: NoLS and LS baselines, then every
+/// point, all against the same trace.
+fn run_sweep(
+    profile: &Profile,
+    opts: &ExpOptions,
+    mechanism: &str,
+    points: &[(String, SimConfig)],
+) -> Sweep {
+    let trace = profile.generate_scaled(opts.seed, opts.ops);
+    let base = simulate(&trace, &SimConfig::no_ls()).seeks;
+    let ls = Saf::from_stats(&simulate(&trace, &SimConfig::log_structured()).seeks, &base);
+    let points = points
+        .iter()
+        .map(|(param, config)| SweepPoint {
+            param: param.clone(),
             saf: Saf::from_stats(&simulate(&trace, config).seeks, &base),
         })
         .collect();
     Sweep {
         workload: profile.name.to_owned(),
-        mechanism: "mechanism stacking".into(),
+        mechanism: mechanism.to_owned(),
         ls,
         points,
     }
 }
 
-/// Runs every ablation on a representative log-sensitive workload (`w91`)
-/// plus the defrag-hostile `w20`.
-pub fn run(opts: &ExpOptions) -> Vec<Sweep> {
-    let w91 = profiles::by_name("w91").expect("w91 exists");
-    let w20 = profiles::by_name("w20").expect("w20 exists");
+/// Sweeps the selective-cache capacity (4–256 MiB; the paper fixes 64 MB).
+pub fn cache_size(profile: &Profile, opts: &ExpOptions) -> Sweep {
+    run_sweep(profile, opts, "selective-cache capacity", &cache_points())
+}
+
+/// Sweeps the defragmentation gates: `N` (min fragments) and `k`
+/// (min accesses).
+pub fn defrag_thresholds(profile: &Profile, opts: &ExpOptions) -> Sweep {
+    run_sweep(profile, opts, "defrag thresholds", &defrag_threshold_points())
+}
+
+/// Sweeps the look-ahead/look-behind window (the paper leaves it
+/// unspecified; our default is 256 KB each way).
+pub fn prefetch_window(profile: &Profile, opts: &ExpOptions) -> Sweep {
+    run_sweep(profile, opts, "prefetch window", &prefetch_points())
+}
+
+/// Sweeps defragmentation timing: immediate versus idle-batched rewrites.
+pub fn defrag_timing(profile: &Profile, opts: &ExpOptions) -> Sweep {
+    run_sweep(profile, opts, "defrag timing", &defrag_timing_points())
+}
+
+/// Evaluates mechanism stacking: each mechanism alone, pairs, and all
+/// three together.
+pub fn stacking(profile: &Profile, opts: &ExpOptions) -> Sweep {
+    run_sweep(profile, opts, "mechanism stacking", &stacking_points())
+}
+
+/// The full ablation plan: `(workload, mechanism, points)` per sweep, on a
+/// representative log-sensitive workload (`w91`) plus the defrag-hostile
+/// `w20`.
+fn sweep_specs() -> Vec<(&'static str, &'static str, Vec<(String, SimConfig)>)> {
     vec![
-        cache_size(&w91, opts),
-        defrag_thresholds(&w91, opts),
-        defrag_thresholds(&w20, opts),
-        defrag_timing(&w20, opts),
-        prefetch_window(&w91, opts),
-        stacking(&w91, opts),
+        ("w91", "selective-cache capacity", cache_points()),
+        ("w91", "defrag thresholds", defrag_threshold_points()),
+        ("w20", "defrag thresholds", defrag_threshold_points()),
+        ("w20", "defrag timing", defrag_timing_points()),
+        ("w91", "prefetch window", prefetch_points()),
+        ("w91", "mechanism stacking", stacking_points()),
     ]
+}
+
+/// Runs every ablation sweep.
+pub fn run(opts: &ExpOptions) -> Vec<Sweep> {
+    run_with_threads(opts, NonZeroUsize::MIN).0
+}
+
+/// Runs every ablation sweep as one flattened run matrix on up to
+/// `threads` workers. Sweeps are identical to [`run`]'s for any thread
+/// count.
+pub fn run_with_threads(
+    opts: &ExpOptions,
+    threads: NonZeroUsize,
+) -> (Vec<Sweep>, MatrixStats) {
+    let specs = sweep_specs();
+    let mut matrix = RunMatrix::new();
+    for (name, mechanism, points) in &specs {
+        let profile = profiles::by_name(name).expect("ablation workload exists");
+        let source = TraceSource::from_profile(&profile, opts);
+        matrix.push(
+            RunCell::new(source.clone(), SimConfig::no_ls()).with_label(format!("{name}/NoLS")),
+        );
+        matrix.push(
+            RunCell::new(source.clone(), SimConfig::log_structured())
+                .with_label(format!("{name}/LS")),
+        );
+        for (param, config) in points {
+            matrix.push(
+                RunCell::new(source.clone(), *config)
+                    .with_label(format!("{name}/{mechanism}/{param}")),
+            );
+        }
+    }
+    let outcomes = matrix.execute(threads);
+    let stats = MatrixStats::from_outcomes(&outcomes);
+    let mut sweeps = Vec::with_capacity(specs.len());
+    let mut cells = outcomes.iter();
+    for (name, mechanism, points) in specs {
+        let base = cells.next().expect("NoLS baseline cell").report.seeks;
+        let ls = Saf::from_stats(&cells.next().expect("LS baseline cell").report.seeks, &base);
+        let points = points
+            .into_iter()
+            .map(|(param, _)| SweepPoint {
+                param,
+                saf: Saf::from_stats(
+                    &cells.next().expect("sweep point cell").report.seeks,
+                    &base,
+                ),
+            })
+            .collect();
+        sweeps.push(Sweep {
+            workload: name.to_owned(),
+            mechanism: mechanism.to_owned(),
+            ls,
+            points,
+        });
+    }
+    (sweeps, stats)
 }
 
 /// Renders all sweeps.
@@ -303,6 +360,22 @@ mod tests {
             idle <= immediate + 1e-9,
             "idle {idle:.2} should not exceed immediate {immediate:.2}"
         );
+    }
+
+    #[test]
+    fn matrix_run_matches_sequential_sweeps() {
+        let o = ExpOptions { seed: 7, ops: 2000 };
+        let (parallel, stats) =
+            run_with_threads(&o, NonZeroUsize::new(4).expect("nonzero"));
+        assert_eq!(stats.cells.len(), parallel.iter().map(|s| s.points.len() + 2).sum());
+        let w91 = profiles::by_name("w91").unwrap();
+        let sequential = cache_size(&w91, &o);
+        assert_eq!(parallel[0].mechanism, sequential.mechanism);
+        assert_eq!(parallel[0].ls.total, sequential.ls.total);
+        for (a, b) in parallel[0].points.iter().zip(&sequential.points) {
+            assert_eq!(a.param, b.param);
+            assert_eq!(a.saf.total, b.saf.total);
+        }
     }
 
     #[test]

@@ -10,9 +10,11 @@
 use super::ExpOptions;
 use crate::engine::{simulate, SimConfig};
 use crate::report::TextTable;
+use crate::runner::{MatrixStats, RunMatrix, TraceSource};
 use serde::Serialize;
 use smrseek_disk::SeekStats;
 use smrseek_workloads::profiles::{self, Family, Profile};
+use std::num::NonZeroUsize;
 
 /// Seek counts of one workload under both translations.
 #[derive(Debug, Clone, Serialize)]
@@ -52,7 +54,38 @@ pub fn run_one(profile: &Profile, opts: &ExpOptions) -> Fig2Row {
 
 /// Simulates every Table-I workload (Fig 2a + 2b).
 pub fn run(opts: &ExpOptions) -> Vec<Fig2Row> {
-    profiles::all().iter().map(|p| run_one(p, opts)).collect()
+    run_with_threads(opts, NonZeroUsize::MIN).0
+}
+
+/// Simulates every Table-I workload through the parallel run matrix: two
+/// cells (NoLS, LS) per workload, executed on up to `threads` workers.
+/// Rows are identical to [`run`]'s for any thread count.
+pub fn run_with_threads(
+    opts: &ExpOptions,
+    threads: NonZeroUsize,
+) -> (Vec<Fig2Row>, MatrixStats) {
+    let all = profiles::all();
+    let sources: Vec<TraceSource> = all
+        .iter()
+        .map(|p| TraceSource::from_profile(p, opts))
+        .collect();
+    let matrix = RunMatrix::cross(
+        &sources,
+        &[SimConfig::no_ls(), SimConfig::log_structured()],
+    );
+    let outcomes = matrix.execute(threads);
+    let stats = MatrixStats::from_outcomes(&outcomes);
+    let rows = all
+        .iter()
+        .zip(outcomes.chunks_exact(2))
+        .map(|(profile, pair)| Fig2Row {
+            workload: profile.name.to_owned(),
+            family: profile.family,
+            nols: pair[0].report.seeks,
+            ls: pair[1].report.seeks,
+        })
+        .collect();
+    (rows, stats)
 }
 
 /// Renders the text analogue of Fig 2's stacked bars.
@@ -130,6 +163,21 @@ mod tests {
                 "{name}: net ratio {:.2} should be below 1",
                 row.net_ratio()
             );
+        }
+    }
+
+    #[test]
+    fn parallel_execution_matches_serial() {
+        let o = ExpOptions { seed: 5, ops: 1500 };
+        let serial = run(&o);
+        let (parallel, stats) =
+            run_with_threads(&o, NonZeroUsize::new(4).expect("nonzero"));
+        assert_eq!(serial.len(), parallel.len());
+        assert_eq!(stats.cells.len(), 2 * serial.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.nols, b.nols, "{}: NoLS seeks differ", a.workload);
+            assert_eq!(a.ls, b.ls, "{}: LS seeks differ", a.workload);
         }
     }
 

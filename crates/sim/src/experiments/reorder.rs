@@ -11,7 +11,7 @@ use super::ExpOptions;
 use crate::engine::{simulate, SimConfig};
 use crate::report::TextTable;
 use crate::saf::Saf;
-use crate::scheduler::reorder_trace;
+use crate::scheduler::{reorder, QueueConfig};
 use serde::Serialize;
 use smrseek_stl::{count_misordered_writes, MISORDER_WINDOW_BYTES};
 use smrseek_workloads::profiles::{self, Profile};
@@ -42,10 +42,11 @@ pub struct ReorderRow {
     pub ls_prefetch: Saf,
 }
 
-/// Runs the comparison for one workload (queue depth 32, 10 ms windows).
+/// Runs the comparison for one workload ([`QueueConfig::default`]:
+/// queue depth 32, 10 ms windows).
 pub fn run_one(profile: &Profile, opts: &ExpOptions) -> ReorderRow {
     let raw = profile.generate_scaled(opts.seed, opts.ops);
-    let reordered = reorder_trace(&raw, 32, 10_000);
+    let reordered = reorder(&raw, QueueConfig::default());
 
     let frac = |trace: &[smrseek_trace::TraceRecord]| {
         let (m, t) = count_misordered_writes(trace, MISORDER_WINDOW_BYTES);

@@ -7,9 +7,11 @@
 
 use super::ExpOptions;
 use crate::report::TextTable;
+use crate::runner::parallel_map;
 use serde::Serialize;
 use smrseek_trace::{characterize, TraceStats};
 use smrseek_workloads::profiles::{self, Profile, TableRow};
+use std::num::NonZeroUsize;
 
 /// One workload's paper-vs-synthetic characteristics.
 #[derive(Debug, Clone, Serialize)]
@@ -34,7 +36,14 @@ pub fn run_one(profile: &Profile, opts: &ExpOptions) -> Table1Row {
 
 /// Characterizes all 21 profiles.
 pub fn run(opts: &ExpOptions) -> Vec<Table1Row> {
-    profiles::all().iter().map(|p| run_one(p, opts)).collect()
+    run_with_threads(opts, NonZeroUsize::MIN)
+}
+
+/// Characterizes all 21 profiles on up to `threads` workers. Rows are
+/// identical to [`run`]'s for any thread count (characterization is pure;
+/// only wall time changes).
+pub fn run_with_threads(opts: &ExpOptions, threads: NonZeroUsize) -> Vec<Table1Row> {
+    parallel_map(&profiles::all(), threads, |p| run_one(p, opts))
 }
 
 /// Renders the comparison table.

@@ -45,11 +45,10 @@ impl TimeAmpRow {
 /// Total modeled service time of a run, in seconds: every seek costs its
 /// distance-dependent time, every transferred sector its transfer time.
 pub fn service_time_seconds(report: &RunReport, disk: &DiskProfile) -> f64 {
-    let distances = report
-        .distances
-        .as_ref()
+    let cdf = report
+        .distance_cdf()
         .expect("run must record distances for time weighting");
-    let seek_us: f64 = distances.iter().map(|&d| disk.seek_time_us(d)).sum();
+    let seek_us: f64 = cdf.samples().iter().map(|&d| disk.seek_time_us(d)).sum();
     let transfer_us = disk.transfer_us(report.phys_sectors);
     (seek_us + transfer_us) / 1e6
 }

@@ -25,9 +25,11 @@ pub mod engine;
 pub mod experiments;
 pub mod plotdata;
 pub mod report;
+pub mod runner;
 pub mod saf;
 pub mod scheduler;
 
-pub use engine::{simulate, LayerChoice, RunReport, SimConfig};
+pub use engine::{simulate, simulate_stream, LayerChoice, RunReport, SimConfig};
 pub use report::TextTable;
+pub use runner::{RunMatrix, RunMetrics, RunOutcome, TraceSource};
 pub use saf::Saf;

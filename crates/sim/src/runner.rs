@@ -1,0 +1,388 @@
+//! Parallel run-matrix executor.
+//!
+//! Every figure and table of the paper is a *matrix* of independent
+//! simulation runs — workloads × translation-layer configurations — and
+//! each cell is deterministic given its trace and [`SimConfig`]. This
+//! module enumerates those cells as a [`RunMatrix`] and executes them
+//! concurrently on [`std::thread::scope`] workers, collecting per-cell
+//! [`RunMetrics`] (wall time, replay rate, peak extent-map size) alongside
+//! each [`RunReport`].
+//!
+//! Determinism: results come back in cell order regardless of the thread
+//! count, and every cell regenerates its trace from a named, repeatable
+//! [`TraceSource`] — so reports (and any JSON derived from them) are
+//! byte-identical whether the matrix runs on one worker or sixteen. Only
+//! the timing side-channel ([`RunMetrics`]) varies between runs, which is
+//! why it lives next to, never inside, the serialized reports.
+
+#![deny(clippy::unwrap_used)]
+
+use crate::engine::{simulate, RunReport, SimConfig};
+use crate::experiments::ExpOptions;
+use smrseek_trace::TraceRecord;
+use smrseek_workloads::profiles::Profile;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A named, repeatable source of trace records.
+///
+/// Cells regenerate their trace on the worker that runs them (sharing one
+/// materialized trace across threads would serialize on it and pin the
+/// whole matrix's memory high-water mark at once); repeatability is what
+/// keeps the matrix deterministic under any scheduling.
+#[derive(Clone)]
+pub struct TraceSource {
+    name: String,
+    supply: Arc<dyn Fn() -> Arc<Vec<TraceRecord>> + Send + Sync>,
+}
+
+impl std::fmt::Debug for TraceSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSource").field("name", &self.name).finish()
+    }
+}
+
+impl TraceSource {
+    /// Wraps an arbitrary trace supplier. `supply` must be repeatable:
+    /// every call returns the same records in the same order.
+    pub fn new(
+        name: impl Into<String>,
+        supply: impl Fn() -> Arc<Vec<TraceRecord>> + Send + Sync + 'static,
+    ) -> Self {
+        TraceSource {
+            name: name.into(),
+            supply: Arc::new(supply),
+        }
+    }
+
+    /// A synthetic Table-I workload generated with the run's seed and
+    /// operation count.
+    pub fn from_profile(profile: &Profile, opts: &ExpOptions) -> Self {
+        let profile = profile.clone();
+        let (seed, ops) = (opts.seed, opts.ops);
+        TraceSource::new(profile.name, move || {
+            Arc::new(profile.generate_scaled(seed, ops))
+        })
+    }
+
+    /// An already-materialized trace (shared, never copied per cell).
+    pub fn from_records(name: impl Into<String>, records: Vec<TraceRecord>) -> Self {
+        let records = Arc::new(records);
+        TraceSource::new(name, move || Arc::clone(&records))
+    }
+
+    /// The source's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Produces the records.
+    pub fn records(&self) -> Arc<Vec<TraceRecord>> {
+        (self.supply)()
+    }
+}
+
+/// One cell of the matrix: a trace source replayed under one configuration.
+#[derive(Debug, Clone)]
+pub struct RunCell {
+    /// The trace to replay.
+    pub source: TraceSource,
+    /// The configuration to replay it under.
+    pub config: SimConfig,
+    /// Display label (defaults to the source name).
+    pub label: String,
+}
+
+impl RunCell {
+    /// A cell labeled after its source.
+    pub fn new(source: TraceSource, config: SimConfig) -> Self {
+        let label = source.name().to_owned();
+        RunCell {
+            source,
+            config,
+            label,
+        }
+    }
+
+    /// Overrides the display label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+/// Timing and footprint of one executed cell.
+///
+/// These are observations about the *execution*, not the simulation:
+/// they vary run to run and must never leak into serialized reports
+/// (which stay byte-deterministic across thread counts).
+#[derive(Debug, Clone, Copy)]
+pub struct RunMetrics {
+    /// Wall time of the replay (excluding trace generation).
+    pub wall: Duration,
+    /// Logical records replayed.
+    pub records: u64,
+    /// Largest extent-map segment count the run reached (0 for NoLS).
+    pub peak_extent_segments: u64,
+}
+
+impl RunMetrics {
+    /// Replay throughput in records per second.
+    pub fn records_per_sec(&self) -> f64 {
+        self.records as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// The result of one executed cell: the deterministic report plus the
+/// execution's metrics.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The cell's display label.
+    pub label: String,
+    /// The simulation report (deterministic).
+    pub report: RunReport,
+    /// Execution timing/footprint (non-deterministic side channel).
+    pub metrics: RunMetrics,
+}
+
+/// An ordered collection of (trace source × configuration) cells.
+#[derive(Debug, Clone, Default)]
+pub struct RunMatrix {
+    cells: Vec<RunCell>,
+}
+
+impl RunMatrix {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        RunMatrix::default()
+    }
+
+    /// Appends one cell.
+    pub fn push(&mut self, cell: RunCell) {
+        self.cells.push(cell);
+    }
+
+    /// The full cross product: every source replayed under every
+    /// configuration, in source-major order.
+    pub fn cross(sources: &[TraceSource], configs: &[SimConfig]) -> Self {
+        let mut matrix = RunMatrix::new();
+        for source in sources {
+            for config in configs {
+                matrix.push(RunCell::new(source.clone(), *config));
+            }
+        }
+        matrix
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the matrix has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The cells, in execution-result order.
+    pub fn cells(&self) -> &[RunCell] {
+        &self.cells
+    }
+
+    /// Executes every cell on up to `threads` scoped workers and returns
+    /// the outcomes *in cell order* — the thread count changes wall time,
+    /// never results.
+    pub fn execute(&self, threads: NonZeroUsize) -> Vec<RunOutcome> {
+        parallel_map(&self.cells, threads, |cell| {
+            let records = cell.source.records();
+            let start = Instant::now();
+            let report = simulate(&records, &cell.config);
+            let wall = start.elapsed();
+            let metrics = RunMetrics {
+                wall,
+                records: report.logical_ops,
+                peak_extent_segments: report.peak_extent_segments,
+            };
+            RunOutcome {
+                label: cell.label.clone(),
+                report,
+                metrics,
+            }
+        })
+    }
+}
+
+/// Applies `f` to every item on up to `threads` scoped workers, returning
+/// results in item order. Work is claimed from a shared index queue, so an
+/// expensive item never strands idle workers behind a static partition.
+pub fn parallel_map<T, R, F>(items: &[T], threads: NonZeroUsize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = threads.get().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every claimed index stored a result")
+        })
+        .collect()
+}
+
+/// The machine's available parallelism, falling back to one worker where
+/// it cannot be queried.
+pub fn default_threads() -> NonZeroUsize {
+    std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
+}
+
+/// Per-cell metrics retained after the reports have been consumed into
+/// figure rows, so the CLI can print a timing summary without holding the
+/// full outcomes.
+#[derive(Debug, Clone, Default)]
+pub struct MatrixStats {
+    /// `(label, metrics)` per executed cell, in cell order.
+    pub cells: Vec<(String, RunMetrics)>,
+}
+
+impl MatrixStats {
+    /// Captures the metrics of a slice of outcomes.
+    pub fn from_outcomes(outcomes: &[RunOutcome]) -> Self {
+        MatrixStats {
+            cells: outcomes
+                .iter()
+                .map(|o| (o.label.clone(), o.metrics))
+                .collect(),
+        }
+    }
+
+    /// Sum of per-cell replay wall times (≈ CPU time spent simulating).
+    pub fn total_wall(&self) -> Duration {
+        self.cells.iter().map(|(_, m)| m.wall).sum()
+    }
+
+    /// Total logical records replayed across all cells.
+    pub fn total_records(&self) -> u64 {
+        self.cells.iter().map(|(_, m)| m.records).sum()
+    }
+
+    /// Largest extent map any cell reached, in segments.
+    pub fn peak_extent_segments(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|(_, m)| m.peak_extent_segments)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// One-line summary for the CLI's stderr timing report.
+    pub fn summary(&self, command: &str) -> String {
+        let wall = self.total_wall().as_secs_f64();
+        let records = self.total_records();
+        format!(
+            "{command}: {} runs, {records} records in {wall:.2}s sim time \
+             ({:.0} records/s/worker, peak extent map {} segments)",
+            self.cells.len(),
+            records as f64 / wall.max(1e-9),
+            self.peak_extent_segments(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smrseek_trace::Lba;
+
+    fn burst(n: u64) -> Vec<TraceRecord> {
+        (0..n)
+            .map(|i| TraceRecord::write(i, Lba::new((i * 37) % 4096 * 8), 8))
+            .collect()
+    }
+
+    fn two() -> NonZeroUsize {
+        NonZeroUsize::new(2).expect("nonzero")
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1usize, 2, 8] {
+            let threads = NonZeroUsize::new(threads).expect("nonzero");
+            let doubled = parallel_map(&items, threads, |&x| x * 2);
+            assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_excess_threads() {
+        let none: Vec<u32> = vec![];
+        assert!(parallel_map(&none, two(), |&x| x).is_empty());
+        let one = [7u32];
+        assert_eq!(parallel_map(&one, default_threads(), |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn matrix_results_are_thread_count_invariant() {
+        let source = TraceSource::from_records("burst", burst(2000));
+        let configs = [
+            SimConfig::no_ls(),
+            SimConfig::log_structured(),
+            SimConfig::ls_cache(),
+        ];
+        let matrix = RunMatrix::cross(&[source], &configs);
+        assert_eq!(matrix.len(), 3);
+        let serial = matrix.execute(NonZeroUsize::MIN);
+        let parallel = matrix.execute(two());
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.report.layer_name, b.report.layer_name);
+            assert_eq!(a.report.seeks, b.report.seeks);
+            assert_eq!(a.report.phys_sectors, b.report.phys_sectors);
+            assert_eq!(a.report.peak_extent_segments, b.report.peak_extent_segments);
+        }
+    }
+
+    #[test]
+    fn metrics_capture_replay_size() {
+        let source = TraceSource::from_records("burst", burst(500));
+        let matrix = RunMatrix::cross(&[source], &[SimConfig::log_structured()]);
+        let outcomes = matrix.execute(NonZeroUsize::MIN);
+        let m = outcomes[0].metrics;
+        assert_eq!(m.records, 500);
+        assert!(m.peak_extent_segments > 0);
+        assert!(m.records_per_sec() > 0.0);
+        let stats = MatrixStats::from_outcomes(&outcomes);
+        assert_eq!(stats.total_records(), 500);
+        assert!(stats.summary("test").contains("1 runs"));
+    }
+
+    #[test]
+    fn cells_can_be_labeled() {
+        let source = TraceSource::from_records("t", burst(10));
+        let cell = RunCell::new(source, SimConfig::no_ls()).with_label("t/NoLS");
+        assert_eq!(cell.label, "t/NoLS");
+    }
+}

@@ -13,25 +13,46 @@
 //! upstream.
 
 use smrseek_trace::TraceRecord;
+use std::num::NonZeroUsize;
+
+/// Configuration of the NCQ-style elevator queue.
+///
+/// `Default` matches the §IV-B experiment: a 32-deep queue over the same
+/// 10 ms dispatch window the paper uses to define mis-ordered writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueConfig {
+    /// Maximum operations held in the queue at once (a `NonZeroUsize`:
+    /// a zero-depth queue cannot dispatch anything, so the type rules it
+    /// out instead of a runtime panic).
+    pub depth: NonZeroUsize,
+    /// Dispatch window: operations submitted within this many microseconds
+    /// of the window's first operation may be re-ordered together.
+    pub window_us: u64,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig {
+            depth: NonZeroUsize::new(32).expect("32 is nonzero"),
+            window_us: 10_000,
+        }
+    }
+}
 
 /// Re-orders a trace the way an NCQ-style elevator queue would: operations
-/// whose submission times fall within `window_us` of the window's first
-/// operation — capped at `queue_depth` entries — are sorted by ascending
-/// LBA (ties keep arrival order), then dispatched.
+/// whose submission times fall within `queue.window_us` of the window's
+/// first operation — capped at `queue.depth` entries — are sorted by
+/// ascending LBA (ties keep arrival order), then dispatched.
 ///
 /// Timestamps are preserved per operation (sorting models the *device*
 /// choosing service order, not the host changing submission times), so the
 /// output is no longer timestamp-sorted — exactly like a completion-order
 /// trace of a queueing drive.
 ///
-/// # Panics
-///
-/// Panics if `queue_depth` is zero.
-///
 /// # Example
 ///
 /// ```
-/// use smrseek_sim::scheduler::reorder_trace;
+/// use smrseek_sim::scheduler::{reorder, QueueConfig};
 /// use smrseek_trace::{Lba, TraceRecord};
 ///
 /// // A descending burst dispatched within 100 us.
@@ -40,24 +61,19 @@ use smrseek_trace::TraceRecord;
 ///     TraceRecord::write(10, Lba::new(8), 8),
 ///     TraceRecord::write(20, Lba::new(0), 8),
 /// ];
-/// let sorted = reorder_trace(&trace, 32, 1000);
+/// let sorted = reorder(&trace, QueueConfig::default());
 /// let lbas: Vec<u64> = sorted.iter().map(|r| r.lba.sector()).collect();
 /// assert_eq!(lbas, vec![0, 8, 16]);
 /// ```
-pub fn reorder_trace(
-    trace: &[TraceRecord],
-    queue_depth: usize,
-    window_us: u64,
-) -> Vec<TraceRecord> {
-    assert!(queue_depth > 0, "queue depth must be positive");
+pub fn reorder(trace: &[TraceRecord], queue: QueueConfig) -> Vec<TraceRecord> {
     let mut out = Vec::with_capacity(trace.len());
     let mut i = 0;
     while i < trace.len() {
         let window_start = trace[i].timestamp_us;
         let mut j = i;
         while j < trace.len()
-            && j - i < queue_depth
-            && trace[j].timestamp_us.saturating_sub(window_start) <= window_us
+            && j - i < queue.depth.get()
+            && trace[j].timestamp_us.saturating_sub(window_start) <= queue.window_us
         {
             j += 1;
         }
@@ -69,6 +85,22 @@ pub fn reorder_trace(
     out
 }
 
+/// Deprecated positional-argument shim over [`reorder`].
+///
+/// # Panics
+///
+/// Panics if `queue_depth` is zero (the [`QueueConfig`] replacement makes
+/// that unrepresentable).
+#[deprecated(since = "0.1.0", note = "use `reorder` with a `QueueConfig`")]
+pub fn reorder_trace(
+    trace: &[TraceRecord],
+    queue_depth: usize,
+    window_us: u64,
+) -> Vec<TraceRecord> {
+    let depth = NonZeroUsize::new(queue_depth).expect("queue depth must be positive");
+    reorder(trace, QueueConfig { depth, window_us })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,18 +110,32 @@ mod tests {
         TraceRecord::write(t, Lba::new(lba), 8)
     }
 
+    fn queue(depth: usize, window_us: u64) -> QueueConfig {
+        QueueConfig {
+            depth: NonZeroUsize::new(depth).expect("test depth is nonzero"),
+            window_us,
+        }
+    }
+
+    #[test]
+    fn default_matches_section_iv_b() {
+        let q = QueueConfig::default();
+        assert_eq!(q.depth.get(), 32);
+        assert_eq!(q.window_us, 10_000);
+    }
+
     #[test]
     fn empty_and_singleton() {
-        assert!(reorder_trace(&[], 8, 100).is_empty());
+        assert!(reorder(&[], queue(8, 100)).is_empty());
         let one = vec![w(5, 42)];
-        assert_eq!(reorder_trace(&one, 8, 100), one);
+        assert_eq!(reorder(&one, queue(8, 100)), one);
     }
 
     #[test]
     fn window_boundary_splits_batches() {
         // Ops at t=0,50,200: window 100 us groups the first two only.
         let trace = vec![w(0, 30), w(50, 10), w(200, 20)];
-        let sorted = reorder_trace(&trace, 8, 100);
+        let sorted = reorder(&trace, queue(8, 100));
         let lbas: Vec<u64> = sorted.iter().map(|r| r.lba.sector()).collect();
         assert_eq!(lbas, vec![10, 30, 20]);
     }
@@ -97,7 +143,7 @@ mod tests {
     #[test]
     fn queue_depth_limits_batch() {
         let trace = vec![w(0, 40), w(1, 30), w(2, 20), w(3, 10)];
-        let sorted = reorder_trace(&trace, 2, 1000);
+        let sorted = reorder(&trace, queue(2, 1000));
         let lbas: Vec<u64> = sorted.iter().map(|r| r.lba.sector()).collect();
         // Two batches of two.
         assert_eq!(lbas, vec![30, 40, 10, 20]);
@@ -110,7 +156,7 @@ mod tests {
             TraceRecord::read(1, Lba::new(3), 8),
             TraceRecord::write(2, Lba::new(6), 24),
         ];
-        let mut sorted = reorder_trace(&trace, 8, 1000);
+        let mut sorted = reorder(&trace, queue(8, 1000));
         assert_eq!(sorted.len(), 3);
         sorted.sort_by_key(|r| r.timestamp_us);
         assert_eq!(sorted, trace, "every record survives untouched");
@@ -120,7 +166,7 @@ mod tests {
     fn stable_for_equal_lbas() {
         let a = TraceRecord::write(0, Lba::new(5), 8);
         let b = TraceRecord::read(1, Lba::new(5), 8);
-        let sorted = reorder_trace(&[a, b], 8, 1000);
+        let sorted = reorder(&[a, b], queue(8, 1000));
         assert_eq!(sorted[0].op, OpKind::Write);
         assert_eq!(sorted[1].op, OpKind::Read);
     }
@@ -134,12 +180,20 @@ mod tests {
             .collect();
         let (before, _) = count_misordered_writes(&trace, MISORDER_WINDOW_BYTES);
         assert!(before > 10);
-        let sorted = reorder_trace(&trace, 32, 1_000);
+        let sorted = reorder(&trace, queue(32, 1_000));
         let (after, _) = count_misordered_writes(&sorted, MISORDER_WINDOW_BYTES);
         assert_eq!(after, 0, "the elevator removes all mis-ordering");
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_new_api() {
+        let trace = vec![w(0, 30), w(50, 10), w(200, 20)];
+        assert_eq!(reorder_trace(&trace, 8, 100), reorder(&trace, queue(8, 100)));
+    }
+
+    #[test]
+    #[allow(deprecated)]
     #[should_panic(expected = "positive")]
     fn zero_depth_panics() {
         reorder_trace(&[], 0, 100);

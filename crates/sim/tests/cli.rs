@@ -156,6 +156,157 @@ fn bad_flag_values_rejected() {
 }
 
 #[test]
+fn sniffs_msr_csv() {
+    // 7 comma-separated fields: Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime.
+    let path = tmp("sniff.msr.csv");
+    std::fs::write(
+        &path,
+        "128166372003061629,hm,1,Read,2449920,4096,1339\n\
+         128166372016853766,hm,1,Write,2449920,4096,231\n",
+    )
+    .expect("write temp");
+    let out = smrseek(&["characterize", path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout(&out).contains("1 reads / 1 writes"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn sniffs_cp_csv() {
+    // 4 comma-separated fields, with the CloudPhysics header line.
+    let path = tmp("sniff.cp.csv");
+    std::fs::write(
+        &path,
+        "timestamp_us,op,offset_bytes,length_bytes\n\
+         0,R,4096,4096\n\
+         100,W,8192,8192\n",
+    )
+    .expect("write temp");
+    let out = smrseek(&["characterize", path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout(&out).contains("1 reads / 1 writes"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn sniffs_blkparse_text() {
+    // Whitespace-separated with a "+" sector-count field.
+    let path = tmp("sniff.blk");
+    std::fs::write(
+        &path,
+        "  8,0 1 1 0.000000000 1 Q R 128 + 8 [fio]\n  8,0 1 2 0.000200000 1 Q W 136 + 8 [fio]\n",
+    )
+    .expect("write temp");
+    let out = smrseek(&["characterize", path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout(&out).contains("1 reads / 1 writes"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn misdetected_format_fails_cleanly_not_panics() {
+    // Looks like a CloudPhysics CSV to the sniffer (few comma fields) but
+    // the fields are garbage: the parser must report a parse error (exit
+    // code 65), not panic, and stderr must name the offending file.
+    let path = tmp("sniff.garbage");
+    std::fs::write(&path, "hello,world\nthis,is,not,a,trace\n").expect("write temp");
+    let out = smrseek(&["characterize", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(65), "parse errors exit with 65");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "clean message, got: {err}");
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn sniff_empty_file_fails_cleanly() {
+    let path = tmp("sniff.empty");
+    std::fs::write(&path, "# only a comment\n\n").expect("write temp");
+    let out = smrseek(&["characterize", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(65));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no data lines"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn exit_codes_distinguish_usage_from_io() {
+    // Bad usage: exit 2.
+    let out = smrseek(&["fig99"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = smrseek(&["fig2", "--ops", "abc"]);
+    assert_eq!(out.status.code(), Some(2));
+    // I/O failure: exit 74 (EX_IOERR).
+    let out = smrseek(&["characterize", "/nonexistent/trace.csv"]);
+    assert_eq!(out.status.code(), Some(74));
+}
+
+#[test]
+fn all_smoke_test_runs_every_experiment() {
+    let out = smrseek(&["all", "--ops", "2000"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    for heading in ["Table I", "Fig 2a", "Fig 11b", "Extension"] {
+        assert!(text.contains(heading), "missing {heading}");
+    }
+    // The per-run timing summary goes to stderr, never stdout.
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("18 experiments"), "timing summary on stderr");
+    assert!(!text.contains("experiments,"), "stdout stays clean");
+}
+
+#[test]
+fn all_json_is_byte_identical_across_thread_counts() {
+    let p1 = tmp("all_t1.json");
+    let p4 = tmp("all_t4.json");
+    let out1 = smrseek(&[
+        "all", "--ops", "1000", "--threads", "1", "--json",
+        p1.to_str().unwrap(),
+    ]);
+    let out4 = smrseek(&[
+        "all", "--ops", "1000", "--threads", "4", "--json",
+        p4.to_str().unwrap(),
+    ]);
+    assert!(out1.status.success() && out4.status.success());
+    assert_eq!(
+        stdout(&out1),
+        stdout(&out4),
+        "stdout must not depend on --threads"
+    );
+    let j1 = std::fs::read(&p1).expect("json written");
+    let j4 = std::fs::read(&p4).expect("json written");
+    assert!(!j1.is_empty());
+    assert_eq!(j1, j4, "JSON must be byte-identical for any --threads");
+    std::fs::remove_file(&p1).ok();
+    std::fs::remove_file(&p4).ok();
+}
+
+#[test]
+fn threads_flag_rejects_zero() {
+    let out = smrseek(&["fig2", "--threads", "0"]);
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--threads"));
+}
+
+#[test]
 fn extension_commands_run() {
     for command in ["timeamp", "hostcache", "clean"] {
         let out = smrseek(&[command, "--ops", "1000"]);

@@ -160,7 +160,18 @@ impl LsConfig {
     /// Derives a configuration from a trace: the frontier starts at the
     /// first 1 MiB boundary above the highest LBA in the trace.
     pub fn for_trace(records: &[TraceRecord]) -> Self {
-        let top = stream::max_lba(records).map_or(0, |l| l.sector() + 1);
+        Self::above_sector(stream::max_lba(records).map_or(0, |l| l.sector() + 1))
+    }
+
+    /// Derives a configuration from a known logical-space bound: the
+    /// frontier starts at the first 1 MiB boundary at or above `top`
+    /// sectors (`top` = one past the highest sector the workload touches).
+    ///
+    /// This is the streaming-friendly alternative to [`LsConfig::for_trace`]:
+    /// when the trace arrives as an iterator the bound comes from a header,
+    /// a prior characterization pass, or the generator — not from scanning
+    /// a materialized slice.
+    pub fn above_sector(top: u64) -> Self {
         let align = MIB / 512;
         let frontier = top.div_ceil(align) * align;
         Self::new(Lba::new(frontier))
@@ -242,6 +253,22 @@ mod tests {
     fn for_trace_empty() {
         let cfg = LsConfig::for_trace(&[]);
         assert_eq!(cfg.frontier_start, Pba::new(0));
+    }
+
+    #[test]
+    fn above_sector_matches_for_trace() {
+        let trace = [
+            TraceRecord::write(0, Lba::new(5000), 8),
+            TraceRecord::read(1, Lba::new(10_000), 16),
+        ];
+        let top = stream::max_lba(&trace).map_or(0, |l| l.sector() + 1);
+        assert_eq!(
+            LsConfig::above_sector(top).frontier_start,
+            LsConfig::for_trace(&trace).frontier_start
+        );
+        assert_eq!(LsConfig::above_sector(0).frontier_start, Pba::new(0));
+        assert_eq!(LsConfig::above_sector(1).frontier_start, Pba::new(2048));
+        assert_eq!(LsConfig::above_sector(2048).frontier_start, Pba::new(2048));
     }
 
     #[test]

@@ -40,6 +40,69 @@ pub trait LineParser {
     fn parse_line(&mut self, line: &str, line_no: u64) -> Result<Option<TraceRecord>>;
 }
 
+/// A streaming trace source: yields one parsed [`TraceRecord`] at a time
+/// without ever materializing the trace, so arbitrarily large files replay
+/// in bounded memory. Created by [`parse_iter`].
+///
+/// Each item is a `Result`: I/O errors from the reader and parse errors
+/// from the parser surface in-stream at the line that caused them.
+#[derive(Debug)]
+pub struct RecordIter<R, P> {
+    reader: R,
+    parser: P,
+    line: String,
+    line_no: u64,
+}
+
+impl<R: BufRead, P: LineParser> Iterator for RecordIter<R, P> {
+    type Item = Result<TraceRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.line.clear();
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => return Some(Err(e.into())),
+            }
+            self.line_no += 1;
+            let trimmed = self.line.trim_end_matches(['\n', '\r']);
+            match self.parser.parse_line(trimmed, self.line_no) {
+                Ok(Some(rec)) => return Some(Ok(rec)),
+                Ok(None) => continue, // blank/comment line
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+/// Streams a trace from `reader` using `parser`, one record at a time.
+///
+/// This is the bounded-memory counterpart of [`parse_reader`]: the returned
+/// iterator reuses a single line buffer and yields records as they parse.
+///
+/// # Example
+///
+/// ```
+/// use smrseek_trace::parse::{parse_iter, CpParser};
+///
+/// let text = "100,R,4096,8192\n\n200,W,0,512\n";
+/// let mut count = 0;
+/// for rec in parse_iter(text.as_bytes(), CpParser::new()) {
+///     rec.expect("well-formed line");
+///     count += 1;
+/// }
+/// assert_eq!(count, 2);
+/// ```
+pub fn parse_iter<R: BufRead, P: LineParser>(reader: R, parser: P) -> RecordIter<R, P> {
+    RecordIter {
+        reader,
+        parser,
+        line: String::new(),
+        line_no: 0,
+    }
+}
+
 /// Reads an entire trace from `reader` using `parser`.
 ///
 /// # Errors
@@ -58,16 +121,6 @@ pub trait LineParser {
 /// # Ok(())
 /// # }
 /// ```
-pub fn parse_reader<R: BufRead, P: LineParser>(
-    reader: R,
-    mut parser: P,
-) -> Result<Vec<TraceRecord>> {
-    let mut out = Vec::new();
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
-        if let Some(rec) = parser.parse_line(&line, idx as u64 + 1)? {
-            out.push(rec);
-        }
-    }
-    Ok(out)
+pub fn parse_reader<R: BufRead, P: LineParser>(reader: R, parser: P) -> Result<Vec<TraceRecord>> {
+    parse_iter(reader, parser).collect()
 }
