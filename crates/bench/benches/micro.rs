@@ -9,9 +9,13 @@ use smrseek_cache::{ByteLru, RangeCache};
 use smrseek_extent::ExtentMap;
 use smrseek_sim::{simulate, SimConfig};
 use smrseek_stl::count_misordered_writes;
+use smrseek_trace::binary::{write_binary_v2, MmapTrace};
+use smrseek_trace::parse::{parse_reader, CpParser};
+use smrseek_trace::writer::write_cp_csv;
 use smrseek_trace::{Lba, Pba, MIB};
 use smrseek_workloads::Zipf;
 use std::hint::black_box;
+use std::io::{BufReader, BufWriter};
 
 fn extent_map(c: &mut Criterion) {
     let mut group = c.benchmark_group("extent_map");
@@ -134,6 +138,45 @@ fn simulator_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Trace ingestion: records/sec of CSV parsing vs mmapped binary replay —
+/// the speedup the `.smrt` cache buys a repeat experiment run.
+fn trace_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_ingest");
+    let trace = bench_trace("w91");
+    let dir = std::env::temp_dir();
+    let csv_path = dir.join(format!("smrseek_bench_{}.csv", std::process::id()));
+    let bin_path = dir.join(format!("smrseek_bench_{}.smrt", std::process::id()));
+    {
+        let mut f = BufWriter::new(std::fs::File::create(&csv_path).expect("csv temp"));
+        write_cp_csv(&mut f, &trace).expect("csv written");
+    }
+    {
+        let mut f = BufWriter::new(std::fs::File::create(&bin_path).expect("bin temp"));
+        write_binary_v2(&mut f, &trace).expect("binary written");
+    }
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("csv_parse_w91", |b| {
+        b.iter(|| {
+            let f = std::fs::File::open(&csv_path).expect("open csv");
+            let parsed = parse_reader(BufReader::new(f), CpParser::new()).expect("parses");
+            black_box(parsed.len())
+        })
+    });
+    group.bench_function("binary_mmap_w91", |b| {
+        b.iter(|| {
+            let map = MmapTrace::open(&bin_path).expect("maps");
+            let mut sectors = 0u64;
+            for r in map.iter() {
+                sectors = sectors.wrapping_add(u64::from(r.sectors));
+            }
+            black_box((map.len(), sectors))
+        })
+    });
+    group.finish();
+    std::fs::remove_file(&csv_path).ok();
+    std::fs::remove_file(&bin_path).ok();
+}
+
 fn misorder_scan(c: &mut Criterion) {
     let mut group = c.benchmark_group("misorder");
     let trace = bench_trace("src2_2");
@@ -147,6 +190,6 @@ fn misorder_scan(c: &mut Criterion) {
 criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(10);
-    targets = extent_map, caches, generators, simulator_throughput, misorder_scan,
+    targets = extent_map, caches, generators, simulator_throughput, trace_ingest, misorder_scan,
 }
 criterion_main!(micro);

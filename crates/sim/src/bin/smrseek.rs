@@ -23,27 +23,34 @@
 //!   all                    run every experiment in order
 //!   characterize <file>    Table-I style stats for an external trace
 //!   simulate <file>        NoLS/LS/mechanism SAF for an external trace
+//!   convert <in> <out>     convert any trace to the v2 binary format
 //!   gen <profile>          emit a synthetic trace as CloudPhysics CSV
 //!   list                   list the 21 workload profiles
 //! ```
 //!
-//! Trace files may be MSR CSV, CloudPhysics CSV, or blkparse text
-//! (`--format msr|cp|blktrace`, auto-sniffed by default).
+//! Trace files may be MSR CSV, CloudPhysics CSV, blkparse text, or the
+//! compact binary format (`--format msr|cp|blktrace|binary`, auto-sniffed
+//! by default — binary files are recognized by their `SMRT` magic).
+//! `--cache` stages traces through mmapped `.smrt` sidecars so repeat
+//! runs replay with zero parse cost.
 
 use smrseek_sim::experiments::{
     ablation, analyze, classify, cleaning, fig10, fig11, fig2, fig3, fig4, fig5, fig7, fig8,
     fragmentation, host_cache, reorder, table1, time_amp, zones, ExpOptions,
 };
-use smrseek_sim::runner::{self, parallel_map};
-use smrseek_sim::{simulate, Saf, SimConfig, TextTable};
+use smrseek_sim::runner::{self, parallel_map, MatrixStats, RunMatrix};
+use smrseek_sim::{tracecache, Saf, SimConfig, TextTable, TraceSource};
+use smrseek_trace::binary::{self, MmapTrace};
 use smrseek_trace::parse::{parse_reader, BlktraceParser, CpParser, MsrParser};
 use smrseek_trace::writer::write_cp_csv;
 use smrseek_trace::{characterize, TraceRecord};
 use std::fmt;
 use std::fs::File;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read as _, Write};
 use std::num::NonZeroUsize;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A CLI failure, classified so the exit code can tell misuse (2), bad
@@ -85,11 +92,13 @@ impl fmt::Display for CliError {
 struct Args {
     command: String,
     file: Option<String>,
+    file2: Option<String>,
     opts: ExpOptions,
     json: Option<String>,
     out: Option<String>,
     format: TraceFormat,
     threads: NonZeroUsize,
+    cache: bool,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -98,12 +107,15 @@ enum TraceFormat {
     Msr,
     Cp,
     Blktrace,
+    Binary,
 }
 
 fn usage() -> String {
     "usage: smrseek <table1|fig2|...|fig11|ablate|timeamp|hostcache|clean|all|list> \
-     [--ops N] [--seed S] [--threads N] [--json FILE]\n       \
-     smrseek <characterize|simulate> <trace> [--format msr|cp|blktrace] [--json FILE]\n       \
+     [--ops N] [--seed S] [--threads N] [--cache] [--json FILE]\n       \
+     smrseek <characterize|simulate> <trace> [--format msr|cp|blktrace|binary] [--cache] \
+     [--json FILE]\n       \
+     smrseek convert <trace> <out.smrt> [--format msr|cp|blktrace|binary]\n       \
      smrseek gen <profile> [--ops N] [--seed S] [--out FILE]"
         .to_owned()
 }
@@ -114,11 +126,13 @@ fn parse_args(argv: &[String]) -> Result<Args, CliError> {
     let mut args = Args {
         command,
         file: None,
+        file2: None,
         opts: ExpOptions::default(),
         json: None,
         out: None,
         format: TraceFormat::Auto,
         threads: runner::default_threads(),
+        cache: false,
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -160,17 +174,24 @@ fn parse_args(argv: &[String]) -> Result<Args, CliError> {
             "--format" => {
                 args.format = match it
                     .next()
-                    .ok_or_else(|| CliError::usage("--format needs msr|cp|blktrace"))?
+                    .ok_or_else(|| CliError::usage("--format needs msr|cp|blktrace|binary"))?
                     .as_str()
                 {
                     "msr" => TraceFormat::Msr,
                     "cp" => TraceFormat::Cp,
                     "blktrace" => TraceFormat::Blktrace,
+                    "binary" | "smrt" => TraceFormat::Binary,
                     other => return Err(CliError::usage(format!("unknown format {other:?}"))),
                 };
             }
+            "--cache" => {
+                args.cache = true;
+            }
             other if args.file.is_none() && !other.starts_with("--") => {
                 args.file = Some(other.to_owned());
+            }
+            other if args.file2.is_none() && !other.starts_with("--") => {
+                args.file2 = Some(other.to_owned());
             }
             other => {
                 return Err(CliError::usage(format!(
@@ -188,13 +209,16 @@ fn load_trace(path: &str, format: TraceFormat) -> Result<Vec<TraceRecord>, CliEr
         TraceFormat::Auto => sniff_format(path)?,
         other => other,
     };
+    if format == TraceFormat::Binary {
+        return Ok(open_mmap(path)?.iter().collect());
+    }
     let file = File::open(path).map_err(|e| CliError::Io(format!("cannot open {path}: {e}")))?;
     let reader = BufReader::new(file);
     let parsed = match format {
         TraceFormat::Msr => parse_reader(reader, MsrParser::new()),
         TraceFormat::Cp => parse_reader(reader, CpParser::new()),
         TraceFormat::Blktrace => parse_reader(reader, BlktraceParser::new()),
-        TraceFormat::Auto => unreachable!("resolved above"),
+        TraceFormat::Auto | TraceFormat::Binary => unreachable!("resolved above"),
     };
     parsed.map_err(|e| match e {
         smrseek_trace::Error::Io(e) => CliError::Io(format!("{path}: {e}")),
@@ -202,9 +226,34 @@ fn load_trace(path: &str, format: TraceFormat) -> Result<Vec<TraceRecord>, CliEr
     })
 }
 
-/// MSR lines have 7 comma-separated fields; CloudPhysics lines have 4;
-/// blkparse lines are whitespace-separated with a `+` before the count.
+/// Maps a binary `.smrt` trace read-only, classifying failures for the
+/// exit code.
+fn open_mmap(path: &str) -> Result<MmapTrace, CliError> {
+    MmapTrace::open(Path::new(path)).map_err(|e| match e {
+        smrseek_trace::Error::Io(e) => CliError::Io(format!("{path}: {e}")),
+        other => CliError::Parse(format!("{path}: {other}")),
+    })
+}
+
+/// Binary traces carry the `SMRT` magic in their first bytes; MSR lines
+/// have 7 comma-separated fields; CloudPhysics lines have 4; blkparse
+/// lines are whitespace-separated with a `+` before the count. The magic
+/// is checked first so a binary file is never mistaken for CSV.
 fn sniff_format(path: &str) -> Result<TraceFormat, CliError> {
+    let mut file =
+        File::open(path).map_err(|e| CliError::Io(format!("cannot open {path}: {e}")))?;
+    let mut prefix = [0u8; 6];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match file.read(&mut prefix[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) => return Err(CliError::Io(format!("{path}: {e}"))),
+        }
+    }
+    if binary::sniff_magic(&prefix[..filled]).is_some() {
+        return Ok(TraceFormat::Binary);
+    }
     let file = File::open(path).map_err(|e| CliError::Io(format!("cannot open {path}: {e}")))?;
     for line in BufReader::new(file).lines() {
         let line = line.map_err(|e| CliError::Io(format!("{path}: {e}")))?;
@@ -226,6 +275,48 @@ fn sniff_format(path: &str) -> Result<TraceFormat, CliError> {
     )))
 }
 
+/// The trace supply for `simulate`: binary inputs are mmapped directly;
+/// with `--cache` a `.smrt` sidecar next to the trace is mmapped when
+/// present and populated (then mmapped) after the first parse; otherwise
+/// the trace is parsed into memory. Cache failures degrade to the parsed
+/// path with a stderr note, never failing the run.
+fn simulate_source(path: &str, format: TraceFormat, cache: bool) -> Result<TraceSource, CliError> {
+    let format = match format {
+        TraceFormat::Auto => sniff_format(path)?,
+        other => other,
+    };
+    if format == TraceFormat::Binary {
+        return Ok(TraceSource::from_mmap(path, Arc::new(open_mmap(path)?)));
+    }
+    if !cache {
+        return Ok(TraceSource::from_records(path, load_trace(path, format)?));
+    }
+    let sidecar = tracecache::sidecar_path(Path::new(path));
+    if sidecar.exists() {
+        match MmapTrace::open(&sidecar) {
+            Ok(map) => {
+                eprintln!("cache: replaying {}", sidecar.display());
+                return Ok(TraceSource::from_mmap(path, Arc::new(map)));
+            }
+            Err(e) => {
+                eprintln!("cache: ignoring {}: {e}; reparsing", sidecar.display());
+            }
+        }
+    }
+    let records = load_trace(path, format)?;
+    match tracecache::write_sidecar(&sidecar, &records) {
+        Ok(()) => eprintln!("cache: wrote {}", sidecar.display()),
+        Err(e) => eprintln!("cache: {e}"),
+    }
+    Ok(TraceSource::from_records(path, records))
+}
+
+/// The synthetic-profile cache directory implied by `--cache`.
+fn cache_dir(args: &Args) -> Option<PathBuf> {
+    args.cache
+        .then(|| PathBuf::from(tracecache::DEFAULT_CACHE_DIR))
+}
+
 fn maybe_write_json<T: serde::Serialize>(json: &Option<String>, value: &T) -> Result<(), CliError> {
     if let Some(path) = json {
         let text = serde_json::to_string_pretty(value)
@@ -243,12 +334,14 @@ fn run_experiment(args: &Args) -> Result<String, CliError> {
     let opts = &args.opts;
     Ok(match args.command.as_str() {
         "table1" => {
-            let rows = table1::run_with_threads(opts, args.threads);
+            let cache = cache_dir(args);
+            let rows = table1::run_cached(opts, args.threads, cache.as_deref());
             maybe_write_json(&args.json, &rows)?;
             table1::render(&rows)
         }
         "fig2" => {
-            let (rows, stats) = fig2::run_with_threads(opts, args.threads);
+            let cache = cache_dir(args);
+            let (rows, stats) = fig2::run_cached(opts, args.threads, cache.as_deref());
             eprintln!("{}", stats.summary("fig2"));
             maybe_write_json(&args.json, &rows)?;
             fig2::render(&rows)
@@ -347,13 +440,15 @@ fn run_experiment(args: &Args) -> Result<String, CliError> {
             use std::time::Duration;
             type Section = (&'static str, Box<dyn Fn() -> (String, Value) + Sync>);
             let o = *opts;
+            let table1_cache = cache_dir(args);
+            let fig2_cache = cache_dir(args);
             let sections: Vec<Section> = vec![
                 ("table1", Box::new(move || {
-                    let r = table1::run(&o);
+                    let r = table1::run_cached(&o, NonZeroUsize::MIN, table1_cache.as_deref());
                     (format!("{}\n", table1::render(&r)), r.to_value())
                 })),
                 ("fig2", Box::new(move || {
-                    let r = fig2::run(&o);
+                    let r = fig2::run_cached(&o, NonZeroUsize::MIN, fig2_cache.as_deref()).0;
                     (fig2::render(&r), r.to_value())
                 })),
                 ("fig3", Box::new(move || {
@@ -523,18 +618,25 @@ fn run_experiment(args: &Args) -> Result<String, CliError> {
                 .file
                 .as_ref()
                 .ok_or_else(|| CliError::usage("simulate needs a trace file"))?;
-            let trace = load_trace(path, args.format)?;
-            let base = simulate(&trace, &SimConfig::no_ls()).seeks;
+            let source = simulate_source(path, args.format, args.cache)?;
+            let matrix = RunMatrix::cross(
+                &[source],
+                &[
+                    SimConfig::no_ls(),
+                    SimConfig::log_structured(),
+                    SimConfig::ls_defrag(),
+                    SimConfig::ls_prefetch(),
+                    SimConfig::ls_cache(),
+                ],
+            );
+            let outcomes = matrix.execute(args.threads);
+            eprintln!("{}", MatrixStats::from_outcomes(&outcomes).summary("simulate"));
+            let base = outcomes[0].report.seeks;
+            let ops = outcomes[0].report.logical_ops;
             let mut table = TextTable::new(vec!["layer", "read seeks", "write seeks", "SAF"]);
             let mut safs: Vec<(String, Saf)> = Vec::new();
-            for config in [
-                SimConfig::no_ls(),
-                SimConfig::log_structured(),
-                SimConfig::ls_defrag(),
-                SimConfig::ls_prefetch(),
-                SimConfig::ls_cache(),
-            ] {
-                let report = simulate(&trace, &config);
+            for outcome in outcomes {
+                let report = outcome.report;
                 let saf = Saf::from_stats(&report.seeks, &base);
                 table.row(vec![
                     report.layer_name.clone(),
@@ -545,7 +647,24 @@ fn run_experiment(args: &Args) -> Result<String, CliError> {
                 safs.push((report.layer_name, saf));
             }
             maybe_write_json(&args.json, &safs)?;
-            format!("{path}: {} ops\n{table}", trace.len())
+            format!("{path}: {ops} ops\n{table}")
+        }
+        "convert" => {
+            let input = args
+                .file
+                .as_ref()
+                .ok_or_else(|| CliError::usage("convert needs <trace> <out.smrt>"))?;
+            let out = args
+                .file2
+                .as_ref()
+                .ok_or_else(|| CliError::usage("convert needs an output path"))?;
+            let records = load_trace(input, args.format)?;
+            tracecache::write_sidecar(Path::new(out), &records).map_err(CliError::Io)?;
+            format!(
+                "wrote {} records to {out} (binary v2, top sector {})\n",
+                records.len(),
+                binary::top_sector(&records)
+            )
         }
         other => {
             return Err(CliError::usage(format!(

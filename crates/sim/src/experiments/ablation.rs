@@ -212,10 +212,13 @@ pub fn stacking(profile: &Profile, opts: &ExpOptions) -> Sweep {
     run_sweep(profile, opts, "mechanism stacking", &stacking_points())
 }
 
+/// One planned sweep: `(workload, mechanism, labelled config points)`.
+type SweepSpec = (&'static str, &'static str, Vec<(String, SimConfig)>);
+
 /// The full ablation plan: `(workload, mechanism, points)` per sweep, on a
 /// representative log-sensitive workload (`w91`) plus the defrag-hostile
 /// `w20`.
-fn sweep_specs() -> Vec<(&'static str, &'static str, Vec<(String, SimConfig)>)> {
+fn sweep_specs() -> Vec<SweepSpec> {
     vec![
         ("w91", "selective-cache capacity", cache_points()),
         ("w91", "defrag thresholds", defrag_threshold_points()),

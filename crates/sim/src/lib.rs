@@ -28,6 +28,7 @@ pub mod report;
 pub mod runner;
 pub mod saf;
 pub mod scheduler;
+pub mod tracecache;
 
 pub use engine::{simulate, simulate_stream, LayerChoice, RunReport, SimConfig};
 pub use report::TextTable;

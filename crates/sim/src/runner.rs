@@ -17,8 +17,9 @@
 
 #![deny(clippy::unwrap_used)]
 
-use crate::engine::{simulate, RunReport, SimConfig};
+use crate::engine::{simulate, simulate_stream, LayerChoice, RunReport, SimConfig};
 use crate::experiments::ExpOptions;
+use smrseek_trace::binary::MmapTrace;
 use smrseek_trace::TraceRecord;
 use smrseek_workloads::profiles::Profile;
 use std::num::NonZeroUsize;
@@ -26,16 +27,31 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+/// How a [`TraceSource`] produces its records.
+#[derive(Clone)]
+enum Supply {
+    /// A repeatable generator; each cell regenerates (or clones an Arc of)
+    /// the trace on the worker that runs it.
+    Generate(Arc<dyn Fn() -> Arc<Vec<TraceRecord>> + Send + Sync>),
+    /// One shared read-only mapping of a binary trace file; every cell
+    /// replays straight off the mapped pages with zero parse cost.
+    /// `top` caches the frontier hint (from the v2 header when present).
+    Mapped { map: Arc<MmapTrace>, top: u64 },
+}
+
 /// A named, repeatable source of trace records.
 ///
-/// Cells regenerate their trace on the worker that runs them (sharing one
-/// materialized trace across threads would serialize on it and pin the
-/// whole matrix's memory high-water mark at once); repeatability is what
-/// keeps the matrix deterministic under any scheduling.
+/// Generator-backed cells regenerate their trace on the worker that runs
+/// them (sharing one materialized trace across threads would serialize on
+/// it and pin the whole matrix's memory high-water mark at once);
+/// repeatability is what keeps the matrix deterministic under any
+/// scheduling. Mmap-backed sources ([`TraceSource::from_mmap`]) instead
+/// share a single read-only mapping across every cell: the kernel page
+/// cache holds one copy of the trace no matter how many workers replay it.
 #[derive(Clone)]
 pub struct TraceSource {
     name: String,
-    supply: Arc<dyn Fn() -> Arc<Vec<TraceRecord>> + Send + Sync>,
+    supply: Supply,
 }
 
 impl std::fmt::Debug for TraceSource {
@@ -53,7 +69,20 @@ impl TraceSource {
     ) -> Self {
         TraceSource {
             name: name.into(),
-            supply: Arc::new(supply),
+            supply: Supply::Generate(Arc::new(supply)),
+        }
+    }
+
+    /// A source backed by one shared read-only mapping of a binary trace:
+    /// every cell replaying it decodes records zero-copy from the same
+    /// pages, so a huge trace replays N times with zero parse cost. The
+    /// frontier hint comes from the v2 header when present (one scan of
+    /// the mapping otherwise, paid once here).
+    pub fn from_mmap(name: impl Into<String>, map: Arc<MmapTrace>) -> Self {
+        let top = map.top_sector();
+        TraceSource {
+            name: name.into(),
+            supply: Supply::Mapped { map, top },
         }
     }
 
@@ -78,9 +107,37 @@ impl TraceSource {
         &self.name
     }
 
-    /// Produces the records.
+    /// Produces the records. Mmap-backed sources materialize a fresh
+    /// `Vec` here — replay paths that can stream should go through
+    /// [`RunMatrix::execute`], which decodes straight off the mapping.
     pub fn records(&self) -> Arc<Vec<TraceRecord>> {
-        (self.supply)()
+        match &self.supply {
+            Supply::Generate(f) => f(),
+            Supply::Mapped { map, .. } => Arc::new(map.iter().collect()),
+        }
+    }
+
+    /// Replays this source through `config`, streaming from the mapping
+    /// for mmap-backed sources (the frontier hint filled from the cached
+    /// `top_sector`) and materializing for generator-backed ones.
+    fn replay(&self, config: &SimConfig) -> (RunReport, Duration) {
+        match &self.supply {
+            Supply::Generate(f) => {
+                let records = f();
+                let start = Instant::now();
+                (simulate(&records, config), start.elapsed())
+            }
+            Supply::Mapped { map, top } => {
+                let config = match config.layer {
+                    LayerChoice::Ls { .. } if config.frontier_hint.is_none() => {
+                        config.with_frontier_hint(*top)
+                    }
+                    _ => *config,
+                };
+                let start = Instant::now();
+                (simulate_stream(map.iter(), &config), start.elapsed())
+            }
+        }
     }
 }
 
@@ -196,10 +253,7 @@ impl RunMatrix {
     /// never results.
     pub fn execute(&self, threads: NonZeroUsize) -> Vec<RunOutcome> {
         parallel_map(&self.cells, threads, |cell| {
-            let records = cell.source.records();
-            let start = Instant::now();
-            let report = simulate(&records, &cell.config);
-            let wall = start.elapsed();
+            let (report, wall) = cell.source.replay(&cell.config);
             let metrics = RunMetrics {
                 wall,
                 records: report.logical_ops,
@@ -296,15 +350,24 @@ impl MatrixStats {
             .unwrap_or(0)
     }
 
+    /// Replay rate over *simulation* time: total records divided by the
+    /// summed per-cell wall times. This is an aggregate rate per second
+    /// of sim compute — not a per-worker figure (cells may have run on
+    /// any number of workers) and not wall-clock throughput (workers
+    /// overlap, so real elapsed time is lower than the sum).
+    pub fn records_per_sim_sec(&self) -> f64 {
+        self.total_records() as f64 / self.total_wall().as_secs_f64().max(1e-9)
+    }
+
     /// One-line summary for the CLI's stderr timing report.
     pub fn summary(&self, command: &str) -> String {
-        let wall = self.total_wall().as_secs_f64();
-        let records = self.total_records();
         format!(
-            "{command}: {} runs, {records} records in {wall:.2}s sim time \
-             ({:.0} records/s/worker, peak extent map {} segments)",
+            "{command}: {} runs, {} records in {:.2}s sim time \
+             ({:.0} records/s of sim time, peak extent map {} segments)",
             self.cells.len(),
-            records as f64 / wall.max(1e-9),
+            self.total_records(),
+            self.total_wall().as_secs_f64(),
+            self.records_per_sim_sec(),
             self.peak_extent_segments(),
         )
     }
@@ -377,6 +440,67 @@ mod tests {
         let stats = MatrixStats::from_outcomes(&outcomes);
         assert_eq!(stats.total_records(), 500);
         assert!(stats.summary("test").contains("1 runs"));
+    }
+
+    #[test]
+    fn summary_reports_aggregate_sim_time_rate() {
+        let stats = MatrixStats {
+            cells: vec![
+                (
+                    "a".into(),
+                    RunMetrics {
+                        wall: Duration::from_secs(2),
+                        records: 600,
+                        peak_extent_segments: 3,
+                    },
+                ),
+                (
+                    "b".into(),
+                    RunMetrics {
+                        wall: Duration::from_secs(1),
+                        records: 300,
+                        peak_extent_segments: 7,
+                    },
+                ),
+            ],
+        };
+        // 900 records over 3 summed sim seconds: 300 records/s of sim
+        // time, regardless of how many workers the cells ran on.
+        assert!((stats.records_per_sim_sec() - 300.0).abs() < 1e-9);
+        let line = stats.summary("x");
+        assert!(line.contains("300 records/s of sim time"), "{line}");
+        assert!(
+            !line.contains("/worker"),
+            "summed sim time is not a per-worker rate: {line}"
+        );
+    }
+
+    #[test]
+    fn mmap_source_matches_generated_source() {
+        use smrseek_trace::binary::{write_binary_v2, MmapTrace};
+
+        let records = burst(1500);
+        let mut buf = Vec::new();
+        write_binary_v2(&mut buf, &records).expect("vec write");
+        let map = Arc::new(MmapTrace::from_bytes(buf).expect("own output maps"));
+        let mapped = TraceSource::from_mmap("burst", Arc::clone(&map));
+        let generated = TraceSource::from_records("burst", records.clone());
+        assert_eq!(*mapped.records(), records, "records() materializes");
+
+        let configs = [
+            SimConfig::no_ls(),
+            SimConfig::log_structured(),
+            SimConfig::ls_cache(),
+        ];
+        let via_map = RunMatrix::cross(&[mapped], &configs).execute(two());
+        let via_gen = RunMatrix::cross(&[generated], &configs).execute(two());
+        for (a, b) in via_map.iter().zip(&via_gen) {
+            assert_eq!(a.report.layer_name, b.report.layer_name);
+            assert_eq!(a.report.seeks, b.report.seeks);
+            assert_eq!(a.report.phys_sectors, b.report.phys_sectors);
+            assert_eq!(a.report.logical_ops, b.report.logical_ops);
+            assert_eq!(a.report.peak_extent_segments, b.report.peak_extent_segments);
+        }
     }
 
     #[test]

@@ -4,12 +4,12 @@
 //! seeks (read, write, or total) for the log-structured system to seeks
 //! incurred on a conventional drive by the workload trace."*
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Number, Serialize, Value};
 use smrseek_disk::SeekStats;
 use std::fmt;
 
 /// Seek amplification of one run relative to the NoLS baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Saf {
     /// Read-seek amplification.
     pub read: f64,
@@ -44,6 +44,49 @@ impl Saf {
         } else {
             other.total / self.total
         }
+    }
+}
+
+// JSON has no representation for non-finite floats, and the serializer
+// rejects them outright — but a zero-seek baseline (e.g. a fully
+// sequential trace) legitimately yields `f64::INFINITY` components. The
+// manual impls below encode non-finite components as `null` instead, and
+// decode `null` back to `f64::INFINITY` (the only non-finite value
+// [`Saf::from_stats`] can produce).
+
+impl Serialize for Saf {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("read".to_owned(), component_to_value(self.read)),
+            ("write".to_owned(), component_to_value(self.write)),
+            ("total".to_owned(), component_to_value(self.total)),
+        ])
+    }
+}
+
+impl Deserialize for Saf {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Saf {
+            read: component_from_value(v.expect_field("read")?)?,
+            write: component_from_value(v.expect_field("write")?)?,
+            total: component_from_value(v.expect_field("total")?)?,
+        })
+    }
+}
+
+fn component_to_value(v: f64) -> Value {
+    if v.is_finite() {
+        Value::Number(Number::F(v))
+    } else {
+        Value::Null
+    }
+}
+
+fn component_from_value(v: &Value) -> Result<f64, Error> {
+    if v.is_null() {
+        Ok(f64::INFINITY)
+    } else {
+        f64::from_value(v)
     }
 }
 
@@ -121,6 +164,26 @@ mod tests {
         };
         assert!(zero.improvement_over(&ls).is_infinite());
         assert_eq!(zero.improvement_over(&zero), 1.0);
+    }
+
+    #[test]
+    fn infinite_components_serialize_as_null() {
+        // Fully-sequential zero-baseline trace: every component infinite.
+        let saf = Saf::from_stats(&stats(3, 2), &stats(0, 0));
+        assert!(saf.total.is_infinite());
+        let json = serde_json::to_string(&saf).expect("non-finite SAF must serialize");
+        assert_eq!(json, r#"{"read":null,"write":null,"total":null}"#);
+        let back: Saf = serde_json::from_str(&json).expect("roundtrip");
+        assert!(back.read.is_infinite() && back.write.is_infinite() && back.total.is_infinite());
+    }
+
+    #[test]
+    fn finite_components_roundtrip_unchanged() {
+        let saf = Saf::from_stats(&stats(20, 5), &stats(10, 50));
+        let json = serde_json::to_string(&saf).expect("finite SAF serializes");
+        assert!(!json.contains("null"), "finite values stay numeric: {json}");
+        let back: Saf = serde_json::from_str(&json).expect("roundtrip");
+        assert_eq!(back, saf);
     }
 
     #[test]

@@ -49,6 +49,13 @@ impl Default for QueueConfig {
 /// output is no longer timestamp-sorted — exactly like a completion-order
 /// trace of a queueing drive.
 ///
+/// Input timestamps are assumed non-decreasing (submission order), which
+/// every parser and generator in this workspace produces. If a record
+/// arrives with a timestamp *earlier* than its window's first operation —
+/// e.g. a hand-edited or pre-reordered trace — it deterministically closes
+/// the current window and opens a new one at its own timestamp, rather
+/// than being silently lumped into a window it did not arrive in.
+///
 /// # Example
 ///
 /// ```
@@ -71,11 +78,13 @@ pub fn reorder(trace: &[TraceRecord], queue: QueueConfig) -> Vec<TraceRecord> {
     while i < trace.len() {
         let window_start = trace[i].timestamp_us;
         let mut j = i;
-        while j < trace.len()
-            && j - i < queue.depth.get()
-            && trace[j].timestamp_us.saturating_sub(window_start) <= queue.window_us
-        {
-            j += 1;
+        while j < trace.len() && j - i < queue.depth.get() {
+            // `checked_sub` (not `saturating_sub`): a non-monotonic record
+            // must close the window, not masquerade as elapsed time 0.
+            match trace[j].timestamp_us.checked_sub(window_start) {
+                Some(elapsed) if elapsed <= queue.window_us => j += 1,
+                _ => break,
+            }
         }
         let mut batch: Vec<TraceRecord> = trace[i..j].to_vec();
         batch.sort_by_key(|r| r.lba);
@@ -169,6 +178,23 @@ mod tests {
         let sorted = reorder(&[a, b], queue(8, 1000));
         assert_eq!(sorted[0].op, OpKind::Write);
         assert_eq!(sorted[1].op, OpKind::Read);
+    }
+
+    #[test]
+    fn non_monotonic_timestamp_closes_the_window() {
+        // t=100 then t=0: the second record is older than the window
+        // start. It must begin a new window, not be elevator-sorted into
+        // the first one (which would reorder across a time discontinuity).
+        let trace = vec![w(100, 50), w(0, 10), w(5, 30)];
+        let sorted = reorder(&trace, queue(8, 1000));
+        let lbas: Vec<u64> = sorted.iter().map(|r| r.lba.sector()).collect();
+        assert_eq!(
+            lbas,
+            vec![50, 10, 30],
+            "window splits at the backwards timestamp"
+        );
+        // Deterministic: repeated runs agree.
+        assert_eq!(sorted, reorder(&trace, queue(8, 1000)));
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! On-disk binary trace cache (`.smrt` sidecars).
+//!
+//! The paper's evaluation replays multi-million-operation traces; parsing
+//! CSV (or regenerating a synthetic workload) on every run dominates small
+//! experiments. This module stages traces through the compact v2 binary
+//! format of [`smrseek_trace::binary`] so repeat runs mmap the records
+//! read-only and replay with zero parse cost:
+//!
+//! * [`write_sidecar`] — atomically writes a `.smrt` file next to (or in a
+//!   cache directory for) the trace it caches.
+//! * [`sidecar_path`] / [`profile_sidecar`] — naming conventions for
+//!   external-trace and synthetic-profile caches.
+//! * [`profile_source`] — a cache-aware [`TraceSource`] for the run
+//!   matrix: mmaps the sidecar when present, generates (and populates the
+//!   cache) otherwise.
+//!
+//! Caching is best-effort: any cache I/O failure falls back to the
+//! uncached path with a note on stderr, never failing the experiment.
+
+use crate::experiments::ExpOptions;
+use crate::runner::TraceSource;
+use smrseek_trace::binary::{write_binary_v2, MmapTrace};
+use smrseek_trace::TraceRecord;
+use smrseek_workloads::profiles::Profile;
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Default cache directory for synthetic-profile sidecars, relative to the
+/// working directory.
+pub const DEFAULT_CACHE_DIR: &str = ".smrseek-cache";
+
+/// The `.smrt` sidecar path for an external trace file: the trace path
+/// with `.smrt` appended (`trace.csv` → `trace.csv.smrt`), so one CSV maps
+/// to exactly one cache file regardless of its extension.
+pub fn sidecar_path(trace: &Path) -> PathBuf {
+    let mut name = trace.file_name().unwrap_or_default().to_os_string();
+    name.push(".smrt");
+    trace.with_file_name(name)
+}
+
+/// The sidecar path for a synthetic profile trace: keyed by profile name,
+/// seed and operation count, since all three determine the records.
+pub fn profile_sidecar(dir: &Path, profile: &Profile, opts: &ExpOptions) -> PathBuf {
+    dir.join(format!(
+        "{}-s{}-o{}.smrt",
+        profile.name, opts.seed, opts.ops
+    ))
+}
+
+/// Writes `records` to `path` in the v2 binary format, atomically: the
+/// bytes land in a same-directory temp file first and are renamed into
+/// place, so a concurrent reader never sees a torn sidecar.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error message on failure (the temp file is
+/// cleaned up best-effort).
+pub fn write_sidecar(path: &Path, records: &[TraceRecord]) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
+    let tmp = path.with_extension(format!("smrt.tmp.{}", std::process::id()));
+    let result = (|| {
+        let file = std::fs::File::create(&tmp)
+            .map_err(|e| format!("cannot create {}: {e}", tmp.display()))?;
+        let mut writer = BufWriter::new(file);
+        write_binary_v2(&mut writer, records)
+            .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        writer
+            .flush()
+            .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| format!("cannot rename into {}: {e}", path.display()))
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+/// A cache-aware [`TraceSource`] for a synthetic profile.
+///
+/// With `cache_dir == None` this is exactly
+/// [`TraceSource::from_profile`]. With a directory, the sidecar is mmapped
+/// when present (zero-parse replay, one mapping shared by every matrix
+/// cell); otherwise the trace is generated once, written to the cache, and
+/// the fresh sidecar mmapped. Cache failures degrade to generation with a
+/// stderr note.
+pub fn profile_source(
+    profile: &Profile,
+    opts: &ExpOptions,
+    cache_dir: Option<&Path>,
+) -> TraceSource {
+    let Some(dir) = cache_dir else {
+        return TraceSource::from_profile(profile, opts);
+    };
+    let path = profile_sidecar(dir, profile, opts);
+    if !path.exists() {
+        let records = profile.generate_scaled(opts.seed, opts.ops);
+        if let Err(e) = write_sidecar(&path, &records) {
+            eprintln!("cache: {e}; running uncached");
+            return TraceSource::from_records(profile.name, records);
+        }
+    }
+    match MmapTrace::open(&path) {
+        Ok(map) => TraceSource::from_mmap(profile.name, Arc::new(map)),
+        Err(e) => {
+            eprintln!("cache: ignoring {}: {e}; running uncached", path.display());
+            TraceSource::from_profile(profile, opts)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smrseek_workloads::profiles;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("smrseek_tracecache_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn sidecar_naming() {
+        assert_eq!(
+            sidecar_path(Path::new("/tmp/trace.csv")),
+            Path::new("/tmp/trace.csv.smrt")
+        );
+        assert_eq!(sidecar_path(Path::new("bare")), Path::new("bare.smrt"));
+        let p = profiles::by_name("w91").expect("profile exists");
+        let o = ExpOptions { seed: 7, ops: 123 };
+        assert_eq!(
+            profile_sidecar(Path::new("cache"), &p, &o),
+            Path::new("cache/w91-s7-o123.smrt")
+        );
+    }
+
+    #[test]
+    fn write_sidecar_roundtrips_atomically() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("t.smrt");
+        let records = profiles::by_name("hm_1")
+            .expect("profile exists")
+            .generate_scaled(3, 500);
+        write_sidecar(&path, &records).expect("sidecar written");
+        let map = MmapTrace::open(&path).expect("sidecar maps");
+        assert_eq!(map.iter().collect::<Vec<_>>(), records);
+        assert_eq!(
+            map.header().top_sector,
+            Some(smrseek_trace::binary::top_sector(&records))
+        );
+        assert!(
+            std::fs::read_dir(&dir)
+                .expect("dir listed")
+                .all(|e| !e
+                    .expect("entry")
+                    .file_name()
+                    .to_string_lossy()
+                    .contains("tmp")),
+            "no temp files left behind"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn profile_source_populates_then_replays_cache() {
+        let dir = tmp_dir("profile_source");
+        let profile = profiles::by_name("w95").expect("profile exists");
+        let opts = ExpOptions { seed: 11, ops: 400 };
+        let fresh = profile_source(&profile, &opts, Some(&dir));
+        let sidecar = profile_sidecar(&dir, &profile, &opts);
+        assert!(sidecar.exists(), "first use populates the cache");
+        let cached = profile_source(&profile, &opts, Some(&dir));
+        let uncached = profile_source(&profile, &opts, None);
+        assert_eq!(*fresh.records(), *uncached.records());
+        assert_eq!(*cached.records(), *uncached.records());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -137,6 +137,131 @@ fn simulate_blktrace_format() {
 }
 
 #[test]
+fn binary_trace_sniffed_by_magic_not_mistaken_for_csv() {
+    // Regression: a binary `.smrt` file fed to simulate/characterize used
+    // to fall through to the line-based sniffer and mis-detect as CSV.
+    // The magic check must win, for v1 and v2 images alike.
+    use smrseek_trace::binary::{write_binary, write_binary_v2};
+    use smrseek_trace::{Lba, TraceRecord};
+    let records = vec![
+        TraceRecord::write(0, Lba::new(0), 8),
+        TraceRecord::read(10, Lba::new(64), 16),
+    ];
+    let mut v1 = Vec::new();
+    write_binary(&mut v1, &records).expect("vec write cannot fail");
+    let mut v2 = Vec::new();
+    write_binary_v2(&mut v2, &records).expect("vec write cannot fail");
+    for (version, buf) in [("v1", v1), ("v2", v2)] {
+        let path = tmp(&format!("magic.{version}.smrt"));
+        std::fs::write(&path, &buf).expect("write temp");
+        for command in ["characterize", "simulate"] {
+            let out = smrseek(&[command, path.to_str().unwrap()]);
+            assert!(
+                out.status.success(),
+                "{version} {command}: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+        }
+        let out = smrseek(&["characterize", path.to_str().unwrap()]);
+        assert!(stdout(&out).contains("1 reads / 1 writes"), "{version}");
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn convert_then_simulate_matches_csv_run() {
+    let csv = tmp("convert.csv");
+    let smrt = tmp("convert.smrt");
+    let out = smrseek(&["gen", "w91", "--ops", "800", "--out", csv.to_str().unwrap()]);
+    assert!(out.status.success());
+    let out = smrseek(&["convert", csv.to_str().unwrap(), smrt.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout(&out).contains("binary v2"));
+    let from_csv = smrseek(&["simulate", csv.to_str().unwrap()]);
+    let from_bin = smrseek(&["simulate", smrt.to_str().unwrap()]);
+    assert!(from_csv.status.success() && from_bin.status.success());
+    // Same seek table (first stdout line differs only in the path shown).
+    let table = |out: &Output| {
+        stdout(out)
+            .lines()
+            .skip(1)
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(table(&from_csv), table(&from_bin));
+    std::fs::remove_file(&csv).ok();
+    std::fs::remove_file(&smrt).ok();
+}
+
+#[test]
+fn simulate_cache_is_byte_identical_and_replays_sidecar() {
+    let csv = tmp("cached.csv");
+    let sidecar = tmp("cached.csv.smrt");
+    std::fs::remove_file(&sidecar).ok();
+    let out = smrseek(&["gen", "hm_1", "--ops", "600", "--out", csv.to_str().unwrap()]);
+    assert!(out.status.success());
+    let j = |n: &str| tmp(n).to_str().unwrap().to_owned();
+    let (ju, j1, j2) = (j("cached_u.json"), j("cached_1.json"), j("cached_2.json"));
+    let uncached = smrseek(&["simulate", csv.to_str().unwrap(), "--json", &ju]);
+    let first = smrseek(&["simulate", csv.to_str().unwrap(), "--cache", "--json", &j1]);
+    assert!(sidecar.exists(), "first cached run writes the sidecar");
+    let second = smrseek(&["simulate", csv.to_str().unwrap(), "--cache", "--json", &j2]);
+    assert!(uncached.status.success() && first.status.success() && second.status.success());
+    assert_eq!(stdout(&uncached), stdout(&first), "--cache must not change stdout");
+    assert_eq!(stdout(&uncached), stdout(&second));
+    let read = |p: &str| std::fs::read(p).expect("json written");
+    assert_eq!(read(&ju), read(&j1), "--cache must not change JSON");
+    assert_eq!(read(&ju), read(&j2));
+    assert!(
+        String::from_utf8_lossy(&second.stderr).contains("cache: replaying"),
+        "second run replays the mmapped sidecar"
+    );
+    for p in [ju, j1, j2] {
+        std::fs::remove_file(p).ok();
+    }
+    std::fs::remove_file(&csv).ok();
+    std::fs::remove_file(&sidecar).ok();
+}
+
+#[test]
+fn simulate_json_handles_zero_baseline_trace() {
+    // A fully sequential trace incurs zero NoLS seeks, making SAF
+    // components infinite. JSON output must still succeed (components
+    // serialize as null), not die on a non-finite float.
+    let path = tmp("seq.csv");
+    let mut csv = String::from("timestamp_us,op,offset_bytes,length_bytes\n");
+    for i in 0..64u64 {
+        csv.push_str(&format!("{},W,{},4096\n", i * 10, i * 4096));
+    }
+    std::fs::write(&path, csv).expect("write temp");
+    let json_path = tmp("seq.json");
+    let out = smrseek(&[
+        "simulate",
+        path.to_str().unwrap(),
+        "--json",
+        json_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let data = std::fs::read_to_string(&json_path).expect("json written");
+    let value: serde_json::Value = serde_json::from_str(&data).expect("valid JSON");
+    assert!(
+        value.as_array().is_some_and(|rows| !rows.is_empty()),
+        "layer rows present"
+    );
+    assert!(data.contains("null"), "infinite SAF components become null");
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&json_path).ok();
+}
+
+#[test]
 fn characterize_missing_file_fails_cleanly() {
     let out = smrseek(&["characterize", "/nonexistent/trace.csv"]);
     assert!(!out.status.success());

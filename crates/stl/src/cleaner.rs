@@ -175,14 +175,14 @@ impl CleaningLog {
         assert!(config.reserve_segments >= 1, "cleaner needs a reserve");
         let streams = config.stream_count();
         assert!(
-            config.segment_count >= config.reserve_segments + streams + 1,
+            config.segment_count > config.reserve_segments + streams,
             "log needs at least reserve + {} segments",
             streams + 1
         );
         let mut state = vec![SegState::Free; config.segment_count];
         let mut stream_states = Vec::with_capacity(streams);
-        for s in 0..streams {
-            state[s] = SegState::Active;
+        for (s, slot) in state.iter_mut().enumerate().take(streams) {
+            *slot = SegState::Active;
             stream_states.push((s, 0));
         }
         CleaningLog {

@@ -2,7 +2,9 @@
 //! traces losslessly (modulo each format's documented normalizations).
 
 use proptest::prelude::*;
-use smrseek_trace::binary::{read_binary, write_binary};
+use smrseek_trace::binary::{
+    read_binary, top_sector, write_binary, write_binary_v2, BinaryRecordIter, MmapTrace,
+};
 use smrseek_trace::parse::{parse_reader, CpParser, MsrParser};
 use smrseek_trace::writer::{write_cp_csv, write_msr_csv};
 use smrseek_trace::{characterize, Lba, OpKind, TraceRecord};
@@ -62,6 +64,48 @@ proptest! {
             prop_assert_eq!(p.lba, o.lba);
             prop_assert_eq!(p.sectors, o.sectors);
         }
+    }
+
+    /// The v2 format round-trips through both readers — streaming
+    /// [`BinaryRecordIter`] and zero-copy [`MmapTrace`] — with the header
+    /// carrying the correct `top_sector` (one past the highest touched
+    /// LBA).
+    #[test]
+    fn v2_roundtrip_via_iter_and_mmap(trace in trace_strategy()) {
+        let mut buf = Vec::new();
+        write_binary_v2(&mut buf, &trace).expect("vec write cannot fail");
+
+        let mut iter = BinaryRecordIter::new(&buf[..]).expect("own header parses");
+        prop_assert_eq!(iter.header().version, 2);
+        prop_assert_eq!(iter.header().count, trace.len() as u64);
+        prop_assert_eq!(iter.header().top_sector, Some(top_sector(&trace)));
+        let streamed: Vec<TraceRecord> = (&mut iter)
+            .collect::<Result<_, _>>()
+            .expect("own records decode");
+        prop_assert_eq!(&streamed, &trace);
+
+        let map = MmapTrace::from_bytes(buf).expect("own image validates");
+        prop_assert_eq!(map.len(), trace.len());
+        prop_assert_eq!(map.top_sector(), top_sector(&trace));
+        prop_assert_eq!(map.iter().collect::<Vec<_>>(), trace);
+    }
+
+    /// Staging a trace through the binary cache is transparent: records
+    /// parsed from CloudPhysics CSV and the same records replayed from a
+    /// v2 mmap image are identical.
+    #[test]
+    fn csv_parse_equals_binary_replay(trace in trace_strategy()) {
+        let mut csv = Vec::new();
+        write_cp_csv(&mut csv, &trace).expect("vec write cannot fail");
+        let parsed = parse_reader(&csv[..], CpParser::new()).expect("own output parses");
+
+        let mut bin = Vec::new();
+        write_binary_v2(&mut bin, &parsed).expect("vec write cannot fail");
+        let replayed: Vec<TraceRecord> = MmapTrace::from_bytes(bin)
+            .expect("own image validates")
+            .iter()
+            .collect();
+        prop_assert_eq!(replayed, parsed);
     }
 
     /// Characterization is invariant under serialization roundtrips.
