@@ -31,7 +31,12 @@ fn ablation_cache_size(c: &mut Criterion) {
     static ONCE: Once = Once::new();
     let opts = bench_opts();
     let w91 = profiles::by_name("w91").expect("w91 exists");
-    ONCE.call_once(|| println!("\n{}", ablation::render(&[ablation::cache_size(&w91, &opts)])));
+    ONCE.call_once(|| {
+        println!(
+            "\n{}",
+            ablation::render(&[ablation::cache_size(&w91, &opts)])
+        )
+    });
     c.bench_function("ablation_cache_size", |b| {
         b.iter(|| black_box(ablation::cache_size(&w91, &opts)))
     });

@@ -26,7 +26,9 @@ fn fig2_seek_counts(c: &mut Criterion) {
     static ONCE: Once = Once::new();
     let opts = bench_opts();
     print_once(&ONCE, || fig2::render(&fig2::run(&opts)));
-    c.bench_function("fig2_seek_counts", |b| b.iter(|| black_box(fig2::run(&opts))));
+    c.bench_function("fig2_seek_counts", |b| {
+        b.iter(|| black_box(fig2::run(&opts)))
+    });
 }
 
 fn fig3_longseek_series(c: &mut Criterion) {
@@ -42,7 +44,9 @@ fn fig4_distance_cdf(c: &mut Criterion) {
     static ONCE: Once = Once::new();
     let opts = bench_opts();
     print_once(&ONCE, || fig4::render(&fig4::run(&opts)));
-    c.bench_function("fig4_distance_cdf", |b| b.iter(|| black_box(fig4::run(&opts))));
+    c.bench_function("fig4_distance_cdf", |b| {
+        b.iter(|| black_box(fig4::run(&opts)))
+    });
 }
 
 fn fig5_frag_cdf(c: &mut Criterion) {
@@ -56,21 +60,27 @@ fn fig7_write_patterns(c: &mut Criterion) {
     static ONCE: Once = Once::new();
     let opts = bench_opts();
     print_once(&ONCE, || fig7::render(&fig7::run(&opts)));
-    c.bench_function("fig7_write_patterns", |b| b.iter(|| black_box(fig7::run(&opts))));
+    c.bench_function("fig7_write_patterns", |b| {
+        b.iter(|| black_box(fig7::run(&opts)))
+    });
 }
 
 fn fig8_misordered(c: &mut Criterion) {
     static ONCE: Once = Once::new();
     let opts = bench_opts();
     print_once(&ONCE, || fig8::render(&fig8::run(&opts)));
-    c.bench_function("fig8_misordered", |b| b.iter(|| black_box(fig8::run(&opts))));
+    c.bench_function("fig8_misordered", |b| {
+        b.iter(|| black_box(fig8::run(&opts)))
+    });
 }
 
 fn fig10_fragment_skew(c: &mut Criterion) {
     static ONCE: Once = Once::new();
     let opts = bench_opts();
     print_once(&ONCE, || fig10::render(&fig10::run(&opts)));
-    c.bench_function("fig10_fragment_skew", |b| b.iter(|| black_box(fig10::run(&opts))));
+    c.bench_function("fig10_fragment_skew", |b| {
+        b.iter(|| black_box(fig10::run(&opts)))
+    });
 }
 
 fn fig11_saf(c: &mut Criterion) {

@@ -131,9 +131,11 @@ fn simulator_throughput(c: &mut Criterion) {
         ("ls_prefetch", SimConfig::ls_prefetch()),
         ("ls_cache", SimConfig::ls_cache()),
     ] {
-        group.bench_with_input(BenchmarkId::new("replay_w91", name), &config, |b, config| {
-            b.iter(|| black_box(simulate(&trace, config).seeks))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("replay_w91", name),
+            &config,
+            |b, config| b.iter(|| black_box(simulate(&trace, config).seeks)),
+        );
     }
     group.finish();
 }

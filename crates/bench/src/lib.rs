@@ -14,7 +14,6 @@
 //!   and range-cache operations, Zipf sampling, mis-order scanning, and
 //!   end-to-end simulator throughput per layer.
 
-
 #![warn(missing_docs)]
 use smrseek_sim::experiments::ExpOptions;
 use smrseek_trace::TraceRecord;

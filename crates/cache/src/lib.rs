@@ -25,7 +25,6 @@
 //! assert!(!cache.covers(Pba::new(1004), 16));
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod lru;
 pub mod range;

@@ -43,8 +43,8 @@ impl Default for DiskProfile {
             rpm: 7200,
             // ~1 MiB tracks are typical for modern high-density drives.
             sectors_per_track: 2048,
-            min_seek_us: 1_000.0,   // 1 ms track-to-track
-            max_seek_us: 25_000.0,  // 25 ms full stroke (paper: "25ms or more")
+            min_seek_us: 1_000.0,                         // 1 ms track-to-track
+            max_seek_us: 25_000.0, // 25 ms full stroke (paper: "25ms or more")
             capacity_sectors: 8 * 1024 * 1024 * 1024 / 4, // 8 TB / 4 KiB... in sectors below
         }
     }
@@ -171,6 +171,9 @@ mod tests {
     fn bandwidth_plausible() {
         // ~2048 sectors/track @7200rpm -> ~125 MB/s
         let bw = DiskProfile::default().sequential_bandwidth();
-        assert!(bw > 50e6 && bw < 500e6, "bandwidth {bw} out of plausible range");
+        assert!(
+            bw > 50e6 && bw < 500e6,
+            "bandwidth {bw} out of plausible range"
+        );
     }
 }

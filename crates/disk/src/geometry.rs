@@ -85,7 +85,10 @@ impl DiskGeometry {
     pub fn zbr(capacity_sectors: u64, outer_spt: u64, inner_spt: u64, zone_count: usize) -> Self {
         assert!(zone_count > 0, "need at least one zone");
         assert!(inner_spt > 0, "tracks must hold sectors");
-        assert!(outer_spt >= inner_spt, "outer tracks are longer on ZBR disks");
+        assert!(
+            outer_spt >= inner_spt,
+            "outer tracks are longer on ZBR disks"
+        );
         let per_zone = capacity_sectors / zone_count as u64;
         let mut zones = Vec::with_capacity(zone_count);
         let mut start_sector = 0;
@@ -121,9 +124,7 @@ impl DiskGeometry {
 
     /// Total cylinder count.
     pub fn cylinders(&self) -> u64 {
-        self.zones
-            .last()
-            .map_or(0, |z| z.start_cylinder + z.tracks)
+        self.zones.last().map_or(0, |z| z.start_cylinder + z.tracks)
     }
 
     /// Maps a sector to its cylinder/angle, or `None` past the end.
@@ -250,9 +251,7 @@ mod tests {
         let p = DiskProfile::default();
         // Within the first track: forward skip by a quarter track.
         let quarter = 2048 / 4;
-        let t = g
-            .seek_time_us(&p, Pba::new(0), Pba::new(quarter))
-            .unwrap();
+        let t = g.seek_time_us(&p, Pba::new(0), Pba::new(quarter)).unwrap();
         assert!((t - p.rotation_us() / 4.0).abs() < 1.0, "{t}");
     }
 
@@ -284,7 +283,9 @@ mod tests {
     fn out_of_range_is_none() {
         let g = geo();
         let p = DiskProfile::default();
-        assert!(g.seek_time_us(&p, Pba::new(0), Pba::new(u64::MAX)).is_none());
+        assert!(g
+            .seek_time_us(&p, Pba::new(0), Pba::new(u64::MAX))
+            .is_none());
         assert!(g.locate(Pba::new(u64::MAX)).is_none());
     }
 

@@ -35,7 +35,6 @@
 //! assert_eq!(counter.stats().read_seeks, 1);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod cost;
 pub mod counter;

@@ -27,7 +27,6 @@
 //! assert_eq!(map.fragments_in(Lba::new(0), 6), 3);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod map;
 pub mod segment;

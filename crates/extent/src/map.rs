@@ -455,7 +455,7 @@ mod tests {
         map.insert(lba(0), 6, pba(1000)); // contiguous original
         map.insert(lba(2), 1, pba(2000)); // update
         map.insert(lba(4), 1, pba(2001)); // update
-        // pieces: [0,2)@1000, [2,3)@2000, [3,4)@1003, [4,5)@2001, [5,6)@1005
+                                          // pieces: [0,2)@1000, [2,3)@2000, [3,4)@1003, [4,5)@2001, [5,6)@1005
         assert_eq!(map.fragments_in(lba(0), 6), 5);
         assert_eq!(map.fragments_in(lba(0), 2), 1);
         assert_eq!(map.fragments_in(lba(2), 1), 1);
@@ -467,7 +467,7 @@ mod tests {
         map.insert(lba(0), 6, pba(1000));
         map.insert(lba(2), 1, pba(2000));
         map.insert(lba(3), 1, pba(2001)); // physically continues previous update
-        // pieces: [0,2)@1000, [2,4)@2000, [4,6)@1004
+                                          // pieces: [0,2)@1000, [2,4)@2000, [4,6)@1004
         assert_eq!(map.fragments_in(lba(0), 6), 3);
         assert_eq!(map.len(), 3);
     }

@@ -1,0 +1,311 @@
+//! JSON request parsing and cache-key derivation for the `/v1` API.
+//!
+//! A job submission names a trace — by file path or as a synthetic
+//! Table-I profile — and optionally a single [`SimConfig`]; with no
+//! config the job runs the standard five-layer sweep and its result is
+//! the exact document `smrseek simulate --json` writes offline.
+//!
+//! ```json
+//! {"trace": {"path": "/traces/web_2.csv"}}
+//! {"trace": {"profile": "hm_1", "ops": 20000, "seed": 7},
+//!  "config": {"layer": "ls_cache", "record_distances": true}}
+//! ```
+//!
+//! Parsing is strict: unknown config knobs are rejected rather than
+//! ignored, because a silently-dropped knob would make two *different*
+//! requests share a cache key — precisely the staleness the
+//! content-addressed cache exists to prevent.
+
+use serde::Value;
+use smrseek_sim::{LayerChoice, SimConfig};
+use std::path::PathBuf;
+
+/// Where a job's records come from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceRef {
+    /// An on-disk trace (any supported format; loaded through the shared
+    /// registry and identified by content digest).
+    Path(PathBuf),
+    /// A synthetic Table-I workload, identified by its generator inputs.
+    Profile {
+        /// Profile name (`smrseek list`).
+        name: String,
+        /// Generator seed.
+        seed: u64,
+        /// Operation count.
+        ops: usize,
+    },
+}
+
+/// One parsed job submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// The trace to replay.
+    pub trace: TraceRef,
+    /// A single configuration, or `None` for the standard sweep.
+    pub config: Option<SimConfig>,
+}
+
+/// Parses a `POST /v1/jobs` body.
+///
+/// # Errors
+///
+/// Returns a client-facing message (served as HTTP 400) for malformed
+/// JSON, a missing/ambiguous trace reference, or an invalid config.
+pub fn parse_job_request(body: &[u8]) -> Result<JobRequest, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
+    let value: Value =
+        serde_json::from_str(text).map_err(|e| format!("body is not valid JSON: {e}"))?;
+    let trace = value
+        .get("trace")
+        .ok_or_else(|| "missing field `trace`".to_owned())?;
+    let trace = parse_trace_ref(trace)?;
+    let config = match value.get("config") {
+        None => None,
+        Some(Value::Null) => None,
+        Some(config) => Some(parse_config(config)?),
+    };
+    Ok(JobRequest { trace, config })
+}
+
+fn parse_trace_ref(v: &Value) -> Result<TraceRef, String> {
+    match (v.get("path"), v.get("profile")) {
+        (Some(path), None) => {
+            let path = path
+                .as_str()
+                .ok_or_else(|| "`trace.path` must be a string".to_owned())?;
+            Ok(TraceRef::Path(PathBuf::from(path)))
+        }
+        (None, Some(profile)) => {
+            let name = profile
+                .as_str()
+                .ok_or_else(|| "`trace.profile` must be a string".to_owned())?;
+            let seed = match v.get("seed") {
+                None => 42, // ExpOptions::default() — matches the CLI
+                Some(s) => s
+                    .as_u64()
+                    .ok_or_else(|| "`trace.seed` must be an unsigned integer".to_owned())?,
+            };
+            let ops = match v.get("ops") {
+                None => return Err("`trace.ops` is required for profile traces".to_owned()),
+                Some(o) => o
+                    .as_u64()
+                    .ok_or_else(|| "`trace.ops` must be an unsigned integer".to_owned())?
+                    as usize,
+            };
+            Ok(TraceRef::Profile {
+                name: name.to_owned(),
+                seed,
+                ops,
+            })
+        }
+        (Some(_), Some(_)) => Err("`trace` must name either `path` or `profile`, not both".into()),
+        (None, None) => Err("`trace` must contain `path` or `profile`".into()),
+    }
+}
+
+/// Parses a `config` object into a [`SimConfig`].
+///
+/// The `layer` field selects a constructor (`nols`, `ls`, `ls_defrag`,
+/// `ls_prefetch`, `ls_cache`, all at paper defaults); every other knob is
+/// optional and maps 1:1 onto a [`SimConfig`] field.
+pub fn parse_config(v: &Value) -> Result<SimConfig, String> {
+    let entries = v
+        .as_object()
+        .ok_or_else(|| "`config` must be an object".to_owned())?;
+    let layer = v.get("layer").and_then(Value::as_str).ok_or_else(|| {
+        "`config.layer` must be one of nols|ls|ls_defrag|ls_prefetch|ls_cache".to_owned()
+    })?;
+    let mut config = match layer {
+        "nols" => SimConfig::no_ls(),
+        "ls" => SimConfig::log_structured(),
+        "ls_defrag" => SimConfig::ls_defrag(),
+        "ls_prefetch" => SimConfig::ls_prefetch(),
+        "ls_cache" => SimConfig::ls_cache(),
+        other => return Err(format!("unknown layer {other:?}")),
+    };
+    for (key, value) in entries {
+        match key.as_str() {
+            "layer" => {}
+            "record_distances" => {
+                config.record_distances = value
+                    .as_bool()
+                    .ok_or_else(|| "`record_distances` must be a bool".to_owned())?;
+            }
+            "track_fragments" => {
+                config.track_fragments = value
+                    .as_bool()
+                    .ok_or_else(|| "`track_fragments` must be a bool".to_owned())?;
+            }
+            "longseek_bucket_ops" => {
+                config.longseek_bucket_ops = value.as_u64().ok_or_else(|| {
+                    "`longseek_bucket_ops` must be an unsigned integer".to_owned()
+                })?;
+            }
+            "host_cache_bytes" => {
+                config.host_cache_bytes =
+                    Some(value.as_u64().ok_or_else(|| {
+                        "`host_cache_bytes` must be an unsigned integer".to_owned()
+                    })?);
+            }
+            "zone_sectors" => {
+                config.zone_sectors = Some(
+                    value
+                        .as_u64()
+                        .ok_or_else(|| "`zone_sectors` must be an unsigned integer".to_owned())?,
+                );
+            }
+            "frontier_hint" => {
+                config.frontier_hint = Some(
+                    value
+                        .as_u64()
+                        .ok_or_else(|| "`frontier_hint` must be an unsigned integer".to_owned())?,
+                );
+            }
+            other => return Err(format!("unknown config field {other:?}")),
+        }
+    }
+    if matches!(config.layer, LayerChoice::NoLs) && config.zone_sectors.is_some() {
+        // Not an error the engine would catch — zones are silently ignored
+        // by NoLS — but accepting it would imply it did something.
+        return Err("`zone_sectors` has no effect with layer \"nols\"".to_owned());
+    }
+    Ok(config)
+}
+
+/// The content identity of a trace reference: file traces use their
+/// record digest (format- and path-independent); synthetic traces use
+/// their generator inputs, which fully determine the records.
+pub fn trace_key(trace: &TraceRef, digest: Option<smrseek_trace::TraceDigest>) -> String {
+    match (trace, digest) {
+        (TraceRef::Path(_), Some(digest)) => format!("trace:{digest}"),
+        (TraceRef::Path(path), None) => format!("path:{}", path.display()),
+        (TraceRef::Profile { name, seed, ops }, _) => {
+            format!("profile:{name}:s{seed}:o{ops}")
+        }
+    }
+}
+
+/// The result-cache key of a job: trace identity plus either the fixed
+/// sweep marker or the canonicalized single config (see
+/// [`SimConfig::cache_key`]).
+pub fn result_key(trace_key: &str, top: Option<u64>, config: Option<&SimConfig>) -> String {
+    match config {
+        None => format!("{trace_key}|sweep"),
+        Some(config) => format!("{trace_key}|{}", config.cache_key(top)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_path_sweep_request() {
+        let req = parse_job_request(br#"{"trace": {"path": "/tmp/t.csv"}}"#).expect("parses");
+        assert_eq!(req.trace, TraceRef::Path(PathBuf::from("/tmp/t.csv")));
+        assert!(req.config.is_none());
+    }
+
+    #[test]
+    fn parses_profile_single_config_request() {
+        let req = parse_job_request(
+            br#"{"trace": {"profile": "hm_1", "ops": 500, "seed": 7},
+                 "config": {"layer": "ls_cache", "record_distances": true,
+                            "host_cache_bytes": 1048576}}"#,
+        )
+        .expect("parses");
+        assert_eq!(
+            req.trace,
+            TraceRef::Profile {
+                name: "hm_1".into(),
+                seed: 7,
+                ops: 500
+            }
+        );
+        let config = req.config.expect("has config");
+        assert!(config.record_distances);
+        assert_eq!(config.host_cache_bytes, Some(1048576));
+        assert!(matches!(
+            config.layer,
+            LayerChoice::Ls { cache: Some(_), .. }
+        ));
+    }
+
+    #[test]
+    fn profile_seed_defaults_to_cli_default() {
+        let req =
+            parse_job_request(br#"{"trace": {"profile": "w91", "ops": 10}}"#).expect("parses");
+        assert_eq!(
+            req.trace,
+            TraceRef::Profile {
+                name: "w91".into(),
+                seed: 42,
+                ops: 10
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for (body, needle) in [
+            (&b"not json"[..], "not valid JSON"),
+            (br#"{}"#, "missing field `trace`"),
+            (br#"{"trace": {}}"#, "`path` or `profile`"),
+            (
+                br#"{"trace": {"path": "a", "profile": "b", "ops": 1}}"#,
+                "not both",
+            ),
+            (
+                br#"{"trace": {"profile": "w91"}}"#,
+                "`trace.ops` is required",
+            ),
+            (
+                br#"{"trace": {"path": "a"}, "config": {"layer": "warp"}}"#,
+                "unknown layer",
+            ),
+            (
+                br#"{"trace": {"path": "a"}, "config": {"layer": "ls", "typo_knob": 1}}"#,
+                "unknown config field",
+            ),
+            (
+                br#"{"trace": {"path": "a"}, "config": {"layer": "nols", "zone_sectors": 8}}"#,
+                "no effect",
+            ),
+        ] {
+            let err = parse_job_request(body).expect_err("must reject");
+            assert!(err.contains(needle), "{err:?} should mention {needle:?}");
+        }
+    }
+
+    #[test]
+    fn keys_separate_traces_and_configs() {
+        let sweep_a = result_key("trace:abc", Some(100), None);
+        let sweep_b = result_key("trace:def", Some(100), None);
+        assert_ne!(sweep_a, sweep_b);
+        let single = result_key("trace:abc", Some(100), Some(&SimConfig::ls_cache()));
+        assert_ne!(sweep_a, single);
+        // Derived-vs-explicit frontier hints canonicalize together.
+        let explicit = SimConfig::log_structured().with_frontier_hint(100);
+        assert_eq!(
+            result_key("t", Some(100), Some(&SimConfig::log_structured())),
+            result_key("t", None, Some(&explicit)),
+        );
+    }
+
+    #[test]
+    fn profile_key_is_generator_addressed() {
+        let profile = TraceRef::Profile {
+            name: "hm_1".into(),
+            seed: 7,
+            ops: 500,
+        };
+        assert_eq!(trace_key(&profile, None), "profile:hm_1:s7:o500");
+        let other = TraceRef::Profile {
+            name: "hm_1".into(),
+            seed: 8,
+            ops: 500,
+        };
+        assert_ne!(trace_key(&profile, None), trace_key(&other, None));
+    }
+}

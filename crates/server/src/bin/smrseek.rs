@@ -26,6 +26,7 @@
 //!   convert <in> <out>     convert any trace to the v2 binary format
 //!   gen <profile>          emit a synthetic trace as CloudPhysics CSV
 //!   list                   list the 21 workload profiles
+//!   serve                  run the smrseekd HTTP daemon (see crate docs)
 //! ```
 //!
 //! Trace files may be MSR CSV, CloudPhysics CSV, blkparse text, or the
@@ -39,7 +40,7 @@ use smrseek_sim::experiments::{
     fragmentation, host_cache, reorder, table1, time_amp, zones, ExpOptions,
 };
 use smrseek_sim::runner::{self, parallel_map, MatrixStats, RunMatrix};
-use smrseek_sim::{tracecache, Saf, SimConfig, TextTable, TraceSource};
+use smrseek_sim::{saf, tracecache, SimConfig, TextTable, TraceSource};
 use smrseek_trace::binary::{self, MmapTrace};
 use smrseek_trace::parse::{parse_reader, BlktraceParser, CpParser, MsrParser};
 use smrseek_trace::writer::write_cp_csv;
@@ -82,7 +83,10 @@ impl CliError {
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CliError::Usage(msg) => write!(f, "{msg}"),
+            // Every usage failure prints the usage string exactly once,
+            // whether or not the originating site embedded it.
+            CliError::Usage(msg) if msg.contains("usage:") => write!(f, "{msg}"),
+            CliError::Usage(msg) => write!(f, "{msg}\n{}", usage()),
             CliError::Io(msg) => write!(f, "error: {msg}"),
             CliError::Parse(msg) => write!(f, "error: {msg}"),
         }
@@ -99,6 +103,9 @@ struct Args {
     format: TraceFormat,
     threads: NonZeroUsize,
     cache: bool,
+    addr: String,
+    workers: usize,
+    queue_depth: usize,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -116,7 +123,9 @@ fn usage() -> String {
      smrseek <characterize|simulate> <trace> [--format msr|cp|blktrace|binary] [--cache] \
      [--json FILE]\n       \
      smrseek convert <trace> <out.smrt> [--format msr|cp|blktrace|binary]\n       \
-     smrseek gen <profile> [--ops N] [--seed S] [--out FILE]"
+     smrseek gen <profile> [--ops N] [--seed S] [--out FILE]\n       \
+     smrseek serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--threads N]\n       \
+     smrseek --version"
         .to_owned()
 }
 
@@ -133,6 +142,9 @@ fn parse_args(argv: &[String]) -> Result<Args, CliError> {
         format: TraceFormat::Auto,
         threads: runner::default_threads(),
         cache: false,
+        addr: "127.0.0.1:7070".to_owned(),
+        workers: 2,
+        queue_depth: 64,
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -186,6 +198,26 @@ fn parse_args(argv: &[String]) -> Result<Args, CliError> {
             }
             "--cache" => {
                 args.cache = true;
+            }
+            "--addr" => {
+                args.addr = it
+                    .next()
+                    .ok_or_else(|| CliError::usage("--addr needs host:port"))?
+                    .clone();
+            }
+            "--workers" => {
+                args.workers = it
+                    .next()
+                    .ok_or_else(|| CliError::usage("--workers needs a value"))?
+                    .parse()
+                    .map_err(|_| CliError::usage("--workers must be an integer"))?;
+            }
+            "--queue-depth" => {
+                args.queue_depth = it
+                    .next()
+                    .ok_or_else(|| CliError::usage("--queue-depth needs a value"))?
+                    .parse()
+                    .map_err(|_| CliError::usage("--queue-depth must be an integer"))?;
             }
             other if args.file.is_none() && !other.starts_with("--") => {
                 args.file = Some(other.to_owned());
@@ -319,8 +351,8 @@ fn cache_dir(args: &Args) -> Option<PathBuf> {
 
 fn maybe_write_json<T: serde::Serialize>(json: &Option<String>, value: &T) -> Result<(), CliError> {
     if let Some(path) = json {
-        let text = serde_json::to_string_pretty(value)
-            .map_err(|e| CliError::Parse(e.to_string()))?;
+        let text =
+            serde_json::to_string_pretty(value).map_err(|e| CliError::Parse(e.to_string()))?;
         let mut f =
             File::create(path).map_err(|e| CliError::Io(format!("cannot create {path}: {e}")))?;
         f.write_all(text.as_bytes())
@@ -328,6 +360,57 @@ fn maybe_write_json<T: serde::Serialize>(json: &Option<String>, value: &T) -> Re
         eprintln!("wrote {path}");
     }
     Ok(())
+}
+
+/// Set by the `SIGINT`/`SIGTERM` handler; the serve loop polls it.
+static SHUTDOWN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn request_shutdown(_signum: i32) {
+    SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Installs `request_shutdown` for `SIGINT` (2) and `SIGTERM` (15) via
+/// `signal(2)`, declared raw like `mmap(2)` in the trace crate — the
+/// build environment has no libc crate. Setting a flag is all the
+/// handler does, which is async-signal-safe.
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, request_shutdown as *const () as usize);
+        signal(SIGTERM, request_shutdown as *const () as usize);
+    }
+}
+
+/// Runs the daemon until a termination signal, then drains gracefully.
+fn run_serve(args: &Args) -> Result<String, CliError> {
+    let config = smrseek_server::ServerConfig {
+        addr: args.addr.clone(),
+        queue_depth: args.queue_depth,
+        workers: args.workers,
+        job_threads: args.threads,
+    };
+    let handle = smrseek_server::start(config)
+        .map_err(|e| CliError::Io(format!("cannot bind {}: {e}", args.addr)))?;
+    // The address line goes to stdout (and is flushed) so scripts that
+    // bind port 0 can learn the real port before talking to the daemon.
+    println!("smrseekd listening on http://{}", handle.addr());
+    std::io::stdout()
+        .flush()
+        .map_err(|e| CliError::Io(format!("cannot write startup line: {e}")))?;
+    install_signal_handlers();
+    while !SHUTDOWN.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("smrseekd: signal received, draining running jobs");
+    let (hits, misses) = handle.state().metrics.cache_counts();
+    handle.shutdown();
+    Ok(format!(
+        "smrseekd: clean shutdown ({hits} cache hits, {misses} misses)\n"
+    ))
 }
 
 fn run_experiment(args: &Args) -> Result<String, CliError> {
@@ -443,78 +526,132 @@ fn run_experiment(args: &Args) -> Result<String, CliError> {
             let table1_cache = cache_dir(args);
             let fig2_cache = cache_dir(args);
             let sections: Vec<Section> = vec![
-                ("table1", Box::new(move || {
-                    let r = table1::run_cached(&o, NonZeroUsize::MIN, table1_cache.as_deref());
-                    (format!("{}\n", table1::render(&r)), r.to_value())
-                })),
-                ("fig2", Box::new(move || {
-                    let r = fig2::run_cached(&o, NonZeroUsize::MIN, fig2_cache.as_deref()).0;
-                    (fig2::render(&r), r.to_value())
-                })),
-                ("fig3", Box::new(move || {
-                    let r = fig3::run(&o);
-                    (format!("{}\n", fig3::render(&r)), r.to_value())
-                })),
-                ("fig4", Box::new(move || {
-                    let r = fig4::run(&o);
-                    (format!("{}\n", fig4::render(&r)), r.to_value())
-                })),
-                ("fig5", Box::new(move || {
-                    let r = fig5::run(&o);
-                    (format!("{}\n", fig5::render(&r)), r.to_value())
-                })),
-                ("fig7", Box::new(move || {
-                    let r = fig7::run(&o);
-                    (format!("{}\n", fig7::render(&r)), r.to_value())
-                })),
-                ("fig8", Box::new(move || {
-                    let r = fig8::run(&o);
-                    (format!("{}\n", fig8::render(&r)), r.to_value())
-                })),
-                ("fig10", Box::new(move || {
-                    let r = fig10::run(&o);
-                    (format!("{}\n", fig10::render(&r)), r.to_value())
-                })),
-                ("fig11", Box::new(move || {
-                    let r = fig11::run(&o);
-                    (fig11::render(&r), r.to_value())
-                })),
-                ("classify", Box::new(move || {
-                    let r = classify::run(&o);
-                    (format!("{}\n", classify::render(&r)), r.to_value())
-                })),
-                ("analyze", Box::new(move || {
-                    let r = analyze::run(&o);
-                    (format!("{}\n", analyze::render(&r)), r.to_value())
-                })),
-                ("frag", Box::new(move || {
-                    let r = fragmentation::run(&o);
-                    (format!("{}\n", fragmentation::render(&r)), r.to_value())
-                })),
-                ("ablate", Box::new(move || {
-                    let r = ablation::run(&o);
-                    (ablation::render(&r), r.to_value())
-                })),
-                ("timeamp", Box::new(move || {
-                    let r = time_amp::run(&o);
-                    (format!("{}\n", time_amp::render(&r)), r.to_value())
-                })),
-                ("hostcache", Box::new(move || {
-                    let r = host_cache::run(&o);
-                    (host_cache::render(&r), r.to_value())
-                })),
-                ("clean", Box::new(move || {
-                    let r = cleaning::run(&o);
-                    (format!("{}\n", cleaning::render(&r)), r.to_value())
-                })),
-                ("reorder", Box::new(move || {
-                    let r = reorder::run(&o);
-                    (format!("{}\n", reorder::render(&r)), r.to_value())
-                })),
-                ("zones", Box::new(move || {
-                    let r = zones::run(&o);
-                    (zones::render(&r), r.to_value())
-                })),
+                (
+                    "table1",
+                    Box::new(move || {
+                        let r = table1::run_cached(&o, NonZeroUsize::MIN, table1_cache.as_deref());
+                        (format!("{}\n", table1::render(&r)), r.to_value())
+                    }),
+                ),
+                (
+                    "fig2",
+                    Box::new(move || {
+                        let r = fig2::run_cached(&o, NonZeroUsize::MIN, fig2_cache.as_deref()).0;
+                        (fig2::render(&r), r.to_value())
+                    }),
+                ),
+                (
+                    "fig3",
+                    Box::new(move || {
+                        let r = fig3::run(&o);
+                        (format!("{}\n", fig3::render(&r)), r.to_value())
+                    }),
+                ),
+                (
+                    "fig4",
+                    Box::new(move || {
+                        let r = fig4::run(&o);
+                        (format!("{}\n", fig4::render(&r)), r.to_value())
+                    }),
+                ),
+                (
+                    "fig5",
+                    Box::new(move || {
+                        let r = fig5::run(&o);
+                        (format!("{}\n", fig5::render(&r)), r.to_value())
+                    }),
+                ),
+                (
+                    "fig7",
+                    Box::new(move || {
+                        let r = fig7::run(&o);
+                        (format!("{}\n", fig7::render(&r)), r.to_value())
+                    }),
+                ),
+                (
+                    "fig8",
+                    Box::new(move || {
+                        let r = fig8::run(&o);
+                        (format!("{}\n", fig8::render(&r)), r.to_value())
+                    }),
+                ),
+                (
+                    "fig10",
+                    Box::new(move || {
+                        let r = fig10::run(&o);
+                        (format!("{}\n", fig10::render(&r)), r.to_value())
+                    }),
+                ),
+                (
+                    "fig11",
+                    Box::new(move || {
+                        let r = fig11::run(&o);
+                        (fig11::render(&r), r.to_value())
+                    }),
+                ),
+                (
+                    "classify",
+                    Box::new(move || {
+                        let r = classify::run(&o);
+                        (format!("{}\n", classify::render(&r)), r.to_value())
+                    }),
+                ),
+                (
+                    "analyze",
+                    Box::new(move || {
+                        let r = analyze::run(&o);
+                        (format!("{}\n", analyze::render(&r)), r.to_value())
+                    }),
+                ),
+                (
+                    "frag",
+                    Box::new(move || {
+                        let r = fragmentation::run(&o);
+                        (format!("{}\n", fragmentation::render(&r)), r.to_value())
+                    }),
+                ),
+                (
+                    "ablate",
+                    Box::new(move || {
+                        let r = ablation::run(&o);
+                        (ablation::render(&r), r.to_value())
+                    }),
+                ),
+                (
+                    "timeamp",
+                    Box::new(move || {
+                        let r = time_amp::run(&o);
+                        (format!("{}\n", time_amp::render(&r)), r.to_value())
+                    }),
+                ),
+                (
+                    "hostcache",
+                    Box::new(move || {
+                        let r = host_cache::run(&o);
+                        (host_cache::render(&r), r.to_value())
+                    }),
+                ),
+                (
+                    "clean",
+                    Box::new(move || {
+                        let r = cleaning::run(&o);
+                        (format!("{}\n", cleaning::render(&r)), r.to_value())
+                    }),
+                ),
+                (
+                    "reorder",
+                    Box::new(move || {
+                        let r = reorder::run(&o);
+                        (format!("{}\n", reorder::render(&r)), r.to_value())
+                    }),
+                ),
+                (
+                    "zones",
+                    Box::new(move || {
+                        let r = zones::run(&o);
+                        (zones::render(&r), r.to_value())
+                    }),
+                ),
             ];
             let results: Vec<(String, Value, Duration)> =
                 parallel_map(&sections, args.threads, |(_, job)| {
@@ -541,10 +678,7 @@ fn run_experiment(args: &Args) -> Result<String, CliError> {
             out
         }
         "plotdata" => {
-            let dir = args
-                .out
-                .clone()
-                .unwrap_or_else(|| "plotdata".to_owned());
+            let dir = args.out.clone().unwrap_or_else(|| "plotdata".to_owned());
             let written = smrseek_sim::plotdata::export_all(opts, std::path::Path::new(&dir))
                 .map_err(CliError::Io)?;
             let mut out = format!("wrote {} CSV files to {dir}/:\n", written.len());
@@ -585,8 +719,7 @@ fn run_experiment(args: &Args) -> Result<String, CliError> {
                 }
                 None => {
                     let mut buf = Vec::new();
-                    write_cp_csv(&mut buf, &trace)
-                        .map_err(|e| CliError::Io(e.to_string()))?;
+                    write_cp_csv(&mut buf, &trace).map_err(|e| CliError::Io(e.to_string()))?;
                     String::from_utf8(buf).expect("CSV is UTF-8")
                 }
             }
@@ -619,36 +752,27 @@ fn run_experiment(args: &Args) -> Result<String, CliError> {
                 .as_ref()
                 .ok_or_else(|| CliError::usage("simulate needs a trace file"))?;
             let source = simulate_source(path, args.format, args.cache)?;
-            let matrix = RunMatrix::cross(
-                &[source],
-                &[
-                    SimConfig::no_ls(),
-                    SimConfig::log_structured(),
-                    SimConfig::ls_defrag(),
-                    SimConfig::ls_prefetch(),
-                    SimConfig::ls_cache(),
-                ],
-            );
+            let matrix = RunMatrix::cross(&[source], &SimConfig::standard_sweep());
             let outcomes = matrix.execute(args.threads);
-            eprintln!("{}", MatrixStats::from_outcomes(&outcomes).summary("simulate"));
-            let base = outcomes[0].report.seeks;
+            eprintln!(
+                "{}",
+                MatrixStats::from_outcomes(&outcomes).summary("simulate")
+            );
             let ops = outcomes[0].report.logical_ops;
+            let safs = saf::sweep_safs(&outcomes);
             let mut table = TextTable::new(vec!["layer", "read seeks", "write seeks", "SAF"]);
-            let mut safs: Vec<(String, Saf)> = Vec::new();
-            for outcome in outcomes {
-                let report = outcome.report;
-                let saf = Saf::from_stats(&report.seeks, &base);
+            for (outcome, (layer, saf)) in outcomes.iter().zip(&safs) {
                 table.row(vec![
-                    report.layer_name.clone(),
-                    report.seeks.read_seeks.to_string(),
-                    report.seeks.write_seeks.to_string(),
+                    layer.clone(),
+                    outcome.report.seeks.read_seeks.to_string(),
+                    outcome.report.seeks.write_seeks.to_string(),
                     format!("{:.2}", saf.total),
                 ]);
-                safs.push((report.layer_name, saf));
             }
             maybe_write_json(&args.json, &safs)?;
             format!("{path}: {ops} ops\n{table}")
         }
+        "serve" => run_serve(args)?,
         "convert" => {
             let input = args
                 .file
@@ -677,6 +801,10 @@ fn run_experiment(args: &Args) -> Result<String, CliError> {
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--version" || a == "-V") {
+        println!("smrseek {}", env!("CARGO_PKG_VERSION"));
+        return ExitCode::SUCCESS;
+    }
     let args = match parse_args(&argv) {
         Ok(args) => args,
         Err(err) => {

@@ -1,0 +1,260 @@
+//! A deliberately small HTTP/1.1 implementation over [`std::net`].
+//!
+//! The daemon needs exactly one request per connection, no TLS, no
+//! chunked encoding, and bounded header/body sizes — a few hundred lines
+//! of `std` beat an external dependency here (the build environment is
+//! offline; see `vendor/README.md`). Every response carries
+//! `Connection: close`, so clients never have to reason about keep-alive
+//! against a daemon that may be draining for shutdown.
+
+use std::io::{self, Read, Write};
+
+/// Largest accepted request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest accepted request body.
+const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), uppercase as received.
+    pub method: String,
+    /// Request target path (query strings are not used by the API and are
+    /// kept attached verbatim).
+    pub target: String,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed. Distinguishes "peer went away"
+/// (not an error worth answering) from "peer sent garbage" (400).
+#[derive(Debug)]
+pub enum RequestError {
+    /// The connection closed before a full request arrived.
+    Closed,
+    /// Transport-level failure (timeout, reset).
+    Io(io::Error),
+    /// The bytes did not form an acceptable HTTP/1.1 request.
+    Malformed(String),
+}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> Self {
+        RequestError::Io(e)
+    }
+}
+
+/// Reads one HTTP/1.1 request from `stream`.
+///
+/// # Errors
+///
+/// [`RequestError::Closed`] when the peer closes before sending anything,
+/// [`RequestError::Malformed`] for oversized or syntactically invalid
+/// requests, [`RequestError::Io`] for transport failures.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
+    // Read byte-at-a-time until the blank line: simple, obviously correct,
+    // and irrelevant to performance next to a simulation job. The head is
+    // capped so a hostile peer cannot balloon memory.
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte)? {
+            0 => {
+                if head.is_empty() {
+                    return Err(RequestError::Closed);
+                }
+                return Err(RequestError::Malformed("truncated request head".into()));
+            }
+            _ => head.push(byte[0]),
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            break;
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(RequestError::Malformed("request head too large".into()));
+        }
+    }
+    let head = String::from_utf8(head)
+        .map_err(|_| RequestError::Malformed("request head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if !m.is_empty() && t.starts_with('/') => (m, t, v),
+        _ => {
+            return Err(RequestError::Malformed(format!(
+                "bad request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| RequestError::Malformed("bad Content-Length".into()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(RequestError::Malformed("request body too large".into()));
+    }
+    let mut body = vec![0u8; content_length];
+    stream
+        .read_exact(&mut body)
+        .map_err(|_| RequestError::Malformed("connection closed mid-body".into()))?;
+    Ok(Request {
+        method: method.to_owned(),
+        target: target.to_owned(),
+        body,
+    })
+}
+
+/// One HTTP response, always sent with `Connection: close`.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers beyond `Content-Type`/`Content-Length`/`Connection`.
+    pub extra: Vec<(String, String)>,
+    content_type: &'static str,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            extra: Vec::new(),
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A plain-text response (health checks, Prometheus exposition).
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            extra: Vec::new(),
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// Adds one extra header.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.extra.push((name.into(), value.into()));
+        self
+    }
+
+    /// The response body bytes.
+    pub fn body(&self) -> &[u8] {
+        &self.body
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Status",
+        }
+    }
+}
+
+/// Writes `response` to `stream` and flushes it.
+///
+/// # Errors
+///
+/// Propagates transport write failures.
+pub fn write_response(stream: &mut impl Write, response: &Response) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+        response.status,
+        response.reason(),
+        response.content_type,
+        response.body.len(),
+    );
+    for (name, value) in &response.extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Request, RequestError> {
+        read_request(&mut &bytes[..])
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n").expect("parses");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_content_length() {
+        let req =
+            parse(b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"").expect("parses");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn classifies_clean_close_and_garbage() {
+        assert!(matches!(parse(b""), Err(RequestError::Closed)));
+        assert!(matches!(
+            parse(b"NOT-HTTP\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET /x HTTP/2.0\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+        // Truncated body: Content-Length promises more than arrives.
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nxy"),
+            Err(RequestError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        let resp = Response::json(503, "{}").with_header("retry-after", "1");
+        write_response(&mut out, &resp).expect("writes");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,345 @@
+//! The job table: a bounded queue, per-job lifecycle, and the
+//! content-addressed result cache.
+//!
+//! One mutex-protected table holds every job the daemon has ever accepted
+//! this process, indexed both by id and by *cache key* (trace digest +
+//! canonicalized config, see [`crate::api`]). Submitting a key that is
+//! already present — queued, running, or done — returns the existing job
+//! instead of enqueuing a duplicate: the dedup map IS the result cache,
+//! and because the check happens under the same lock as insertion, N
+//! concurrent submissions of one key yield exactly one miss and N−1 hits
+//! no matter how the threads interleave.
+//!
+//! Backpressure is explicit: when `capacity` jobs are already waiting,
+//! [`JobTable::submit`] refuses (the HTTP layer answers 503 +
+//! `Retry-After`) rather than queueing unboundedly or blocking the
+//! connection handler.
+
+use crate::worker::JobWork;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Job identifier, sequential from 1 within one daemon process.
+pub type JobId = u64;
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is replaying it.
+    Running,
+    /// Finished; the result document is available.
+    Done,
+    /// The replay failed; the error message is available.
+    Failed,
+}
+
+impl JobState {
+    /// Lower-case label used in the API and in metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// All states, in lifecycle order (metrics iterate this).
+    pub const ALL: [JobState; 4] = [
+        JobState::Queued,
+        JobState::Running,
+        JobState::Done,
+        JobState::Failed,
+    ];
+}
+
+struct Job {
+    state: JobState,
+    work: Arc<JobWork>,
+    /// The finished result document (pretty JSON), shared so concurrent
+    /// readers never copy it.
+    result: Option<Arc<String>>,
+    error: Option<String>,
+}
+
+/// A point-in-time view of one job, as served by `GET /v1/jobs/<id>`.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// The result document when [`JobState::Done`].
+    pub result: Option<Arc<String>>,
+    /// The failure message when [`JobState::Failed`].
+    pub error: Option<String>,
+}
+
+/// Outcome of a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Submit {
+    /// New work accepted under this id (a cache miss).
+    Queued(JobId),
+    /// An identical job already exists (a cache hit) — poll this id.
+    Existing(JobId),
+    /// The queue is at capacity; retry later.
+    Full,
+}
+
+#[derive(Default)]
+struct Inner {
+    jobs: HashMap<JobId, Job>,
+    queue: VecDeque<JobId>,
+    by_key: HashMap<String, JobId>,
+    next_id: JobId,
+    shutdown: bool,
+}
+
+/// Counts by state plus queue occupancy, for `/metrics`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobSnapshot {
+    /// Jobs waiting for a worker.
+    pub queued: u64,
+    /// Jobs currently replaying.
+    pub running: u64,
+    /// Jobs finished successfully.
+    pub done: u64,
+    /// Jobs that failed.
+    pub failed: u64,
+    /// Current queue depth (equals `queued`).
+    pub queue_depth: usize,
+    /// Configured queue capacity.
+    pub capacity: usize,
+}
+
+impl JobSnapshot {
+    /// The count for one state.
+    pub fn count(&self, state: JobState) -> u64 {
+        match state {
+            JobState::Queued => self.queued,
+            JobState::Running => self.running,
+            JobState::Done => self.done,
+            JobState::Failed => self.failed,
+        }
+    }
+}
+
+/// The shared job table. All daemon threads (connection handlers, the
+/// worker pool, shutdown) coordinate exclusively through it.
+pub struct JobTable {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl JobTable {
+    /// A table accepting at most `capacity` queued (not yet running)
+    /// jobs at a time.
+    pub fn new(capacity: usize) -> Self {
+        JobTable {
+            inner: Mutex::new(Inner::default()),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Submits work under a cache key. See [`Submit`] for the outcomes;
+    /// the hit-or-miss decision and the enqueue are one critical section.
+    pub fn submit(&self, key: String, work: JobWork) -> Submit {
+        let mut inner = self.lock();
+        if let Some(&id) = inner.by_key.get(&key) {
+            return Submit::Existing(id);
+        }
+        if inner.queue.len() >= self.capacity {
+            return Submit::Full;
+        }
+        inner.next_id += 1;
+        let id = inner.next_id;
+        inner.jobs.insert(
+            id,
+            Job {
+                state: JobState::Queued,
+                work: Arc::new(work),
+                result: None,
+                error: None,
+            },
+        );
+        inner.queue.push_back(id);
+        inner.by_key.insert(key, id);
+        self.ready.notify_one();
+        Submit::Queued(id)
+    }
+
+    /// Blocks until a job is available, marks it running, and returns it.
+    /// Returns `None` once [`shutdown`](Self::shutdown) has been called —
+    /// queued jobs are intentionally left behind (drain-running, not
+    /// drain-queued: a stop request should not wait out a deep queue).
+    pub fn next_job(&self) -> Option<(JobId, Arc<JobWork>)> {
+        let mut inner = self.lock();
+        loop {
+            if inner.shutdown {
+                return None;
+            }
+            if let Some(id) = inner.queue.pop_front() {
+                let job = inner.jobs.get_mut(&id).expect("queued job exists");
+                job.state = JobState::Running;
+                return Some((id, Arc::clone(&job.work)));
+            }
+            inner = self.ready.wait(inner).expect("job table lock poisoned");
+        }
+    }
+
+    /// Records a job's outcome.
+    pub fn complete(&self, id: JobId, outcome: Result<String, String>) {
+        let mut inner = self.lock();
+        let job = inner.jobs.get_mut(&id).expect("completed job exists");
+        match outcome {
+            Ok(doc) => {
+                job.result = Some(Arc::new(doc));
+                job.state = JobState::Done;
+            }
+            Err(msg) => {
+                job.error = Some(msg);
+                job.state = JobState::Failed;
+            }
+        }
+    }
+
+    /// The current status of a job, or `None` for an unknown id.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        let inner = self.lock();
+        inner.jobs.get(&id).map(|job| JobStatus {
+            state: job.state,
+            result: job.result.clone(),
+            error: job.error.clone(),
+        })
+    }
+
+    /// Counts for `/metrics`.
+    pub fn snapshot(&self) -> JobSnapshot {
+        let inner = self.lock();
+        let mut snap = JobSnapshot {
+            queue_depth: inner.queue.len(),
+            capacity: self.capacity,
+            ..JobSnapshot::default()
+        };
+        for job in inner.jobs.values() {
+            match job.state {
+                JobState::Queued => snap.queued += 1,
+                JobState::Running => snap.running += 1,
+                JobState::Done => snap.done += 1,
+                JobState::Failed => snap.failed += 1,
+            }
+        }
+        snap
+    }
+
+    /// Begins shutdown: wakes every idle worker so it can observe the
+    /// flag and exit. Workers finish the job they are running first.
+    pub fn shutdown(&self) {
+        self.lock().shutdown = true;
+        self.ready.notify_all();
+    }
+
+    /// Whether [`shutdown`](Self::shutdown) has been called.
+    pub fn is_shutdown(&self) -> bool {
+        self.lock().shutdown
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("job table lock poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::JobKind;
+    use smrseek_sim::TraceSource;
+
+    fn work() -> JobWork {
+        JobWork {
+            source: TraceSource::from_records("t", Vec::new()),
+            kind: JobKind::Sweep,
+        }
+    }
+
+    #[test]
+    fn dedup_is_first_miss_then_hits() {
+        let table = JobTable::new(4);
+        let first = table.submit("k".into(), work());
+        let Submit::Queued(id) = first else {
+            panic!("first submission queues: {first:?}");
+        };
+        for _ in 0..3 {
+            assert_eq!(table.submit("k".into(), work()), Submit::Existing(id));
+        }
+        assert_eq!(table.snapshot().queued, 1, "duplicates never enqueue");
+    }
+
+    #[test]
+    fn queue_capacity_rejects_not_blocks() {
+        let table = JobTable::new(1);
+        assert!(matches!(
+            table.submit("a".into(), work()),
+            Submit::Queued(_)
+        ));
+        assert_eq!(table.submit("b".into(), work()), Submit::Full);
+        // The rejected key was not retained: submitting it again after
+        // space frees up must succeed, not alias a phantom entry.
+        let (id, _) = table.next_job().expect("job available");
+        table.complete(id, Ok("{}".into()));
+        assert!(matches!(
+            table.submit("b".into(), work()),
+            Submit::Queued(_)
+        ));
+    }
+
+    #[test]
+    fn lifecycle_and_status() {
+        let table = JobTable::new(2);
+        let Submit::Queued(id) = table.submit("k".into(), work()) else {
+            panic!("queues");
+        };
+        assert_eq!(table.status(id).expect("known").state, JobState::Queued);
+        let (popped, _) = table.next_job().expect("job available");
+        assert_eq!(popped, id);
+        assert_eq!(table.status(id).expect("known").state, JobState::Running);
+        table.complete(id, Ok("[1]".into()));
+        let status = table.status(id).expect("known");
+        assert_eq!(status.state, JobState::Done);
+        assert_eq!(status.result.expect("has result").as_str(), "[1]");
+        assert!(table.status(999).is_none());
+        // A finished job still serves cache hits.
+        assert_eq!(table.submit("k".into(), work()), Submit::Existing(id));
+    }
+
+    #[test]
+    fn failures_keep_their_message() {
+        let table = JobTable::new(2);
+        let Submit::Queued(id) = table.submit("k".into(), work()) else {
+            panic!("queues");
+        };
+        table.next_job().expect("job available");
+        table.complete(id, Err("boom".into()));
+        let status = table.status(id).expect("known");
+        assert_eq!(status.state, JobState::Failed);
+        assert_eq!(status.error.as_deref(), Some("boom"));
+        assert_eq!(table.snapshot().failed, 1);
+    }
+
+    #[test]
+    fn shutdown_wakes_and_stops_workers() {
+        let table = std::sync::Arc::new(JobTable::new(2));
+        let waiter = {
+            let table = std::sync::Arc::clone(&table);
+            std::thread::spawn(move || table.next_job().is_none())
+        };
+        // Give the worker a moment to block on the condvar, then stop.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        table.shutdown();
+        assert!(waiter.join().expect("worker thread"), "worker saw shutdown");
+        assert!(table.is_shutdown());
+        assert!(table.next_job().is_none(), "no work after shutdown");
+    }
+}

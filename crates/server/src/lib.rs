@@ -1,0 +1,507 @@
+//! `smrseekd`: the simulation-as-a-service daemon behind `smrseek serve`.
+//!
+//! The engine can replay traces in bounded memory, fan out across
+//! threads, and share one mmapped copy of a trace — but a fresh CLI
+//! process re-does all of that setup per experiment and throws the
+//! results away. This crate turns the engine into a *persistent* service
+//! in the spirit of host-side translation daemons (SALSA, SMORE): traces
+//! load once into a shared registry, results are cached by content
+//! (trace digest × canonicalized config), and sustained concurrent load
+//! becomes something future PRs can measure against.
+//!
+//! The HTTP surface (all JSON unless noted):
+//!
+//! | Route                      | Meaning                                      |
+//! |----------------------------|----------------------------------------------|
+//! | `POST /v1/jobs`            | submit a job → `{id, status, cache}`, or 503 + `Retry-After` when the queue is full |
+//! | `GET /v1/jobs/<id>`        | status envelope, result inlined when done    |
+//! | `GET /v1/jobs/<id>/result` | the raw result document, byte-stable         |
+//! | `GET /healthz`             | liveness probe (text)                        |
+//! | `GET /metrics`             | Prometheus text exposition                   |
+//!
+//! Everything is `std`: `std::net` sockets, `std::thread` workers, the
+//! vendored `serde_json` for JSON. See [`http`] for the wire format,
+//! [`jobs`] for queueing/caching semantics, [`worker`] for execution,
+//! [`metrics`] for observability, [`api`] for request parsing.
+
+pub mod api;
+pub mod http;
+pub mod jobs;
+pub mod metrics;
+pub mod worker;
+
+use crate::api::{JobRequest, TraceRef};
+use crate::http::{read_request, write_response, Request, RequestError, Response};
+use crate::jobs::{JobId, JobState, JobTable, Submit};
+use crate::metrics::{Endpoint, Metrics};
+use crate::worker::{JobKind, JobWork};
+use serde::{Number, Value};
+use smrseek_sim::experiments::ExpOptions;
+use smrseek_sim::tracecache::TraceRegistry;
+use smrseek_sim::TraceSource;
+use smrseek_workloads::profiles;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Maximum queued (accepted but not yet running) jobs before
+    /// submissions are refused with 503.
+    pub queue_depth: usize,
+    /// Worker threads draining the queue. Zero is allowed and means jobs
+    /// queue but never run — useful for tests and drain-only maintenance.
+    pub workers: usize,
+    /// Threads each job's run matrix may use.
+    pub job_threads: NonZeroUsize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            queue_depth: 64,
+            workers: 2,
+            job_threads: NonZeroUsize::MIN,
+        }
+    }
+}
+
+/// State shared by every daemon thread.
+pub struct ServerState {
+    /// Job queue, lifecycle, and result cache.
+    pub jobs: Arc<JobTable>,
+    /// Counters and latency histograms.
+    pub metrics: Arc<Metrics>,
+    /// Shared open traces (one mapping per file trace, process-wide).
+    pub registry: TraceRegistry,
+    accepting: AtomicBool,
+}
+
+impl ServerState {
+    /// Fresh state with a queue bound of `queue_depth`; the daemon builds
+    /// one in [`start`], tests build one directly to exercise [`route`].
+    pub fn new(queue_depth: usize) -> Self {
+        ServerState {
+            jobs: Arc::new(JobTable::new(queue_depth)),
+            metrics: Arc::new(Metrics::new()),
+            registry: TraceRegistry::new(),
+            accepting: AtomicBool::new(true),
+        }
+    }
+}
+
+/// A running daemon. Dropping the handle does *not* stop the server;
+/// call [`Handle::shutdown`].
+pub struct Handle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Handle {
+    /// The bound address (with the real port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (tests and the CLI read metrics through this).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Graceful shutdown: stop accepting, wake the listener, let every
+    /// worker finish the job it is running (queued jobs are dropped),
+    /// and join all threads.
+    pub fn shutdown(mut self) {
+        self.state.accepting.store(false, Ordering::SeqCst);
+        self.state.jobs.shutdown();
+        // The accept loop blocks in `accept(2)`; poke it awake with a
+        // throwaway connection so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Starts the daemon.
+///
+/// # Errors
+///
+/// Returns the bind error when the address is unavailable.
+pub fn start(config: ServerConfig) -> io::Result<Handle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(ServerState::new(config.queue_depth));
+    let workers = worker::spawn_workers(
+        config.workers,
+        Arc::clone(&state.jobs),
+        Arc::clone(&state.metrics),
+        config.job_threads,
+    );
+    let accept = {
+        let state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("smrseekd-accept".to_owned())
+            .spawn(move || accept_loop(&listener, &state))?
+    };
+    Ok(Handle {
+        addr,
+        state,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    loop {
+        let Ok((stream, _peer)) = listener.accept() else {
+            // Transient accept errors (EMFILE, aborted handshakes) are
+            // not fatal to the daemon; check for shutdown and continue.
+            if !state.accepting.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if !state.accepting.load(Ordering::SeqCst) {
+            return; // the shutdown poke itself lands here
+        }
+        let state = Arc::clone(state);
+        // One thread per connection: each serves exactly one request
+        // (Connection: close), so threads are short-lived and bounded by
+        // the OS backlog, not by an open-ended keep-alive population.
+        let _ = std::thread::Builder::new()
+            .name("smrseekd-conn".to_owned())
+            .spawn(move || serve_connection(stream, &state));
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let started = Instant::now();
+    let (endpoint, response) = match read_request(&mut stream) {
+        Ok(request) => route(state, &request),
+        Err(RequestError::Closed | RequestError::Io(_)) => return,
+        Err(RequestError::Malformed(msg)) => {
+            (Endpoint::Other, Response::json(400, error_body(&msg)))
+        }
+    };
+    let _ = write_response(&mut stream, &response);
+    state.metrics.observe(endpoint, started.elapsed());
+}
+
+/// Routes one request against the daemon state. Connection threads call
+/// this; it is public so tests can exercise the full API in-process.
+pub fn route(state: &ServerState, request: &Request) -> (Endpoint, Response) {
+    let path = request.target.split('?').next().unwrap_or("");
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => (Endpoint::Healthz, Response::text(200, "ok\n")),
+        ("GET", "/metrics") => {
+            let body = state
+                .metrics
+                .render(&state.jobs.snapshot(), state.registry.len());
+            (Endpoint::Metrics, Response::text(200, body))
+        }
+        ("POST", "/v1/jobs") => (Endpoint::JobsPost, submit_job(state, &request.body)),
+        ("GET", path) if path.starts_with("/v1/jobs/") => {
+            let rest = &path["/v1/jobs/".len()..];
+            if let Some(id) = rest.strip_suffix("/result") {
+                (Endpoint::JobResult, job_result(state, id))
+            } else {
+                (Endpoint::JobsGet, job_status(state, rest))
+            }
+        }
+        (_, "/healthz" | "/metrics" | "/v1/jobs") => (
+            Endpoint::Other,
+            Response::json(405, error_body("method not allowed")),
+        ),
+        _ => (
+            Endpoint::Other,
+            Response::json(404, error_body("not found")),
+        ),
+    }
+}
+
+fn error_body(msg: &str) -> String {
+    serde_json::to_string(&Value::Object(vec![(
+        "error".to_owned(),
+        Value::String(msg.to_owned()),
+    )]))
+    .expect("error body serializes")
+}
+
+/// Resolves a parsed request into runnable work plus its cache key.
+fn resolve(state: &ServerState, request: &JobRequest) -> Result<(String, JobWork), String> {
+    let (source, trace_key, top) = match &request.trace {
+        TraceRef::Path(path) => {
+            let entry = state
+                .registry
+                .load(path)
+                .map_err(|e| format!("cannot load trace {}: {e}", path.display()))?;
+            (
+                entry.source.clone(),
+                api::trace_key(&request.trace, Some(entry.digest)),
+                Some(entry.top_sector),
+            )
+        }
+        TraceRef::Profile { name, seed, ops } => {
+            let profile = profiles::by_name(name)
+                .ok_or_else(|| format!("unknown profile {name:?} (try `smrseek list`)"))?;
+            let opts = ExpOptions {
+                seed: *seed,
+                ops: *ops,
+            };
+            (
+                TraceSource::from_profile(&profile, &opts),
+                api::trace_key(&request.trace, None),
+                // A generator's sector bound is unknown without materializing
+                // the records; the engine derives it per-replay exactly like
+                // the CLI does, so the canonical key simply omits it.
+                None,
+            )
+        }
+    };
+    let key = api::result_key(&trace_key, top, request.config.as_ref());
+    let kind = match request.config {
+        None => JobKind::Sweep,
+        Some(config) => JobKind::Single(config),
+    };
+    Ok((key, JobWork { source, kind }))
+}
+
+fn submit_job(state: &ServerState, body: &[u8]) -> Response {
+    let request = match api::parse_job_request(body) {
+        Ok(request) => request,
+        Err(msg) => return Response::json(400, error_body(&msg)),
+    };
+    let (key, work) = match resolve(state, &request) {
+        Ok(resolved) => resolved,
+        Err(msg) => return Response::json(400, error_body(&msg)),
+    };
+    match state.jobs.submit(key, work) {
+        Submit::Queued(id) => {
+            state.metrics.cache_miss();
+            Response::json(202, submit_body(id, "queued", "miss"))
+        }
+        Submit::Existing(id) => {
+            state.metrics.cache_hit();
+            let status = state.jobs.status(id).map_or("queued", |s| s.state.label());
+            Response::json(200, submit_body(id, status, "hit"))
+        }
+        Submit::Full => {
+            state.metrics.rejected();
+            Response::json(503, error_body("job queue full")).with_header("retry-after", "1")
+        }
+    }
+}
+
+fn submit_body(id: JobId, status: &str, cache: &str) -> String {
+    serde_json::to_string(&Value::Object(vec![
+        ("id".to_owned(), Value::Number(Number::U(id))),
+        ("status".to_owned(), Value::String(status.to_owned())),
+        ("cache".to_owned(), Value::String(cache.to_owned())),
+    ]))
+    .expect("submit body serializes")
+}
+
+fn job_status(state: &ServerState, raw_id: &str) -> Response {
+    let Some((id, status)) = raw_id
+        .parse::<JobId>()
+        .ok()
+        .and_then(|id| state.jobs.status(id).map(|s| (id, s)))
+    else {
+        return Response::json(404, error_body("no such job"));
+    };
+    let mut fields = vec![
+        ("id".to_owned(), Value::Number(Number::U(id))),
+        (
+            "status".to_owned(),
+            Value::String(status.state.label().to_owned()),
+        ),
+    ];
+    match status.state {
+        JobState::Done => {
+            let doc = status.result.expect("done job has a result");
+            let parsed: Value = serde_json::from_str(&doc).expect("stored results are JSON");
+            fields.push(("result".to_owned(), parsed));
+        }
+        JobState::Failed => {
+            fields.push((
+                "error".to_owned(),
+                Value::String(status.error.unwrap_or_default()),
+            ));
+        }
+        JobState::Queued | JobState::Running => {}
+    }
+    Response::json(
+        200,
+        serde_json::to_string(&Value::Object(fields)).expect("status body serializes"),
+    )
+}
+
+fn job_result(state: &ServerState, raw_id: &str) -> Response {
+    let Some(status) = raw_id
+        .parse::<JobId>()
+        .ok()
+        .and_then(|id| state.jobs.status(id))
+    else {
+        return Response::json(404, error_body("no such job"));
+    };
+    match status.state {
+        JobState::Done => {
+            Response::json(200, status.result.expect("done job has a result").as_str())
+        }
+        JobState::Failed => Response::json(
+            500,
+            error_body(&status.error.unwrap_or_else(|| "job failed".to_owned())),
+        ),
+        pending => Response::json(
+            202,
+            serde_json::to_string(&Value::Object(vec![(
+                "status".to_owned(),
+                Value::String(pending.label().to_owned()),
+            )]))
+            .expect("pending body serializes"),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_state(workers: usize, queue_depth: usize) -> (Arc<ServerState>, Vec<JoinHandle<()>>) {
+        let state = Arc::new(ServerState::new(queue_depth));
+        let handles = worker::spawn_workers(
+            workers,
+            Arc::clone(&state.jobs),
+            Arc::clone(&state.metrics),
+            NonZeroUsize::MIN,
+        );
+        (state, handles)
+    }
+
+    fn stop(state: &ServerState, handles: Vec<JoinHandle<()>>) {
+        state.jobs.shutdown();
+        for h in handles {
+            h.join().expect("worker exits");
+        }
+    }
+
+    fn get(state: &ServerState, target: &str) -> Response {
+        let request = Request {
+            method: "GET".to_owned(),
+            target: target.to_owned(),
+            body: Vec::new(),
+        };
+        route(state, &request).1
+    }
+
+    fn post(state: &ServerState, target: &str, body: &str) -> Response {
+        let request = Request {
+            method: "POST".to_owned(),
+            target: target.to_owned(),
+            body: body.as_bytes().to_vec(),
+        };
+        route(state, &request).1
+    }
+
+    fn body_str(resp: &Response) -> String {
+        String::from_utf8(resp.body().to_vec()).expect("utf8 body")
+    }
+
+    #[test]
+    fn healthz_and_unknown_routes() {
+        let (state, handles) = test_state(0, 4);
+        assert_eq!(get(&state, "/healthz").status, 200);
+        assert_eq!(get(&state, "/nope").status, 404);
+        assert_eq!(get(&state, "/v1/jobs/17").status, 404);
+        let delete = Request {
+            method: "DELETE".to_owned(),
+            target: "/metrics".to_owned(),
+            body: Vec::new(),
+        };
+        assert_eq!(route(&state, &delete).1.status, 405);
+        stop(&state, handles);
+    }
+
+    #[test]
+    fn full_queue_returns_503_with_retry_after() {
+        // No workers: the single queue slot stays occupied.
+        let (state, handles) = test_state(0, 1);
+        let first = post(
+            &state,
+            "/v1/jobs",
+            r#"{"trace": {"profile": "hm_1", "ops": 50}}"#,
+        );
+        assert_eq!(first.status, 202, "{}", body_str(&first));
+        let second = post(
+            &state,
+            "/v1/jobs",
+            r#"{"trace": {"profile": "w91", "ops": 50}}"#,
+        );
+        assert_eq!(second.status, 503);
+        assert!(second
+            .extra
+            .iter()
+            .any(|(k, v)| k == "retry-after" && v == "1"));
+        let metrics = body_str(&get(&state, "/metrics"));
+        assert!(metrics.contains("smrseekd_jobs_rejected_total 1"));
+        stop(&state, handles);
+    }
+
+    #[test]
+    fn bad_submissions_are_400() {
+        let (state, handles) = test_state(0, 4);
+        assert_eq!(post(&state, "/v1/jobs", "nope").status, 400);
+        assert_eq!(
+            post(
+                &state,
+                "/v1/jobs",
+                r#"{"trace": {"profile": "no_such_profile", "ops": 5}}"#
+            )
+            .status,
+            400
+        );
+        assert_eq!(
+            post(
+                &state,
+                "/v1/jobs",
+                r#"{"trace": {"path": "/no/such/file"}}"#
+            )
+            .status,
+            400
+        );
+        stop(&state, handles);
+    }
+
+    #[test]
+    fn duplicate_submission_is_a_hit_even_while_queued() {
+        let (state, handles) = test_state(0, 4);
+        let body = r#"{"trace": {"profile": "hm_1", "ops": 50}}"#;
+        let first = post(&state, "/v1/jobs", body);
+        assert_eq!(first.status, 202);
+        assert!(body_str(&first).contains("\"cache\":\"miss\""));
+        let second = post(&state, "/v1/jobs", body);
+        assert_eq!(second.status, 200);
+        assert!(body_str(&second).contains("\"cache\":\"hit\""));
+        assert_eq!(state.metrics.cache_counts(), (1, 1));
+        // Status endpoint sees the one queued job; /result says not ready.
+        let result = get(&state, "/v1/jobs/1/result");
+        assert_eq!(result.status, 202);
+        stop(&state, handles);
+    }
+}

@@ -1,0 +1,309 @@
+//! Daemon metrics and their Prometheus text exposition (`GET /metrics`).
+//!
+//! Counters are lock-free atomics bumped on the request path; per-endpoint
+//! latency reuses the log₂-binned [`LogHistogram`] from the seek model
+//! (one mutex per endpoint, touched once per request). Job-state gauges
+//! are not tracked incrementally at all — they are recomputed from the
+//! job table at scrape time, which cannot drift from the truth.
+
+use crate::jobs::{JobSnapshot, JobState};
+use smrseek_disk::histogram::LogHistogram;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The API surface, as labeled in per-endpoint metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /metrics`
+    Metrics,
+    /// `POST /v1/jobs`
+    JobsPost,
+    /// `GET /v1/jobs/<id>`
+    JobsGet,
+    /// `GET /v1/jobs/<id>/result`
+    JobResult,
+    /// Anything else (404s, bad methods).
+    Other,
+}
+
+impl Endpoint {
+    /// All endpoints, in exposition order.
+    pub const ALL: [Endpoint; 6] = [
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::JobsPost,
+        Endpoint::JobsGet,
+        Endpoint::JobResult,
+        Endpoint::Other,
+    ];
+
+    /// The metric label for this endpoint.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::JobsPost => "jobs_post",
+            Endpoint::JobsGet => "jobs_get",
+            Endpoint::JobResult => "job_result",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Endpoint::Healthz => 0,
+            Endpoint::Metrics => 1,
+            Endpoint::JobsPost => 2,
+            Endpoint::JobsGet => 3,
+            Endpoint::JobResult => 4,
+            Endpoint::Other => 5,
+        }
+    }
+}
+
+#[derive(Default)]
+struct EndpointStats {
+    requests: u64,
+    latency_us: LogHistogram,
+    latency_sum_us: u64,
+}
+
+/// All daemon metrics. One instance lives in the server state; every
+/// method is safe to call from any thread.
+#[derive(Default)]
+pub struct Metrics {
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    jobs_rejected: AtomicU64,
+    records_replayed: AtomicU64,
+    endpoints: [Mutex<EndpointStats>; 6],
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// A submission matched an existing job (any state).
+    pub fn cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A submission enqueued new work.
+    pub fn cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A submission was refused because the queue was full.
+    pub fn rejected(&self) {
+        self.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker finished replaying `records` logical records.
+    pub fn replayed(&self, records: u64) {
+        self.records_replayed.fetch_add(records, Ordering::Relaxed);
+    }
+
+    /// Total logical records replayed so far.
+    pub fn replayed_total(&self) -> u64 {
+        self.records_replayed.load(Ordering::Relaxed)
+    }
+
+    /// Current cache hit/miss counters (used by tests and the CLI).
+    pub fn cache_counts(&self) -> (u64, u64) {
+        (
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Records one served request on `endpoint` taking `elapsed`.
+    pub fn observe(&self, endpoint: Endpoint, elapsed: Duration) {
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let mut stats = self.endpoints[endpoint.index()]
+            .lock()
+            .expect("endpoint metrics lock poisoned");
+        stats.requests += 1;
+        stats.latency_sum_us = stats.latency_sum_us.saturating_add(us);
+        stats
+            .latency_us
+            .record(i64::try_from(us).unwrap_or(i64::MAX));
+    }
+
+    /// Renders the Prometheus text exposition. `jobs` is a fresh snapshot
+    /// of the job table; `traces` the registry size.
+    pub fn render(&self, jobs: &JobSnapshot, traces: usize) -> String {
+        let mut out = String::with_capacity(2048);
+
+        out.push_str("# HELP smrseekd_jobs Jobs by lifecycle state.\n# TYPE smrseekd_jobs gauge\n");
+        for state in JobState::ALL {
+            let _ = writeln!(
+                out,
+                "smrseekd_jobs{{state=\"{}\"}} {}",
+                state.label(),
+                jobs.count(state)
+            );
+        }
+
+        out.push_str("# HELP smrseekd_queue_depth Jobs waiting for a worker.\n# TYPE smrseekd_queue_depth gauge\n");
+        let _ = writeln!(out, "smrseekd_queue_depth {}", jobs.queue_depth);
+        out.push_str("# HELP smrseekd_queue_capacity Configured queue bound.\n# TYPE smrseekd_queue_capacity gauge\n");
+        let _ = writeln!(out, "smrseekd_queue_capacity {}", jobs.capacity);
+
+        out.push_str("# HELP smrseekd_traces_registered Distinct traces held open by the registry.\n# TYPE smrseekd_traces_registered gauge\n");
+        let _ = writeln!(out, "smrseekd_traces_registered {traces}");
+
+        out.push_str("# HELP smrseekd_records_replayed_total Logical records replayed by finished jobs.\n# TYPE smrseekd_records_replayed_total counter\n");
+        let _ = writeln!(
+            out,
+            "smrseekd_records_replayed_total {}",
+            self.records_replayed.load(Ordering::Relaxed)
+        );
+
+        out.push_str("# HELP smrseekd_result_cache_hits_total Submissions served by an existing job.\n# TYPE smrseekd_result_cache_hits_total counter\n");
+        let _ = writeln!(
+            out,
+            "smrseekd_result_cache_hits_total {}",
+            self.cache_hits.load(Ordering::Relaxed)
+        );
+        out.push_str("# HELP smrseekd_result_cache_misses_total Submissions that enqueued new work.\n# TYPE smrseekd_result_cache_misses_total counter\n");
+        let _ = writeln!(
+            out,
+            "smrseekd_result_cache_misses_total {}",
+            self.cache_misses.load(Ordering::Relaxed)
+        );
+        out.push_str("# HELP smrseekd_jobs_rejected_total Submissions refused with 503 (queue full).\n# TYPE smrseekd_jobs_rejected_total counter\n");
+        let _ = writeln!(
+            out,
+            "smrseekd_jobs_rejected_total {}",
+            self.jobs_rejected.load(Ordering::Relaxed)
+        );
+
+        out.push_str("# HELP smrseekd_http_requests_total Requests served, by endpoint.\n# TYPE smrseekd_http_requests_total counter\n");
+        for endpoint in Endpoint::ALL {
+            let stats = self.endpoints[endpoint.index()]
+                .lock()
+                .expect("endpoint metrics lock poisoned");
+            let _ = writeln!(
+                out,
+                "smrseekd_http_requests_total{{endpoint=\"{}\"}} {}",
+                endpoint.label(),
+                stats.requests
+            );
+        }
+
+        out.push_str(
+            "# HELP smrseekd_http_request_duration_us Request latency in microseconds.\n\
+             # TYPE smrseekd_http_request_duration_us histogram\n",
+        );
+        for endpoint in Endpoint::ALL {
+            let stats = self.endpoints[endpoint.index()]
+                .lock()
+                .expect("endpoint metrics lock poisoned");
+            if stats.requests == 0 {
+                continue;
+            }
+            // The log histogram's bin i covers [2^i, 2^(i+1)), so each bin
+            // closes at le = 2^(i+1); zeros fall in every bucket.
+            let mut cumulative = stats.latency_us.zeros();
+            for (floor, count) in stats.latency_us.nonzero_bins() {
+                cumulative += count;
+                let _ = writeln!(
+                    out,
+                    "smrseekd_http_request_duration_us_bucket{{endpoint=\"{}\",le=\"{}\"}} {cumulative}",
+                    endpoint.label(),
+                    floor.saturating_mul(2),
+                );
+            }
+            let _ = writeln!(
+                out,
+                "smrseekd_http_request_duration_us_bucket{{endpoint=\"{}\",le=\"+Inf\"}} {}",
+                endpoint.label(),
+                stats.latency_us.count(),
+            );
+            let _ = writeln!(
+                out,
+                "smrseekd_http_request_duration_us_sum{{endpoint=\"{}\"}} {}",
+                endpoint.label(),
+                stats.latency_sum_us,
+            );
+            let _ = writeln!(
+                out,
+                "smrseekd_http_request_duration_us_count{{endpoint=\"{}\"}} {}",
+                endpoint.label(),
+                stats.requests,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.cache_miss();
+        m.cache_hit();
+        m.cache_hit();
+        m.rejected();
+        m.replayed(1000);
+        m.replayed(500);
+        assert_eq!(m.cache_counts(), (2, 1));
+        let text = m.render(&JobSnapshot::default(), 3);
+        assert!(text.contains("smrseekd_result_cache_hits_total 2"));
+        assert!(text.contains("smrseekd_result_cache_misses_total 1"));
+        assert!(text.contains("smrseekd_jobs_rejected_total 1"));
+        assert!(text.contains("smrseekd_records_replayed_total 1500"));
+        assert!(text.contains("smrseekd_traces_registered 3"));
+    }
+
+    #[test]
+    fn job_gauges_come_from_the_snapshot() {
+        let m = Metrics::new();
+        let snap = JobSnapshot {
+            queued: 2,
+            running: 1,
+            done: 4,
+            failed: 1,
+            queue_depth: 2,
+            capacity: 16,
+        };
+        let text = m.render(&snap, 0);
+        assert!(text.contains("smrseekd_jobs{state=\"queued\"} 2"));
+        assert!(text.contains("smrseekd_jobs{state=\"running\"} 1"));
+        assert!(text.contains("smrseekd_jobs{state=\"done\"} 4"));
+        assert!(text.contains("smrseekd_jobs{state=\"failed\"} 1"));
+        assert!(text.contains("smrseekd_queue_depth 2"));
+        assert!(text.contains("smrseekd_queue_capacity 16"));
+    }
+
+    #[test]
+    fn latency_histogram_is_cumulative_and_bounded() {
+        let m = Metrics::new();
+        m.observe(Endpoint::Healthz, Duration::from_micros(3));
+        m.observe(Endpoint::Healthz, Duration::from_micros(3));
+        m.observe(Endpoint::Healthz, Duration::from_micros(900));
+        let text = m.render(&JobSnapshot::default(), 0);
+        // 3 µs lands in bin [2,4) → le="4"; 900 µs in [512,1024) → le="1024".
+        assert!(text
+            .contains("smrseekd_http_request_duration_us_bucket{endpoint=\"healthz\",le=\"4\"} 2"));
+        assert!(text.contains(
+            "smrseekd_http_request_duration_us_bucket{endpoint=\"healthz\",le=\"1024\"} 3"
+        ));
+        assert!(text.contains(
+            "smrseekd_http_request_duration_us_bucket{endpoint=\"healthz\",le=\"+Inf\"} 3"
+        ));
+        assert!(text.contains("smrseekd_http_request_duration_us_sum{endpoint=\"healthz\"} 906"));
+        assert!(text.contains("smrseekd_http_request_duration_us_count{endpoint=\"healthz\"} 3"));
+        // Endpoints never hit do not emit empty histogram series.
+        assert!(!text.contains("endpoint=\"jobs_post\",le="));
+    }
+}

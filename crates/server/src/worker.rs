@@ -1,0 +1,193 @@
+//! The worker pool: pulls jobs off the table and replays them through
+//! [`smrseek_sim::runner`].
+//!
+//! Workers are plain OS threads blocked on the job table's condvar; each
+//! job replays on the shared [`RunMatrix`] machinery, so a sweep job's
+//! five layer configurations fan out across the run's `job_threads` via
+//! the same `parallel_map` the CLI uses — the daemon adds queueing and
+//! caching, never a second execution path (that is what keeps its results
+//! byte-identical to offline runs).
+
+use crate::jobs::JobTable;
+use crate::metrics::Metrics;
+use smrseek_sim::runner::RunMatrix;
+use smrseek_sim::{saf, SimConfig, TraceSource};
+use std::num::NonZeroUsize;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// What a job computes.
+#[derive(Debug, Clone)]
+pub enum JobKind {
+    /// The standard five-layer sweep; the result document is the
+    /// `Vec<(layer, Saf)>` JSON that `smrseek simulate --json` writes.
+    Sweep,
+    /// One configuration; the result document is its full `RunReport`.
+    Single(SimConfig),
+}
+
+/// A resolved, ready-to-run job: the trace source is already loaded (and
+/// for file traces, shared through the registry's single mapping).
+#[derive(Debug, Clone)]
+pub struct JobWork {
+    /// The records to replay.
+    pub source: TraceSource,
+    /// What to compute over them.
+    pub kind: JobKind,
+}
+
+/// Replays one job. Returns the result document (pretty JSON, stable
+/// byte-for-byte for a given trace + config) and the number of logical
+/// records replayed, or a client-facing error message.
+///
+/// # Errors
+///
+/// Serialization failures (e.g. a non-finite float in a report) surface
+/// as the job's failure message.
+pub fn run_job(work: &JobWork, threads: NonZeroUsize) -> Result<(String, u64), String> {
+    let configs: Vec<SimConfig> = match &work.kind {
+        JobKind::Sweep => SimConfig::standard_sweep().to_vec(),
+        JobKind::Single(config) => vec![*config],
+    };
+    let matrix = RunMatrix::cross(std::slice::from_ref(&work.source), &configs);
+    let outcomes = matrix.execute(threads);
+    let records = outcomes.iter().map(|o| o.metrics.records).sum();
+    let doc = match &work.kind {
+        JobKind::Sweep => serde_json::to_string_pretty(&saf::sweep_safs(&outcomes)),
+        JobKind::Single(_) => serde_json::to_string_pretty(&outcomes[0].report),
+    };
+    doc.map(|doc| (doc, records))
+        .map_err(|e| format!("cannot serialize result: {e}"))
+}
+
+/// Spawns `count` worker threads draining `jobs` until shutdown.
+pub fn spawn_workers(
+    count: usize,
+    jobs: Arc<JobTable>,
+    metrics: Arc<Metrics>,
+    threads: NonZeroUsize,
+) -> Vec<JoinHandle<()>> {
+    (0..count)
+        .map(|i| {
+            let jobs = Arc::clone(&jobs);
+            let metrics = Arc::clone(&metrics);
+            std::thread::Builder::new()
+                .name(format!("smrseekd-worker-{i}"))
+                .spawn(move || {
+                    while let Some((id, work)) = jobs.next_job() {
+                        let outcome = run_job(&work, threads);
+                        if let Ok((_, records)) = &outcome {
+                            metrics.replayed(*records);
+                        }
+                        jobs.complete(id, outcome.map(|(doc, _)| doc));
+                    }
+                })
+                .expect("worker thread spawns")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smrseek_trace::{Lba, TraceRecord};
+
+    fn source() -> TraceSource {
+        let records: Vec<TraceRecord> = (0..300u64)
+            .map(|i| {
+                if i % 4 == 0 {
+                    TraceRecord::read(i, Lba::new((i * 131) % 4096 * 8), 8)
+                } else {
+                    TraceRecord::write(i, Lba::new((i * 37) % 4096 * 8), 8)
+                }
+            })
+            .collect();
+        TraceSource::from_records("t", records)
+    }
+
+    #[test]
+    fn sweep_job_matches_offline_sweep_bytes() {
+        let work = JobWork {
+            source: source(),
+            kind: JobKind::Sweep,
+        };
+        let (doc, records) = run_job(&work, NonZeroUsize::MIN).expect("job runs");
+        assert_eq!(records, 300 * 5, "five layers each replay the trace");
+        // The offline path: exactly what the CLI writes for --json.
+        let matrix = RunMatrix::cross(
+            std::slice::from_ref(&work.source),
+            &SimConfig::standard_sweep(),
+        );
+        let offline = serde_json::to_string_pretty(&saf::sweep_safs(
+            &matrix.execute(NonZeroUsize::new(4).expect("nonzero")),
+        ))
+        .expect("serializes");
+        assert_eq!(doc, offline, "daemon and offline sweeps are byte-identical");
+    }
+
+    #[test]
+    fn single_job_returns_full_report() {
+        let work = JobWork {
+            source: source(),
+            kind: JobKind::Single(SimConfig::ls_cache().with_distances()),
+        };
+        let (doc, records) = run_job(&work, NonZeroUsize::MIN).expect("job runs");
+        assert_eq!(records, 300);
+        let value: serde::Value = serde_json::from_str(&doc).expect("valid JSON");
+        assert_eq!(
+            value.get("layer_name").and_then(serde::Value::as_str),
+            Some("LS+cache")
+        );
+        assert!(value.get("seeks").is_some());
+        assert!(
+            !value["distances"].is_null(),
+            "with_distances carries through"
+        );
+    }
+
+    #[test]
+    fn pool_drains_jobs_and_counts_records() {
+        let jobs = Arc::new(JobTable::new(8));
+        let metrics = Arc::new(Metrics::new());
+        let ids: Vec<_> = (0..3)
+            .map(|i| {
+                match jobs.submit(
+                    format!("k{i}"),
+                    JobWork {
+                        source: source(),
+                        kind: JobKind::Single(SimConfig::no_ls()),
+                    },
+                ) {
+                    crate::jobs::Submit::Queued(id) => id,
+                    other => panic!("expected queue, got {other:?}"),
+                }
+            })
+            .collect();
+        let workers = spawn_workers(
+            2,
+            Arc::clone(&jobs),
+            Arc::clone(&metrics),
+            NonZeroUsize::MIN,
+        );
+        // Poll until all three finish (workers run them concurrently).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let done = ids
+                .iter()
+                .all(|&id| jobs.status(id).expect("known").state == crate::jobs::JobState::Done);
+            if done {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "jobs finished in time"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        jobs.shutdown();
+        for worker in workers {
+            worker.join().expect("worker exits cleanly");
+        }
+        assert_eq!(metrics.replayed_total(), 900);
+    }
+}

@@ -83,7 +83,11 @@ fn gen_characterize_simulate_pipeline() {
         "--out",
         csv_path.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = smrseek(&["characterize", csv_path.to_str().unwrap()]);
     assert!(out.status.success());
@@ -185,13 +189,7 @@ fn convert_then_simulate_matches_csv_run() {
     let from_bin = smrseek(&["simulate", smrt.to_str().unwrap()]);
     assert!(from_csv.status.success() && from_bin.status.success());
     // Same seek table (first stdout line differs only in the path shown).
-    let table = |out: &Output| {
-        stdout(out)
-            .lines()
-            .skip(1)
-            .collect::<Vec<_>>()
-            .join("\n")
-    };
+    let table = |out: &Output| stdout(out).lines().skip(1).collect::<Vec<_>>().join("\n");
     assert_eq!(table(&from_csv), table(&from_bin));
     std::fs::remove_file(&csv).ok();
     std::fs::remove_file(&smrt).ok();
@@ -202,7 +200,14 @@ fn simulate_cache_is_byte_identical_and_replays_sidecar() {
     let csv = tmp("cached.csv");
     let sidecar = tmp("cached.csv.smrt");
     std::fs::remove_file(&sidecar).ok();
-    let out = smrseek(&["gen", "hm_1", "--ops", "600", "--out", csv.to_str().unwrap()]);
+    let out = smrseek(&[
+        "gen",
+        "hm_1",
+        "--ops",
+        "600",
+        "--out",
+        csv.to_str().unwrap(),
+    ]);
     assert!(out.status.success());
     let j = |n: &str| tmp(n).to_str().unwrap().to_owned();
     let (ju, j1, j2) = (j("cached_u.json"), j("cached_1.json"), j("cached_2.json"));
@@ -211,7 +216,11 @@ fn simulate_cache_is_byte_identical_and_replays_sidecar() {
     assert!(sidecar.exists(), "first cached run writes the sidecar");
     let second = smrseek(&["simulate", csv.to_str().unwrap(), "--cache", "--json", &j2]);
     assert!(uncached.status.success() && first.status.success() && second.status.success());
-    assert_eq!(stdout(&uncached), stdout(&first), "--cache must not change stdout");
+    assert_eq!(
+        stdout(&uncached),
+        stdout(&first),
+        "--cache must not change stdout"
+    );
     assert_eq!(stdout(&uncached), stdout(&second));
     let read = |p: &str| std::fs::read(p).expect("json written");
     assert_eq!(read(&ju), read(&j1), "--cache must not change JSON");
@@ -402,11 +411,21 @@ fn all_json_is_byte_identical_across_thread_counts() {
     let p1 = tmp("all_t1.json");
     let p4 = tmp("all_t4.json");
     let out1 = smrseek(&[
-        "all", "--ops", "1000", "--threads", "1", "--json",
+        "all",
+        "--ops",
+        "1000",
+        "--threads",
+        "1",
+        "--json",
         p1.to_str().unwrap(),
     ]);
     let out4 = smrseek(&[
-        "all", "--ops", "1000", "--threads", "4", "--json",
+        "all",
+        "--ops",
+        "1000",
+        "--threads",
+        "4",
+        "--json",
         p4.to_str().unwrap(),
     ]);
     assert!(out1.status.success() && out4.status.success());

@@ -159,6 +159,59 @@ impl SimConfig {
         self.frontier_hint = Some(top);
         self
     }
+
+    /// The standard five-layer sweep replayed by `smrseek simulate` and by
+    /// daemon sweep jobs: the NoLS baseline first (so downstream SAF
+    /// computation can divide by it), then plain LS and the three
+    /// single-mechanism variants at paper defaults.
+    pub fn standard_sweep() -> [SimConfig; 5] {
+        [
+            SimConfig::no_ls(),
+            SimConfig::log_structured(),
+            SimConfig::ls_defrag(),
+            SimConfig::ls_prefetch(),
+            SimConfig::ls_cache(),
+        ]
+    }
+
+    /// Canonical form for result-cache keying: two configs that cannot
+    /// produce different [`RunReport`]s on the same trace map to the same
+    /// canonical value, and any canonical difference is observable in some
+    /// report.
+    ///
+    /// * The NoLS baseline ignores every log-structured knob
+    ///   (`zone_sectors`, `frontier_hint`, `track_fragments`), so they are
+    ///   cleared.
+    /// * For LS layers an unset frontier hint is resolved against `top`
+    ///   (one past the trace's highest sector) when known: a run that
+    ///   derives the hint from the trace equals one that passes the same
+    ///   bound explicitly.
+    ///
+    /// Knobs that change report *content* (`record_distances`,
+    /// `longseek_bucket_ops`, `host_cache_bytes`) are kept verbatim.
+    pub fn canonical(mut self, top: Option<u64>) -> Self {
+        match self.layer {
+            LayerChoice::NoLs => {
+                self.zone_sectors = None;
+                self.frontier_hint = None;
+                self.track_fragments = false;
+            }
+            LayerChoice::Ls { .. } => {
+                if self.frontier_hint.is_none() {
+                    self.frontier_hint = top;
+                }
+            }
+        }
+        self
+    }
+
+    /// A stable cache-key fragment: the [`canonical`](Self::canonical)
+    /// form serialized as compact JSON. Equal keys imply byte-identical
+    /// reports on the same trace; differing keys imply an observable
+    /// config difference.
+    pub fn cache_key(&self, top: Option<u64>) -> String {
+        serde_json::to_string(&self.canonical(top)).expect("SimConfig always serializes")
+    }
 }
 
 /// The result of one simulation run.
@@ -263,8 +316,8 @@ where
     } else {
         SeekCounter::new()
     };
-    let mut series = (config.longseek_bucket_ops > 0)
-        .then(|| LongSeekSeries::new(config.longseek_bucket_ops));
+    let mut series =
+        (config.longseek_bucket_ops > 0).then(|| LongSeekSeries::new(config.longseek_bucket_ops));
     // The host cache is indexed by *logical* sector; `RangeCache` is
     // address-space agnostic, so LBA sectors are passed as its keys.
     let mut host_cache = config
@@ -302,10 +355,7 @@ where
     let layer_name = layer.name().to_owned();
     let (ls_stats, fragments) = match layer {
         LayerImpl::NoLs(_) => (None, None),
-        LayerImpl::Ls(ls) => (
-            Some(ls.stats()),
-            ls.fragment_tracker().cloned(),
-        ),
+        LayerImpl::Ls(ls) => (Some(ls.stats()), ls.fragment_tracker().cloned()),
     };
 
     RunReport {
@@ -330,8 +380,9 @@ where
 /// reports stay identical to the historical slice-based engine.
 pub fn simulate(trace: &[TraceRecord], config: &SimConfig) -> RunReport {
     let config = match config.layer {
-        LayerChoice::Ls { .. } if config.frontier_hint.is_none() => config
-            .with_frontier_hint(stream::max_lba(trace).map_or(0, |l| l.sector() + 1)),
+        LayerChoice::Ls { .. } if config.frontier_hint.is_none() => {
+            config.with_frontier_hint(stream::max_lba(trace).map_or(0, |l| l.sector() + 1))
+        }
         _ => *config,
     };
     simulate_stream(trace.iter().copied(), &config)
@@ -415,7 +466,11 @@ mod tests {
     #[test]
     fn stream_replays_generated_records_without_materializing() {
         // A generator-backed iterator: no Vec of records ever exists.
-        let n: u64 = if cfg!(debug_assertions) { 200_000 } else { 10_000_000 };
+        let n: u64 = if cfg!(debug_assertions) {
+            200_000
+        } else {
+            10_000_000
+        };
         let records = (0..n).map(|i| TraceRecord::write(i, Lba::new((i % 1024) * 8), 8));
         let report = simulate_stream(records, &SimConfig::no_ls());
         assert_eq!(report.logical_ops, n);
@@ -444,6 +499,62 @@ mod tests {
         let series = report.longseek_series.unwrap();
         assert_eq!(series.total(), 1);
         assert_eq!(series.buckets(), &[0, 1]);
+    }
+
+    #[test]
+    fn canonical_clears_unobservable_knobs() {
+        // NoLS: every LS-only knob is cleared, whatever its value.
+        let noisy = SimConfig {
+            zone_sectors: Some(1 << 20),
+            frontier_hint: Some(999),
+            track_fragments: true,
+            ..SimConfig::no_ls()
+        };
+        assert_eq!(noisy.canonical(Some(42)), SimConfig::no_ls());
+        assert_eq!(
+            noisy.cache_key(Some(42)),
+            SimConfig::no_ls().cache_key(None),
+            "derived-vs-explicit NoLS configs share a cache key"
+        );
+
+        // LS: an unset hint resolves to the trace bound, so deriving the
+        // frontier equals passing it explicitly.
+        let derived = SimConfig::log_structured();
+        let explicit = SimConfig::log_structured().with_frontier_hint(1008);
+        assert_eq!(
+            derived.canonical(Some(1008)),
+            explicit.canonical(Some(1008))
+        );
+        assert_eq!(derived.cache_key(Some(1008)), explicit.cache_key(None));
+        // ...but a *different* explicit hint stays a different key.
+        let other = SimConfig::log_structured().with_frontier_hint(2048);
+        assert_ne!(derived.cache_key(Some(1008)), other.cache_key(Some(1008)));
+    }
+
+    #[test]
+    fn canonical_keeps_report_shaping_knobs() {
+        let config = SimConfig::ls_cache()
+            .with_distances()
+            .with_longseek_series(64)
+            .with_host_cache(1 << 20);
+        let canon = config.canonical(Some(100));
+        assert!(canon.record_distances);
+        assert_eq!(canon.longseek_bucket_ops, 64);
+        assert_eq!(canon.host_cache_bytes, Some(1 << 20));
+        assert_ne!(
+            config.cache_key(Some(100)),
+            SimConfig::ls_cache().cache_key(Some(100))
+        );
+    }
+
+    #[test]
+    fn standard_sweep_leads_with_baseline() {
+        let sweep = SimConfig::standard_sweep();
+        assert_eq!(sweep.len(), 5);
+        assert!(matches!(sweep[0].layer, LayerChoice::NoLs));
+        for config in &sweep[1..] {
+            assert!(matches!(config.layer, LayerChoice::Ls { .. }));
+        }
     }
 
     #[test]

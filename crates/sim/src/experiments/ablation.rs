@@ -63,14 +63,7 @@ fn cache_points() -> Vec<(String, SimConfig)> {
 /// Sweep points for the defragmentation gates: `N` (min fragments) and `k`
 /// (min accesses).
 fn defrag_threshold_points() -> Vec<(String, SimConfig)> {
-    let params = [
-        (2usize, 1u64),
-        (4, 1),
-        (8, 1),
-        (2, 2),
-        (2, 4),
-        (4, 2),
-    ];
+    let params = [(2usize, 1u64), (4, 1), (8, 1), (2, 2), (2, 4), (4, 2)];
     params
         .iter()
         .map(|&(n, k)| {
@@ -118,7 +111,12 @@ fn defrag_timing_points() -> Vec<(String, SimConfig)> {
         ("immediate", DefragTiming::Immediate),
         ("idle 1ms", DefragTiming::Idle { min_gap_us: 1_000 }),
         ("idle 10ms", DefragTiming::Idle { min_gap_us: 10_000 }),
-        ("idle 100ms", DefragTiming::Idle { min_gap_us: 100_000 }),
+        (
+            "idle 100ms",
+            DefragTiming::Idle {
+                min_gap_us: 100_000,
+            },
+        ),
     ];
     timings
         .iter()
@@ -192,7 +190,12 @@ pub fn cache_size(profile: &Profile, opts: &ExpOptions) -> Sweep {
 /// Sweeps the defragmentation gates: `N` (min fragments) and `k`
 /// (min accesses).
 pub fn defrag_thresholds(profile: &Profile, opts: &ExpOptions) -> Sweep {
-    run_sweep(profile, opts, "defrag thresholds", &defrag_threshold_points())
+    run_sweep(
+        profile,
+        opts,
+        "defrag thresholds",
+        &defrag_threshold_points(),
+    )
 }
 
 /// Sweeps the look-ahead/look-behind window (the paper leaves it
@@ -237,10 +240,7 @@ pub fn run(opts: &ExpOptions) -> Vec<Sweep> {
 /// Runs every ablation sweep as one flattened run matrix on up to
 /// `threads` workers. Sweeps are identical to [`run`]'s for any thread
 /// count.
-pub fn run_with_threads(
-    opts: &ExpOptions,
-    threads: NonZeroUsize,
-) -> (Vec<Sweep>, MatrixStats) {
+pub fn run_with_threads(opts: &ExpOptions, threads: NonZeroUsize) -> (Vec<Sweep>, MatrixStats) {
     let specs = sweep_specs();
     let mut matrix = RunMatrix::new();
     for (name, mechanism, points) in &specs {
@@ -271,10 +271,7 @@ pub fn run_with_threads(
             .into_iter()
             .map(|(param, _)| SweepPoint {
                 param,
-                saf: Saf::from_stats(
-                    &cells.next().expect("sweep point cell").report.seeks,
-                    &base,
-                ),
+                saf: Saf::from_stats(&cells.next().expect("sweep point cell").report.seeks, &base),
             })
             .collect();
         sweeps.push(Sweep {
@@ -368,9 +365,11 @@ mod tests {
     #[test]
     fn matrix_run_matches_sequential_sweeps() {
         let o = ExpOptions { seed: 7, ops: 2000 };
-        let (parallel, stats) =
-            run_with_threads(&o, NonZeroUsize::new(4).expect("nonzero"));
-        assert_eq!(stats.cells.len(), parallel.iter().map(|s| s.points.len() + 2).sum());
+        let (parallel, stats) = run_with_threads(&o, NonZeroUsize::new(4).expect("nonzero"));
+        assert_eq!(
+            stats.cells.len(),
+            parallel.iter().map(|s| s.points.len() + 2).sum()
+        );
         let w91 = profiles::by_name("w91").unwrap();
         let sequential = cache_size(&w91, &o);
         assert_eq!(parallel[0].mechanism, sequential.mechanism);

@@ -145,8 +145,7 @@ mod tests {
         let opts = ExpOptions { seed: 6, ops: 6000 };
         let rows = run(&opts);
         assert_eq!(rows.len(), 21);
-        let explicit: Vec<&ClassifyRow> =
-            rows.iter().filter(|r| r.paper.is_some()).collect();
+        let explicit: Vec<&ClassifyRow> = rows.iter().filter(|r| r.paper.is_some()).collect();
         let agreements = explicit.iter().filter(|r| r.agrees()).count();
         assert_eq!(
             agreements,

@@ -63,11 +63,7 @@ pub fn run_at(live_fraction: f64, opts: &ExpOptions) -> CleaningPoint {
     let trace = b.finish();
 
     // Finite log with greedy cleaning.
-    let mut log = CleaningLog::new(CleanerConfig::new(
-        Pba::new(1 << 30),
-        SEG_SECTORS,
-        SEGMENTS,
-    ));
+    let mut log = CleaningLog::new(CleanerConfig::new(Pba::new(1 << 30), SEG_SECTORS, SEGMENTS));
     let mut counter = SeekCounter::new();
     for rec in &trace {
         for io in log.apply(rec) {
@@ -133,11 +129,7 @@ pub fn compare_policies(opts: &ExpOptions) -> Vec<PolicyRow> {
             b.write_random(Lba::new(0), hot, 1, stripe);
             if i % interval == 0 && i / interval < cold_stripes {
                 let k = i / interval;
-                b.write_sequential(
-                    Lba::new(cold_base + k * u64::from(stripe)),
-                    1,
-                    stripe,
-                );
+                b.write_sequential(Lba::new(cold_base + k * u64::from(stripe)), 1, stripe);
             }
         }
         b.finish()
@@ -182,8 +174,10 @@ pub fn render_policies(rows: &[PolicyRow]) -> String {
             row.cleanings.to_string(),
         ]);
     }
-    format!("Extension — cleaning policy comparison at ~60% utilization
-{table}")
+    format!(
+        "Extension — cleaning policy comparison at ~60% utilization
+{table}"
+    )
 }
 
 /// Renders the sweep.

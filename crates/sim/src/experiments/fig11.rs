@@ -47,10 +47,7 @@ pub fn run_one(profile: &Profile, opts: &ExpOptions) -> Fig11Row {
 
 /// Runs every Table-I workload (Fig 11a + 11b).
 pub fn run(opts: &ExpOptions) -> Vec<Fig11Row> {
-    profiles::all()
-        .iter()
-        .map(|p| run_one(p, opts))
-        .collect()
+    profiles::all().iter().map(|p| run_one(p, opts)).collect()
 }
 
 /// Renders rows as the text analogue of Fig 11's grouped bars.
@@ -58,7 +55,11 @@ pub fn render(rows: &[Fig11Row]) -> String {
     let mut out = String::new();
     for family in [Family::Msr, Family::CloudPhysics] {
         let mut table = TextTable::new(vec![
-            "workload", "LS", "LS+defrag", "LS+prefetch", "LS+cache",
+            "workload",
+            "LS",
+            "LS+defrag",
+            "LS+prefetch",
+            "LS+cache",
         ]);
         for row in rows.iter().filter(|r| r.family == family) {
             table.row(vec![
@@ -85,17 +86,18 @@ mod tests {
     use super::*;
 
     fn small_opts() -> ExpOptions {
-        ExpOptions {
-            seed: 7,
-            ops: 6000,
-        }
+        ExpOptions { seed: 7, ops: 6000 }
     }
 
     #[test]
     fn w91_is_log_sensitive_and_cache_fixes_it() {
         let profile = profiles::by_name("w91").unwrap();
         let row = run_one(&profile, &small_opts());
-        assert!(row.ls.total > 1.0, "w91 LS SAF {:.2} must exceed 1", row.ls.total);
+        assert!(
+            row.ls.total > 1.0,
+            "w91 LS SAF {:.2} must exceed 1",
+            row.ls.total
+        );
         assert!(
             row.cache.total < row.ls.total / 2.0,
             "cache SAF {:.2} must be far below LS {:.2}",

@@ -62,10 +62,7 @@ pub fn run(opts: &ExpOptions) -> Vec<Fig2Row> {
 /// Simulates every Table-I workload through the parallel run matrix: two
 /// cells (NoLS, LS) per workload, executed on up to `threads` workers.
 /// Rows are identical to [`run`]'s for any thread count.
-pub fn run_with_threads(
-    opts: &ExpOptions,
-    threads: NonZeroUsize,
-) -> (Vec<Fig2Row>, MatrixStats) {
+pub fn run_with_threads(opts: &ExpOptions, threads: NonZeroUsize) -> (Vec<Fig2Row>, MatrixStats) {
     run_cached(opts, threads, None)
 }
 
@@ -84,10 +81,7 @@ pub fn run_cached(
         .iter()
         .map(|p| tracecache::profile_source(p, opts, cache_dir))
         .collect();
-    let matrix = RunMatrix::cross(
-        &sources,
-        &[SimConfig::no_ls(), SimConfig::log_structured()],
-    );
+    let matrix = RunMatrix::cross(&sources, &[SimConfig::no_ls(), SimConfig::log_structured()]);
     let outcomes = matrix.execute(threads);
     let stats = MatrixStats::from_outcomes(&outcomes);
     let rows = all
@@ -108,12 +102,7 @@ pub fn render(rows: &[Fig2Row]) -> String {
     let mut out = String::new();
     for family in [Family::Msr, Family::CloudPhysics] {
         let mut table = TextTable::new(vec![
-            "workload",
-            "NoLS rd",
-            "NoLS wr",
-            "LS rd",
-            "LS wr",
-            "net",
+            "workload", "NoLS rd", "NoLS wr", "LS rd", "LS wr", "net",
         ]);
         for row in rows.iter().filter(|r| r.family == family) {
             table.row(vec![
@@ -185,8 +174,7 @@ mod tests {
     fn parallel_execution_matches_serial() {
         let o = ExpOptions { seed: 5, ops: 1500 };
         let serial = run(&o);
-        let (parallel, stats) =
-            run_with_threads(&o, NonZeroUsize::new(4).expect("nonzero"));
+        let (parallel, stats) = run_with_threads(&o, NonZeroUsize::new(4).expect("nonzero"));
         assert_eq!(serial.len(), parallel.len());
         assert_eq!(stats.cells.len(), 2 * serial.len());
         for (a, b) in serial.iter().zip(&parallel) {

@@ -65,8 +65,12 @@ pub fn run_one(profile: &Profile, opts: &ExpOptions) -> Fig4Cdfs {
     let ls = simulate(&trace, &SimConfig::log_structured().with_distances());
     Fig4Cdfs {
         workload: profile.name.to_owned(),
-        nols: nols.distance_cdf().expect("run was configured with distances"),
-        ls: ls.distance_cdf().expect("run was configured with distances"),
+        nols: nols
+            .distance_cdf()
+            .expect("run was configured with distances"),
+        ls: ls
+            .distance_cdf()
+            .expect("run was configured with distances"),
     }
 }
 

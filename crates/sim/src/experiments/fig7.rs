@@ -127,9 +127,8 @@ mod tests {
         // descending structure than hm_1's deliberate bursts (Fig 7a vs
         // 7b); absolute counts are not comparable because hm_1's window
         // holds fewer writes.
-        let rate = |p: &Fig7Pattern| {
-            p.local_descending_pairs as f64 / (p.points.len() as f64 - 1.0)
-        };
+        let rate =
+            |p: &Fig7Pattern| p.local_descending_pairs as f64 / (p.points.len() as f64 - 1.0);
         assert!(
             rate(&w106) < rate(&hm),
             "w106 rate {:.3} vs hm_1 rate {:.3}",

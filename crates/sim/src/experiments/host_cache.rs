@@ -126,11 +126,7 @@ mod tests {
 
     #[test]
     fn bigger_host_cache_absorbs_more_reads() {
-        let sweep = run_one(
-            &profiles::by_name("w91").unwrap(),
-            &opts(),
-            &[0, 4, 1024],
-        );
+        let sweep = run_one(&profiles::by_name("w91").unwrap(), &opts(), &[0, 4, 1024]);
         let hits: Vec<f64> = sweep.points.iter().map(|p| p.host_hit_fraction).collect();
         assert_eq!(hits[0], 0.0);
         assert!(hits[2] >= hits[1]);

@@ -66,10 +66,7 @@ pub fn run_one(profile: &Profile, opts: &ExpOptions) -> ReorderRow {
         ls_reordered: Saf::from_stats(&ls_reord_stats, &base_reord),
         ls_raw_seeks: ls_raw_stats.total(),
         ls_reordered_seeks: ls_reord_stats.total(),
-        ls_prefetch: Saf::from_stats(
-            &simulate(&raw, &SimConfig::ls_prefetch()).seeks,
-            &base_raw,
-        ),
+        ls_prefetch: Saf::from_stats(&simulate(&raw, &SimConfig::ls_prefetch()).seeks, &base_raw),
     }
 }
 

@@ -81,8 +81,7 @@ pub fn render(rows: &[Table1Row]) -> String {
     ]);
     for row in rows {
         let paper_ratio = row.paper.read_count as f64 / row.paper.write_count.max(1) as f64;
-        let synth_ratio =
-            row.synthetic.read_count as f64 / row.synthetic.write_count.max(1) as f64;
+        let synth_ratio = row.synthetic.read_count as f64 / row.synthetic.write_count.max(1) as f64;
         let paper_rd_kb = f64::from(row.paper.mean_read_sectors()) / 2.0;
         table.row(vec![
             row.workload.clone(),

@@ -81,9 +81,7 @@ pub fn render(rows: &[ZoneRow]) -> String {
             row.extra_phys_writes.to_string(),
         ]);
     }
-    format!(
-        "Extension — robustness of SAF to ZBC zone backing (256 MiB zones)\n{table}"
-    )
+    format!("Extension — robustness of SAF to ZBC zone backing (256 MiB zones)\n{table}")
 }
 
 #[cfg(test)]

@@ -19,7 +19,6 @@
 //! assert!(ls.seeks.total() < nols.seeks.total());
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod engine;
 pub mod experiments;

@@ -6,9 +6,7 @@
 //! paper's figures. `smrseek plotdata --out DIR` writes one file per
 //! figure.
 
-use crate::experiments::{
-    fig10, fig11, fig2, fig3, fig4, fig5, fig7, fig8, ExpOptions,
-};
+use crate::experiments::{fig10, fig11, fig2, fig3, fig4, fig5, fig7, fig8, ExpOptions};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -19,7 +17,11 @@ pub fn fig2_csv(rows: &[fig2::Fig2Row]) -> String {
         writeln!(
             out,
             "{},{},{},{},{},{}",
-            r.workload, r.family, r.nols.read_seeks, r.nols.write_seeks, r.ls.read_seeks,
+            r.workload,
+            r.family,
+            r.nols.read_seeks,
+            r.nols.write_seeks,
+            r.ls.read_seeks,
             r.ls.write_seeks
         )
         .expect("writing to String cannot fail");
@@ -32,8 +34,15 @@ pub fn fig3_csv(series: &[fig3::Fig3Series]) -> String {
     let mut out = String::from("workload,bucket,op_index,ls_minus_nols_long_seeks\n");
     for s in series {
         for (i, &d) in s.diff.iter().enumerate() {
-            writeln!(out, "{},{},{},{}", s.workload, i, i as u64 * s.bucket_ops, d)
-                .expect("writing to String cannot fail");
+            writeln!(
+                out,
+                "{},{},{},{}",
+                s.workload,
+                i,
+                i as u64 * s.bucket_ops,
+                d
+            )
+            .expect("writing to String cannot fail");
         }
     }
     out
@@ -45,12 +54,10 @@ pub fn fig4_csv(cdfs: &[fig4::Fig4Cdfs], points: usize) -> String {
     for c in cdfs {
         let (nols, ls) = c.curves(points);
         for (x, f) in nols {
-            writeln!(out, "{},NoLS,{x},{f:.6}", c.workload)
-                .expect("writing to String cannot fail");
+            writeln!(out, "{},NoLS,{x},{f:.6}", c.workload).expect("writing to String cannot fail");
         }
         for (x, f) in ls {
-            writeln!(out, "{},LS,{x},{f:.6}", c.workload)
-                .expect("writing to String cannot fail");
+            writeln!(out, "{},LS,{x},{f:.6}", c.workload).expect("writing to String cannot fail");
         }
     }
     out
@@ -61,8 +68,7 @@ pub fn fig5_csv(dists: &[fig5::Fig5Dist]) -> String {
     let mut out = String::from("workload,fragments_per_read,cdf\n");
     for d in dists {
         for (count, f) in d.cdf_points() {
-            writeln!(out, "{},{count},{f:.6}", d.workload)
-                .expect("writing to String cannot fail");
+            writeln!(out, "{},{count},{f:.6}", d.workload).expect("writing to String cannot fail");
         }
     }
     out
@@ -231,10 +237,8 @@ mod tests {
 
     #[test]
     fn export_all_writes_eight_files() {
-        let dir = std::env::temp_dir().join(format!(
-            "smrseek_plotdata_test_{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("smrseek_plotdata_test_{}", std::process::id()));
         let written = export_all(&opts(), &dir).expect("export succeeds");
         assert_eq!(written.len(), 8);
         for path in &written {

@@ -60,9 +60,9 @@ impl TextTable {
 
 fn is_numeric(cell: &str) -> bool {
     !cell.is_empty()
-        && cell
-            .chars()
-            .all(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'x' | '%' | 'i' | 'n' | 'f'))
+        && cell.chars().all(|c| {
+            c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'x' | '%' | 'i' | 'n' | 'f')
+        })
         && cell.chars().any(|c| c.is_ascii_digit() || c == 'i')
 }
 

@@ -56,7 +56,9 @@ pub struct TraceSource {
 
 impl std::fmt::Debug for TraceSource {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TraceSource").field("name", &self.name).finish()
+        f.debug_struct("TraceSource")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -105,6 +107,28 @@ impl TraceSource {
     /// The source's display name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The stable content digest of this source's records — the identity
+    /// the daemon's result cache keys on. Mmap-backed sources stream off
+    /// the mapping; generator-backed sources materialize once here, so
+    /// callers should cache the digest (see
+    /// [`tracecache::TraceRegistry`](crate::tracecache::TraceRegistry)).
+    pub fn digest(&self) -> smrseek_trace::TraceDigest {
+        match &self.supply {
+            Supply::Generate(f) => smrseek_trace::digest::digest_records(&f()),
+            Supply::Mapped { map, .. } => smrseek_trace::digest::digest_iter(map.iter()),
+        }
+    }
+
+    /// One past the highest sector the records touch — the LS frontier
+    /// hint. Cached from the v2 header for mmap-backed sources; computed
+    /// from a materialized pass for generator-backed ones.
+    pub fn top_sector(&self) -> u64 {
+        match &self.supply {
+            Supply::Generate(f) => smrseek_trace::binary::top_sector(&f()),
+            Supply::Mapped { top, .. } => *top,
+        }
     }
 
     /// Produces the records. Mmap-backed sources materialize a fresh
@@ -501,6 +525,24 @@ mod tests {
             assert_eq!(a.report.logical_ops, b.report.logical_ops);
             assert_eq!(a.report.peak_extent_segments, b.report.peak_extent_segments);
         }
+    }
+
+    #[test]
+    fn digest_and_top_are_supply_invariant() {
+        use smrseek_trace::binary::{top_sector, write_binary_v2, MmapTrace};
+
+        let records = burst(300);
+        let mut buf = Vec::new();
+        write_binary_v2(&mut buf, &records).expect("vec write");
+        let map = Arc::new(MmapTrace::from_bytes(buf).expect("own output maps"));
+        let mapped = TraceSource::from_mmap("burst", map);
+        let generated = TraceSource::from_records("burst", records.clone());
+        assert_eq!(mapped.digest(), generated.digest());
+        assert_eq!(mapped.top_sector(), generated.top_sector());
+        assert_eq!(generated.top_sector(), top_sector(&records));
+
+        let other = TraceSource::from_records("other", burst(301));
+        assert_ne!(other.digest(), generated.digest());
     }
 
     #[test]

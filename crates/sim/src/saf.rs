@@ -4,6 +4,7 @@
 //! seeks (read, write, or total) for the log-structured system to seeks
 //! incurred on a conventional drive by the workload trace."*
 
+use crate::runner::RunOutcome;
 use serde::{Deserialize, Error, Number, Serialize, Value};
 use smrseek_disk::SeekStats;
 use std::fmt;
@@ -100,6 +101,30 @@ impl fmt::Display for Saf {
     }
 }
 
+/// SAF of every outcome of a sweep relative to its *first* cell (the NoLS
+/// baseline of [`SimConfig::standard_sweep`](crate::SimConfig::standard_sweep)),
+/// labeled by layer name.
+///
+/// This is the exact document `smrseek simulate --json` writes and the
+/// daemon serves for sweep jobs — sharing one implementation is what keeps
+/// the two byte-identical.
+///
+/// # Panics
+///
+/// Panics when `outcomes` is empty (a sweep always has its baseline).
+pub fn sweep_safs(outcomes: &[RunOutcome]) -> Vec<(String, Saf)> {
+    let base = outcomes[0].report.seeks;
+    outcomes
+        .iter()
+        .map(|o| {
+            (
+                o.report.layer_name.clone(),
+                Saf::from_stats(&o.report.seeks, &base),
+            )
+        })
+        .collect()
+}
+
 fn ratio(a: u64, b: u64) -> f64 {
     if b == 0 {
         if a == 0 {
@@ -184,6 +209,33 @@ mod tests {
         assert!(!json.contains("null"), "finite values stay numeric: {json}");
         let back: Saf = serde_json::from_str(&json).expect("roundtrip");
         assert_eq!(back, saf);
+    }
+
+    #[test]
+    fn sweep_safs_uses_first_cell_as_baseline() {
+        use crate::runner::{RunMatrix, TraceSource};
+        use crate::SimConfig;
+        use smrseek_trace::{Lba, TraceRecord};
+
+        let trace: Vec<TraceRecord> = (0..200u64)
+            .map(|i| {
+                if i % 3 == 0 {
+                    TraceRecord::read(i, Lba::new((i * 97) % 2048 * 8), 8)
+                } else {
+                    TraceRecord::write(i, Lba::new((i * 37) % 2048 * 8), 8)
+                }
+            })
+            .collect();
+        let source = TraceSource::from_records("t", trace);
+        let matrix = RunMatrix::cross(&[source], &SimConfig::standard_sweep());
+        let safs = sweep_safs(&matrix.execute(std::num::NonZeroUsize::MIN));
+        assert_eq!(safs.len(), 5);
+        assert_eq!(safs[0].0, "NoLS");
+        assert!(
+            (safs[0].1.total - 1.0).abs() < 1e-12,
+            "baseline amplifies itself by exactly 1: {}",
+            safs[0].1
+        );
     }
 
     #[test]

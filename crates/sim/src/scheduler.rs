@@ -6,7 +6,7 @@
 //!
 //! A conventional drive fixes mis-ordered bursts before they reach the
 //! medium; a log-structured layer instead *freezes* dispatch order into
-//! the physical layout. [`reorder_trace`] models the queue: operations
+//! the physical layout. [`reorder`] models the queue: operations
 //! that arrive within the queue window are sorted into ascending-LBA
 //! (elevator) order before being applied, letting experiments ask how much
 //! of the prefetching mechanism's benefit a smarter queue would capture
@@ -92,22 +92,6 @@ pub fn reorder(trace: &[TraceRecord], queue: QueueConfig) -> Vec<TraceRecord> {
         i = j;
     }
     out
-}
-
-/// Deprecated positional-argument shim over [`reorder`].
-///
-/// # Panics
-///
-/// Panics if `queue_depth` is zero (the [`QueueConfig`] replacement makes
-/// that unrepresentable).
-#[deprecated(since = "0.1.0", note = "use `reorder` with a `QueueConfig`")]
-pub fn reorder_trace(
-    trace: &[TraceRecord],
-    queue_depth: usize,
-    window_us: u64,
-) -> Vec<TraceRecord> {
-    let depth = NonZeroUsize::new(queue_depth).expect("queue depth must be positive");
-    reorder(trace, QueueConfig { depth, window_us })
 }
 
 #[cfg(test)]
@@ -201,27 +185,11 @@ mod tests {
     fn fixes_misordered_writes() {
         use smrseek_stl::{count_misordered_writes, MISORDER_WINDOW_BYTES};
         // A descending chunk burst: heavily mis-ordered as dispatched.
-        let trace: Vec<TraceRecord> = (0..16u64)
-            .map(|i| w(i * 10, (15 - i) * 8))
-            .collect();
+        let trace: Vec<TraceRecord> = (0..16u64).map(|i| w(i * 10, (15 - i) * 8)).collect();
         let (before, _) = count_misordered_writes(&trace, MISORDER_WINDOW_BYTES);
         assert!(before > 10);
         let sorted = reorder(&trace, queue(32, 1_000));
         let (after, _) = count_misordered_writes(&sorted, MISORDER_WINDOW_BYTES);
         assert_eq!(after, 0, "the elevator removes all mis-ordering");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_new_api() {
-        let trace = vec![w(0, 30), w(50, 10), w(200, 20)];
-        assert_eq!(reorder_trace(&trace, 8, 100), reorder(&trace, queue(8, 100)));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    #[should_panic(expected = "positive")]
-    fn zero_depth_panics() {
-        reorder_trace(&[], 0, 100);
     }
 }

@@ -19,12 +19,15 @@
 
 use crate::experiments::ExpOptions;
 use crate::runner::TraceSource;
-use smrseek_trace::binary::{write_binary_v2, MmapTrace};
-use smrseek_trace::TraceRecord;
+use smrseek_trace::binary::{top_sector, write_binary_v2, MmapTrace};
+use smrseek_trace::digest::{digest_iter, digest_records};
+use smrseek_trace::parse::{parse_path, sniff_path, DetectedFormat};
+use smrseek_trace::{TraceDigest, TraceRecord};
 use smrseek_workloads::profiles::Profile;
+use std::collections::HashMap;
 use std::io::{BufWriter, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Default cache directory for synthetic-profile sidecars, relative to the
 /// working directory.
@@ -115,6 +118,91 @@ pub fn profile_source(
     }
 }
 
+/// One trace held open by a [`TraceRegistry`]: the replayable source plus
+/// its identity, computed once at load time so no job ever re-digests or
+/// re-scans the records.
+#[derive(Debug, Clone)]
+pub struct RegisteredTrace {
+    /// The replayable source (one shared mapping for binary traces).
+    pub source: TraceSource,
+    /// Stable content digest — the daemon's result-cache identity.
+    pub digest: TraceDigest,
+    /// One past the highest sector touched (the LS frontier hint).
+    pub top_sector: u64,
+    /// Number of records in the trace.
+    pub records: u64,
+}
+
+/// A shared registry of open traces for long-lived processes: each path is
+/// sniffed, loaded (mmapped for binary traces, parsed otherwise) and
+/// digested exactly once, and every job replaying it thereafter shares the
+/// same [`TraceSource`] — for mmap-backed traces that means one read-only
+/// mapping serving every concurrent worker.
+#[derive(Debug, Default)]
+pub struct TraceRegistry {
+    entries: Mutex<HashMap<PathBuf, Arc<RegisteredTrace>>>,
+}
+
+impl TraceRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        TraceRegistry::default()
+    }
+
+    /// Loads the trace at `path`, or returns the already-loaded entry.
+    /// Paths are keyed by their canonicalized form, so `./t.csv` and an
+    /// absolute path to the same file share one entry.
+    ///
+    /// The registry lock is deliberately held across a cold load: when
+    /// many jobs name the same cold trace at once, one loads and digests
+    /// it while the rest wait for the entry, instead of N workers parsing
+    /// the same file in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates open/sniff/parse/mmap failures from [`smrseek_trace`].
+    pub fn load(&self, path: &Path) -> smrseek_trace::Result<Arc<RegisteredTrace>> {
+        let key = std::fs::canonicalize(path).unwrap_or_else(|_| path.to_path_buf());
+        let mut entries = self.entries.lock().expect("registry lock poisoned");
+        if let Some(entry) = entries.get(&key) {
+            return Ok(Arc::clone(entry));
+        }
+        let name = path.display().to_string();
+        let entry = Arc::new(match sniff_path(path)? {
+            DetectedFormat::Binary => {
+                let map = Arc::new(MmapTrace::open(path)?);
+                RegisteredTrace {
+                    digest: digest_iter(map.iter()),
+                    top_sector: map.top_sector(),
+                    records: map.len() as u64,
+                    source: TraceSource::from_mmap(name, map),
+                }
+            }
+            format => {
+                let records = parse_path(path, format)?;
+                RegisteredTrace {
+                    digest: digest_records(&records),
+                    top_sector: top_sector(&records),
+                    records: records.len() as u64,
+                    source: TraceSource::from_records(name, records),
+                }
+            }
+        });
+        entries.insert(key, Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Number of traces currently registered.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("registry lock poisoned").len()
+    }
+
+    /// Whether no trace has been registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,15 +244,52 @@ mod tests {
             Some(smrseek_trace::binary::top_sector(&records))
         );
         assert!(
-            std::fs::read_dir(&dir)
-                .expect("dir listed")
-                .all(|e| !e
-                    .expect("entry")
-                    .file_name()
-                    .to_string_lossy()
-                    .contains("tmp")),
+            std::fs::read_dir(&dir).expect("dir listed").all(|e| !e
+                .expect("entry")
+                .file_name()
+                .to_string_lossy()
+                .contains("tmp")),
             "no temp files left behind"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn registry_loads_each_path_once_and_keys_canonically() {
+        use smrseek_trace::writer::write_cp_csv;
+
+        let dir = tmp_dir("registry");
+        std::fs::create_dir_all(&dir).expect("cache dir");
+        let records = profiles::by_name("hm_1")
+            .expect("profile exists")
+            .generate_scaled(5, 300);
+
+        // One CSV and one binary copy of the same records.
+        let csv = dir.join("t.csv");
+        let mut f = std::fs::File::create(&csv).expect("csv created");
+        write_cp_csv(&mut f, &records).expect("csv written");
+        let smrt = dir.join("t.smrt");
+        write_sidecar(&smrt, &records).expect("sidecar written");
+
+        let registry = TraceRegistry::new();
+        assert!(registry.is_empty());
+        let via_csv = registry.load(&csv).expect("csv loads");
+        let via_smrt = registry.load(&smrt).expect("binary loads");
+        assert_eq!(registry.len(), 2);
+        assert_eq!(
+            via_csv.digest, via_smrt.digest,
+            "digest is content-addressed, not format-addressed"
+        );
+        assert_eq!(via_csv.top_sector, via_smrt.top_sector);
+        assert_eq!(via_csv.records, records.len() as u64);
+
+        // A second load of the same file (via a relative-ish alias) hits
+        // the existing entry instead of re-parsing.
+        let again = registry.load(&csv).expect("cached load");
+        assert!(Arc::ptr_eq(&again, &via_csv));
+        assert_eq!(registry.len(), 2);
+
+        assert!(registry.load(&dir.join("missing.csv")).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -251,8 +251,7 @@ impl CleaningLog {
                     let Some(idx) = self.segment_of(pba) else {
                         break; // outside the log region: not tracked
                     };
-                    let seg_end =
-                        self.segment_start(idx) + self.config.segment_sectors;
+                    let seg_end = self.segment_start(idx) + self.config.segment_sectors;
                     let take = left.min(seg_end - pba);
                     self.valid[idx] = self.valid[idx].saturating_sub(take);
                     pba += take;
@@ -269,11 +268,7 @@ impl CleaningLog {
         if !self.config.separate_hot_cold {
             return 0;
         }
-        let overwrites = self
-            .map
-            .lookup(lba, sectors)
-            .iter()
-            .any(|s| !s.is_hole());
+        let overwrites = self.map.lookup(lba, sectors).iter().any(|s| !s.is_hole());
         if overwrites {
             HOT
         } else {
@@ -324,7 +319,11 @@ impl CleaningLog {
     /// Panics if the reserve is exhausted mid-copy (a configuration with
     /// `reserve_segments` < 1, which the constructor rejects).
     fn append_gc(&mut self, mut lba: Lba, mut sectors: u64, out: &mut Vec<PhysIo>) {
-        let stream = if self.config.separate_hot_cold { COLD } else { 0 };
+        let stream = if self.config.separate_hot_cold {
+            COLD
+        } else {
+            0
+        };
         while sectors > 0 {
             let (active, offset) = self.streams[stream];
             let room = self.config.segment_sectors - offset;
@@ -607,7 +606,11 @@ mod tests {
             log.apply(&TraceRecord::write(t, Lba::new((i % 4) * 50), 50));
             if i % 16 == 0 && i / 16 < cold_stripes {
                 t += 1;
-                log.apply(&TraceRecord::write(t, Lba::new(100_000 + (i / 16) * 50), 50));
+                log.apply(&TraceRecord::write(
+                    t,
+                    Lba::new(100_000 + (i / 16) * 50),
+                    50,
+                ));
             }
         }
         log
@@ -665,8 +668,7 @@ mod tests {
         // Construct: segment A is old and 40% stale; segment B is young
         // and 60% stale. Greedy picks B (fewer valid); cost-benefit
         // weighs age (mtime) and picks A.
-        let mut log =
-            CleaningLog::new(config(8, 100).with_policy(CleanerPolicy::CostBenefit));
+        let mut log = CleaningLog::new(config(8, 100).with_policy(CleanerPolicy::CostBenefit));
         // Fill segment 0 (becomes A) early: lba 0..100.
         log.apply(&TraceRecord::write(0, Lba::new(0), 100));
         // Aging traffic: ten small writes to distinct LBAs (segment 1),

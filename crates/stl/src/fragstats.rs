@@ -93,11 +93,7 @@ impl FragmentAccessTracker {
                 bytes: sectors * SECTOR_SIZE,
             })
             .collect();
-        out.sort_by(|a, b| {
-            b.access_count
-                .cmp(&a.access_count)
-                .then(a.pba.cmp(&b.pba))
-        });
+        out.sort_by(|a, b| b.access_count.cmp(&a.access_count).then(a.pba.cmp(&b.pba)));
         out
     }
 

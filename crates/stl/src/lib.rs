@@ -49,7 +49,6 @@
 //! assert_eq!(phys.len(), 2 + 3);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod cleaner;
 pub mod config;

@@ -196,9 +196,7 @@ impl LogStructured {
                 _ => runs.push((start, len)),
             }
         }
-        runs.into_iter()
-            .map(|(s, l)| (Pba::new(s), l))
-            .collect()
+        runs.into_iter().map(|(s, l)| (Pba::new(s), l)).collect()
     }
 
     fn handle_read(&mut self, rec: &TraceRecord) -> Vec<PhysIo> {
@@ -226,18 +224,13 @@ impl LogStructured {
                     self.stats.cache_miss_fragments += 1;
                 }
                 // Alg. 2: look-ahead-behind around fragments.
-                if let (Some(buffer), Some(p)) =
-                    (&mut self.prefetch_buffer, self.config.prefetch)
-                {
+                if let (Some(buffer), Some(p)) = (&mut self.prefetch_buffer, self.config.prefetch) {
                     if buffer.covers(pba, len) {
                         self.stats.prefetch_hit_fragments += 1;
                         continue; // already in the drive buffer
                     }
-                    let pre_start =
-                        Pba::new(pba.sector().saturating_sub(p.behind_sectors));
-                    let total = (pba.sector() - pre_start.sector())
-                        + len
-                        + p.ahead_sectors;
+                    let pre_start = Pba::new(pba.sector().saturating_sub(p.behind_sectors));
+                    let total = (pba.sector() - pre_start.sector()) + len + p.ahead_sectors;
                     buffer.insert(pre_start, total);
                     self.stats.prefetched_sectors += total - len;
                     self.stats.phys_reads += 1;
@@ -288,8 +281,7 @@ impl TranslationLayer for LogStructured {
         if let Some(d) = self.config.defrag {
             if let DefragTiming::Idle { min_gap_us } = d.timing {
                 if !self.pending_defrag.is_empty()
-                    && rec.timestamp_us.saturating_sub(self.last_timestamp_us)
-                        >= min_gap_us
+                    && rec.timestamp_us.saturating_sub(self.last_timestamp_us) >= min_gap_us
                 {
                     prologue = self.flush_defrag_queue();
                 }
@@ -380,7 +372,7 @@ mod tests {
         ls.apply(&TraceRecord::write(1, lba(2), 1)); // update LBA 2 -> 1006
         ls.apply(&TraceRecord::write(2, lba(4), 1)); // update LBA 4 -> 1007
         let r = ls.apply(&TraceRecord::read(3, lba(1), 4)); // read LBA 1..5
-        // pieces: LBA1 @1001, LBA2 @1006, LBA3 @1003, LBA4 @1007
+                                                            // pieces: LBA1 @1001, LBA2 @1006, LBA3 @1003, LBA4 @1007
         assert_eq!(
             r,
             vec![
@@ -397,7 +389,7 @@ mod tests {
     fn straddling_read_merges_identity_and_log() {
         let mut ls = plain(1000);
         ls.apply(&TraceRecord::write(0, lba(10), 2)); // 10..12 -> 1000..1002
-        // Read 8..14: hole [8,10) @8, mapped [10,12) @1000, hole [12,14) @12.
+                                                      // Read 8..14: hole [8,10) @8, mapped [10,12) @1000, hole [12,14) @12.
         let r = ls.apply(&TraceRecord::read(1, lba(8), 6));
         assert_eq!(
             r,
@@ -522,7 +514,7 @@ mod tests {
         ls.apply(&TraceRecord::write(1, lba(3), 1)); // @10006
         ls.apply(&TraceRecord::write(2, lba(2), 1)); // @10007
         ls.apply(&TraceRecord::write(3, lba(4), 1)); // @10008
-        // Read 0..6: fragments @10000(len2), @10007(1), @10006(1), @10008(1), @10005(1)
+                                                     // Read 0..6: fragments @10000(len2), @10007(1), @10006(1), @10008(1), @10005(1)
         let r = ls.apply(&TraceRecord::read(4, lba(0), 6));
         // First fragment read enlarges to cover 8 ahead: 10000-8..10000+2+8,
         // which covers 10006..10009 -> remaining fragments all hit buffer
@@ -541,7 +533,7 @@ mod tests {
         });
         let mut ls = LogStructured::new(cfg);
         ls.apply(&TraceRecord::write(0, lba(0), 4)); // @100000
-        // Push the frontier far away.
+                                                     // Push the frontier far away.
         ls.apply(&TraceRecord::write(1, lba(1000), 5000)); // @100004..105004
         ls.apply(&TraceRecord::write(2, lba(2), 1)); // @105004
         let r = ls.apply(&TraceRecord::read(3, lba(0), 4));
@@ -572,8 +564,7 @@ mod tests {
         assert_eq!(plain(0).name(), "LS");
         let d = LogStructured::new(LsConfig::default().with_defrag(DefragConfig::default()));
         assert_eq!(d.name(), "LS+defrag");
-        let p =
-            LogStructured::new(LsConfig::default().with_prefetch(PrefetchConfig::default()));
+        let p = LogStructured::new(LsConfig::default().with_prefetch(PrefetchConfig::default()));
         assert_eq!(p.name(), "LS+prefetch");
         let c = LogStructured::new(LsConfig::default().with_cache(CacheConfig::default()));
         assert_eq!(c.name(), "LS+cache");
@@ -601,7 +592,7 @@ mod tests {
         let r = ls.apply(&TraceRecord::read(5_000, lba(0), 6));
         assert_eq!(r.len(), 3);
         assert_eq!(ls.pending_defrag().len(), 1); // dedup via access gate reset
-        // An op after a >=10ms gap flushes the queue first.
+                                                  // An op after a >=10ms gap flushes the queue first.
         let r = ls.apply(&TraceRecord::read(50_000, lba(0), 6));
         let writes: Vec<_> = r.iter().filter(|io| io.op == OpKind::Write).collect();
         assert_eq!(writes.len(), 1, "batched rewrite: {r:?}");
@@ -628,8 +619,7 @@ mod tests {
         // Idle gap: the next op is preceded by BOTH rewrites,
         // back-to-back at the frontier (physically contiguous).
         let r = ls.apply(&TraceRecord::read(1_000_000, lba(500), 1));
-        let writes: Vec<&PhysIo> =
-            r.iter().filter(|io| io.op == OpKind::Write).collect();
+        let writes: Vec<&PhysIo> = r.iter().filter(|io| io.op == OpKind::Write).collect();
         assert_eq!(writes.len(), 2);
         assert_eq!(writes[0].end(), writes[1].pba, "batch is contiguous");
         assert_eq!(ls.stats().defrag_rewrites, 2);
@@ -643,10 +633,13 @@ mod tests {
         ls.apply(&TraceRecord::write(0, lba(0), 6));
         ls.apply(&TraceRecord::write(1, lba(2), 1));
         ls.apply(&TraceRecord::read(2, lba(0), 6)); // queued
-        // The host overwrites the whole range: now contiguous by itself.
+                                                    // The host overwrites the whole range: now contiguous by itself.
         ls.apply(&TraceRecord::write(3, lba(0), 6));
         let flushed = ls.flush_defrag_queue();
-        assert!(flushed.is_empty(), "nothing left to defragment: {flushed:?}");
+        assert!(
+            flushed.is_empty(),
+            "nothing left to defragment: {flushed:?}"
+        );
         assert_eq!(ls.stats().defrag_rewrites, 0);
     }
 
@@ -682,7 +675,7 @@ mod tests {
             assert_eq!(w[0].pba, pba(t * 4));
         }
         assert_eq!(ls.frontier(), pba(11)); // 8 + 3, guard at 11 pending
-        // Map translations stay correct across guards.
+                                            // Map translations stay correct across guards.
         assert_eq!(ls.map().translate(lba(4)), Some(pba(5)));
         assert_eq!(ls.map().translate(lba(8)), Some(pba(10)));
     }

@@ -98,7 +98,9 @@ fn decode_record(buf: &[u8], index: u64) -> Result<TraceRecord> {
         1 => OpKind::Write,
         b => return Err(Error::Format(format!("bad op byte {b} at record {index}"))),
     };
-    let lba = Lba::new(u64::from_le_bytes(buf[9..17].try_into().expect("fixed slice")));
+    let lba = Lba::new(u64::from_le_bytes(
+        buf[9..17].try_into().expect("fixed slice"),
+    ));
     let sectors = u32::from_le_bytes(buf[17..21].try_into().expect("fixed slice"));
     Ok(TraceRecord::new(timestamp_us, op, lba, sectors))
 }
@@ -415,13 +417,15 @@ impl MmapTrace {
     fn validate(backing: Backing) -> Result<Self> {
         let bytes = backing.bytes();
         let header = read_header(&mut &bytes[..])?;
-        let count = usize::try_from(header.count)
-            .map_err(|_| Error::Format("count too large".into()))?;
+        let count =
+            usize::try_from(header.count).map_err(|_| Error::Format("count too large".into()))?;
         let need = header
             .data_offset()
-            .checked_add(count.checked_mul(RECORD_LEN).ok_or_else(|| {
-                Error::Format("count too large".into())
-            })?)
+            .checked_add(
+                count
+                    .checked_mul(RECORD_LEN)
+                    .ok_or_else(|| Error::Format("count too large".into()))?,
+            )
             .ok_or_else(|| Error::Format("count too large".into()))?;
         if bytes.len() < need {
             return Err(Error::Format(format!(

@@ -29,10 +29,10 @@
 //! assert_eq!(rec.len_bytes(), 4096);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod analysis;
 pub mod binary;
+pub mod digest;
 pub mod error;
 pub mod parse;
 pub mod record;
@@ -42,9 +42,8 @@ pub mod types;
 pub mod writer;
 
 pub use analysis::{summarize, AnalysisSummary};
+pub use digest::{TraceDigest, TraceDigester};
 pub use error::{Error, Result};
 pub use record::{OpKind, TraceRecord};
 pub use stats::{characterize, TraceStats};
-pub use types::{
-    bytes_to_sectors_ceil, sectors_to_bytes, Lba, Pba, GIB, KIB, MIB, SECTOR_SIZE,
-};
+pub use types::{bytes_to_sectors_ceil, sectors_to_bytes, Lba, Pba, GIB, KIB, MIB, SECTOR_SIZE};

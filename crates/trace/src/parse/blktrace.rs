@@ -90,7 +90,10 @@ impl LineParser for BlktraceParser {
             .map_err(|_| Error::parse(line_no, "sector is not an integer"))?;
         let plus = req(&mut fields, line_no, "'+'")?;
         if plus != "+" {
-            return Err(Error::parse(line_no, "expected '+' between sector and count"));
+            return Err(Error::parse(
+                line_no,
+                "expected '+' between sector and count",
+            ));
         }
         let count: u32 = req(&mut fields, line_no, "count")?
             .parse()
@@ -100,8 +103,8 @@ impl LineParser for BlktraceParser {
         }
 
         // Timestamp is seconds.nanoseconds.
-        let timestamp_us = parse_seconds_to_us(ts)
-            .ok_or_else(|| Error::parse(line_no, "malformed timestamp"))?;
+        let timestamp_us =
+            parse_seconds_to_us(ts).ok_or_else(|| Error::parse(line_no, "malformed timestamp"))?;
         Ok(Some(TraceRecord::new(
             timestamp_us,
             op,

@@ -23,9 +23,11 @@ pub use blktrace::BlktraceParser;
 pub use cloudphysics::CpParser;
 pub use msr::MsrParser;
 
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::record::TraceRecord;
-use std::io::BufRead;
+use std::fs::File;
+use std::io::{BufRead, BufReader, Read};
+use std::path::Path;
 
 /// A line-oriented trace parser.
 ///
@@ -123,4 +125,84 @@ pub fn parse_iter<R: BufRead, P: LineParser>(reader: R, parser: P) -> RecordIter
 /// ```
 pub fn parse_reader<R: BufRead, P: LineParser>(reader: R, parser: P) -> Result<Vec<TraceRecord>> {
     parse_iter(reader, parser).collect()
+}
+
+/// A trace format identified by [`sniff_path`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectedFormat {
+    /// SNIA MSR Cambridge CSV (7 comma-separated fields).
+    Msr,
+    /// CloudPhysics-style CSV (4 comma-separated fields).
+    Cloudphysics,
+    /// Linux `blkparse` text output.
+    Blktrace,
+    /// The compact binary format of [`crate::binary`] (v1 or v2).
+    Binary,
+}
+
+/// Sniffs the on-disk format of the trace at `path`.
+///
+/// Binary traces carry the `SMRT` magic in their first bytes and are
+/// checked first, so a binary file is never mistaken for CSV. Text
+/// formats are told apart by their first data line: blkparse lines are
+/// whitespace-separated with a `+` before the sector count, MSR lines
+/// have at least 7 comma-separated fields, CloudPhysics lines fewer.
+///
+/// # Errors
+///
+/// Returns [`Error::Io`] if the file cannot be opened or read, and
+/// [`Error::Parse`] if it contains no data lines to sniff from.
+pub fn sniff_path(path: &Path) -> Result<DetectedFormat> {
+    let mut file = File::open(path)?;
+    let mut prefix = [0u8; 6];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match file.read(&mut prefix[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    if crate::binary::sniff_magic(&prefix[..filled]).is_some() {
+        return Ok(DetectedFormat::Binary);
+    }
+    let file = File::open(path)?;
+    for line in BufReader::new(file).lines() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with("timestamp_us") {
+            continue;
+        }
+        if t.split_whitespace().any(|f| f == "+") {
+            return Ok(DetectedFormat::Blktrace);
+        }
+        return Ok(if t.split(',').count() >= 7 {
+            DetectedFormat::Msr
+        } else {
+            DetectedFormat::Cloudphysics
+        });
+    }
+    Err(Error::Format(
+        "no data lines to sniff the format from".to_owned(),
+    ))
+}
+
+/// Reads the whole trace at `path` in the given (usually sniffed) format,
+/// materializing it. Binary traces go through [`crate::binary::read_binary`];
+/// callers wanting zero-copy replay of binary files should use
+/// [`crate::binary::MmapTrace`] instead.
+///
+/// # Errors
+///
+/// Propagates I/O errors and parse/format errors from the underlying
+/// reader.
+pub fn parse_path(path: &Path, format: DetectedFormat) -> Result<Vec<TraceRecord>> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    match format {
+        DetectedFormat::Msr => parse_reader(reader, MsrParser::new()),
+        DetectedFormat::Cloudphysics => parse_reader(reader, CpParser::new()),
+        DetectedFormat::Blktrace => parse_reader(reader, BlktraceParser::new()),
+        DetectedFormat::Binary => crate::binary::read_binary(reader),
+    }
 }

@@ -136,7 +136,11 @@ pub fn characterize(records: &[TraceRecord]) -> TraceStats {
                 stats.written_bytes += rec.len_bytes();
             }
         }
-        let last = if rec.sectors == 0 { rec.lba } else { rec.end() - 1 };
+        let last = if rec.sectors == 0 {
+            rec.lba
+        } else {
+            rec.end() - 1
+        };
         stats.max_lba = Some(stats.max_lba.map_or(last, |m| m.max(last)));
         if prev_end == Some(rec.lba) {
             stats.contiguous_ops += 1;
@@ -162,10 +166,7 @@ fn insert_interval(intervals: &mut BTreeMap<u64, u64>, mut start: u64, mut end: 
         }
     }
     // Merge all successors that overlap or touch.
-    let successors: Vec<u64> = intervals
-        .range(start..=end)
-        .map(|(&s, _)| s)
-        .collect();
+    let successors: Vec<u64> = intervals.range(start..=end).map(|(&s, _)| s).collect();
     for s in successors {
         let e = intervals.remove(&s).expect("key just observed");
         end = end.max(e);
@@ -190,7 +191,7 @@ mod tests {
     #[test]
     fn counts_and_volumes() {
         let trace = vec![
-            TraceRecord::write(0, Lba::new(0), 8),   // 4 KiB
+            TraceRecord::write(0, Lba::new(0), 8),    // 4 KiB
             TraceRecord::write(1, Lba::new(100), 24), // 12 KiB
             TraceRecord::read(2, Lba::new(0), 8),
         ];
@@ -209,10 +210,10 @@ mod tests {
     fn footprint_coalesces_overlaps() {
         let trace = vec![
             TraceRecord::write(0, Lba::new(0), 10),
-            TraceRecord::write(1, Lba::new(5), 10),  // overlaps -> [0,15)
-            TraceRecord::write(2, Lba::new(15), 5),  // touches  -> [0,20)
+            TraceRecord::write(1, Lba::new(5), 10), // overlaps -> [0,15)
+            TraceRecord::write(2, Lba::new(15), 5), // touches  -> [0,20)
             TraceRecord::write(3, Lba::new(100), 1), // separate
-            TraceRecord::read(4, Lba::new(3), 2),    // inside
+            TraceRecord::read(4, Lba::new(3), 2),   // inside
         ];
         let stats = characterize(&trace);
         assert_eq!(stats.footprint_sectors, 21);
@@ -233,9 +234,9 @@ mod tests {
     fn contiguity_counting() {
         let trace = vec![
             TraceRecord::write(0, Lba::new(0), 8),
-            TraceRecord::write(1, Lba::new(8), 8),  // contiguous
-            TraceRecord::read(2, Lba::new(16), 8),  // contiguous (op kind irrelevant)
-            TraceRecord::read(3, Lba::new(16), 8),  // not contiguous (same start)
+            TraceRecord::write(1, Lba::new(8), 8), // contiguous
+            TraceRecord::read(2, Lba::new(16), 8), // contiguous (op kind irrelevant)
+            TraceRecord::read(3, Lba::new(16), 8), // not contiguous (same start)
         ];
         let stats = characterize(&trace);
         assert_eq!(stats.contiguous_ops, 2);

@@ -37,8 +37,7 @@ pub fn merge_sorted(traces: Vec<Vec<TraceRecord>>) -> Vec<TraceRecord> {
         .enumerate()
         .map(|(i, t)| (i, t.into_iter()))
         .collect();
-    let mut heads: Vec<Option<TraceRecord>> =
-        cursors.iter_mut().map(|(_, it)| it.next()).collect();
+    let mut heads: Vec<Option<TraceRecord>> = cursors.iter_mut().map(|(_, it)| it.next()).collect();
     let mut out = Vec::with_capacity(total);
     loop {
         let mut best: Option<usize> = None;

@@ -11,10 +11,10 @@ use smrseek_trace::{characterize, Lba, OpKind, TraceRecord};
 
 fn record_strategy() -> impl Strategy<Value = TraceRecord> {
     (
-        0u64..1 << 40,      // timestamp_us
-        prop::bool::ANY,    // is_read
-        0u64..1 << 35,      // lba sector
-        1u32..1 << 16,      // sectors
+        0u64..1 << 40,   // timestamp_us
+        prop::bool::ANY, // is_read
+        0u64..1 << 35,   // lba sector
+        1u32..1 << 16,   // sectors
     )
         .prop_map(|(ts, is_read, lba, sectors)| {
             let op = if is_read { OpKind::Read } else { OpKind::Write };

@@ -202,9 +202,8 @@ pub fn generate(
             let span = (ops_per_pass as u64 * u64::from(mean_read_sectors))
                 .min(region_sectors)
                 .max(u64::from(mean_read_sectors));
-            let ops_actual_per_pass =
-                usize::try_from(span.div_ceil(u64::from(mean_read_sectors)))
-                    .expect("pass op count fits usize");
+            let ops_actual_per_pass = usize::try_from(span.div_ceil(u64::from(mean_read_sectors)))
+                .expect("pass op count fits usize");
             let mut emitted = 0;
             while emitted < r_scan {
                 b.read_scan(region_start, span, mean_read_sectors);
@@ -320,9 +319,10 @@ mod tests {
             ..Behavior::default()
         };
         let trace = generate(&behavior, 0, 100, 16, 16, 3);
-        assert!(trace
-            .windows(2)
-            .all(|w| w[0].end() == w[1].lba), "sequential stream broken");
+        assert!(
+            trace.windows(2).all(|w| w[0].end() == w[1].lba),
+            "sequential stream broken"
+        );
     }
 
     #[test]

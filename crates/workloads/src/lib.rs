@@ -27,7 +27,6 @@
 //! assert_eq!(trace, profile.generate(42)); // deterministic
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod behavior;
 pub mod builder;

@@ -119,10 +119,9 @@ impl Profile {
 /// Stable tiny string hash so each profile gets distinct streams from the
 /// same user seed.
 fn fxhash(s: &str) -> u64 {
-    s.bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
-        })
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
+    })
 }
 
 /// Behaviour of the write-intensive MSR servers (`wdev_0`, `mds_0`, ...):
@@ -656,8 +655,16 @@ mod tests {
         for profile in all() {
             let r = profile.row.mean_read_sectors();
             let w = profile.row.mean_write_sectors();
-            assert!((8..=1024).contains(&r) && r % 8 == 0, "{}: {r}", profile.name);
-            assert!((8..=1024).contains(&w) && w % 8 == 0, "{}: {w}", profile.name);
+            assert!(
+                (8..=1024).contains(&r) && r % 8 == 0,
+                "{}: {r}",
+                profile.name
+            );
+            assert!(
+                (8..=1024).contains(&w) && w % 8 == 0,
+                "{}: {w}",
+                profile.name
+            );
         }
     }
 

@@ -16,8 +16,9 @@
 //! ```
 
 use smrseek::disk::{PhysIo, SeekCounter};
-use smrseek::stl::{LogStructured, LsConfig, MediaCacheConfig, MediaCacheStl, NoLs,
-    TranslationLayer};
+use smrseek::stl::{
+    LogStructured, LsConfig, MediaCacheConfig, MediaCacheStl, NoLs, TranslationLayer,
+};
 use smrseek::trace::{Lba, Pba, TraceRecord, GIB, MIB, SECTOR_SIZE};
 use smrseek::workloads::TraceBuilder;
 

@@ -33,7 +33,10 @@ fn main() {
     scan.read_scan(Lba::new(0), 64 * MIB / SECTOR_SIZE, 256);
     let trace = scan.finish();
 
-    for (name, zone) in [("infinite flat log", None), ("zoned log (64 MiB zones)", Some(64 * MIB / SECTOR_SIZE))] {
+    for (name, zone) in [
+        ("infinite flat log", None),
+        ("zoned log (64 MiB zones)", Some(64 * MIB / SECTOR_SIZE)),
+    ] {
         let mut config = LsConfig::for_trace(&trace);
         config.zone_sectors = zone;
         let mut ls = LogStructured::new(config);

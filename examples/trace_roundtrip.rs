@@ -13,9 +13,9 @@
 
 use smrseek::sim::{simulate, Saf, SimConfig};
 use smrseek::trace::binary::{read_binary, write_binary};
+use smrseek::trace::characterize;
 use smrseek::trace::parse::{parse_reader, CpParser, MsrParser};
 use smrseek::trace::writer::{write_cp_csv, write_msr_csv};
-use smrseek::trace::characterize;
 use smrseek::workloads::profiles;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     write_cp_csv(&mut cp_csv, &trace)?;
     let parsed = parse_reader(&cp_csv[..], CpParser::new())?;
     assert_eq!(parsed, trace, "CP CSV roundtrip must be lossless");
-    println!("CP CSV: {} bytes for {} records", cp_csv.len(), parsed.len());
+    println!(
+        "CP CSV: {} bytes for {} records",
+        cp_csv.len(),
+        parsed.len()
+    );
 
     // --- MSR CSV roundtrip ---
     // The MSR parser normalizes timestamps to the first record, so the

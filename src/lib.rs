@@ -32,7 +32,6 @@
 //! assert!(saf > 1.0, "w91 is the paper's most log-sensitive workload");
 //! ```
 
-
 #![warn(missing_docs)]
 pub use smrseek_cache as cache;
 pub use smrseek_disk as disk;

@@ -27,7 +27,10 @@ fn every_experiment_runs_and_renders() {
         ("fig11", fig11::render(&fig11::run(&opts))),
         ("classify", classify::render(&classify::run(&opts))),
         ("analyze", analyze::render(&analyze::run(&opts))),
-        ("fragmentation", fragmentation::render(&fragmentation::run(&opts))),
+        (
+            "fragmentation",
+            fragmentation::render(&fragmentation::run(&opts)),
+        ),
         ("ablation", ablation::render(&ablation::run(&opts))),
         ("time_amp", time_amp::render(&time_amp::run(&opts))),
         ("host_cache", host_cache::render(&host_cache::run(&opts))),

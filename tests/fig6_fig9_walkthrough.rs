@@ -57,7 +57,11 @@ fn fig6_defragmentation_walkthrough() {
     let writes: Vec<&PhysIo> = ios.iter().filter(|io| io.op == OpKind::Write).collect();
     assert_eq!(writes.len(), 1, "opportunistic defragmentation rewrites");
     assert_eq!(writes[0].sectors, 4);
-    assert_eq!(writes[0].pba, Pba::new(FRONTIER + 8), "rewrite goes to the frontier");
+    assert_eq!(
+        writes[0].pba,
+        Pba::new(FRONTIER + 8),
+        "rewrite goes to the frontier"
+    );
     seeks_of(&ios, &mut counter);
     assert_eq!(ls.stats().defrag_rewrites, 1);
 

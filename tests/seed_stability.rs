@@ -44,10 +44,7 @@ fn defrag_hurts_w20_for_every_seed() {
     for seed in SEEDS {
         let ls = saf("w20", seed, &SimConfig::log_structured());
         let defrag = saf("w20", seed, &SimConfig::ls_defrag());
-        assert!(
-            defrag > ls,
-            "seed {seed}: defrag {defrag:.2} vs LS {ls:.2}"
-        );
+        assert!(defrag > ls, "seed {seed}: defrag {defrag:.2} vs LS {ls:.2}");
     }
 }
 
