@@ -52,6 +52,19 @@ fn extent_map(c: &mut Criterion) {
             black_box(total)
         })
     });
+    // Same queries as lookup_1k, through the non-allocating visitor: the
+    // delta between the two is the per-lookup Vec cost on the hot path.
+    group.bench_function("lookup_each_1k", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let queries: Vec<u64> = (0..1000).map(|_| rng.gen_range(0..1 << 20)).collect();
+        b.iter(|| {
+            let mut total = 0usize;
+            for &q in &queries {
+                map.lookup_each(Lba::new(q), 128, |_| total += 1);
+            }
+            black_box(total)
+        })
+    });
     group.bench_function("fragments_in_1k", |b| {
         let mut rng = StdRng::seed_from_u64(3);
         let queries: Vec<u64> = (0..1000).map(|_| rng.gen_range(0..1 << 20)).collect();

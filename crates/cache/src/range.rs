@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 
 const NIL: usize = usize::MAX;
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct Node {
     start: u64,
     sectors: u64,
@@ -62,7 +62,7 @@ impl RangeCacheStats {
 /// assert!(c.covers(Pba::new(100), 32));
 /// assert!(!c.covers(Pba::new(96), 8)); // partially outside
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RangeCache {
     by_start: BTreeMap<u64, usize>,
     nodes: Vec<Node>,

@@ -111,8 +111,18 @@ impl ExtentMap {
     /// segments, in logical order.
     pub fn lookup(&self, lba: Lba, sectors: u64) -> Vec<Segment> {
         let mut out = Vec::new();
+        self.lookup_each(lba, sectors, |seg| out.push(seg));
+        out
+    }
+
+    /// Non-allocating form of [`lookup`](Self::lookup): visits the same
+    /// segments in the same order, calling `f` for each instead of
+    /// collecting a `Vec`. This is the hot read path — every translated
+    /// read walks the map — so callers that only fold over the tiles
+    /// (fragment counting, run merging) should use this.
+    pub fn lookup_each(&self, lba: Lba, sectors: u64, mut f: impl FnMut(Segment)) {
         if sectors == 0 {
-            return out;
+            return;
         }
         let start = lba.sector();
         let end = start + sectors;
@@ -123,7 +133,7 @@ impl ExtentMap {
             if es + elen > start {
                 let avail = es + elen - start;
                 let take = avail.min(sectors);
-                out.push(Segment::Mapped(Extent::new(
+                f(Segment::Mapped(Extent::new(
                     Lba::new(start),
                     take,
                     Pba::new(epba + (start - es)),
@@ -133,7 +143,7 @@ impl ExtentMap {
         }
         for (&es, &(elen, epba)) in self.extents.range(start..end) {
             if es > cursor {
-                out.push(Segment::Hole {
+                f(Segment::Hole {
                     lba: Lba::new(cursor),
                     sectors: es - cursor,
                 });
@@ -141,7 +151,7 @@ impl ExtentMap {
             }
             let take = (es + elen).min(end) - cursor;
             debug_assert_eq!(cursor, es);
-            out.push(Segment::Mapped(Extent::new(
+            f(Segment::Mapped(Extent::new(
                 Lba::new(cursor),
                 take,
                 Pba::new(epba),
@@ -149,12 +159,11 @@ impl ExtentMap {
             cursor += take;
         }
         if cursor < end {
-            out.push(Segment::Hole {
+            f(Segment::Hole {
                 lba: Lba::new(cursor),
                 sectors: end - cursor,
             });
         }
-        out
     }
 
     /// **Dynamic fragmentation** of one read (§IV-A): the number of
@@ -167,7 +176,7 @@ impl ExtentMap {
     pub fn fragments_in(&self, lba: Lba, sectors: u64) -> usize {
         let mut count = 0usize;
         let mut prev_phys_end: Option<u64> = None;
-        for seg in self.lookup(lba, sectors) {
+        self.lookup_each(lba, sectors, |seg| {
             let (phys_start, len) = match seg {
                 Segment::Mapped(e) => (e.pba.sector(), e.sectors),
                 Segment::Hole { lba, sectors } => (lba.sector(), sectors),
@@ -176,7 +185,7 @@ impl ExtentMap {
                 count += 1;
             }
             prev_phys_end = Some(phys_start + len);
-        }
+        });
         count
     }
 
@@ -421,6 +430,19 @@ mod tests {
         assert!(segs[0].is_hole());
         assert_eq!(segs[1].as_mapped().unwrap().pba, pba(100));
         assert_eq!(segs[3].as_mapped().unwrap().sectors, 2);
+    }
+
+    #[test]
+    fn lookup_each_matches_lookup() {
+        let mut map = ExtentMap::new();
+        map.insert(lba(2), 3, pba(100));
+        map.insert(lba(8), 2, pba(200));
+        map.insert(lba(20), 10, pba(500));
+        for (start, len) in [(0, 12), (0, 0), (5, 1), (2, 3), (19, 12), (30, 4)] {
+            let mut visited = Vec::new();
+            map.lookup_each(lba(start), len, |seg| visited.push(seg));
+            assert_eq!(visited, map.lookup(lba(start), len), "range {start}+{len}");
+        }
     }
 
     #[test]

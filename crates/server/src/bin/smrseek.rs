@@ -27,6 +27,8 @@
 //!   gen <profile>          emit a synthetic trace as CloudPhysics CSV
 //!   list                   list the 21 workload profiles
 //!   serve                  run the smrseekd HTTP daemon (see crate docs)
+//!   snapshot <trace> <dir> checkpoint the sweep --at N records into <dir>
+//!   resume <trace> <dir>   run the sweep, resuming from <dir>'s checkpoints
 //! ```
 //!
 //! Trace files may be MSR CSV, CloudPhysics CSV, blkparse text, or the
@@ -35,12 +37,16 @@
 //! `--cache` stages traces through mmapped `.smrt` sidecars so repeat
 //! runs replay with zero parse cost.
 
+use smrseek_sim::checkpoint::checkpoint_config_key;
 use smrseek_sim::experiments::{
     ablation, analyze, classify, cleaning, fig10, fig11, fig2, fig3, fig4, fig5, fig7, fig8,
     fragmentation, host_cache, reorder, table1, time_amp, zones, ExpOptions,
 };
 use smrseek_sim::runner::{self, parallel_map, MatrixStats, RunMatrix};
-use smrseek_sim::{saf, tracecache, SimConfig, TextTable, TraceSource};
+use smrseek_sim::{
+    saf, simulate_stream_checkpointed, tracecache, CheckpointStore, SimConfig, TextTable,
+    TraceSource,
+};
 use smrseek_trace::binary::{self, MmapTrace};
 use smrseek_trace::parse::{parse_reader, BlktraceParser, CpParser, MsrParser};
 use smrseek_trace::writer::write_cp_csv;
@@ -106,6 +112,9 @@ struct Args {
     addr: String,
     workers: usize,
     queue_depth: usize,
+    at: Option<u64>,
+    checkpoint_dir: Option<String>,
+    checkpoint_every: u64,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -124,7 +133,10 @@ fn usage() -> String {
      [--json FILE]\n       \
      smrseek convert <trace> <out.smrt> [--format msr|cp|blktrace|binary]\n       \
      smrseek gen <profile> [--ops N] [--seed S] [--out FILE]\n       \
-     smrseek serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--threads N]\n       \
+     smrseek serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--threads N] \
+     [--checkpoint-dir DIR] [--checkpoint-every N]\n       \
+     smrseek snapshot <trace> <dir> --at N [--format ...] [--cache]\n       \
+     smrseek resume <trace> <dir> [--format ...] [--cache] [--json FILE]\n       \
      smrseek --version"
         .to_owned()
 }
@@ -145,6 +157,9 @@ fn parse_args(argv: &[String]) -> Result<Args, CliError> {
         addr: "127.0.0.1:7070".to_owned(),
         workers: 2,
         queue_depth: 64,
+        at: None,
+        checkpoint_dir: None,
+        checkpoint_every: 100_000,
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -218,6 +233,28 @@ fn parse_args(argv: &[String]) -> Result<Args, CliError> {
                     .ok_or_else(|| CliError::usage("--queue-depth needs a value"))?
                     .parse()
                     .map_err(|_| CliError::usage("--queue-depth must be an integer"))?;
+            }
+            "--at" => {
+                args.at = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::usage("--at needs a record count"))?
+                        .parse()
+                        .map_err(|_| CliError::usage("--at must be an integer"))?,
+                );
+            }
+            "--checkpoint-dir" => {
+                args.checkpoint_dir = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::usage("--checkpoint-dir needs a path"))?
+                        .clone(),
+                );
+            }
+            "--checkpoint-every" => {
+                args.checkpoint_every = it
+                    .next()
+                    .ok_or_else(|| CliError::usage("--checkpoint-every needs a value"))?
+                    .parse()
+                    .map_err(|_| CliError::usage("--checkpoint-every must be an integer"))?;
             }
             other if args.file.is_none() && !other.starts_with("--") => {
                 args.file = Some(other.to_owned());
@@ -392,6 +429,8 @@ fn run_serve(args: &Args) -> Result<String, CliError> {
         queue_depth: args.queue_depth,
         workers: args.workers,
         job_threads: args.threads,
+        checkpoint_dir: args.checkpoint_dir.as_ref().map(PathBuf::from),
+        checkpoint_every: args.checkpoint_every,
     };
     let handle = smrseek_server::start(config)
         .map_err(|e| CliError::Io(format!("cannot bind {}: {e}", args.addr)))?;
@@ -773,6 +812,97 @@ fn run_experiment(args: &Args) -> Result<String, CliError> {
             format!("{path}: {ops} ops\n{table}")
         }
         "serve" => run_serve(args)?,
+        "snapshot" => {
+            let path = args
+                .file
+                .as_ref()
+                .ok_or_else(|| CliError::usage("snapshot needs a trace file"))?;
+            let dir = args
+                .file2
+                .as_ref()
+                .ok_or_else(|| CliError::usage("snapshot needs a checkpoint directory"))?;
+            let at = args
+                .at
+                .ok_or_else(|| CliError::usage("snapshot needs --at N (records into the trace)"))?;
+            if at == 0 {
+                return Err(CliError::usage("--at must be positive"));
+            }
+            let source = simulate_source(path, args.format, args.cache)?;
+            let records = source.records();
+            if at as usize > records.len() {
+                return Err(CliError::usage(format!(
+                    "--at {at} exceeds the trace's {} records",
+                    records.len()
+                )));
+            }
+            let digest = source.digest().as_u128();
+            let top = source.top_sector();
+            let store = CheckpointStore::new(dir);
+            let configs = SimConfig::standard_sweep();
+            // Replay only the prefix under each sweep config, with the
+            // cadence set to fire exactly once — at record `at`.
+            let saved: Vec<(String, Result<PathBuf, String>)> =
+                parallel_map(&configs, args.threads, |config| {
+                    let run = config.with_frontier_hint(top).with_checkpoint_every(at);
+                    let mut written = Err("no checkpoint emitted".to_owned());
+                    let report = simulate_stream_checkpointed(
+                        None,
+                        records[..at as usize].iter().copied(),
+                        &run,
+                        |snap| {
+                            if snap.logical_ops == at {
+                                written = store
+                                    .save(digest, &checkpoint_config_key(config, top), snap)
+                                    .map_err(|e| e.to_string());
+                            }
+                        },
+                    );
+                    (report.layer_name, written)
+                });
+            let mut out = format!(
+                "{path}: checkpointed {at} of {} records (digest {digest:032x})\n",
+                records.len()
+            );
+            for (layer, written) in saved {
+                let file = written.map_err(CliError::Io)?;
+                out.push_str(&format!("  {layer}: {}\n", file.display()));
+            }
+            out
+        }
+        "resume" => {
+            let path = args
+                .file
+                .as_ref()
+                .ok_or_else(|| CliError::usage("resume needs a trace file"))?;
+            let dir = args
+                .file2
+                .as_ref()
+                .ok_or_else(|| CliError::usage("resume needs a checkpoint directory"))?;
+            let source = simulate_source(path, args.format, args.cache)?;
+            let digest = source.digest().as_u128();
+            let store = CheckpointStore::new(dir);
+            let matrix = RunMatrix::cross(&[source], &SimConfig::standard_sweep());
+            let (outcomes, usage) = matrix.execute_checkpointed(args.threads, &store, digest);
+            eprintln!(
+                "resume: {} checkpoint hit(s), {} miss(es), {} record(s) skipped",
+                usage.hits, usage.misses, usage.records_skipped
+            );
+            // Everything below matches `simulate` exactly: resuming from a
+            // checkpoint must never change output bytes.
+            let ops = outcomes[0].report.logical_ops;
+            let safs = saf::sweep_safs(&outcomes);
+            let mut table = TextTable::new(vec!["layer", "read seeks", "write seeks", "SAF"]);
+            for (outcome, (layer, saf)) in outcomes.iter().zip(&safs) {
+                table.row(vec![
+                    layer.clone(),
+                    outcome.report.seeks.read_seeks.to_string(),
+                    outcome.report.seeks.write_seeks.to_string(),
+                    format!("{:.2}", saf.total),
+                ]);
+            }
+            maybe_write_json(&args.json, &safs)?;
+            format!("{path}: {ops} ops\n{table}")
+        }
         "convert" => {
             let input = args
                 .file

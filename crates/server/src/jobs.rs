@@ -215,6 +215,20 @@ impl JobTable {
         })
     }
 
+    /// Every known job as `(id, state)`, sorted by id — the backing for
+    /// `GET /v1/jobs`. Ids are sequential, so this is also submission
+    /// order.
+    pub fn list(&self) -> Vec<(JobId, JobState)> {
+        let inner = self.lock();
+        let mut jobs: Vec<(JobId, JobState)> = inner
+            .jobs
+            .iter()
+            .map(|(&id, job)| (id, job.state))
+            .collect();
+        jobs.sort_unstable_by_key(|&(id, _)| id);
+        jobs
+    }
+
     /// Counts for `/metrics`.
     pub fn snapshot(&self) -> JobSnapshot {
         let inner = self.lock();
@@ -261,6 +275,7 @@ mod tests {
         JobWork {
             source: TraceSource::from_records("t", Vec::new()),
             kind: JobKind::Sweep,
+            digest: None,
         }
     }
 
@@ -312,6 +327,25 @@ mod tests {
         assert!(table.status(999).is_none());
         // A finished job still serves cache hits.
         assert_eq!(table.submit("k".into(), work()), Submit::Existing(id));
+    }
+
+    #[test]
+    fn list_is_sorted_and_tracks_states() {
+        let table = JobTable::new(4);
+        assert!(table.list().is_empty());
+        let Submit::Queued(a) = table.submit("a".into(), work()) else {
+            panic!("queues");
+        };
+        let Submit::Queued(b) = table.submit("b".into(), work()) else {
+            panic!("queues");
+        };
+        let (popped, _) = table.next_job().expect("job available");
+        assert_eq!(popped, a);
+        table.complete(a, Ok("[]".into()));
+        assert_eq!(
+            table.list(),
+            vec![(a, JobState::Done), (b, JobState::Queued)]
+        );
     }
 
     #[test]

@@ -14,10 +14,17 @@
 //! | Route                      | Meaning                                      |
 //! |----------------------------|----------------------------------------------|
 //! | `POST /v1/jobs`            | submit a job → `{id, status, cache}`, or 503 + `Retry-After` when the queue is full |
+//! | `GET /v1/jobs`             | every known job as `{id, status}` pairs      |
 //! | `GET /v1/jobs/<id>`        | status envelope, result inlined when done    |
 //! | `GET /v1/jobs/<id>/result` | the raw result document, byte-stable         |
-//! | `GET /healthz`             | liveness probe (text)                        |
+//! | `GET /healthz`             | liveness probe (text: `ok`, workers, queue depth/capacity) |
 //! | `GET /metrics`             | Prometheus text exposition                   |
+//!
+//! With `--checkpoint-dir`, workers also persist periodic engine
+//! snapshots keyed like the result cache; a resubmitted job (same trace ×
+//! config) resumes from the stored prefix instead of replaying from
+//! record zero — including across daemon restarts. See
+//! [`worker::CheckpointPolicy`].
 //!
 //! Everything is `std`: `std::net` sockets, `std::thread` workers, the
 //! vendored `serde_json` for JSON. See [`http`] for the wire format,
@@ -34,15 +41,16 @@ use crate::api::{JobRequest, TraceRef};
 use crate::http::{read_request, write_response, Request, RequestError, Response};
 use crate::jobs::{JobId, JobState, JobTable, Submit};
 use crate::metrics::{Endpoint, Metrics};
-use crate::worker::{JobKind, JobWork};
+use crate::worker::{CheckpointPolicy, JobKind, JobWork};
 use serde::{Number, Value};
 use smrseek_sim::experiments::ExpOptions;
 use smrseek_sim::tracecache::TraceRegistry;
-use smrseek_sim::TraceSource;
+use smrseek_sim::{CheckpointStore, TraceSource};
 use smrseek_workloads::profiles;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::num::NonZeroUsize;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -61,6 +69,11 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Threads each job's run matrix may use.
     pub job_threads: NonZeroUsize,
+    /// Directory of simulation checkpoints shared across jobs (and, being
+    /// plain files, across daemon restarts). `None` disables prefix reuse.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint emission cadence (records) when `checkpoint_dir` is set.
+    pub checkpoint_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +83,8 @@ impl Default for ServerConfig {
             queue_depth: 64,
             workers: 2,
             job_threads: NonZeroUsize::MIN,
+            checkpoint_dir: None,
+            checkpoint_every: 100_000,
         }
     }
 }
@@ -82,17 +97,21 @@ pub struct ServerState {
     pub metrics: Arc<Metrics>,
     /// Shared open traces (one mapping per file trace, process-wide).
     pub registry: TraceRegistry,
+    /// Configured worker-thread count, reported by `/healthz`.
+    pub workers: usize,
     accepting: AtomicBool,
 }
 
 impl ServerState {
-    /// Fresh state with a queue bound of `queue_depth`; the daemon builds
-    /// one in [`start`], tests build one directly to exercise [`route`].
-    pub fn new(queue_depth: usize) -> Self {
+    /// Fresh state with a queue bound of `queue_depth` served by
+    /// `workers` threads; the daemon builds one in [`start`], tests build
+    /// one directly to exercise [`route`].
+    pub fn new(queue_depth: usize, workers: usize) -> Self {
         ServerState {
             jobs: Arc::new(JobTable::new(queue_depth)),
             metrics: Arc::new(Metrics::new()),
             registry: TraceRegistry::new(),
+            workers,
             accepting: AtomicBool::new(true),
         }
     }
@@ -144,12 +163,19 @@ impl Handle {
 pub fn start(config: ServerConfig) -> io::Result<Handle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
-    let state = Arc::new(ServerState::new(config.queue_depth));
+    let state = Arc::new(ServerState::new(config.queue_depth, config.workers));
+    let policy = config.checkpoint_dir.as_ref().map(|dir| {
+        Arc::new(CheckpointPolicy {
+            store: CheckpointStore::new(dir),
+            every: config.checkpoint_every,
+        })
+    });
     let workers = worker::spawn_workers(
         config.workers,
         Arc::clone(&state.jobs),
         Arc::clone(&state.metrics),
         config.job_threads,
+        policy,
     );
     let accept = {
         let state = Arc::clone(&state);
@@ -208,7 +234,19 @@ fn serve_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
 pub fn route(state: &ServerState, request: &Request) -> (Endpoint, Response) {
     let path = request.target.split('?').next().unwrap_or("");
     match (request.method.as_str(), path) {
-        ("GET", "/healthz") => (Endpoint::Healthz, Response::text(200, "ok\n")),
+        ("GET", "/healthz") => {
+            let snap = state.jobs.snapshot();
+            (
+                Endpoint::Healthz,
+                Response::text(
+                    200,
+                    format!(
+                        "ok\nworkers: {}\nqueue_depth: {}\nqueue_capacity: {}\n",
+                        state.workers, snap.queue_depth, snap.capacity
+                    ),
+                ),
+            )
+        }
         ("GET", "/metrics") => {
             let body = state
                 .metrics
@@ -216,6 +254,7 @@ pub fn route(state: &ServerState, request: &Request) -> (Endpoint, Response) {
             (Endpoint::Metrics, Response::text(200, body))
         }
         ("POST", "/v1/jobs") => (Endpoint::JobsPost, submit_job(state, &request.body)),
+        ("GET", "/v1/jobs") => (Endpoint::JobsGet, jobs_list(state)),
         ("GET", path) if path.starts_with("/v1/jobs/") => {
             let rest = &path["/v1/jobs/".len()..];
             if let Some(id) = rest.strip_suffix("/result") {
@@ -245,7 +284,7 @@ fn error_body(msg: &str) -> String {
 
 /// Resolves a parsed request into runnable work plus its cache key.
 fn resolve(state: &ServerState, request: &JobRequest) -> Result<(String, JobWork), String> {
-    let (source, trace_key, top) = match &request.trace {
+    let (source, trace_key, top, digest) = match &request.trace {
         TraceRef::Path(path) => {
             let entry = state
                 .registry
@@ -255,6 +294,7 @@ fn resolve(state: &ServerState, request: &JobRequest) -> Result<(String, JobWork
                 entry.source.clone(),
                 api::trace_key(&request.trace, Some(entry.digest)),
                 Some(entry.top_sector),
+                Some(entry.digest),
             )
         }
         TraceRef::Profile { name, seed, ops } => {
@@ -271,6 +311,9 @@ fn resolve(state: &ServerState, request: &JobRequest) -> Result<(String, JobWork
                 // the records; the engine derives it per-replay exactly like
                 // the CLI does, so the canonical key simply omits it.
                 None,
+                // Same for the content digest: checkpointed workers compute
+                // it on demand from the materialized records.
+                None,
             )
         }
     };
@@ -279,7 +322,14 @@ fn resolve(state: &ServerState, request: &JobRequest) -> Result<(String, JobWork
         None => JobKind::Sweep,
         Some(config) => JobKind::Single(config),
     };
-    Ok((key, JobWork { source, kind }))
+    Ok((
+        key,
+        JobWork {
+            source,
+            kind,
+            digest,
+        },
+    ))
 }
 
 fn submit_job(state: &ServerState, body: &[u8]) -> Response {
@@ -306,6 +356,31 @@ fn submit_job(state: &ServerState, body: &[u8]) -> Response {
             Response::json(503, error_body("job queue full")).with_header("retry-after", "1")
         }
     }
+}
+
+fn jobs_list(state: &ServerState) -> Response {
+    let jobs: Vec<Value> = state
+        .jobs
+        .list()
+        .into_iter()
+        .map(|(id, job_state)| {
+            Value::Object(vec![
+                ("id".to_owned(), Value::Number(Number::U(id))),
+                (
+                    "status".to_owned(),
+                    Value::String(job_state.label().to_owned()),
+                ),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        serde_json::to_string(&Value::Object(vec![(
+            "jobs".to_owned(),
+            Value::Array(jobs),
+        )]))
+        .expect("jobs list serializes"),
+    )
 }
 
 fn submit_body(id: JobId, status: &str, cache: &str) -> String {
@@ -384,12 +459,13 @@ mod tests {
     use super::*;
 
     fn test_state(workers: usize, queue_depth: usize) -> (Arc<ServerState>, Vec<JoinHandle<()>>) {
-        let state = Arc::new(ServerState::new(queue_depth));
+        let state = Arc::new(ServerState::new(queue_depth, workers));
         let handles = worker::spawn_workers(
             workers,
             Arc::clone(&state.jobs),
             Arc::clone(&state.metrics),
             NonZeroUsize::MIN,
+            None,
         );
         (state, handles)
     }
@@ -426,7 +502,13 @@ mod tests {
     #[test]
     fn healthz_and_unknown_routes() {
         let (state, handles) = test_state(0, 4);
-        assert_eq!(get(&state, "/healthz").status, 200);
+        let health = get(&state, "/healthz");
+        assert_eq!(health.status, 200);
+        let body = body_str(&health);
+        assert!(body.starts_with("ok\n"), "first line stays `ok`: {body}");
+        assert!(body.contains("workers: 0"), "{body}");
+        assert!(body.contains("queue_depth: 0"), "{body}");
+        assert!(body.contains("queue_capacity: 4"), "{body}");
         assert_eq!(get(&state, "/nope").status, 404);
         assert_eq!(get(&state, "/v1/jobs/17").status, 404);
         let delete = Request {
@@ -485,6 +567,26 @@ mod tests {
             .status,
             400
         );
+        stop(&state, handles);
+    }
+
+    #[test]
+    fn jobs_list_reflects_submissions_in_order() {
+        let (state, handles) = test_state(0, 4);
+        let empty = get(&state, "/v1/jobs");
+        assert_eq!(empty.status, 200);
+        assert_eq!(body_str(&empty), r#"{"jobs":[]}"#);
+        for profile in ["hm_1", "w91"] {
+            let body = format!(r#"{{"trace": {{"profile": "{profile}", "ops": 50}}}}"#);
+            assert_eq!(post(&state, "/v1/jobs", &body).status, 202);
+        }
+        let listed = body_str(&get(&state, "/v1/jobs"));
+        assert_eq!(
+            listed,
+            r#"{"jobs":[{"id":1,"status":"queued"},{"id":2,"status":"queued"}]}"#
+        );
+        // healthz reflects the two queued jobs.
+        assert!(body_str(&get(&state, "/healthz")).contains("queue_depth: 2"));
         stop(&state, handles);
     }
 

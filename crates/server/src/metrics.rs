@@ -80,6 +80,9 @@ pub struct Metrics {
     cache_misses: AtomicU64,
     jobs_rejected: AtomicU64,
     records_replayed: AtomicU64,
+    checkpoint_hits: AtomicU64,
+    checkpoint_misses: AtomicU64,
+    checkpoint_records_skipped: AtomicU64,
     endpoints: [Mutex<EndpointStats>; 6],
 }
 
@@ -119,6 +122,25 @@ impl Metrics {
         (
             self.cache_hits.load(Ordering::Relaxed),
             self.cache_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Folds in one job's checkpoint prefix-reuse accounting.
+    pub fn checkpoint_usage(&self, usage: &smrseek_sim::CheckpointUsage) {
+        self.checkpoint_hits
+            .fetch_add(usage.hits, Ordering::Relaxed);
+        self.checkpoint_misses
+            .fetch_add(usage.misses, Ordering::Relaxed);
+        self.checkpoint_records_skipped
+            .fetch_add(usage.records_skipped, Ordering::Relaxed);
+    }
+
+    /// Current checkpoint counters `(hits, misses, records_skipped)`.
+    pub fn checkpoint_counts(&self) -> (u64, u64, u64) {
+        (
+            self.checkpoint_hits.load(Ordering::Relaxed),
+            self.checkpoint_misses.load(Ordering::Relaxed),
+            self.checkpoint_records_skipped.load(Ordering::Relaxed),
         )
     }
 
@@ -182,6 +204,25 @@ impl Metrics {
             out,
             "smrseekd_jobs_rejected_total {}",
             self.jobs_rejected.load(Ordering::Relaxed)
+        );
+
+        out.push_str("# HELP smrseekd_checkpoint_hits_total Run cells resumed from a stored checkpoint.\n# TYPE smrseekd_checkpoint_hits_total counter\n");
+        let _ = writeln!(
+            out,
+            "smrseekd_checkpoint_hits_total {}",
+            self.checkpoint_hits.load(Ordering::Relaxed)
+        );
+        out.push_str("# HELP smrseekd_checkpoint_misses_total Run cells replayed from record zero.\n# TYPE smrseekd_checkpoint_misses_total counter\n");
+        let _ = writeln!(
+            out,
+            "smrseekd_checkpoint_misses_total {}",
+            self.checkpoint_misses.load(Ordering::Relaxed)
+        );
+        out.push_str("# HELP smrseekd_checkpoint_records_skipped_total Records not replayed thanks to checkpoint resume.\n# TYPE smrseekd_checkpoint_records_skipped_total counter\n");
+        let _ = writeln!(
+            out,
+            "smrseekd_checkpoint_records_skipped_total {}",
+            self.checkpoint_records_skipped.load(Ordering::Relaxed)
         );
 
         out.push_str("# HELP smrseekd_http_requests_total Requests served, by endpoint.\n# TYPE smrseekd_http_requests_total counter\n");

@@ -11,7 +11,7 @@
 use crate::jobs::JobTable;
 use crate::metrics::Metrics;
 use smrseek_sim::runner::RunMatrix;
-use smrseek_sim::{saf, SimConfig, TraceSource};
+use smrseek_sim::{saf, CheckpointStore, CheckpointUsage, SimConfig, TraceSource};
 use std::num::NonZeroUsize;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -34,30 +34,83 @@ pub struct JobWork {
     pub source: TraceSource,
     /// What to compute over them.
     pub kind: JobKind,
+    /// Full-trace content digest when already known (file traces get it
+    /// from the registry). Checkpointed runs of generator traces compute
+    /// it on demand; `None` plus no checkpoint store means it is never
+    /// needed.
+    pub digest: Option<smrseek_trace::TraceDigest>,
 }
 
-/// Replays one job. Returns the result document (pretty JSON, stable
-/// byte-for-byte for a given trace + config) and the number of logical
-/// records replayed, or a client-facing error message.
+/// The worker pool's prefix-reuse policy: where checkpoints live and how
+/// often replays emit them. When configured, every job probes the store
+/// for a checkpoint of its (trace digest × canonical config) identity and
+/// resumes from the longest stored prefix instead of replaying from record
+/// zero — across daemon restarts, since the store is plain files.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// The on-disk checkpoint store shared by all workers.
+    pub store: CheckpointStore,
+    /// Emit a checkpoint every this many records.
+    pub every: u64,
+}
+
+/// A finished job's payload: the result document plus replay accounting.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Result document (pretty JSON, byte-stable for a trace + config).
+    pub doc: String,
+    /// Logical records the job accounts for (full trace length per cell,
+    /// whether or not a prefix was skipped via checkpoint).
+    pub records: u64,
+    /// Checkpoint reuse accounting (all zero without a policy).
+    pub checkpoints: CheckpointUsage,
+}
+
+/// Replays one job, resuming from / refreshing checkpoints when `policy`
+/// is set. The result document is byte-identical with or without a
+/// policy — checkpoints change wall time, never results.
 ///
 /// # Errors
 ///
 /// Serialization failures (e.g. a non-finite float in a report) surface
 /// as the job's failure message.
-pub fn run_job(work: &JobWork, threads: NonZeroUsize) -> Result<(String, u64), String> {
-    let configs: Vec<SimConfig> = match &work.kind {
+pub fn run_job(
+    work: &JobWork,
+    threads: NonZeroUsize,
+    policy: Option<&CheckpointPolicy>,
+) -> Result<JobOutcome, String> {
+    let mut configs: Vec<SimConfig> = match &work.kind {
         JobKind::Sweep => SimConfig::standard_sweep().to_vec(),
         JobKind::Single(config) => vec![*config],
     };
-    let matrix = RunMatrix::cross(std::slice::from_ref(&work.source), &configs);
-    let outcomes = matrix.execute(threads);
+    let (outcomes, checkpoints) = match policy {
+        None => {
+            let matrix = RunMatrix::cross(std::slice::from_ref(&work.source), &configs);
+            (matrix.execute(threads), CheckpointUsage::default())
+        }
+        Some(policy) => {
+            let digest = work
+                .digest
+                .unwrap_or_else(|| work.source.digest())
+                .as_u128();
+            for config in &mut configs {
+                *config = config.with_checkpoint_every(policy.every);
+            }
+            let matrix = RunMatrix::cross(std::slice::from_ref(&work.source), &configs);
+            matrix.execute_checkpointed(threads, &policy.store, digest)
+        }
+    };
     let records = outcomes.iter().map(|o| o.metrics.records).sum();
     let doc = match &work.kind {
         JobKind::Sweep => serde_json::to_string_pretty(&saf::sweep_safs(&outcomes)),
         JobKind::Single(_) => serde_json::to_string_pretty(&outcomes[0].report),
     };
-    doc.map(|doc| (doc, records))
-        .map_err(|e| format!("cannot serialize result: {e}"))
+    doc.map(|doc| JobOutcome {
+        doc,
+        records,
+        checkpoints,
+    })
+    .map_err(|e| format!("cannot serialize result: {e}"))
 }
 
 /// Spawns `count` worker threads draining `jobs` until shutdown.
@@ -66,20 +119,23 @@ pub fn spawn_workers(
     jobs: Arc<JobTable>,
     metrics: Arc<Metrics>,
     threads: NonZeroUsize,
+    policy: Option<Arc<CheckpointPolicy>>,
 ) -> Vec<JoinHandle<()>> {
     (0..count)
         .map(|i| {
             let jobs = Arc::clone(&jobs);
             let metrics = Arc::clone(&metrics);
+            let policy = policy.clone();
             std::thread::Builder::new()
                 .name(format!("smrseekd-worker-{i}"))
                 .spawn(move || {
                     while let Some((id, work)) = jobs.next_job() {
-                        let outcome = run_job(&work, threads);
-                        if let Ok((_, records)) = &outcome {
-                            metrics.replayed(*records);
+                        let outcome = run_job(&work, threads, policy.as_deref());
+                        if let Ok(out) = &outcome {
+                            metrics.replayed(out.records);
+                            metrics.checkpoint_usage(&out.checkpoints);
                         }
-                        jobs.complete(id, outcome.map(|(doc, _)| doc));
+                        jobs.complete(id, outcome.map(|out| out.doc));
                     }
                 })
                 .expect("worker thread spawns")
@@ -110,9 +166,11 @@ mod tests {
         let work = JobWork {
             source: source(),
             kind: JobKind::Sweep,
+            digest: None,
         };
-        let (doc, records) = run_job(&work, NonZeroUsize::MIN).expect("job runs");
-        assert_eq!(records, 300 * 5, "five layers each replay the trace");
+        let out = run_job(&work, NonZeroUsize::MIN, None).expect("job runs");
+        assert_eq!(out.records, 300 * 5, "five layers each replay the trace");
+        assert_eq!(out.checkpoints, smrseek_sim::CheckpointUsage::default());
         // The offline path: exactly what the CLI writes for --json.
         let matrix = RunMatrix::cross(
             std::slice::from_ref(&work.source),
@@ -122,7 +180,38 @@ mod tests {
             &matrix.execute(NonZeroUsize::new(4).expect("nonzero")),
         ))
         .expect("serializes");
-        assert_eq!(doc, offline, "daemon and offline sweeps are byte-identical");
+        assert_eq!(
+            out.doc, offline,
+            "daemon and offline sweeps are byte-identical"
+        );
+    }
+
+    #[test]
+    fn checkpointed_rerun_reuses_prefix_and_matches_cold_bytes() {
+        let dir =
+            std::env::temp_dir().join(format!("smrseekd_worker_ckpt_test_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let policy = CheckpointPolicy {
+            store: CheckpointStore::new(&dir),
+            every: 100,
+        };
+        let work = JobWork {
+            source: source(),
+            kind: JobKind::Sweep,
+            digest: None,
+        };
+        let cold = run_job(&work, NonZeroUsize::MIN, None).expect("cold run");
+        let first = run_job(&work, NonZeroUsize::MIN, Some(&policy)).expect("first run");
+        assert_eq!(first.checkpoints.hits, 0);
+        assert_eq!(first.checkpoints.misses, 5);
+        let second = run_job(&work, NonZeroUsize::MIN, Some(&policy)).expect("second run");
+        assert_eq!(second.checkpoints.hits, 5);
+        assert_eq!(second.checkpoints.misses, 0);
+        assert_eq!(second.checkpoints.records_skipped, 5 * 300);
+        assert_eq!(second.records, 5 * 300, "accounting stays the full count");
+        assert_eq!(first.doc, cold.doc, "policy never changes result bytes");
+        assert_eq!(second.doc, cold.doc, "resumed run matches cold bytes");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -130,8 +219,10 @@ mod tests {
         let work = JobWork {
             source: source(),
             kind: JobKind::Single(SimConfig::ls_cache().with_distances()),
+            digest: None,
         };
-        let (doc, records) = run_job(&work, NonZeroUsize::MIN).expect("job runs");
+        let out = run_job(&work, NonZeroUsize::MIN, None).expect("job runs");
+        let (doc, records) = (out.doc, out.records);
         assert_eq!(records, 300);
         let value: serde::Value = serde_json::from_str(&doc).expect("valid JSON");
         assert_eq!(
@@ -156,6 +247,7 @@ mod tests {
                     JobWork {
                         source: source(),
                         kind: JobKind::Single(SimConfig::no_ls()),
+                        digest: None,
                     },
                 ) {
                     crate::jobs::Submit::Queued(id) => id,
@@ -168,6 +260,7 @@ mod tests {
             Arc::clone(&jobs),
             Arc::clone(&metrics),
             NonZeroUsize::MIN,
+            None,
         );
         // Poll until all three finish (workers run them concurrently).
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);

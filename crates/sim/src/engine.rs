@@ -1,10 +1,11 @@
 //! The simulation engine: trace × translation layer → seek statistics.
 
 use serde::{Deserialize, Serialize};
-use smrseek_disk::{Cdf, LongSeekSeries, SeekCounter, SeekStats};
+use smrseek_cache::RangeCache;
+use smrseek_disk::{Cdf, LongSeekSeries, SeekCounter, SeekCounterState, SeekStats};
 use smrseek_stl::{
-    CacheConfig, DefragConfig, FragmentAccessTracker, LogStructured, LsConfig, LsStats, NoLs,
-    PrefetchConfig, TranslationLayer,
+    CacheConfig, DefragConfig, FragmentAccessTracker, LogStructured, LsConfig, LsSnapshot, LsStats,
+    NoLs, PrefetchConfig, TranslationLayer,
 };
 use smrseek_trace::{stream, TraceRecord};
 
@@ -53,6 +54,12 @@ pub struct SimConfig {
     /// for its maximum LBA up front; [`simulate`] derives it from the slice
     /// when unset. Ignored for the NoLS baseline.
     pub frontier_hint: Option<u64>,
+    /// Emit an engine checkpoint every this many records (consumed by
+    /// [`simulate_stream_checkpointed`]; `None` disables emission). Purely
+    /// operational — it cannot change any report — so
+    /// [`canonical`](Self::canonical) clears it and it never affects cache
+    /// keys.
+    pub checkpoint_every: Option<u64>,
 }
 
 impl SimConfig {
@@ -66,6 +73,7 @@ impl SimConfig {
             host_cache_bytes: None,
             zone_sectors: None,
             frontier_hint: None,
+            checkpoint_every: None,
         }
     }
 
@@ -83,6 +91,7 @@ impl SimConfig {
             host_cache_bytes: None,
             zone_sectors: None,
             frontier_hint: None,
+            checkpoint_every: None,
         }
     }
 
@@ -119,6 +128,7 @@ impl SimConfig {
             host_cache_bytes: None,
             zone_sectors: None,
             frontier_hint: None,
+            checkpoint_every: None,
         }
     }
 
@@ -157,6 +167,14 @@ impl SimConfig {
     /// write frontier without scanning the trace.
     pub fn with_frontier_hint(mut self, top: u64) -> Self {
         self.frontier_hint = Some(top);
+        self
+    }
+
+    /// Emits an engine checkpoint every `n_records` records when the run is
+    /// driven through [`simulate_stream_checkpointed`]. Operational only:
+    /// the emitted snapshots change no report and no cache key.
+    pub fn with_checkpoint_every(mut self, n_records: u64) -> Self {
+        self.checkpoint_every = Some(n_records);
         self
     }
 
@@ -202,6 +220,9 @@ impl SimConfig {
                 }
             }
         }
+        // Checkpoint cadence never changes a report: two runs differing only
+        // in `checkpoint_every` are interchangeable, so they share a key.
+        self.checkpoint_every = None;
         self
     }
 
@@ -273,6 +294,195 @@ impl LayerImpl {
     }
 }
 
+/// Serializable state of the translation layer inside an
+/// [`EngineSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LayerSnapshot {
+    /// The NoLS baseline carries no state.
+    NoLs,
+    /// Full log-structured layer state (boxed: it dwarfs the other
+    /// variant).
+    Ls(Box<LsSnapshot>),
+}
+
+/// Complete engine state after consuming some prefix of a trace: restoring
+/// it and replaying the remaining records yields a [`RunReport`] identical
+/// to the uninterrupted run. Produced by [`simulate_stream_checkpointed`],
+/// consumed by [`simulate_stream_from`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    /// Translation-layer state (extent map, frontier, caches, counters).
+    pub layer: LayerSnapshot,
+    /// Seek-model state (head position, statistics, recorded distances).
+    pub counter: SeekCounterState,
+    /// Long-seek series accumulated so far (when enabled).
+    pub longseek_series: Option<LongSeekSeries>,
+    /// Host buffer-cache contents (when modeled).
+    pub host_cache: Option<RangeCache>,
+    /// Logical reads absorbed by the host cache so far.
+    pub host_cache_hits: u64,
+    /// Physical sectors moved so far.
+    pub phys_sectors: u64,
+    /// Records consumed so far — the resume index: replay continues with
+    /// record `logical_ops` of the original trace.
+    pub logical_ops: u64,
+    /// Largest extent-map segment count observed so far.
+    pub peak_extent_segments: u64,
+}
+
+/// Live engine state: the deconstructed body of the historical
+/// `simulate_stream` loop, split so a run can be started fresh, started
+/// from a snapshot, stepped, checkpointed mid-flight, and finished into a
+/// [`RunReport`] — all through the same code path, which is what makes
+/// resumed runs byte-identical to uninterrupted ones.
+struct EngineState {
+    config: SimConfig,
+    layer: LayerImpl,
+    counter: SeekCounter,
+    series: Option<LongSeekSeries>,
+    host_cache: Option<RangeCache>,
+    host_cache_hits: u64,
+    phys_sectors: u64,
+    logical_ops: u64,
+    peak_extent_segments: u64,
+}
+
+impl EngineState {
+    fn new(config: &SimConfig) -> Self {
+        let layer = match config.layer {
+            LayerChoice::NoLs => LayerImpl::NoLs(NoLs::new()),
+            LayerChoice::Ls {
+                defrag,
+                prefetch,
+                cache,
+            } => {
+                let top = config.frontier_hint.expect(
+                    "simulate_stream needs SimConfig::with_frontier_hint for log-structured \
+                     layers: a stream cannot be pre-scanned for its highest LBA (use simulate() \
+                     for in-memory slices, or pass the bound from a header or a first pass)",
+                );
+                let mut ls_config = LsConfig::above_sector(top);
+                ls_config.defrag = defrag;
+                ls_config.prefetch = prefetch;
+                ls_config.cache = cache;
+                ls_config.track_fragments = config.track_fragments;
+                ls_config.zone_sectors = config.zone_sectors;
+                LayerImpl::Ls(Box::new(LogStructured::new(ls_config)))
+            }
+        };
+        let counter = if config.record_distances {
+            SeekCounter::with_distances()
+        } else {
+            SeekCounter::new()
+        };
+        let series = (config.longseek_bucket_ops > 0)
+            .then(|| LongSeekSeries::new(config.longseek_bucket_ops));
+        // The host cache is indexed by *logical* sector; `RangeCache` is
+        // address-space agnostic, so LBA sectors are passed as its keys.
+        let host_cache = config
+            .host_cache_bytes
+            .map(smrseek_cache::RangeCache::with_capacity_bytes);
+        EngineState {
+            config: *config,
+            layer,
+            counter,
+            series,
+            host_cache,
+            host_cache_hits: 0,
+            phys_sectors: 0,
+            logical_ops: 0,
+            peak_extent_segments: 0,
+        }
+    }
+
+    fn resume(config: &SimConfig, snap: &EngineSnapshot) -> Self {
+        let layer = match (&snap.layer, config.layer) {
+            (LayerSnapshot::NoLs, LayerChoice::NoLs) => LayerImpl::NoLs(NoLs::new()),
+            (LayerSnapshot::Ls(ls), LayerChoice::Ls { .. }) => {
+                LayerImpl::Ls(Box::new(LogStructured::from_snapshot((**ls).clone())))
+            }
+            _ => panic!(
+                "snapshot layer does not match the config's layer — validate the snapshot's \
+                 config key against SimConfig::cache_key before resuming"
+            ),
+        };
+        EngineState {
+            config: *config,
+            layer,
+            counter: SeekCounter::from_state(snap.counter.clone()),
+            series: snap.longseek_series.clone(),
+            host_cache: snap.host_cache.clone(),
+            host_cache_hits: snap.host_cache_hits,
+            phys_sectors: snap.phys_sectors,
+            logical_ops: snap.logical_ops,
+            peak_extent_segments: snap.peak_extent_segments,
+        }
+    }
+
+    fn step(&mut self, rec: &TraceRecord) {
+        let i = self.logical_ops;
+        self.logical_ops += 1;
+        if let Some(cache) = &mut self.host_cache {
+            let key = smrseek_trace::Pba::new(rec.lba.sector());
+            if rec.op.is_read() && cache.covers(key, u64::from(rec.sectors)) {
+                self.host_cache_hits += 1;
+                return; // served from host RAM: nothing reaches the device
+            }
+            cache.insert(key, u64::from(rec.sectors));
+        }
+        for io in self.layer.apply(rec) {
+            self.phys_sectors += io.sectors;
+            if let Some(seek) = self.counter.observe(&io) {
+                if let Some(series) = &mut self.series {
+                    series.record(i, &seek);
+                }
+            }
+        }
+        if let LayerImpl::Ls(ls) = &self.layer {
+            self.peak_extent_segments = self.peak_extent_segments.max(ls.map().len() as u64);
+        }
+    }
+
+    fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            layer: match &self.layer {
+                LayerImpl::NoLs(_) => LayerSnapshot::NoLs,
+                LayerImpl::Ls(ls) => LayerSnapshot::Ls(Box::new(ls.to_snapshot())),
+            },
+            counter: self.counter.to_state(),
+            longseek_series: self.series.clone(),
+            host_cache: self.host_cache.clone(),
+            host_cache_hits: self.host_cache_hits,
+            phys_sectors: self.phys_sectors,
+            logical_ops: self.logical_ops,
+            peak_extent_segments: self.peak_extent_segments,
+        }
+    }
+
+    fn finish(self) -> RunReport {
+        let layer_name = self.layer.name().to_owned();
+        let (ls_stats, fragments) = match self.layer {
+            LayerImpl::NoLs(_) => (None, None),
+            LayerImpl::Ls(ls) => (Some(ls.stats()), ls.fragment_tracker().cloned()),
+        };
+        RunReport {
+            layer_name,
+            logical_ops: self.logical_ops,
+            phys_sectors: self.phys_sectors,
+            host_cache_hits: self.host_cache_hits,
+            seeks: self.counter.stats(),
+            distances: self
+                .config
+                .record_distances
+                .then(|| self.counter.into_distances()),
+            longseek_series: self.series,
+            ls_stats,
+            fragments,
+            peak_extent_segments: self.peak_extent_segments,
+        }
+    }
+}
+
 /// Replays a stream of records through the configured layer, feeding every
 /// physical operation to the seek model. This is the engine's core: it
 /// consumes the records one at a time and never materializes the trace, so
@@ -289,87 +499,62 @@ pub fn simulate_stream<I>(records: I, config: &SimConfig) -> RunReport
 where
     I: IntoIterator<Item = TraceRecord>,
 {
-    let mut layer = match config.layer {
-        LayerChoice::NoLs => LayerImpl::NoLs(NoLs::new()),
-        LayerChoice::Ls {
-            defrag,
-            prefetch,
-            cache,
-        } => {
-            let top = config.frontier_hint.expect(
-                "simulate_stream needs SimConfig::with_frontier_hint for log-structured \
-                 layers: a stream cannot be pre-scanned for its highest LBA (use simulate() \
-                 for in-memory slices, or pass the bound from a header or a first pass)",
-            );
-            let mut ls_config = LsConfig::above_sector(top);
-            ls_config.defrag = defrag;
-            ls_config.prefetch = prefetch;
-            ls_config.cache = cache;
-            ls_config.track_fragments = config.track_fragments;
-            ls_config.zone_sectors = config.zone_sectors;
-            LayerImpl::Ls(Box::new(LogStructured::new(ls_config)))
-        }
-    };
+    simulate_stream_checkpointed(None, records, config, |_| {})
+}
 
-    let mut counter = if config.record_distances {
-        SeekCounter::with_distances()
-    } else {
-        SeekCounter::new()
-    };
-    let mut series =
-        (config.longseek_bucket_ops > 0).then(|| LongSeekSeries::new(config.longseek_bucket_ops));
-    // The host cache is indexed by *logical* sector; `RangeCache` is
-    // address-space agnostic, so LBA sectors are passed as its keys.
-    let mut host_cache = config
-        .host_cache_bytes
-        .map(smrseek_cache::RangeCache::with_capacity_bytes);
-    let mut host_cache_hits = 0u64;
-    let mut phys_sectors = 0u64;
-    let mut logical_ops = 0u64;
-    let mut peak_extent_segments = 0u64;
+/// Resumes a run from `snapshot` and replays the *remaining* records —
+/// those from index [`EngineSnapshot::logical_ops`] onward of the original
+/// trace — producing a [`RunReport`] byte-identical (as JSON) to the
+/// uninterrupted run over the whole trace.
+///
+/// # Panics
+///
+/// Panics when the snapshot's layer kind does not match `config.layer`;
+/// callers should validate the snapshot's stored config key against
+/// [`SimConfig::cache_key`] first (the container in `smrseek-snapshot`
+/// carries it for exactly this purpose).
+pub fn simulate_stream_from<I>(
+    snapshot: &EngineSnapshot,
+    remaining: I,
+    config: &SimConfig,
+) -> RunReport
+where
+    I: IntoIterator<Item = TraceRecord>,
+{
+    simulate_stream_checkpointed(Some(snapshot), remaining, config, |_| {})
+}
 
+/// The general engine entry point: optionally resumes from a snapshot,
+/// replays `records`, and — when [`SimConfig::with_checkpoint_every`] is
+/// set — calls `emit` with a fresh [`EngineSnapshot`] after every
+/// `n`-th consumed record (at absolute record indices `n`, `2n`, ...,
+/// counted over the whole trace, so a resumed run keeps the original
+/// cadence). [`simulate_stream`] and [`simulate_stream_from`] are thin
+/// wrappers over this with a no-op `emit`.
+pub fn simulate_stream_checkpointed<I, F>(
+    resume_from: Option<&EngineSnapshot>,
+    records: I,
+    config: &SimConfig,
+    mut emit: F,
+) -> RunReport
+where
+    I: IntoIterator<Item = TraceRecord>,
+    F: FnMut(&EngineSnapshot),
+{
+    let mut state = match resume_from {
+        Some(snap) => EngineState::resume(config, snap),
+        None => EngineState::new(config),
+    };
+    let every = config.checkpoint_every.filter(|&n| n > 0);
     for rec in records {
-        let i = logical_ops;
-        logical_ops += 1;
-        if let Some(cache) = &mut host_cache {
-            let key = smrseek_trace::Pba::new(rec.lba.sector());
-            if rec.op.is_read() && cache.covers(key, u64::from(rec.sectors)) {
-                host_cache_hits += 1;
-                continue; // served from host RAM: nothing reaches the device
-            }
-            cache.insert(key, u64::from(rec.sectors));
-        }
-        for io in layer.apply(&rec) {
-            phys_sectors += io.sectors;
-            if let Some(seek) = counter.observe(&io) {
-                if let Some(series) = &mut series {
-                    series.record(i, &seek);
-                }
+        state.step(&rec);
+        if let Some(n) = every {
+            if state.logical_ops % n == 0 {
+                emit(&state.snapshot());
             }
         }
-        if let LayerImpl::Ls(ls) = &layer {
-            peak_extent_segments = peak_extent_segments.max(ls.map().len() as u64);
-        }
     }
-
-    let layer_name = layer.name().to_owned();
-    let (ls_stats, fragments) = match layer {
-        LayerImpl::NoLs(_) => (None, None),
-        LayerImpl::Ls(ls) => (Some(ls.stats()), ls.fragment_tracker().cloned()),
-    };
-
-    RunReport {
-        layer_name,
-        logical_ops,
-        phys_sectors,
-        host_cache_hits,
-        seeks: counter.stats(),
-        distances: config.record_distances.then(|| counter.into_distances()),
-        longseek_series: series,
-        ls_stats,
-        fragments,
-        peak_extent_segments,
-    }
+    state.finish()
 }
 
 /// Replays an in-memory `trace` through the configured layer.
@@ -579,5 +764,128 @@ mod tests {
                 LayerChoice::NoLs => panic!("expected LS"),
             }
         }
+    }
+
+    /// A mixed read/write workload long enough to exercise defrag,
+    /// prefetch, caching, zones, and the host cache.
+    fn busy_trace(n: u64) -> Vec<TraceRecord> {
+        (0..n)
+            .map(|i| {
+                let lba = Lba::new((i * 37) % 4096);
+                if i % 3 == 0 {
+                    TraceRecord::read(i, lba, 8)
+                } else {
+                    TraceRecord::write(i, lba, 16)
+                }
+            })
+            .collect()
+    }
+
+    fn resume_configs() -> Vec<SimConfig> {
+        let mut configs = SimConfig::standard_sweep().to_vec();
+        configs.push(
+            SimConfig::ls_defrag()
+                .with_distances()
+                .with_longseek_series(16)
+                .with_fragment_tracking()
+                .with_zones(512),
+        );
+        configs.push(SimConfig::log_structured().with_host_cache(64 * 512));
+        configs.push(SimConfig::no_ls().with_distances().with_host_cache(8 * 512));
+        configs
+    }
+
+    #[test]
+    fn resume_is_byte_identical_to_uninterrupted_run() {
+        let trace = busy_trace(240);
+        let top = smrseek_trace::stream::max_lba(&trace).map_or(0, |l| l.sector() + 1);
+        for config in resume_configs() {
+            let config = config.with_frontier_hint(top);
+            let whole = serde_json::to_string(&simulate_stream(trace.iter().copied(), &config))
+                .expect("report serializes");
+            for split in [0usize, 1, 100, 239, 240] {
+                let mut state = EngineState::new(&config);
+                for rec in &trace[..split] {
+                    state.step(rec);
+                }
+                let snap = state.snapshot();
+                assert_eq!(snap.logical_ops as usize, split);
+                let resumed = simulate_stream_from(&snap, trace[split..].iter().copied(), &config);
+                assert_eq!(
+                    serde_json::to_string(&resumed).expect("report serializes"),
+                    whole,
+                    "resume at {split} diverged for {config:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_survives_serde_round_trip() {
+        let trace = busy_trace(150);
+        let top = smrseek_trace::stream::max_lba(&trace).map_or(0, |l| l.sector() + 1);
+        for config in resume_configs() {
+            let config = config.with_frontier_hint(top);
+            let whole = serde_json::to_string(&simulate_stream(trace.iter().copied(), &config))
+                .expect("report serializes");
+            let mut state = EngineState::new(&config);
+            for rec in &trace[..75] {
+                state.step(rec);
+            }
+            let json = serde_json::to_string(&state.snapshot()).expect("snapshot serializes");
+            let snap: EngineSnapshot = serde_json::from_str(&json).expect("snapshot deserializes");
+            let resumed = simulate_stream_from(&snap, trace[75..].iter().copied(), &config);
+            assert_eq!(
+                serde_json::to_string(&resumed).expect("report serializes"),
+                whole,
+                "serde round-trip broke resume for {config:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoints_emitted_on_cadence() {
+        let trace = busy_trace(35);
+        let config = SimConfig::no_ls().with_checkpoint_every(10);
+        let mut emitted = Vec::new();
+        let report = simulate_stream_checkpointed(None, trace.iter().copied(), &config, |snap| {
+            emitted.push(snap.logical_ops)
+        });
+        assert_eq!(report.logical_ops, 35);
+        assert_eq!(emitted, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn resumed_run_keeps_checkpoint_cadence() {
+        // Resuming at 15 with every(10) must fire at absolute records
+        // 20 and 30, not 25 and 35.
+        let trace = busy_trace(35);
+        let config = SimConfig::no_ls().with_checkpoint_every(10);
+        let mut state = EngineState::new(&config);
+        for rec in &trace[..15] {
+            state.step(rec);
+        }
+        let snap = state.snapshot();
+        let mut emitted = Vec::new();
+        simulate_stream_checkpointed(Some(&snap), trace[15..].iter().copied(), &config, |s| {
+            emitted.push(s.logical_ops)
+        });
+        assert_eq!(emitted, vec![20, 30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "config key")]
+    fn resume_with_mismatched_layer_panics() {
+        let config = SimConfig::no_ls();
+        let snap = EngineState::new(&config).snapshot();
+        simulate_stream_from(&snap, toy_trace(), &SimConfig::log_structured());
+    }
+
+    #[test]
+    fn canonical_clears_checkpoint_cadence() {
+        let a = SimConfig::ls_cache().with_checkpoint_every(1000);
+        let b = SimConfig::ls_cache();
+        assert_eq!(a.canonical(Some(42)), b.canonical(Some(42)));
+        assert_eq!(a.cache_key(Some(42)), b.cache_key(Some(42)));
     }
 }

@@ -20,6 +20,7 @@
 //! ```
 
 #![warn(missing_docs)]
+pub mod checkpoint;
 pub mod engine;
 pub mod experiments;
 pub mod plotdata;
@@ -29,7 +30,11 @@ pub mod saf;
 pub mod scheduler;
 pub mod tracecache;
 
-pub use engine::{simulate, simulate_stream, LayerChoice, RunReport, SimConfig};
+pub use checkpoint::CheckpointStore;
+pub use engine::{
+    simulate, simulate_stream, simulate_stream_checkpointed, simulate_stream_from, EngineSnapshot,
+    LayerChoice, LayerSnapshot, RunReport, SimConfig,
+};
 pub use report::TextTable;
-pub use runner::{RunMatrix, RunMetrics, RunOutcome, TraceSource};
+pub use runner::{CheckpointUsage, RunMatrix, RunMetrics, RunOutcome, TraceSource};
 pub use saf::Saf;

@@ -1,0 +1,525 @@
+//! The `SMRS1\0` checkpoint file format: versioned, digest-protected
+//! containers for serialized simulation state.
+//!
+//! A snapshot freezes a simulation after `record_index` trace records so a
+//! later run can resume from there instead of replaying the prefix. The
+//! container is deliberately ignorant of what the payload *means* (the
+//! engine serializes its own state into it); what it guarantees is
+//! *identity* and *integrity*:
+//!
+//! * **identity** — the header binds the payload to the full-trace digest
+//!   and the canonical simulation-config key it was captured under, so a
+//!   checkpoint can never be resumed against a different trace or config
+//!   (validated with [`Snapshot::verify_trace`] / [`Snapshot::verify_config`]);
+//! * **integrity** — the payload carries an FNV-1a 128-bit digest; torn,
+//!   truncated or bit-flipped files decode to a typed [`SnapshotError`],
+//!   never to silently wrong state and never to a panic.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "SMRS1\0" (6)
+//! trace_digest u128 (16)      full-trace content digest
+//! record_index u64 (8)        records consumed before the checkpoint
+//! config_key_len u32 (4) | config_key (UTF-8)
+//! payload_len u64 (8) | payload | payload_digest u128 (16)
+//! ```
+//!
+//! Files are written atomically (same-directory temp file + rename, like
+//! the `.smrt` trace sidecars) so a concurrent reader never sees a torn
+//! snapshot.
+//!
+//! # Example
+//!
+//! ```
+//! use smrseek_snapshot::Snapshot;
+//!
+//! let snap = Snapshot::new(42, 1000, "{\"layer\":\"NoLs\"}".into(), vec![1, 2, 3]);
+//! let bytes = snap.encode();
+//! assert_eq!(Snapshot::decode(&bytes).unwrap(), snap);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Magic number opening every snapshot file (version 1).
+pub const MAGIC: &[u8; 6] = b"SMRS1\0";
+
+const DIGEST_LEN: usize = 16;
+/// Fixed-size part of the container: magic + trace digest + record index.
+const FIXED_HEAD_LEN: usize = 6 + DIGEST_LEN + 8;
+
+// FNV-1a 128-bit, the same hash `smrseek_trace::digest` uses for trace
+// identity (constants duplicated so this crate stays dependency-free).
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// FNV-1a 128-bit digest of `bytes` — the payload-integrity hash.
+pub fn fnv128(bytes: &[u8]) -> u128 {
+    let mut state = FNV_OFFSET;
+    for &b in bytes {
+        state ^= u128::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// Why a snapshot could not be read, decoded, or applied.
+///
+/// Every failure mode of a hostile or damaged snapshot file maps to a
+/// variant here — the format's contract is "typed error or exact state",
+/// never a panic and never a silent partial resume.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The file does not begin with the `SMRS1\0` magic number.
+    BadMagic,
+    /// The file ends before the named field is complete.
+    Truncated(&'static str),
+    /// The file frame decodes but its content is invalid (payload digest
+    /// mismatch, non-UTF-8 config key, ...).
+    Corrupt(String),
+    /// The snapshot was captured from a different trace.
+    TraceMismatch {
+        /// Digest of the trace being resumed.
+        expected: u128,
+        /// Digest stored in the snapshot.
+        found: u128,
+    },
+    /// The snapshot was captured under a different simulation config.
+    ConfigMismatch {
+        /// Canonical config key of the run being resumed.
+        expected: String,
+        /// Canonical config key stored in the snapshot.
+        found: String,
+    },
+    /// The payload decoded but did not deserialize into engine state.
+    BadPayload(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic number)"),
+            SnapshotError::Truncated(what) => write!(f, "truncated snapshot: missing {what}"),
+            SnapshotError::Corrupt(why) => write!(f, "corrupt snapshot: {why}"),
+            SnapshotError::TraceMismatch { expected, found } => write!(
+                f,
+                "snapshot is for a different trace (expected digest {expected:032x}, found {found:032x})"
+            ),
+            SnapshotError::ConfigMismatch { expected, found } => write!(
+                f,
+                "snapshot is for a different config (expected {expected}, found {found})"
+            ),
+            SnapshotError::BadPayload(why) => {
+                write!(f, "snapshot payload does not deserialize: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// One decoded snapshot: identity header plus opaque engine-state payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Full-trace content digest (`TraceDigest::as_u128`) of the trace the
+    /// checkpoint belongs to. The *full* digest — not a prefix digest — so
+    /// a checkpoint is only ever reusable by the identical complete trace.
+    pub trace_digest: u128,
+    /// Number of records consumed before the checkpoint; resuming replays
+    /// records `record_index..`.
+    pub record_index: u64,
+    /// Canonical simulation-config key (`SimConfig::cache_key`) the state
+    /// was captured under.
+    pub config_key: String,
+    /// Serialized engine state (opaque to this crate).
+    pub payload: Vec<u8>,
+}
+
+impl Snapshot {
+    /// Assembles a snapshot from its parts.
+    pub fn new(
+        trace_digest: u128,
+        record_index: u64,
+        config_key: String,
+        payload: Vec<u8>,
+    ) -> Self {
+        Snapshot {
+            trace_digest,
+            record_index,
+            config_key,
+            payload,
+        }
+    }
+
+    /// Serializes the snapshot to its on-disk byte form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            FIXED_HEAD_LEN + 4 + self.config_key.len() + 8 + self.payload.len() + DIGEST_LEN,
+        );
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&self.trace_digest.to_le_bytes());
+        out.extend_from_slice(&self.record_index.to_le_bytes());
+        out.extend_from_slice(&(self.config_key.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.config_key.as_bytes());
+        out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out.extend_from_slice(&fnv128(&self.payload).to_le_bytes());
+        out
+    }
+
+    /// Decodes and validates a snapshot from its on-disk byte form.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::BadMagic`] when the bytes are not a snapshot,
+    /// [`SnapshotError::Truncated`] when a field is cut short,
+    /// [`SnapshotError::Corrupt`] when the payload digest does not match
+    /// or the config key is not UTF-8.
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+        if bytes.len() < 6 {
+            if bytes.len() < MAGIC.len() && MAGIC.starts_with(bytes) {
+                return Err(SnapshotError::Truncated("magic number"));
+            }
+            return Err(SnapshotError::BadMagic);
+        }
+        if &bytes[..6] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let mut cursor = Cursor { bytes, offset: 6 };
+        let trace_digest = u128::from_le_bytes(
+            cursor
+                .take(DIGEST_LEN, "trace digest")?
+                .try_into()
+                .expect("fixed slice"),
+        );
+        let record_index = u64::from_le_bytes(
+            cursor
+                .take(8, "record index")?
+                .try_into()
+                .expect("fixed slice"),
+        );
+        let key_len = u32::from_le_bytes(
+            cursor
+                .take(4, "config key length")?
+                .try_into()
+                .expect("fixed slice"),
+        ) as usize;
+        let config_key = String::from_utf8(cursor.take(key_len, "config key")?.to_vec())
+            .map_err(|_| SnapshotError::Corrupt("config key is not UTF-8".into()))?;
+        let payload_len = u64::from_le_bytes(
+            cursor
+                .take(8, "payload length")?
+                .try_into()
+                .expect("fixed slice"),
+        );
+        let payload_len = usize::try_from(payload_len)
+            .map_err(|_| SnapshotError::Corrupt("payload length overflows".into()))?;
+        let payload = cursor.take(payload_len, "payload")?.to_vec();
+        let stored_digest = u128::from_le_bytes(
+            cursor
+                .take(DIGEST_LEN, "payload digest")?
+                .try_into()
+                .expect("fixed slice"),
+        );
+        if cursor.offset != bytes.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} trailing bytes after payload digest",
+                bytes.len() - cursor.offset
+            )));
+        }
+        if stored_digest != fnv128(&payload) {
+            return Err(SnapshotError::Corrupt("payload digest mismatch".into()));
+        }
+        Ok(Snapshot {
+            trace_digest,
+            record_index,
+            config_key,
+            payload,
+        })
+    }
+
+    /// Checks that the snapshot belongs to the trace with `digest`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::TraceMismatch`] when it does not.
+    pub fn verify_trace(&self, digest: u128) -> Result<(), SnapshotError> {
+        if self.trace_digest == digest {
+            Ok(())
+        } else {
+            Err(SnapshotError::TraceMismatch {
+                expected: digest,
+                found: self.trace_digest,
+            })
+        }
+    }
+
+    /// Checks that the snapshot was captured under the canonical config
+    /// key `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::ConfigMismatch`] when it was not.
+    pub fn verify_config(&self, key: &str) -> Result<(), SnapshotError> {
+        if self.config_key == key {
+            Ok(())
+        } else {
+            Err(SnapshotError::ConfigMismatch {
+                expected: key.to_owned(),
+                found: self.config_key.clone(),
+            })
+        }
+    }
+}
+
+/// Bounds-checked reader over the raw bytes.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    offset: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .offset
+            .checked_add(n)
+            .ok_or(SnapshotError::Truncated(what))?;
+        if end > self.bytes.len() {
+            return Err(SnapshotError::Truncated(what));
+        }
+        let out = &self.bytes[self.offset..end];
+        self.offset = end;
+        Ok(out)
+    }
+}
+
+/// Returns `true` if `prefix` begins with the snapshot magic number. Six
+/// bytes suffice; shorter prefixes never match.
+pub fn sniff_magic(prefix: &[u8]) -> bool {
+    prefix.starts_with(MAGIC)
+}
+
+/// Reads and decodes the snapshot at `path`.
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] on read failure, plus every [`Snapshot::decode`]
+/// error.
+pub fn read_snapshot(path: &Path) -> Result<Snapshot, SnapshotError> {
+    let bytes = std::fs::read(path)?;
+    Snapshot::decode(&bytes)
+}
+
+/// Writes `snapshot` to `path` atomically: the bytes land in a
+/// same-directory temp file first and are renamed into place, so a
+/// concurrent reader never sees a torn snapshot. Parent directories are
+/// created as needed.
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] on any filesystem failure (the temp file is
+/// cleaned up best-effort).
+pub fn write_snapshot(path: &Path, snapshot: &Snapshot) -> Result<(), SnapshotError> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = path.with_extension(format!("smrs.tmp.{}", std::process::id()));
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(&snapshot.encode())?;
+        file.flush()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn sample() -> Snapshot {
+        Snapshot::new(
+            0xdead_beef_0123_4567_89ab_cdef_dead_beef,
+            12_345,
+            "{\"layer\":\"NoLs\",\"record_distances\":false}".into(),
+            (0u8..=255).cycle().take(1000).collect(),
+        )
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let snap = sample();
+        assert_eq!(Snapshot::decode(&snap.encode()).unwrap(), snap);
+        let empty = Snapshot::new(0, 0, String::new(), Vec::new());
+        assert_eq!(Snapshot::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn sniffing() {
+        assert!(sniff_magic(&sample().encode()));
+        assert!(!sniff_magic(b"SMRT2\0"));
+        assert!(!sniff_magic(b"SMRS"));
+        assert!(!sniff_magic(b""));
+    }
+
+    #[test]
+    fn verify_helpers() {
+        let snap = sample();
+        snap.verify_trace(snap.trace_digest).unwrap();
+        assert!(matches!(
+            snap.verify_trace(1),
+            Err(SnapshotError::TraceMismatch { expected: 1, .. })
+        ));
+        snap.verify_config(&snap.config_key).unwrap();
+        assert!(matches!(
+            snap.verify_config("other"),
+            Err(SnapshotError::ConfigMismatch { .. })
+        ));
+    }
+
+    /// The satellite robustness table: every way of damaging a valid
+    /// snapshot yields a typed error — never a panic, never an `Ok`.
+    #[test]
+    fn mutated_snapshots_fail_typed() {
+        let valid = sample().encode();
+
+        // Truncation at every possible length.
+        for len in 0..valid.len() {
+            let err = Snapshot::decode(&valid[..len]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated(_)
+                        | SnapshotError::BadMagic
+                        | SnapshotError::Corrupt(_)
+                ),
+                "truncation to {len} gave {err:?}"
+            );
+        }
+
+        struct Case {
+            name: &'static str,
+            mutate: fn(&mut Vec<u8>),
+            check: fn(&SnapshotError) -> bool,
+        }
+        let cases = [
+            Case {
+                name: "wrong magic",
+                mutate: |b| b[0] ^= 0xff,
+                check: |e| matches!(e, SnapshotError::BadMagic),
+            },
+            Case {
+                name: "trace-format magic",
+                mutate: |b| b[..6].copy_from_slice(b"SMRT2\0"),
+                check: |e| matches!(e, SnapshotError::BadMagic),
+            },
+            Case {
+                name: "flipped payload bit",
+                mutate: |b| {
+                    let mid = b.len() - DIGEST_LEN - 10;
+                    b[mid] ^= 0x01;
+                },
+                check: |e| matches!(e, SnapshotError::Corrupt(_)),
+            },
+            Case {
+                name: "flipped payload digest",
+                mutate: |b| {
+                    let last = b.len() - 1;
+                    b[last] ^= 0x80;
+                },
+                check: |e| matches!(e, SnapshotError::Corrupt(_)),
+            },
+            Case {
+                name: "oversized config-key length",
+                mutate: |b| {
+                    b[FIXED_HEAD_LEN..FIXED_HEAD_LEN + 4].copy_from_slice(&u32::MAX.to_le_bytes())
+                },
+                check: |e| matches!(e, SnapshotError::Truncated(_)),
+            },
+            Case {
+                name: "oversized payload length",
+                mutate: |b| {
+                    let key_len = u32::from_le_bytes(
+                        b[FIXED_HEAD_LEN..FIXED_HEAD_LEN + 4]
+                            .try_into()
+                            .expect("fixed slice"),
+                    ) as usize;
+                    let at = FIXED_HEAD_LEN + 4 + key_len;
+                    b[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+                },
+                check: |e| matches!(e, SnapshotError::Truncated(_) | SnapshotError::Corrupt(_)),
+            },
+            Case {
+                name: "trailing garbage",
+                mutate: |b| b.extend_from_slice(b"junk"),
+                check: |e| matches!(e, SnapshotError::Corrupt(_)),
+            },
+            Case {
+                name: "empty file",
+                mutate: |b| b.clear(),
+                check: |e| matches!(e, SnapshotError::BadMagic | SnapshotError::Truncated(_)),
+            },
+        ];
+        for case in &cases {
+            let mut bytes = valid.clone();
+            (case.mutate)(&mut bytes);
+            let err = Snapshot::decode(&bytes).unwrap_err();
+            assert!(
+                (case.check)(&err),
+                "{}: unexpected error {err:?}",
+                case.name
+            );
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn file_roundtrip_is_atomic() {
+        let dir: PathBuf =
+            std::env::temp_dir().join(format!("smrseek_snapshot_test_{}", std::process::id()));
+        let path = dir.join("nested/state.smrs");
+        let snap = sample();
+        write_snapshot(&path, &snap).unwrap();
+        assert_eq!(read_snapshot(&path).unwrap(), snap);
+        let listing: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            listing.iter().all(|n| !n.contains("tmp")),
+            "no temp files left behind: {listing:?}"
+        );
+        assert!(matches!(
+            read_snapshot(&dir.join("missing.smrs")),
+            Err(SnapshotError::Io(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
