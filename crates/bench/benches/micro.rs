@@ -192,6 +192,43 @@ fn trace_ingest(c: &mut Criterion) {
     std::fs::remove_file(&bin_path).ok();
 }
 
+/// Observability overhead: the cost of a disabled span (what every
+/// instrumented call site pays when nothing records), a live span, and a
+/// full engine replay with coarse phase accounting on — the price the
+/// daemon pays for `/metrics` phase breakdowns. The `simulator` group
+/// above is the accounting-off baseline for the same replay.
+fn obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("span_disabled_100k", |b| {
+        b.iter(|| {
+            for _ in 0..100_000 {
+                let span = smrseek_obs::span("bench:noop");
+                black_box(&span);
+            }
+        })
+    });
+    group.bench_function("span_recording_100k", |b| {
+        smrseek_obs::span::start_recording(1 << 20);
+        b.iter(|| {
+            for _ in 0..100_000 {
+                let span = smrseek_obs::span("bench:live");
+                black_box(&span);
+            }
+        });
+        smrseek_obs::span::stop_recording();
+        black_box(smrseek_obs::span::take_events().1);
+    });
+    let trace = bench_trace("w91");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("replay_w91_ls_phases_on", |b| {
+        smrseek_obs::set_phase_accounting(true);
+        b.iter(|| black_box(simulate(&trace, &SimConfig::log_structured()).seeks));
+        smrseek_obs::set_phase_accounting(false);
+    });
+    group.finish();
+}
+
 fn misorder_scan(c: &mut Criterion) {
     let mut group = c.benchmark_group("misorder");
     let trace = bench_trace("src2_2");
@@ -205,6 +242,7 @@ fn misorder_scan(c: &mut Criterion) {
 criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(10);
-    targets = extent_map, caches, generators, simulator_throughput, trace_ingest, misorder_scan,
+    targets = extent_map, caches, generators, simulator_throughput, trace_ingest, obs_overhead,
+        misorder_scan,
 }
 criterion_main!(micro);

@@ -1,0 +1,165 @@
+//! Chrome trace-event JSON export for collected spans.
+//!
+//! Serializes [`SpanEvent`]s as complete events (`"ph":"X"`) in the
+//! Trace Event Format understood by `chrome://tracing` and Perfetto.
+//! Timestamps and durations are microseconds with three decimals, so
+//! nanosecond precision survives the conversion. Nesting needs no
+//! explicit parent links: the viewers infer it from time containment on
+//! the same `(pid, tid)` track, which [`SpanEvent`] guarantees for spans
+//! that were nested at record time.
+
+use std::io::{self, Write};
+
+use crate::phase::{Phase, PhaseTotals};
+use crate::span::SpanEvent;
+
+fn write_event(out: &mut impl Write, ev: &SpanEvent, pid: u32) -> io::Result<()> {
+    let mut name = String::with_capacity(ev.name.len());
+    crate::log::json_escape_into(&mut name, &ev.name);
+    // ns → µs with 3 decimals keeps full precision in a decimal field.
+    write!(
+        out,
+        "{{\"name\":\"{name}\",\"ph\":\"X\",\"ts\":{}.{:03},\"dur\":{}.{:03},\"pid\":{pid},\"tid\":{}}}",
+        ev.start_ns / 1_000,
+        ev.start_ns % 1_000,
+        ev.dur_ns / 1_000,
+        ev.dur_ns % 1_000,
+        ev.tid,
+    )
+}
+
+/// Writes `events` as a complete Chrome trace (`{"traceEvents":[...]}`).
+pub fn write_trace(out: &mut impl Write, events: &[SpanEvent]) -> io::Result<()> {
+    let pid = std::process::id();
+    out.write_all(b"{\"traceEvents\":[")?;
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.write_all(b",")?;
+        }
+        write_event(out, ev, pid)?;
+    }
+    out.write_all(b"]}")?;
+    Ok(())
+}
+
+/// Expands a cell span into child spans, one per non-empty engine phase,
+/// named `phase:<label>`.
+///
+/// Phase totals are accumulated sums, not intervals, so the children are
+/// laid out sequentially from the parent's start — a within-cell time
+/// breakdown rather than a literal timeline. Children are clamped to the
+/// parent's extent so viewers always render them nested under it.
+pub fn phase_children(parent: &SpanEvent, phases: &PhaseTotals) -> Vec<SpanEvent> {
+    let parent_end = parent.start_ns.saturating_add(parent.dur_ns);
+    let mut cursor = parent.start_ns;
+    let mut out = Vec::new();
+    for phase in Phase::ALL {
+        let nanos = phases.nanos(phase);
+        if nanos == 0 {
+            continue;
+        }
+        let start_ns = cursor.min(parent_end);
+        let dur_ns = nanos.min(parent_end.saturating_sub(start_ns));
+        out.push(SpanEvent {
+            name: format!("phase:{}", phase.label()),
+            start_ns,
+            dur_ns,
+            tid: parent.tid,
+            depth: parent.depth + 1,
+        });
+        cursor = start_ns.saturating_add(dur_ns);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn ev(name: &str, start_ns: u64, dur_ns: u64, tid: u64, depth: u32) -> SpanEvent {
+        SpanEvent {
+            name: name.to_string(),
+            start_ns,
+            dur_ns,
+            tid,
+            depth,
+        }
+    }
+
+    #[test]
+    fn trace_json_parses_and_preserves_precision() {
+        let events = vec![
+            ev("cell:LS", 1_234_567, 9_876_543, 0, 0),
+            ev("phase:\"odd\"", 2_000_000, 1_000, 0, 1),
+        ];
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &events).expect("write");
+        let text = String::from_utf8(buf).expect("utf-8");
+        let doc: serde_json::Value =
+            serde_json::from_str(&text).expect("chrome trace output is valid JSON");
+        let list = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        assert_eq!(list.len(), 2);
+        assert_eq!(
+            list[0].get("name").and_then(|v| v.as_str()),
+            Some("cell:LS")
+        );
+        assert_eq!(list[0].get("ph").and_then(|v| v.as_str()), Some("X"));
+        assert_eq!(list[0].get("ts").and_then(|v| v.as_f64()), Some(1234.567));
+        assert_eq!(list[0].get("dur").and_then(|v| v.as_f64()), Some(9876.543));
+        assert_eq!(
+            list[1].get("name").and_then(|v| v.as_str()),
+            Some("phase:\"odd\"")
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &[]).expect("write");
+        assert_eq!(buf, b"{\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn phase_children_nest_inside_parent() {
+        let parent = ev("cell:LS", 1_000, 10_000, 3, 0);
+        let mut totals = PhaseTotals::default();
+        totals.record(Phase::Lookup, Duration::from_nanos(4_000));
+        totals.record(Phase::Seek, Duration::from_nanos(2_000));
+        let children = phase_children(&parent, &totals);
+        assert_eq!(children.len(), 2);
+        assert_eq!(children[0].name, "phase:lookup");
+        assert_eq!(children[1].name, "phase:seek");
+        let parent_end = parent.start_ns + parent.dur_ns;
+        let mut prev_end = parent.start_ns;
+        for child in &children {
+            assert_eq!(child.tid, parent.tid);
+            assert_eq!(child.depth, parent.depth + 1);
+            assert!(child.start_ns >= prev_end);
+            assert!(child.start_ns + child.dur_ns <= parent_end);
+            prev_end = child.start_ns + child.dur_ns;
+        }
+    }
+
+    #[test]
+    fn phase_children_clamp_to_parent_extent() {
+        // Totals longer than the parent (accumulated across many records)
+        // must still render inside it.
+        let parent = ev("cell:NoLS", 0, 1_000, 0, 0);
+        let mut totals = PhaseTotals::default();
+        totals.record(Phase::Ingest, Duration::from_nanos(900));
+        totals.record(Phase::Lookup, Duration::from_nanos(5_000));
+        totals.record(Phase::Seek, Duration::from_nanos(5_000));
+        let children = phase_children(&parent, &totals);
+        assert_eq!(children.len(), 3);
+        for child in &children {
+            assert!(child.start_ns + child.dur_ns <= 1_000);
+        }
+        assert_eq!(children[0].dur_ns, 900);
+        assert_eq!(children[1].dur_ns, 100);
+        assert_eq!(children[2].dur_ns, 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Observability for the smrseek stack: spans, phase accounting,
+//! structured logging, and Chrome trace-event export.
+//!
+//! Everything here is `std`-only (the build environment is offline; see
+//! `vendor/README.md`) and cheap enough to stay compiled into release
+//! binaries:
+//!
+//! * [`log`] — a leveled logger (`SMRSEEK_LOG` env, text or JSON-lines
+//!   output) behind the [`error!`]/[`warn!`]/[`info!`]/[`debug!`] macros.
+//!   Off-level messages cost one relaxed atomic load.
+//! * [`span`] — RAII [`span::Span`] guards with thread-local span stacks,
+//!   flushed in batches into a global ring-buffer collector. When
+//!   recording is off (the default) a span is one relaxed atomic load;
+//!   there is no allocation and nothing is stored.
+//! * [`phase`] — the engine's per-record phase accounting
+//!   ([`phase::Phase`]: ingest, extent lookup, seek accounting, host
+//!   cache, checkpoint I/O) accumulated into mergeable
+//!   [`phase::PhaseTotals`]. Gated by a process-wide flag so the hot loop
+//!   pays a single branch when profiling is off.
+//! * [`chrome`] — serializes collected span events as Chrome trace-event
+//!   JSON, loadable in `chrome://tracing` or Perfetto.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod log;
+pub mod phase;
+pub mod span;
+
+pub use log::Level;
+pub use phase::{phase_accounting, set_phase_accounting, Phase, PhaseTotals};
+pub use span::{span, span_with, Span, SpanEvent};

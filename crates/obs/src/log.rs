@@ -1,0 +1,221 @@
+//! Leveled, structured logging to stderr.
+//!
+//! The process-wide logger replaces the scattered `eprintln!` diagnostics
+//! of earlier revisions. It is quiet by default (threshold
+//! [`Level::Warn`]); `SMRSEEK_LOG=debug` (or the CLI's `-v`) restores the
+//! historical chatter. Output is either plain text (the message exactly as
+//! formatted, matching the old `eprintln!` style) or JSON lines
+//! (`--log-json`): one `{"ts_us":…,"level":…,"target":…,"msg":…}` object
+//! per line, machine-parseable for log shipping.
+//!
+//! The level check is a single relaxed atomic load, so disabled log sites
+//! cost nothing measurable; formatting only happens for enabled levels.
+
+use std::fmt;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The operation failed.
+    Error = 0,
+    /// Degraded but proceeding (e.g. a cache falling back to a re-parse).
+    Warn = 1,
+    /// Routine progress: timing summaries, cache population, access logs.
+    Info = 2,
+    /// Everything, for diagnosing the tool itself.
+    Debug = 3,
+}
+
+impl Level {
+    /// The lower-case label used in JSON output and `SMRSEEK_LOG` values.
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// Parses a `SMRSEEK_LOG` value (case-insensitive). `"trace"` is
+    /// accepted as an alias for [`Level::Debug`].
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" | "trace" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// Current threshold as a `u8` (a [`Level`] discriminant). Warn by
+/// default: errors and degradations always show, chatter is opt-in.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(Level::Warn as u8);
+/// Whether output is JSON lines instead of plain text.
+static JSON: AtomicBool = AtomicBool::new(false);
+
+/// Sets the logging threshold: messages at `level` or more severe are
+/// emitted.
+pub fn set_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current logging threshold.
+pub fn level() -> Level {
+    match MAX_LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Switches between plain-text (false, default) and JSON-lines output.
+pub fn set_json(json: bool) {
+    JSON.store(json, Ordering::Relaxed);
+}
+
+/// Whether JSON-lines output is active.
+pub fn json() -> bool {
+    JSON.load(Ordering::Relaxed)
+}
+
+/// Applies the `SMRSEEK_LOG` environment variable (a [`Level`] name) to
+/// the threshold. Unset or unparseable values leave the default.
+pub fn init_from_env() {
+    if let Some(level) = std::env::var("SMRSEEK_LOG")
+        .ok()
+        .as_deref()
+        .and_then(Level::parse)
+    {
+        set_level(level);
+    }
+}
+
+/// Whether a message at `level` would currently be emitted.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    (level as u8) <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Emits one log record to stderr (the macros call this; prefer them).
+/// In text mode the formatted message is printed verbatim — exactly the
+/// historical `eprintln!` presentation. In JSON mode the record is one
+/// object per line with the message as a string field.
+pub fn log(level: Level, target: &str, args: fmt::Arguments<'_>) {
+    if !enabled(level) {
+        return;
+    }
+    let mut line = String::with_capacity(96);
+    if json() {
+        let ts_us = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_micros() as u64);
+        line.push_str(&format!(
+            "{{\"ts_us\":{ts_us},\"level\":\"{}\",\"target\":\"",
+            level.label()
+        ));
+        json_escape_into(&mut line, target);
+        line.push_str("\",\"msg\":\"");
+        json_escape_into(&mut line, &args.to_string());
+        line.push_str("\"}\n");
+    } else {
+        line.push_str(&args.to_string());
+        line.push('\n');
+    }
+    // One write_all per record keeps concurrent lines whole.
+    let _ = std::io::stderr().write_all(line.as_bytes());
+}
+
+/// Appends `s` to `out` with JSON string escaping (quotes, backslashes,
+/// control characters).
+pub(crate) fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Logs at [`Level::Error`] with `format!` syntax.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::Level::Error, module_path!(), format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Warn`] with `format!` syntax.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::Level::Warn, module_path!(), format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Info`] with `format!` syntax.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::Level::Info, module_path!(), format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Debug`] with `format!` syntax.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::Level::Debug, module_path!(), format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("trace"), Some(Level::Debug));
+        assert_eq!(Level::parse("nope"), None);
+        assert!(Level::Error < Level::Debug);
+    }
+
+    #[test]
+    fn threshold_gates_levels() {
+        // Tests share the process-global logger; restore when done.
+        let before = level();
+        set_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        set_level(Level::Debug);
+        assert!(enabled(Level::Info));
+        assert!(enabled(Level::Debug));
+        set_level(before);
+    }
+
+    #[test]
+    fn json_escaping_is_lossless_for_specials() {
+        let mut out = String::new();
+        json_escape_into(&mut out, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\te\\u0001");
+        let wrapped = format!("\"{out}\"");
+        let parsed: serde_json::Value =
+            serde_json::from_str(&wrapped).expect("escaped string parses");
+        assert_eq!(parsed.as_str(), Some("a\"b\\c\nd\te\u{1}"));
+    }
+}

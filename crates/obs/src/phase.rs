@@ -1,0 +1,184 @@
+//! Engine phase accounting: where simulation time goes, per phase.
+//!
+//! The engine attributes each record's processing to a small fixed set of
+//! [`Phase`]s (trace ingest, extent lookup, seek accounting, host cache,
+//! checkpoint I/O) and accumulates durations plus call counts into a
+//! [`PhaseTotals`]. Totals are plain mergeable values — the runner sums
+//! them across matrix cells, the daemon folds them into `/metrics` — and
+//! never enter serialized reports, which must stay byte-deterministic.
+//!
+//! Accounting is off by default: timing every record costs two
+//! `Instant::now()` calls per phase, too much for throughput-sensitive
+//! replay. [`set_phase_accounting`] flips a process-wide flag the engine
+//! reads once per run, so steady-state cost when off is zero.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// A stage of per-record simulation work that the engine accounts for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Pulling the next record out of the trace source (parse or mmap read).
+    Ingest,
+    /// Translation-layer work: extent-map lookup and remapping.
+    Lookup,
+    /// Seek detection and distance/series bookkeeping.
+    Seek,
+    /// Host-side RAM cache probe and insertion.
+    HostCache,
+    /// Snapshot construction and checkpoint emission.
+    Checkpoint,
+}
+
+impl Phase {
+    /// Every phase, in the order used for indexing and display.
+    pub const ALL: [Phase; 5] = [
+        Phase::Ingest,
+        Phase::Lookup,
+        Phase::Seek,
+        Phase::HostCache,
+        Phase::Checkpoint,
+    ];
+
+    /// Stable lower-case label, used as the `phase` metric label and in
+    /// profile output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Ingest => "ingest",
+            Phase::Lookup => "lookup",
+            Phase::Seek => "seek",
+            Phase::HostCache => "host_cache",
+            Phase::Checkpoint => "checkpoint",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Ingest => 0,
+            Phase::Lookup => 1,
+            Phase::Seek => 2,
+            Phase::HostCache => 3,
+            Phase::Checkpoint => 4,
+        }
+    }
+}
+
+/// Accumulated wall time and call counts per [`Phase`].
+///
+/// Totals merge associatively, so per-cell totals from parallel runner
+/// threads sum into matrix totals in any order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTotals {
+    nanos: [u64; 5],
+    calls: [u64; 5],
+}
+
+impl PhaseTotals {
+    /// Adds one timed interval to `phase`.
+    pub fn record(&mut self, phase: Phase, elapsed: Duration) {
+        let i = phase.index();
+        self.nanos[i] = self.nanos[i].saturating_add(elapsed.as_nanos() as u64);
+        self.calls[i] += 1;
+    }
+
+    /// Folds another set of totals into this one.
+    pub fn merge(&mut self, other: &PhaseTotals) {
+        for i in 0..5 {
+            self.nanos[i] = self.nanos[i].saturating_add(other.nanos[i]);
+            self.calls[i] = self.calls[i].saturating_add(other.calls[i]);
+        }
+    }
+
+    /// Accumulated nanoseconds in `phase`.
+    pub fn nanos(&self, phase: Phase) -> u64 {
+        self.nanos[phase.index()]
+    }
+
+    /// Number of intervals recorded for `phase`.
+    pub fn calls(&self, phase: Phase) -> u64 {
+        self.calls[phase.index()]
+    }
+
+    /// Accumulated time in `phase` as floating-point seconds.
+    pub fn seconds(&self, phase: Phase) -> f64 {
+        self.nanos[phase.index()] as f64 / 1e9
+    }
+
+    /// Sum of accumulated nanoseconds across all phases.
+    pub fn total_nanos(&self) -> u64 {
+        self.nanos.iter().copied().sum()
+    }
+
+    /// True when nothing has been recorded (accounting was off).
+    pub fn is_zero(&self) -> bool {
+        self.total_nanos() == 0 && self.calls.iter().all(|&c| c == 0)
+    }
+}
+
+/// Process-wide switch the engine samples at run start.
+static ACCOUNTING: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables engine phase accounting for runs started after the
+/// call. Runs already in flight keep the setting they started with.
+pub fn set_phase_accounting(enabled: bool) {
+    ACCOUNTING.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether engine phase accounting is currently enabled.
+pub fn phase_accounting() -> bool {
+    ACCOUNTING.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_merge_accumulate() {
+        let mut a = PhaseTotals::default();
+        assert!(a.is_zero());
+        a.record(Phase::Lookup, Duration::from_nanos(100));
+        a.record(Phase::Lookup, Duration::from_nanos(50));
+        a.record(Phase::Seek, Duration::from_nanos(7));
+        let mut b = PhaseTotals::default();
+        b.record(Phase::Lookup, Duration::from_nanos(1));
+        b.record(Phase::Checkpoint, Duration::from_nanos(9));
+        a.merge(&b);
+        assert_eq!(a.nanos(Phase::Lookup), 151);
+        assert_eq!(a.calls(Phase::Lookup), 3);
+        assert_eq!(a.nanos(Phase::Seek), 7);
+        assert_eq!(a.nanos(Phase::Checkpoint), 9);
+        assert_eq!(a.nanos(Phase::Ingest), 0);
+        assert_eq!(a.total_nanos(), 167);
+        assert!(!a.is_zero());
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut x = PhaseTotals::default();
+        x.record(Phase::Ingest, Duration::from_nanos(3));
+        let mut y = PhaseTotals::default();
+        y.record(Phase::HostCache, Duration::from_nanos(5));
+        let mut xy = x;
+        xy.merge(&y);
+        let mut yx = y;
+        yx.merge(&x);
+        assert_eq!(xy, yx);
+    }
+
+    #[test]
+    fn labels_match_all_order() {
+        let labels: Vec<&str> = Phase::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(
+            labels,
+            ["ingest", "lookup", "seek", "host_cache", "checkpoint"]
+        );
+    }
+
+    #[test]
+    fn seconds_converts_nanos() {
+        let mut t = PhaseTotals::default();
+        t.record(Phase::Seek, Duration::from_millis(1500));
+        assert!((t.seconds(Phase::Seek) - 1.5).abs() < 1e-9);
+    }
+}

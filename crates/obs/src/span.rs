@@ -1,0 +1,362 @@
+//! RAII spans with thread-local buffering and a global ring collector.
+//!
+//! A [`Span`] measures one named interval. When recording is off (the
+//! default) opening a span is a single relaxed atomic load — no clock
+//! read, no allocation — so call sites stay compiled in everywhere,
+//! including release binaries. When [`start_recording`] is active, each
+//! closed span becomes a [`SpanEvent`] buffered in a thread-local vector
+//! and flushed in batches into a global bounded ring; the ring overwrites
+//! its oldest entries under pressure and counts what it dropped, so a
+//! runaway producer degrades the profile instead of memory.
+//!
+//! Nesting is tracked per thread with a depth counter; exporters infer
+//! parent/child from `(tid, depth)` plus time containment.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One completed span, as stored by the collector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (e.g. `cell:LS+defrag`, `engine:step`).
+    pub name: String,
+    /// Start time in nanoseconds since the process-wide recording epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Small dense per-thread id assigned on each thread's first span.
+    pub tid: u64,
+    /// Nesting depth on that thread when the span opened (0 = top level).
+    pub depth: u32,
+}
+
+/// Global on/off switch; checked first so disabled spans cost one load.
+static RECORDING: AtomicBool = AtomicBool::new(false);
+/// Dense thread-id allocator for recorded events.
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+/// Bumped by every [`start_recording`]; thread-local batches stamped with
+/// an older generation are discarded instead of flushed, so events from a
+/// previous recording session never leak into the current ring.
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+
+/// The instant all `start_ns` values are measured from. Set once, on the
+/// first call that needs it, and never reset: restarting recording keeps
+/// one monotonic timeline for the process.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Bounded collector: oldest events are overwritten under pressure.
+struct Ring {
+    buf: Vec<SpanEvent>,
+    cap: usize,
+    /// Index of the logical start when the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn new(cap: usize) -> Self {
+        Ring {
+            buf: Vec::with_capacity(cap.min(4096)),
+            cap: cap.max(1),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, ev: SpanEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    fn drain_ordered(&mut self) -> Vec<SpanEvent> {
+        let head = self.head;
+        let mut out = self.buf.split_off(0);
+        out.rotate_left(head);
+        self.head = 0;
+        out
+    }
+}
+
+fn ring() -> &'static Mutex<Ring> {
+    static RING: OnceLock<Mutex<Ring>> = OnceLock::new();
+    RING.get_or_init(|| Mutex::new(Ring::new(1 << 16)))
+}
+
+/// Per-thread state: assigned tid, current nesting depth, and a batch
+/// buffer flushed into the global ring every `FLUSH_AT` events (and on
+/// thread exit, via `Drop` — scoped runner threads exit per matrix).
+struct ThreadBuf {
+    tid: u64,
+    depth: u32,
+    generation: u64,
+    pending: Vec<SpanEvent>,
+}
+
+const FLUSH_AT: usize = 128;
+
+impl ThreadBuf {
+    /// Clears the batch if it predates the current recording session.
+    fn sync_generation(&mut self) {
+        let current = GENERATION.load(Ordering::Relaxed);
+        if self.generation != current {
+            self.pending.clear();
+            self.generation = current;
+        }
+    }
+
+    fn flush(&mut self) {
+        self.sync_generation();
+        if self.pending.is_empty() {
+            return;
+        }
+        if let Ok(mut ring) = ring().lock() {
+            for ev in self.pending.drain(..) {
+                ring.push(ev);
+            }
+        } else {
+            self.pending.clear();
+        }
+    }
+}
+
+impl Drop for ThreadBuf {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static THREAD_BUF: RefCell<ThreadBuf> = RefCell::new(ThreadBuf {
+        tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+        depth: 0,
+        generation: 0,
+        pending: Vec::new(),
+    });
+}
+
+/// Starts collecting span events into a fresh ring holding at most `cap`
+/// events (oldest overwritten beyond that). Discards anything previously
+/// collected.
+pub fn start_recording(cap: usize) {
+    if let Ok(mut r) = ring().lock() {
+        *r = Ring::new(cap);
+    }
+    GENERATION.fetch_add(1, Ordering::Relaxed);
+    RECORDING.store(true, Ordering::Relaxed);
+}
+
+/// Stops collecting. Spans already open finish without being recorded.
+pub fn stop_recording() {
+    RECORDING.store(false, Ordering::Relaxed);
+}
+
+/// Whether span recording is active.
+pub fn recording() -> bool {
+    RECORDING.load(Ordering::Relaxed)
+}
+
+/// Takes every event collected so far (oldest first), plus the count of
+/// events the ring overwrote under pressure. Flushes the calling thread's
+/// batch buffer first; other live threads may still hold up to
+/// `FLUSH_AT - 1` unflushed events each, so stop producers before taking.
+pub fn take_events() -> (Vec<SpanEvent>, u64) {
+    THREAD_BUF.with(|b| b.borrow_mut().flush());
+    match ring().lock() {
+        Ok(mut r) => {
+            let events = r.drain_ordered();
+            let dropped = r.dropped;
+            r.dropped = 0;
+            (events, dropped)
+        }
+        Err(_) => (Vec::new(), 0),
+    }
+}
+
+/// Live half of a recorded span; absent when recording was off at open.
+struct Active {
+    name: String,
+    start: Instant,
+    start_ns: u64,
+}
+
+/// RAII guard measuring one named interval; the event is emitted when the
+/// guard drops. Create with [`span`] or [`span_with`].
+pub struct Span(Option<Active>);
+
+impl Span {
+    fn open(name: String) -> Span {
+        let start = Instant::now();
+        let start_ns = start.duration_since(epoch()).as_nanos() as u64;
+        THREAD_BUF.with(|b| b.borrow_mut().depth += 1);
+        Span(Some(Active {
+            name,
+            start,
+            start_ns,
+        }))
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(active) = self.0.take() else { return };
+        let dur_ns = active.start.elapsed().as_nanos() as u64;
+        THREAD_BUF.with(|b| {
+            let mut b = b.borrow_mut();
+            b.depth = b.depth.saturating_sub(1);
+            b.sync_generation();
+            let ev = SpanEvent {
+                name: active.name,
+                start_ns: active.start_ns,
+                dur_ns,
+                tid: b.tid,
+                depth: b.depth,
+            };
+            b.pending.push(ev);
+            // Flushing whenever the thread's outermost span closes makes
+            // the batch visible before a scoped thread signals completion
+            // (TLS destructors run after `thread::scope` observes the
+            // closure's return, so the `Drop` flush alone can race a
+            // subsequent `take_events`).
+            if b.depth == 0 || b.pending.len() >= FLUSH_AT || !recording() {
+                b.flush();
+            }
+        });
+    }
+}
+
+/// Opens a span named by a static string. One relaxed load when recording
+/// is off.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !recording() {
+        return Span(None);
+    }
+    Span::open(name.to_owned())
+}
+
+/// Opens a span whose name is built lazily — the closure only runs (and
+/// allocates) when recording is on.
+#[inline]
+pub fn span_with(name: impl FnOnce() -> String) -> Span {
+    if !recording() {
+        return Span(None);
+    }
+    Span::open(name())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The collector is process-global, so every test that records runs
+    // under this lock to avoid interleaving with its neighbours.
+    fn collector_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = collector_lock();
+        stop_recording();
+        {
+            let _s = span("ignored");
+        }
+        start_recording(16);
+        stop_recording();
+        let (events, dropped) = take_events();
+        assert!(events.is_empty());
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn nested_spans_carry_depth_and_containment() {
+        let _guard = collector_lock();
+        start_recording(64);
+        {
+            let _outer = span_with(|| "outer".to_string());
+            {
+                let _inner = span("inner");
+                std::hint::black_box(0u64);
+            }
+        }
+        stop_recording();
+        let (events, dropped) = take_events();
+        assert_eq!(dropped, 0);
+        let inner = events
+            .iter()
+            .find(|e| e.name == "inner")
+            .expect("inner recorded");
+        let outer = events
+            .iter()
+            .find(|e| e.name == "outer")
+            .expect("outer recorded");
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(inner.tid, outer.tid);
+        // Inner closes first, so it precedes outer in the buffer.
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let _guard = collector_lock();
+        start_recording(4);
+        for i in 0..10 {
+            let _s = span_with(|| format!("s{i}"));
+        }
+        stop_recording();
+        let (events, dropped) = take_events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(dropped, 6);
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["s6", "s7", "s8", "s9"]);
+    }
+
+    #[test]
+    fn worker_threads_flush_on_exit() {
+        let _guard = collector_lock();
+        start_recording(64);
+        std::thread::scope(|scope| {
+            for t in 0..2 {
+                scope.spawn(move || {
+                    let _s = span_with(|| format!("worker{t}"));
+                });
+            }
+        });
+        stop_recording();
+        let (events, _) = take_events();
+        let mut names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        names.sort_unstable();
+        assert_eq!(names, ["worker0", "worker1"]);
+        assert_ne!(events[0].tid, events[1].tid);
+    }
+
+    #[test]
+    fn restart_discards_previous_events() {
+        let _guard = collector_lock();
+        start_recording(16);
+        {
+            let _s = span("old");
+        }
+        start_recording(16);
+        {
+            let _s = span("new");
+        }
+        stop_recording();
+        let (events, _) = take_events();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["new"]);
+    }
+}

@@ -29,7 +29,14 @@
 //!   serve                  run the smrseekd HTTP daemon (see crate docs)
 //!   snapshot <trace> <dir> checkpoint the sweep --at N records into <dir>
 //!   resume <trace> <dir>   run the sweep, resuming from <dir>'s checkpoints
+//!   profile <trace>        replay the sweep under span recording and write
+//!                          a Chrome trace-event JSON (`--out`, default
+//!                          trace.json) viewable in Perfetto
 //! ```
+//!
+//! Diagnostics go through the `smrseek-obs` leveled logger: quiet (warn)
+//! by default, `-v`/`--verbose` or `SMRSEEK_LOG=debug` restores the
+//! progress chatter, `--log-json` switches stderr to JSON lines.
 //!
 //! Trace files may be MSR CSV, CloudPhysics CSV, blkparse text, or the
 //! compact binary format (`--format msr|cp|blktrace|binary`, auto-sniffed
@@ -42,7 +49,7 @@ use smrseek_sim::experiments::{
     ablation, analyze, classify, cleaning, fig10, fig11, fig2, fig3, fig4, fig5, fig7, fig8,
     fragmentation, host_cache, reorder, table1, time_amp, zones, ExpOptions,
 };
-use smrseek_sim::runner::{self, parallel_map, MatrixStats, RunMatrix};
+use smrseek_sim::runner::{self, parallel_map, MatrixStats, RunCell, RunMatrix};
 use smrseek_sim::{
     saf, simulate_stream_checkpointed, tracecache, CheckpointStore, SimConfig, TextTable,
     TraceSource,
@@ -51,9 +58,10 @@ use smrseek_trace::binary::{self, MmapTrace};
 use smrseek_trace::parse::{parse_reader, BlktraceParser, CpParser, MsrParser};
 use smrseek_trace::writer::write_cp_csv;
 use smrseek_trace::{characterize, TraceRecord};
+use std::collections::HashMap;
 use std::fmt;
 use std::fs::File;
-use std::io::{BufRead, BufReader, Read as _, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read as _, Write};
 use std::num::NonZeroUsize;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -115,6 +123,8 @@ struct Args {
     at: Option<u64>,
     checkpoint_dir: Option<String>,
     checkpoint_every: u64,
+    verbose: bool,
+    log_json: bool,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -137,7 +147,10 @@ fn usage() -> String {
      [--checkpoint-dir DIR] [--checkpoint-every N]\n       \
      smrseek snapshot <trace> <dir> --at N [--format ...] [--cache]\n       \
      smrseek resume <trace> <dir> [--format ...] [--cache] [--json FILE]\n       \
-     smrseek --version"
+     smrseek profile <trace> [--out trace.json] [--format ...] [--cache] [--threads N]\n       \
+     smrseek --version\n\
+     global flags: -v/--verbose (or SMRSEEK_LOG=debug) for progress chatter, \
+     --log-json for JSON-lines stderr"
         .to_owned()
 }
 
@@ -160,6 +173,8 @@ fn parse_args(argv: &[String]) -> Result<Args, CliError> {
         at: None,
         checkpoint_dir: None,
         checkpoint_every: 100_000,
+        verbose: false,
+        log_json: false,
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -213,6 +228,12 @@ fn parse_args(argv: &[String]) -> Result<Args, CliError> {
             }
             "--cache" => {
                 args.cache = true;
+            }
+            "-v" | "--verbose" => {
+                args.verbose = true;
+            }
+            "--log-json" => {
+                args.log_json = true;
             }
             "--addr" => {
                 args.addr = it
@@ -364,18 +385,18 @@ fn simulate_source(path: &str, format: TraceFormat, cache: bool) -> Result<Trace
     if sidecar.exists() {
         match MmapTrace::open(&sidecar) {
             Ok(map) => {
-                eprintln!("cache: replaying {}", sidecar.display());
+                smrseek_obs::info!("cache: replaying {}", sidecar.display());
                 return Ok(TraceSource::from_mmap(path, Arc::new(map)));
             }
             Err(e) => {
-                eprintln!("cache: ignoring {}: {e}; reparsing", sidecar.display());
+                smrseek_obs::warn!("cache: ignoring {}: {e}; reparsing", sidecar.display());
             }
         }
     }
     let records = load_trace(path, format)?;
     match tracecache::write_sidecar(&sidecar, &records) {
-        Ok(()) => eprintln!("cache: wrote {}", sidecar.display()),
-        Err(e) => eprintln!("cache: {e}"),
+        Ok(()) => smrseek_obs::info!("cache: wrote {}", sidecar.display()),
+        Err(e) => smrseek_obs::warn!("cache: {e}"),
     }
     Ok(TraceSource::from_records(path, records))
 }
@@ -394,7 +415,7 @@ fn maybe_write_json<T: serde::Serialize>(json: &Option<String>, value: &T) -> Re
             File::create(path).map_err(|e| CliError::Io(format!("cannot create {path}: {e}")))?;
         f.write_all(text.as_bytes())
             .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
-        eprintln!("wrote {path}");
+        smrseek_obs::info!("wrote {path}");
     }
     Ok(())
 }
@@ -422,6 +443,82 @@ fn install_signal_handlers() {
     }
 }
 
+/// `smrseek profile <trace>`: replays the standard sweep with span
+/// recording and phase accounting on, checkpointing a few times per cell
+/// so checkpoint I/O shows up too, and writes the spans as Chrome
+/// trace-event JSON (open in Perfetto or `chrome://tracing`). Each
+/// per-cell span gets synthetic `phase:*` children laying out where the
+/// cell's replay time went.
+fn run_profile(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .file
+        .as_ref()
+        .ok_or_else(|| CliError::usage("profile needs a trace file"))?;
+    let out_path = args.out.clone().unwrap_or_else(|| "trace.json".to_owned());
+    let source = simulate_source(path, args.format, args.cache)?;
+    let records = source.records().len() as u64;
+    if records == 0 {
+        return Err(CliError::Parse(format!("{path}: empty trace")));
+    }
+    let digest = source.digest().as_u128();
+    // Checkpoints land in a throwaway store: the point is to exercise
+    // (and time) checkpoint I/O, not to persist anything.
+    let dir = std::env::temp_dir().join(format!("smrseek-profile-{}", std::process::id()));
+    let store = CheckpointStore::new(&dir);
+    let labels = ["NoLS", "LS", "LS+defrag", "LS+prefetch", "LS+cache"];
+    let every = (records / 3).max(1);
+    let mut matrix = RunMatrix::new();
+    for (config, label) in SimConfig::standard_sweep().iter().zip(labels) {
+        matrix.push(
+            RunCell::new(source.clone(), config.with_checkpoint_every(every)).with_label(label),
+        );
+    }
+    smrseek_obs::set_phase_accounting(true);
+    smrseek_obs::span::start_recording(1 << 18);
+    let (outcomes, _usage) = matrix.execute_checkpointed(args.threads, &store, digest);
+    smrseek_obs::span::stop_recording();
+    let (mut events, dropped) = smrseek_obs::span::take_events();
+    smrseek_obs::set_phase_accounting(false);
+    std::fs::remove_dir_all(&dir).ok();
+    // Lay each cell's phase totals out as children of its span.
+    let by_span: HashMap<String, &smrseek_obs::PhaseTotals> = outcomes
+        .iter()
+        .map(|o| (format!("cell:{}", o.label), &o.metrics.phases))
+        .collect();
+    let mut children = Vec::new();
+    for event in &events {
+        if let Some(phases) = by_span.get(&event.name) {
+            children.extend(smrseek_obs::chrome::phase_children(event, phases));
+        }
+    }
+    events.extend(children);
+    let file = File::create(&out_path)
+        .map_err(|e| CliError::Io(format!("cannot create {out_path}: {e}")))?;
+    let mut writer = BufWriter::new(file);
+    smrseek_obs::chrome::write_trace(&mut writer, &events)
+        .and_then(|()| writer.flush())
+        .map_err(|e| CliError::Io(format!("cannot write {out_path}: {e}")))?;
+    let mut merged = smrseek_obs::PhaseTotals::default();
+    for outcome in &outcomes {
+        merged.merge(&outcome.metrics.phases);
+    }
+    let mut table = TextTable::new(vec!["phase", "calls", "seconds"]);
+    for phase in smrseek_obs::Phase::ALL {
+        table.row(vec![
+            phase.label().to_owned(),
+            merged.calls(phase).to_string(),
+            format!("{:.6}", merged.seconds(phase)),
+        ]);
+    }
+    if dropped > 0 {
+        smrseek_obs::warn!("profile: span buffer overflowed, {dropped} span(s) dropped");
+    }
+    Ok(format!(
+        "{path}: {records} ops, {} span(s) -> {out_path}\n{table}",
+        events.len()
+    ))
+}
+
 /// Runs the daemon until a termination signal, then drains gracefully.
 fn run_serve(args: &Args) -> Result<String, CliError> {
     let config = smrseek_server::ServerConfig {
@@ -444,7 +541,7 @@ fn run_serve(args: &Args) -> Result<String, CliError> {
     while !SHUTDOWN.load(std::sync::atomic::Ordering::SeqCst) {
         std::thread::sleep(std::time::Duration::from_millis(100));
     }
-    eprintln!("smrseekd: signal received, draining running jobs");
+    smrseek_obs::info!("smrseekd: signal received, draining running jobs");
     let (hits, misses) = handle.state().metrics.cache_counts();
     handle.shutdown();
     Ok(format!(
@@ -464,7 +561,7 @@ fn run_experiment(args: &Args) -> Result<String, CliError> {
         "fig2" => {
             let cache = cache_dir(args);
             let (rows, stats) = fig2::run_cached(opts, args.threads, cache.as_deref());
-            eprintln!("{}", stats.summary("fig2"));
+            smrseek_obs::info!("{}", stats.summary("fig2"));
             maybe_write_json(&args.json, &rows)?;
             fig2::render(&rows)
         }
@@ -505,7 +602,7 @@ fn run_experiment(args: &Args) -> Result<String, CliError> {
         }
         "ablate" => {
             let (sweeps, stats) = ablation::run_with_threads(opts, args.threads);
-            eprintln!("{}", stats.summary("ablate"));
+            smrseek_obs::info!("{}", stats.summary("ablate"));
             maybe_write_json(&args.json, &sweeps)?;
             ablation::render(&sweeps)
         }
@@ -702,12 +799,12 @@ fn run_experiment(args: &Args) -> Result<String, CliError> {
             let mut doc = Vec::with_capacity(results.len());
             let mut busy = Duration::ZERO;
             for ((name, _), (text, value, wall)) in sections.iter().zip(results) {
-                eprintln!("all: {name} {:.2}s", wall.as_secs_f64());
+                smrseek_obs::info!("all: {name} {:.2}s", wall.as_secs_f64());
                 busy += wall;
                 out.push_str(&text);
                 doc.push(((*name).to_owned(), value));
             }
-            eprintln!(
+            smrseek_obs::info!(
                 "all: {} experiments, {:.2}s of sim time on {} thread(s)",
                 doc.len(),
                 busy.as_secs_f64(),
@@ -793,7 +890,7 @@ fn run_experiment(args: &Args) -> Result<String, CliError> {
             let source = simulate_source(path, args.format, args.cache)?;
             let matrix = RunMatrix::cross(&[source], &SimConfig::standard_sweep());
             let outcomes = matrix.execute(args.threads);
-            eprintln!(
+            smrseek_obs::info!(
                 "{}",
                 MatrixStats::from_outcomes(&outcomes).summary("simulate")
             );
@@ -812,6 +909,7 @@ fn run_experiment(args: &Args) -> Result<String, CliError> {
             format!("{path}: {ops} ops\n{table}")
         }
         "serve" => run_serve(args)?,
+        "profile" => run_profile(args)?,
         "snapshot" => {
             let path = args
                 .file
@@ -883,9 +981,11 @@ fn run_experiment(args: &Args) -> Result<String, CliError> {
             let store = CheckpointStore::new(dir);
             let matrix = RunMatrix::cross(&[source], &SimConfig::standard_sweep());
             let (outcomes, usage) = matrix.execute_checkpointed(args.threads, &store, digest);
-            eprintln!(
+            smrseek_obs::info!(
                 "resume: {} checkpoint hit(s), {} miss(es), {} record(s) skipped",
-                usage.hits, usage.misses, usage.records_skipped
+                usage.hits,
+                usage.misses,
+                usage.records_skipped
             );
             // Everything below matches `simulate` exactly: resuming from a
             // checkpoint must never change output bytes.
@@ -942,11 +1042,20 @@ fn main() -> ExitCode {
             return ExitCode::from(err.exit_code());
         }
     };
+    // Threshold first from the environment, then `-v` raises it to debug
+    // (never lowers); `--log-json` switches stderr to JSON lines.
+    smrseek_obs::log::init_from_env();
+    if args.verbose && smrseek_obs::log::level() < smrseek_obs::Level::Debug {
+        smrseek_obs::log::set_level(smrseek_obs::Level::Debug);
+    }
+    if args.log_json {
+        smrseek_obs::log::set_json(true);
+    }
     let started = Instant::now();
     match run_experiment(&args) {
         Ok(output) => {
             print!("{output}");
-            eprintln!(
+            smrseek_obs::info!(
                 "{}: done in {:.2}s ({} thread(s))",
                 args.command,
                 started.elapsed().as_secs_f64(),

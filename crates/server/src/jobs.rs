@@ -62,6 +62,9 @@ struct Job {
     /// readers never copy it.
     result: Option<Arc<String>>,
     error: Option<String>,
+    /// Request id of the submission that created the job, echoed in every
+    /// status response so clients and the access log correlate.
+    request_id: String,
 }
 
 /// A point-in-time view of one job, as served by `GET /v1/jobs/<id>`.
@@ -73,6 +76,8 @@ pub struct JobStatus {
     pub result: Option<Arc<String>>,
     /// The failure message when [`JobState::Failed`].
     pub error: Option<String>,
+    /// Request id of the submission that created the job.
+    pub request_id: String,
 }
 
 /// Outcome of a submission.
@@ -145,7 +150,9 @@ impl JobTable {
 
     /// Submits work under a cache key. See [`Submit`] for the outcomes;
     /// the hit-or-miss decision and the enqueue are one critical section.
-    pub fn submit(&self, key: String, work: JobWork) -> Submit {
+    /// `request_id` is retained on a miss (the id of the request that
+    /// created the job); hits keep the original submission's id.
+    pub fn submit(&self, key: String, work: JobWork, request_id: String) -> Submit {
         let mut inner = self.lock();
         if let Some(&id) = inner.by_key.get(&key) {
             return Submit::Existing(id);
@@ -162,6 +169,7 @@ impl JobTable {
                 work: Arc::new(work),
                 result: None,
                 error: None,
+                request_id,
             },
         );
         inner.queue.push_back(id);
@@ -212,6 +220,7 @@ impl JobTable {
             state: job.state,
             result: job.result.clone(),
             error: job.error.clone(),
+            request_id: job.request_id.clone(),
         })
     }
 
@@ -282,30 +291,41 @@ mod tests {
     #[test]
     fn dedup_is_first_miss_then_hits() {
         let table = JobTable::new(4);
-        let first = table.submit("k".into(), work());
+        let first = table.submit("k".into(), work(), "rq-test".into());
         let Submit::Queued(id) = first else {
             panic!("first submission queues: {first:?}");
         };
         for _ in 0..3 {
-            assert_eq!(table.submit("k".into(), work()), Submit::Existing(id));
+            assert_eq!(
+                table.submit("k".into(), work(), "rq-later".into()),
+                Submit::Existing(id)
+            );
         }
         assert_eq!(table.snapshot().queued, 1, "duplicates never enqueue");
+        assert_eq!(
+            table.status(id).expect("known").request_id,
+            "rq-test",
+            "cache hits keep the creating request's id"
+        );
     }
 
     #[test]
     fn queue_capacity_rejects_not_blocks() {
         let table = JobTable::new(1);
         assert!(matches!(
-            table.submit("a".into(), work()),
+            table.submit("a".into(), work(), "rq-test".into()),
             Submit::Queued(_)
         ));
-        assert_eq!(table.submit("b".into(), work()), Submit::Full);
+        assert_eq!(
+            table.submit("b".into(), work(), "rq-test".into()),
+            Submit::Full
+        );
         // The rejected key was not retained: submitting it again after
         // space frees up must succeed, not alias a phantom entry.
         let (id, _) = table.next_job().expect("job available");
         table.complete(id, Ok("{}".into()));
         assert!(matches!(
-            table.submit("b".into(), work()),
+            table.submit("b".into(), work(), "rq-test".into()),
             Submit::Queued(_)
         ));
     }
@@ -313,7 +333,7 @@ mod tests {
     #[test]
     fn lifecycle_and_status() {
         let table = JobTable::new(2);
-        let Submit::Queued(id) = table.submit("k".into(), work()) else {
+        let Submit::Queued(id) = table.submit("k".into(), work(), "rq-test".into()) else {
             panic!("queues");
         };
         assert_eq!(table.status(id).expect("known").state, JobState::Queued);
@@ -326,17 +346,20 @@ mod tests {
         assert_eq!(status.result.expect("has result").as_str(), "[1]");
         assert!(table.status(999).is_none());
         // A finished job still serves cache hits.
-        assert_eq!(table.submit("k".into(), work()), Submit::Existing(id));
+        assert_eq!(
+            table.submit("k".into(), work(), "rq-test".into()),
+            Submit::Existing(id)
+        );
     }
 
     #[test]
     fn list_is_sorted_and_tracks_states() {
         let table = JobTable::new(4);
         assert!(table.list().is_empty());
-        let Submit::Queued(a) = table.submit("a".into(), work()) else {
+        let Submit::Queued(a) = table.submit("a".into(), work(), "rq-test".into()) else {
             panic!("queues");
         };
-        let Submit::Queued(b) = table.submit("b".into(), work()) else {
+        let Submit::Queued(b) = table.submit("b".into(), work(), "rq-test".into()) else {
             panic!("queues");
         };
         let (popped, _) = table.next_job().expect("job available");
@@ -351,7 +374,7 @@ mod tests {
     #[test]
     fn failures_keep_their_message() {
         let table = JobTable::new(2);
-        let Submit::Queued(id) = table.submit("k".into(), work()) else {
+        let Submit::Queued(id) = table.submit("k".into(), work(), "rq-test".into()) else {
             panic!("queues");
         };
         table.next_job().expect("job available");

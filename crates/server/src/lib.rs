@@ -51,10 +51,20 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::num::NonZeroUsize;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Mints a process-unique request id: the pid (hex) plus a sequence
+/// number, e.g. `0000abcd-000001`. Stable across threads, trivially
+/// greppable in the access log, and echoed on every job the request
+/// creates.
+fn next_request_id() -> String {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed) + 1;
+    format!("{:08x}-{seq:06}", std::process::id())
+}
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -161,6 +171,10 @@ impl Handle {
 ///
 /// Returns the bind error when the address is unavailable.
 pub fn start(config: ServerConfig) -> io::Result<Handle> {
+    // The daemon always pays for coarse phase accounting (a few
+    // `Instant::now` calls per record) so `/metrics` can export where
+    // replay time goes; offline CLI runs leave it off.
+    smrseek_obs::set_phase_accounting(true);
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let state = Arc::new(ServerState::new(config.queue_depth, config.workers));
@@ -218,20 +232,34 @@ fn serve_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     let started = Instant::now();
-    let (endpoint, response) = match read_request(&mut stream) {
-        Ok(request) => route(state, &request),
-        Err(RequestError::Closed | RequestError::Io(_)) => return,
-        Err(RequestError::Malformed(msg)) => {
-            (Endpoint::Other, Response::json(400, error_body(&msg)))
+    let request_id = next_request_id();
+    let (line, (endpoint, response)) = match read_request(&mut stream) {
+        Ok(request) => {
+            let line = format!("{} {}", request.method, request.target);
+            (line, route(state, &request, &request_id))
         }
+        Err(RequestError::Closed | RequestError::Io(_)) => return,
+        Err(RequestError::Malformed(msg)) => (
+            "(malformed)".to_owned(),
+            (Endpoint::Other, Response::json(400, error_body(&msg))),
+        ),
     };
+    let response = response.with_header("x-request-id", &request_id);
     let _ = write_response(&mut stream, &response);
-    state.metrics.observe(endpoint, started.elapsed());
+    let elapsed = started.elapsed();
+    smrseek_obs::info!(
+        "request_id={request_id} {line} status={} duration_us={}",
+        response.status,
+        elapsed.as_micros()
+    );
+    state.metrics.observe(endpoint, elapsed);
 }
 
 /// Routes one request against the daemon state. Connection threads call
 /// this; it is public so tests can exercise the full API in-process.
-pub fn route(state: &ServerState, request: &Request) -> (Endpoint, Response) {
+/// `request_id` is echoed in submit/status envelopes and retained on any
+/// job this request creates.
+pub fn route(state: &ServerState, request: &Request, request_id: &str) -> (Endpoint, Response) {
     let path = request.target.split('?').next().unwrap_or("");
     match (request.method.as_str(), path) {
         ("GET", "/healthz") => {
@@ -253,7 +281,10 @@ pub fn route(state: &ServerState, request: &Request) -> (Endpoint, Response) {
                 .render(&state.jobs.snapshot(), state.registry.len());
             (Endpoint::Metrics, Response::text(200, body))
         }
-        ("POST", "/v1/jobs") => (Endpoint::JobsPost, submit_job(state, &request.body)),
+        ("POST", "/v1/jobs") => (
+            Endpoint::JobsPost,
+            submit_job(state, &request.body, request_id),
+        ),
         ("GET", "/v1/jobs") => (Endpoint::JobsGet, jobs_list(state)),
         ("GET", path) if path.starts_with("/v1/jobs/") => {
             let rest = &path["/v1/jobs/".len()..];
@@ -332,7 +363,7 @@ fn resolve(state: &ServerState, request: &JobRequest) -> Result<(String, JobWork
     ))
 }
 
-fn submit_job(state: &ServerState, body: &[u8]) -> Response {
+fn submit_job(state: &ServerState, body: &[u8], request_id: &str) -> Response {
     let request = match api::parse_job_request(body) {
         Ok(request) => request,
         Err(msg) => return Response::json(400, error_body(&msg)),
@@ -341,15 +372,15 @@ fn submit_job(state: &ServerState, body: &[u8]) -> Response {
         Ok(resolved) => resolved,
         Err(msg) => return Response::json(400, error_body(&msg)),
     };
-    match state.jobs.submit(key, work) {
+    match state.jobs.submit(key, work, request_id.to_owned()) {
         Submit::Queued(id) => {
             state.metrics.cache_miss();
-            Response::json(202, submit_body(id, "queued", "miss"))
+            Response::json(202, submit_body(id, "queued", "miss", request_id))
         }
         Submit::Existing(id) => {
             state.metrics.cache_hit();
             let status = state.jobs.status(id).map_or("queued", |s| s.state.label());
-            Response::json(200, submit_body(id, status, "hit"))
+            Response::json(200, submit_body(id, status, "hit", request_id))
         }
         Submit::Full => {
             state.metrics.rejected();
@@ -383,11 +414,15 @@ fn jobs_list(state: &ServerState) -> Response {
     )
 }
 
-fn submit_body(id: JobId, status: &str, cache: &str) -> String {
+fn submit_body(id: JobId, status: &str, cache: &str, request_id: &str) -> String {
     serde_json::to_string(&Value::Object(vec![
         ("id".to_owned(), Value::Number(Number::U(id))),
         ("status".to_owned(), Value::String(status.to_owned())),
         ("cache".to_owned(), Value::String(cache.to_owned())),
+        (
+            "request_id".to_owned(),
+            Value::String(request_id.to_owned()),
+        ),
     ]))
     .expect("submit body serializes")
 }
@@ -405,6 +440,10 @@ fn job_status(state: &ServerState, raw_id: &str) -> Response {
         (
             "status".to_owned(),
             Value::String(status.state.label().to_owned()),
+        ),
+        (
+            "request_id".to_owned(),
+            Value::String(status.request_id.clone()),
         ),
     ];
     match status.state {
@@ -483,7 +522,7 @@ mod tests {
             target: target.to_owned(),
             body: Vec::new(),
         };
-        route(state, &request).1
+        route(state, &request, "rq-test").1
     }
 
     fn post(state: &ServerState, target: &str, body: &str) -> Response {
@@ -492,7 +531,7 @@ mod tests {
             target: target.to_owned(),
             body: body.as_bytes().to_vec(),
         };
-        route(state, &request).1
+        route(state, &request, "rq-test").1
     }
 
     fn body_str(resp: &Response) -> String {
@@ -516,7 +555,7 @@ mod tests {
             target: "/metrics".to_owned(),
             body: Vec::new(),
         };
-        assert_eq!(route(&state, &delete).1.status, 405);
+        assert_eq!(route(&state, &delete, "rq-test").1.status, 405);
         stop(&state, handles);
     }
 
@@ -604,6 +643,46 @@ mod tests {
         // Status endpoint sees the one queued job; /result says not ready.
         let result = get(&state, "/v1/jobs/1/result");
         assert_eq!(result.status, 202);
+        stop(&state, handles);
+    }
+
+    #[test]
+    fn request_ids_are_echoed_in_submit_and_status() {
+        let (state, handles) = test_state(0, 4);
+        let body = r#"{"trace": {"profile": "hm_1", "ops": 50}}"#;
+        let submit = Request {
+            method: "POST".to_owned(),
+            target: "/v1/jobs".to_owned(),
+            body: body.as_bytes().to_vec(),
+        };
+        let first = route(&state, &submit, "rq-creator").1;
+        assert_eq!(first.status, 202);
+        assert!(
+            body_str(&first).contains(r#""request_id":"rq-creator""#),
+            "{}",
+            body_str(&first)
+        );
+        // A duplicate submission echoes *its own* request id in the
+        // submit response, but the job keeps its creator's id.
+        let second = route(&state, &submit, "rq-duplicate").1;
+        assert_eq!(second.status, 200);
+        assert!(
+            body_str(&second).contains(r#""request_id":"rq-duplicate""#),
+            "{}",
+            body_str(&second)
+        );
+        let status = get(&state, "/v1/jobs/1");
+        assert_eq!(status.status, 200);
+        assert!(
+            body_str(&status).contains(r#""request_id":"rq-creator""#),
+            "{}",
+            body_str(&status)
+        );
+        // The raw-result and listing routes stay byte-stable: no ids.
+        let listed = body_str(&get(&state, "/v1/jobs"));
+        assert!(!listed.contains("request_id"), "{listed}");
+        let minted = next_request_id();
+        assert_eq!(minted.len(), 8 + 1 + 6, "pid-hex dash seq: {minted}");
         stop(&state, handles);
     }
 }

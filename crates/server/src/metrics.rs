@@ -8,10 +8,11 @@
 
 use crate::jobs::{JobSnapshot, JobState};
 use smrseek_disk::histogram::LogHistogram;
+use smrseek_obs::{Phase, PhaseTotals};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The API surface, as labeled in per-endpoint metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,8 +75,9 @@ struct EndpointStats {
 
 /// All daemon metrics. One instance lives in the server state; every
 /// method is safe to call from any thread.
-#[derive(Default)]
 pub struct Metrics {
+    /// Construction time, for the uptime gauge.
+    started: Instant,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     jobs_rejected: AtomicU64,
@@ -83,13 +85,39 @@ pub struct Metrics {
     checkpoint_hits: AtomicU64,
     checkpoint_misses: AtomicU64,
     checkpoint_records_skipped: AtomicU64,
+    /// Engine phase time from finished jobs, in nanoseconds, indexed in
+    /// [`Phase::ALL`] order (atomics: workers fold totals in concurrently).
+    engine_phase_nanos: [AtomicU64; 5],
+    /// Deliberately a `Mutex` per endpoint, not atomics: a latency
+    /// observation touches three fields of one [`EndpointStats`] (count,
+    /// histogram bin, sum) that must move together, and the lock is
+    /// per-endpoint and held for nanoseconds once per *completed* request
+    /// — far off the hot path, and different endpoints never contend.
+    /// Revisit only if a profile ever shows same-endpoint convoying.
     endpoints: [Mutex<EndpointStats>; 6],
 }
 
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
 impl Metrics {
-    /// Fresh, all-zero metrics.
+    /// Fresh, all-zero metrics; uptime counts from this call.
     pub fn new() -> Self {
-        Metrics::default()
+        Metrics {
+            started: Instant::now(),
+            cache_hits: AtomicU64::default(),
+            cache_misses: AtomicU64::default(),
+            jobs_rejected: AtomicU64::default(),
+            records_replayed: AtomicU64::default(),
+            checkpoint_hits: AtomicU64::default(),
+            checkpoint_misses: AtomicU64::default(),
+            checkpoint_records_skipped: AtomicU64::default(),
+            engine_phase_nanos: Default::default(),
+            endpoints: Default::default(),
+        }
     }
 
     /// A submission matched an existing job (any state).
@@ -144,6 +172,17 @@ impl Metrics {
         )
     }
 
+    /// Folds one finished job's engine phase totals into the daemon-wide
+    /// phase counters.
+    pub fn engine_phases(&self, phases: &PhaseTotals) {
+        for (i, phase) in Phase::ALL.iter().enumerate() {
+            let nanos = phases.nanos(*phase);
+            if nanos > 0 {
+                self.engine_phase_nanos[i].fetch_add(nanos, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Records one served request on `endpoint` taking `elapsed`.
     pub fn observe(&self, endpoint: Endpoint, elapsed: Duration) {
         let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
@@ -161,6 +200,25 @@ impl Metrics {
     /// of the job table; `traces` the registry size.
     pub fn render(&self, jobs: &JobSnapshot, traces: usize) -> String {
         let mut out = String::with_capacity(2048);
+
+        out.push_str(
+            "# HELP smrseekd_build_info Build metadata; always 1.\n\
+             # TYPE smrseekd_build_info gauge\n",
+        );
+        let _ = writeln!(
+            out,
+            "smrseekd_build_info{{version=\"{}\"}} 1",
+            env!("CARGO_PKG_VERSION")
+        );
+        out.push_str(
+            "# HELP smrseekd_uptime_seconds Seconds since the daemon started.\n\
+             # TYPE smrseekd_uptime_seconds gauge\n",
+        );
+        let _ = writeln!(
+            out,
+            "smrseekd_uptime_seconds {:.3}",
+            self.started.elapsed().as_secs_f64()
+        );
 
         out.push_str("# HELP smrseekd_jobs Jobs by lifecycle state.\n# TYPE smrseekd_jobs gauge\n");
         for state in JobState::ALL {
@@ -224,6 +282,21 @@ impl Metrics {
             "smrseekd_checkpoint_records_skipped_total {}",
             self.checkpoint_records_skipped.load(Ordering::Relaxed)
         );
+
+        out.push_str(
+            "# HELP smrseekd_engine_phase_seconds_total Simulation engine time by phase, \
+             summed over finished jobs.\n\
+             # TYPE smrseekd_engine_phase_seconds_total counter\n",
+        );
+        for (i, phase) in Phase::ALL.iter().enumerate() {
+            let nanos = self.engine_phase_nanos[i].load(Ordering::Relaxed);
+            let _ = writeln!(
+                out,
+                "smrseekd_engine_phase_seconds_total{{phase=\"{}\"}} {:.9}",
+                phase.label(),
+                nanos as f64 / 1e9,
+            );
+        }
 
         out.push_str("# HELP smrseekd_http_requests_total Requests served, by endpoint.\n# TYPE smrseekd_http_requests_total counter\n");
         for endpoint in Endpoint::ALL {
@@ -324,6 +397,37 @@ mod tests {
         assert!(text.contains("smrseekd_jobs{state=\"failed\"} 1"));
         assert!(text.contains("smrseekd_queue_depth 2"));
         assert!(text.contains("smrseekd_queue_capacity 16"));
+    }
+
+    #[test]
+    fn build_info_and_uptime_are_exported() {
+        let m = Metrics::new();
+        let text = m.render(&JobSnapshot::default(), 0);
+        assert!(text.contains(&format!(
+            "smrseekd_build_info{{version=\"{}\"}} 1",
+            env!("CARGO_PKG_VERSION")
+        )));
+        assert!(text.contains("smrseekd_uptime_seconds "));
+    }
+
+    #[test]
+    fn engine_phase_seconds_accumulate_across_jobs() {
+        let m = Metrics::new();
+        let text = m.render(&JobSnapshot::default(), 0);
+        // All phases are exported even before any job finishes.
+        assert!(text.contains("smrseekd_engine_phase_seconds_total{phase=\"lookup\"} 0.0"));
+
+        let mut a = PhaseTotals::default();
+        a.record(Phase::Lookup, Duration::from_millis(1500));
+        a.record(Phase::Seek, Duration::from_nanos(5));
+        let mut b = PhaseTotals::default();
+        b.record(Phase::Lookup, Duration::from_millis(500));
+        m.engine_phases(&a);
+        m.engine_phases(&b);
+        let text = m.render(&JobSnapshot::default(), 0);
+        assert!(text.contains("smrseekd_engine_phase_seconds_total{phase=\"lookup\"} 2.000000000"));
+        assert!(text.contains("smrseekd_engine_phase_seconds_total{phase=\"seek\"} 0.000000005"));
+        assert!(text.contains("smrseekd_engine_phase_seconds_total{phase=\"ingest\"} 0.000000000"));
     }
 
     #[test]

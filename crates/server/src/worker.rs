@@ -10,6 +10,7 @@
 
 use crate::jobs::JobTable;
 use crate::metrics::Metrics;
+use smrseek_obs::PhaseTotals;
 use smrseek_sim::runner::RunMatrix;
 use smrseek_sim::{saf, CheckpointStore, CheckpointUsage, SimConfig, TraceSource};
 use std::num::NonZeroUsize;
@@ -64,6 +65,9 @@ pub struct JobOutcome {
     pub records: u64,
     /// Checkpoint reuse accounting (all zero without a policy).
     pub checkpoints: CheckpointUsage,
+    /// Engine phase timing merged across the job's cells (all zero unless
+    /// phase accounting is enabled — the daemon enables it at startup).
+    pub phases: PhaseTotals,
 }
 
 /// Replays one job, resuming from / refreshing checkpoints when `policy`
@@ -101,6 +105,10 @@ pub fn run_job(
         }
     };
     let records = outcomes.iter().map(|o| o.metrics.records).sum();
+    let mut phases = PhaseTotals::default();
+    for outcome in &outcomes {
+        phases.merge(&outcome.metrics.phases);
+    }
     let doc = match &work.kind {
         JobKind::Sweep => serde_json::to_string_pretty(&saf::sweep_safs(&outcomes)),
         JobKind::Single(_) => serde_json::to_string_pretty(&outcomes[0].report),
@@ -109,6 +117,7 @@ pub fn run_job(
         doc,
         records,
         checkpoints,
+        phases,
     })
     .map_err(|e| format!("cannot serialize result: {e}"))
 }
@@ -134,6 +143,7 @@ pub fn spawn_workers(
                         if let Ok(out) = &outcome {
                             metrics.replayed(out.records);
                             metrics.checkpoint_usage(&out.checkpoints);
+                            metrics.engine_phases(&out.phases);
                         }
                         jobs.complete(id, outcome.map(|out| out.doc));
                     }
@@ -249,6 +259,7 @@ mod tests {
                         kind: JobKind::Single(SimConfig::no_ls()),
                         digest: None,
                     },
+                    format!("rq-{i}"),
                 ) {
                     crate::jobs::Submit::Queued(id) => id,
                     other => panic!("expected queue, got {other:?}"),

@@ -11,6 +11,15 @@ fn smrseek(args: &[&str]) -> Output {
         .expect("binary runs")
 }
 
+fn smrseek_env(args: &[&str], env: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_smrseek"));
+    cmd.args(args);
+    for (key, value) in env {
+        cmd.env(key, value);
+    }
+    cmd.output().expect("binary runs")
+}
+
 fn stdout(out: &Output) -> String {
     String::from_utf8_lossy(&out.stdout).into_owned()
 }
@@ -214,7 +223,15 @@ fn simulate_cache_is_byte_identical_and_replays_sidecar() {
     let uncached = smrseek(&["simulate", csv.to_str().unwrap(), "--json", &ju]);
     let first = smrseek(&["simulate", csv.to_str().unwrap(), "--cache", "--json", &j1]);
     assert!(sidecar.exists(), "first cached run writes the sidecar");
-    let second = smrseek(&["simulate", csv.to_str().unwrap(), "--cache", "--json", &j2]);
+    // `-v` so the cache chatter (info level) reaches stderr.
+    let second = smrseek(&[
+        "simulate",
+        csv.to_str().unwrap(),
+        "--cache",
+        "--json",
+        &j2,
+        "-v",
+    ]);
     assert!(uncached.status.success() && first.status.success() && second.status.success());
     assert_eq!(
         stdout(&uncached),
@@ -390,7 +407,7 @@ fn exit_codes_distinguish_usage_from_io() {
 
 #[test]
 fn all_smoke_test_runs_every_experiment() {
-    let out = smrseek(&["all", "--ops", "2000"]);
+    let out = smrseek(&["all", "--ops", "2000", "-v"]);
     assert!(
         out.status.success(),
         "{}",
@@ -497,6 +514,7 @@ fn snapshot_then_resume_matches_simulate_bytes() {
         ckpt.to_str().unwrap(),
         "--json",
         &jr,
+        "-v",
     ]);
     assert!(
         resumed.status.success(),
@@ -525,6 +543,7 @@ fn snapshot_then_resume_matches_simulate_bytes() {
         empty.to_str().unwrap(),
         "--json",
         &jc,
+        "-v",
     ]);
     assert!(cold.status.success());
     assert!(
@@ -573,4 +592,152 @@ fn extension_commands_run() {
         );
         assert!(stdout(&out).contains("Extension"));
     }
+}
+
+#[test]
+fn stderr_is_quiet_by_default_and_env_restores_chatter() {
+    // Successful runs print nothing to stderr at the default (warn)
+    // threshold; SMRSEEK_LOG=debug restores the progress lines.
+    let quiet = smrseek_env(&["fig3", "--ops", "500"], &[("SMRSEEK_LOG", "warn")]);
+    assert!(quiet.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&quiet.stderr),
+        "",
+        "no chatter at the default level"
+    );
+    let chatty = smrseek_env(&["fig3", "--ops", "500"], &[("SMRSEEK_LOG", "debug")]);
+    assert!(chatty.status.success());
+    assert!(
+        String::from_utf8_lossy(&chatty.stderr).contains("fig3: done in"),
+        "{}",
+        String::from_utf8_lossy(&chatty.stderr)
+    );
+    assert_eq!(
+        stdout(&quiet),
+        stdout(&chatty),
+        "logging never touches stdout"
+    );
+}
+
+#[test]
+fn log_json_emits_structured_lines() {
+    let out = smrseek(&["fig3", "--ops", "500", "-v", "--log-json"]);
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    let mut saw_done = false;
+    for line in err.lines() {
+        let value: serde_json::Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("stderr line is not JSON ({e}): {line}"));
+        assert!(value.get("ts_us").is_some(), "{line}");
+        assert!(value.get("level").is_some(), "{line}");
+        let msg = value
+            .get("msg")
+            .and_then(serde_json::Value::as_str)
+            .expect("msg field");
+        saw_done |= msg.contains("fig3: done in");
+    }
+    assert!(saw_done, "timing line present as JSON: {err}");
+}
+
+#[test]
+fn profile_writes_valid_chrome_trace_with_nested_phases() {
+    let csv = tmp("profile.csv");
+    let json = tmp("profile.json");
+    let out = smrseek(&[
+        "gen",
+        "hm_1",
+        "--ops",
+        "800",
+        "--out",
+        csv.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let out = smrseek(&[
+        "profile",
+        csv.to_str().unwrap(),
+        "--out",
+        json.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("span(s)"), "{text}");
+    for phase in ["ingest", "lookup", "seek", "checkpoint"] {
+        assert!(text.contains(phase), "phase table lists {phase}: {text}");
+    }
+    let data = std::fs::read_to_string(&json).expect("trace written");
+    let value: serde_json::Value = serde_json::from_str(&data).expect("valid Chrome trace JSON");
+    let events = value
+        .get("traceEvents")
+        .and_then(serde_json::Value::as_array)
+        .expect("traceEvents array");
+    // One complete event per sweep cell, each with phase children that
+    // nest inside the parent (same tid, time-contained).
+    let span = |e: &serde_json::Value| -> (String, f64, f64, i64) {
+        (
+            e.get("name")
+                .and_then(serde_json::Value::as_str)
+                .expect("name")
+                .to_owned(),
+            e.get("ts").and_then(serde_json::Value::as_f64).expect("ts"),
+            e.get("dur")
+                .and_then(serde_json::Value::as_f64)
+                .expect("dur"),
+            e.get("tid")
+                .and_then(serde_json::Value::as_i64)
+                .expect("tid"),
+        )
+    };
+    let cells: Vec<_> = events
+        .iter()
+        .map(span)
+        .filter(|(name, ..)| name.starts_with("cell:"))
+        .collect();
+    assert_eq!(cells.len(), 5, "one span per sweep cell: {data}");
+    let phases: Vec<_> = events
+        .iter()
+        .map(span)
+        .filter(|(name, ..)| name.starts_with("phase:"))
+        .collect();
+    assert!(
+        phases
+            .iter()
+            .any(|(name, _, dur, _)| name == "phase:lookup" && *dur > 0.0),
+        "non-zero lookup phase: {data}"
+    );
+    for phase in ["phase:ingest", "phase:seek", "phase:checkpoint"] {
+        assert!(
+            phases.iter().any(|(name, ..)| name == phase),
+            "{phase} present: {data}"
+        );
+    }
+    for (name, ts, dur, tid) in &phases {
+        let eps = 1e-6;
+        assert!(
+            cells.iter().any(|(_, cts, cdur, ctid)| {
+                ctid == tid && *ts + eps >= *cts && ts + dur <= cts + cdur + eps
+            }),
+            "{name} nests inside a cell span"
+        );
+    }
+    // `ph:"X"` complete events throughout.
+    for e in events {
+        assert_eq!(
+            e.get("ph").and_then(serde_json::Value::as_str),
+            Some("X"),
+            "{e:?}"
+        );
+    }
+    std::fs::remove_file(&csv).ok();
+    std::fs::remove_file(&json).ok();
+}
+
+#[test]
+fn profile_without_trace_is_a_usage_error() {
+    let out = smrseek(&["profile"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("profile needs a trace file"));
 }

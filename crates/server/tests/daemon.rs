@@ -437,6 +437,118 @@ fn full_queue_backpressure_over_the_wire() {
 }
 
 #[test]
+fn request_ids_propagate_and_phase_metrics_export() {
+    // Own spawn: stderr piped (the access log lives there) and the log
+    // threshold raised to info so access lines are emitted.
+    let mut child = Command::new(bin())
+        .arg("serve")
+        .args(["--addr", "127.0.0.1:0", "--workers", "1"])
+        .env("SMRSEEK_LOG", "info")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn smrseek serve");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read startup line");
+    std::thread::spawn(move || {
+        let mut rest = String::new();
+        let _ = reader.read_to_string(&mut rest);
+    });
+    let addr = line
+        .trim()
+        .strip_prefix("smrseekd listening on http://")
+        .unwrap_or_else(|| panic!("unexpected startup line {line:?}"))
+        .to_owned();
+    let stderr = child.stderr.take().expect("stderr piped");
+    let access_log = std::thread::spawn(move || {
+        let mut buf = String::new();
+        let _ = BufReader::new(stderr).read_to_string(&mut buf);
+        buf
+    });
+
+    let submit = request(
+        &addr,
+        "POST",
+        "/v1/jobs",
+        Some(r#"{"trace": {"profile": "hm_1", "ops": 300}}"#),
+    );
+    assert_eq!(submit.status, 202, "{}", submit.body_str());
+    let rid = submit
+        .header("x-request-id")
+        .expect("submit response carries x-request-id")
+        .to_owned();
+    assert!(
+        submit
+            .body_str()
+            .contains(&format!(r#""request_id":"{rid}""#)),
+        "submit body echoes its request id: {}",
+        submit.body_str()
+    );
+
+    // Every later status poll gets its own id in the header, but the
+    // envelope keeps naming the request that created the job.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let status = request(&addr, "GET", "/v1/jobs/1", None);
+        assert_eq!(status.status, 200);
+        let poll_rid = status
+            .header("x-request-id")
+            .expect("status response carries x-request-id");
+        assert_ne!(poll_rid, rid, "each request gets a fresh id");
+        let body = status.body_str();
+        assert!(
+            body.contains(&format!(r#""request_id":"{rid}""#)),
+            "status envelope names the creating request: {body}"
+        );
+        if body.contains("\"status\":\"done\"") {
+            break;
+        }
+        assert!(
+            !body.contains("\"status\":\"failed\""),
+            "job failed: {body}"
+        );
+        assert!(Instant::now() < deadline, "job finished in time");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // With the job done, its engine phase totals are on /metrics, along
+    // with the uptime gauge and build info.
+    let text = request(&addr, "GET", "/metrics", None).body_str();
+    let phase_value = |phase: &str| -> f64 {
+        let prefix = format!("smrseekd_engine_phase_seconds_total{{phase=\"{phase}\"}}");
+        text.lines()
+            .find(|l| l.starts_with(&prefix))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("{prefix} exported:\n{text}"))
+    };
+    for phase in ["ingest", "lookup", "seek"] {
+        assert!(
+            phase_value(phase) > 0.0,
+            "{phase} time accumulated:\n{text}"
+        );
+    }
+    assert!(
+        text.contains("smrseekd_build_info{version="),
+        "build info exported:\n{text}"
+    );
+    assert!(
+        text.lines()
+            .any(|l| l.starts_with("smrseekd_uptime_seconds ")),
+        "uptime exported:\n{text}"
+    );
+
+    terminate(child);
+    let log = access_log.join().expect("stderr thread");
+    assert!(
+        log.contains(&format!("request_id={rid} POST /v1/jobs status=202")),
+        "access log names the submit request:\n{log}"
+    );
+}
+
+#[test]
 fn version_flag_prints_and_exits_zero() {
     let out = Command::new(bin())
         .arg("--version")

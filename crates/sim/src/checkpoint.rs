@@ -215,12 +215,9 @@ mod tests {
         let config = crate::SimConfig::no_ls();
         let report_snap = {
             let mut out = None;
-            simulate_stream_checkpointed(
-                None,
-                trace().into_iter(),
-                &config.with_checkpoint_every(30),
-                |s| out = Some(s.clone()),
-            );
+            simulate_stream_checkpointed(None, trace(), &config.with_checkpoint_every(30), |s| {
+                out = Some(s.clone())
+            });
             out.expect("emitted")
         };
         let path = store.save(digest, key, &report_snap).expect("save");
@@ -262,9 +259,7 @@ mod tests {
     fn header_and_state_record_counts_must_agree() {
         let config = crate::SimConfig::no_ls().with_checkpoint_every(10);
         let mut snap = None;
-        simulate_stream_checkpointed(None, trace().into_iter(), &config, |s| {
-            snap = Some(s.clone())
-        });
+        simulate_stream_checkpointed(None, trace(), &config, |s| snap = Some(s.clone()));
         let snap = snap.expect("emitted");
         let mut container = encode_engine_snapshot(7, "k", &snap);
         container.record_index += 1;

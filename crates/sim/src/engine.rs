@@ -1,8 +1,11 @@
 //! The simulation engine: trace × translation layer → seek statistics.
 
+use std::time::Instant;
+
 use serde::{Deserialize, Serialize};
 use smrseek_cache::RangeCache;
 use smrseek_disk::{Cdf, LongSeekSeries, SeekCounter, SeekCounterState, SeekStats};
+use smrseek_obs::{phase_accounting, Phase, PhaseTotals};
 use smrseek_stl::{
     CacheConfig, DefragConfig, FragmentAccessTracker, LogStructured, LsConfig, LsSnapshot, LsStats,
     NoLs, PrefetchConfig, TranslationLayer,
@@ -236,7 +239,7 @@ impl SimConfig {
 }
 
 /// The result of one simulation run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Layer name ("NoLS", "LS", "LS+cache", ...).
     pub layer_name: String,
@@ -259,6 +262,43 @@ pub struct RunReport {
     /// Largest extent-map segment count observed during the run (0 for
     /// NoLS, which keeps no map) — the run's dominant memory term.
     pub peak_extent_segments: u64,
+    /// Engine phase accounting (where simulation wall time went). All
+    /// zeros unless [`smrseek_obs::set_phase_accounting`] was on when the
+    /// run started. A timing side channel like `RunMetrics`: deliberately
+    /// excluded from the hand-written [`Serialize`] impl below, because
+    /// serialized reports must stay byte-deterministic across machines,
+    /// thread counts, and resume points.
+    pub phases: PhaseTotals,
+}
+
+/// Hand-written (the vendored `serde_derive` has no `#[serde(skip)]`):
+/// reproduces exactly what the derive emitted for every field except
+/// `phases`, which is wall-time noise and must not reach serialized
+/// reports.
+impl Serialize for RunReport {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            (String::from("layer_name"), self.layer_name.to_value()),
+            (String::from("logical_ops"), self.logical_ops.to_value()),
+            (String::from("seeks"), self.seeks.to_value()),
+            (String::from("distances"), self.distances.to_value()),
+            (
+                String::from("longseek_series"),
+                self.longseek_series.to_value(),
+            ),
+            (String::from("phys_sectors"), self.phys_sectors.to_value()),
+            (
+                String::from("host_cache_hits"),
+                self.host_cache_hits.to_value(),
+            ),
+            (String::from("ls_stats"), self.ls_stats.to_value()),
+            (String::from("fragments"), self.fragments.to_value()),
+            (
+                String::from("peak_extent_segments"),
+                self.peak_extent_segments.to_value(),
+            ),
+        ])
+    }
 }
 
 impl RunReport {
@@ -345,6 +385,11 @@ struct EngineState {
     phys_sectors: u64,
     logical_ops: u64,
     peak_extent_segments: u64,
+    /// Sampled from [`phase_accounting`] once at construction so a run's
+    /// behavior cannot change mid-flight; when false, `step` pays a single
+    /// branch and no clock reads.
+    timing: bool,
+    phases: PhaseTotals,
 }
 
 impl EngineState {
@@ -392,6 +437,8 @@ impl EngineState {
             phys_sectors: 0,
             logical_ops: 0,
             peak_extent_segments: 0,
+            timing: phase_accounting(),
+            phases: PhaseTotals::default(),
         }
     }
 
@@ -416,21 +463,43 @@ impl EngineState {
             phys_sectors: snap.phys_sectors,
             logical_ops: snap.logical_ops,
             peak_extent_segments: snap.peak_extent_segments,
+            timing: phase_accounting(),
+            // Snapshots carry no timing (it is wall-clock noise, not
+            // simulation state): a resumed run accounts only for the
+            // records it replays itself.
+            phases: PhaseTotals::default(),
         }
     }
 
+    /// Replays one record. Behaviorally identical with phase accounting on
+    /// or off: timing wraps the same statements, it never reorders them.
     fn step(&mut self, rec: &TraceRecord) {
+        #[cfg(feature = "fine-spans")]
+        let _span = smrseek_obs::span("engine:step");
         let i = self.logical_ops;
         self.logical_ops += 1;
+        let mut mark = self.timing.then(Instant::now);
         if let Some(cache) = &mut self.host_cache {
             let key = smrseek_trace::Pba::new(rec.lba.sector());
-            if rec.op.is_read() && cache.covers(key, u64::from(rec.sectors)) {
+            let hit = rec.op.is_read() && cache.covers(key, u64::from(rec.sectors));
+            if !hit {
+                cache.insert(key, u64::from(rec.sectors));
+            }
+            if let Some(t) = &mut mark {
+                self.phases.record(Phase::HostCache, t.elapsed());
+                *t = Instant::now();
+            }
+            if hit {
                 self.host_cache_hits += 1;
                 return; // served from host RAM: nothing reaches the device
             }
-            cache.insert(key, u64::from(rec.sectors));
         }
-        for io in self.layer.apply(rec) {
+        let ios = self.layer.apply(rec);
+        if let Some(t) = &mut mark {
+            self.phases.record(Phase::Lookup, t.elapsed());
+            *t = Instant::now();
+        }
+        for io in ios {
             self.phys_sectors += io.sectors;
             if let Some(seek) = self.counter.observe(&io) {
                 if let Some(series) = &mut self.series {
@@ -440,6 +509,9 @@ impl EngineState {
         }
         if let LayerImpl::Ls(ls) = &self.layer {
             self.peak_extent_segments = self.peak_extent_segments.max(ls.map().len() as u64);
+        }
+        if let Some(t) = &mark {
+            self.phases.record(Phase::Seek, t.elapsed());
         }
     }
 
@@ -479,6 +551,7 @@ impl EngineState {
             ls_stats,
             fragments,
             peak_extent_segments: self.peak_extent_segments,
+            phases: self.phases,
         }
     }
 }
@@ -546,11 +619,24 @@ where
         None => EngineState::new(config),
     };
     let every = config.checkpoint_every.filter(|&n| n > 0);
-    for rec in records {
+    let timing = state.timing;
+    let mut records = records.into_iter();
+    loop {
+        // Pulling the next record is where trace parse / mmap-read cost
+        // lives, so it is accounted as the ingest phase.
+        let mark = timing.then(Instant::now);
+        let Some(rec) = records.next() else { break };
+        if let Some(t) = mark {
+            state.phases.record(Phase::Ingest, t.elapsed());
+        }
         state.step(&rec);
         if let Some(n) = every {
             if state.logical_ops % n == 0 {
+                let mark = timing.then(Instant::now);
                 emit(&state.snapshot());
+                if let Some(t) = mark {
+                    state.phases.record(Phase::Checkpoint, t.elapsed());
+                }
             }
         }
     }
@@ -671,7 +757,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "frontier_hint")]
     fn streaming_ls_requires_frontier_hint() {
-        simulate_stream(toy_trace().into_iter(), &SimConfig::log_structured());
+        simulate_stream(toy_trace(), &SimConfig::log_structured());
     }
 
     #[test]

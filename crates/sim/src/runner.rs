@@ -23,6 +23,7 @@ use crate::engine::{
     RunReport, SimConfig,
 };
 use crate::experiments::ExpOptions;
+use smrseek_obs::{span_with, PhaseTotals};
 use smrseek_trace::binary::MmapTrace;
 use smrseek_trace::TraceRecord;
 use smrseek_workloads::profiles::Profile;
@@ -261,6 +262,9 @@ pub struct RunMetrics {
     pub records: u64,
     /// Largest extent-map segment count the run reached (0 for NoLS).
     pub peak_extent_segments: u64,
+    /// Engine phase accounting for the cell (all zeros unless
+    /// [`smrseek_obs::set_phase_accounting`] was on).
+    pub phases: PhaseTotals,
 }
 
 impl RunMetrics {
@@ -331,11 +335,13 @@ impl RunMatrix {
     /// never results.
     pub fn execute(&self, threads: NonZeroUsize) -> Vec<RunOutcome> {
         parallel_map(&self.cells, threads, |cell| {
+            let _span = span_with(|| format!("cell:{}", cell.label));
             let (report, wall) = cell.source.replay(&cell.config);
             let metrics = RunMetrics {
                 wall,
                 records: report.logical_ops,
                 peak_extent_segments: report.peak_extent_segments,
+                phases: report.phases,
             };
             RunOutcome {
                 label: cell.label.clone(),
@@ -367,6 +373,7 @@ impl RunMatrix {
         let misses = AtomicU64::new(0);
         let skipped = AtomicU64::new(0);
         let outcomes = parallel_map(&self.cells, threads, |cell| {
+            let _span = span_with(|| format!("cell:{}", cell.label));
             let key = checkpoint_config_key(&cell.config, cell.source.top_sector());
             let snap = match store.load(trace_digest, &key) {
                 Ok(Some(snap)) => {
@@ -390,6 +397,7 @@ impl RunMatrix {
                 wall,
                 records: report.logical_ops,
                 peak_extent_segments: report.peak_extent_segments,
+                phases: report.phases,
             };
             RunOutcome {
                 label: cell.label.clone(),
@@ -502,6 +510,16 @@ impl MatrixStats {
             .unwrap_or(0)
     }
 
+    /// Engine phase totals merged across every cell (all zeros unless
+    /// [`smrseek_obs::set_phase_accounting`] was on during execution).
+    pub fn phase_totals(&self) -> PhaseTotals {
+        let mut totals = PhaseTotals::default();
+        for (_, m) in &self.cells {
+            totals.merge(&m.phases);
+        }
+        totals
+    }
+
     /// Replay rate over *simulation* time: total records divided by the
     /// summed per-cell wall times. This is an aggregate rate per second
     /// of sim compute — not a per-worker figure (cells may have run on
@@ -604,6 +622,7 @@ mod tests {
                         wall: Duration::from_secs(2),
                         records: 600,
                         peak_extent_segments: 3,
+                        phases: PhaseTotals::default(),
                     },
                 ),
                 (
@@ -612,6 +631,7 @@ mod tests {
                         wall: Duration::from_secs(1),
                         records: 300,
                         peak_extent_segments: 7,
+                        phases: PhaseTotals::default(),
                     },
                 ),
             ],
@@ -721,6 +741,78 @@ mod tests {
             }
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn matrix_stats_agree_with_per_cell_durations() {
+        // The stderr summary and records_per_sim_sec must be derived from
+        // exactly the per-cell durations the runner recorded.
+        let source = TraceSource::from_records("burst", burst(800));
+        let configs = [SimConfig::no_ls(), SimConfig::log_structured()];
+        let outcomes = RunMatrix::cross(&[source], &configs).execute(two());
+        let stats = MatrixStats::from_outcomes(&outcomes);
+
+        let wall_sum: Duration = outcomes.iter().map(|o| o.metrics.wall).sum();
+        let record_sum: u64 = outcomes.iter().map(|o| o.metrics.records).sum();
+        assert_eq!(stats.total_wall(), wall_sum);
+        assert_eq!(stats.total_records(), record_sum);
+        assert_eq!(record_sum, 2 * 800);
+        let expected_rate = record_sum as f64 / wall_sum.as_secs_f64().max(1e-9);
+        assert!((stats.records_per_sim_sec() - expected_rate).abs() < 1e-6);
+
+        let line = stats.summary("agree");
+        assert!(line.starts_with("agree: 2 runs, 1600 records"), "{line}");
+        assert!(
+            line.contains(&format!("in {:.2}s sim time", wall_sum.as_secs_f64())),
+            "summary must print the summed per-cell wall time: {line}"
+        );
+        assert!(
+            line.contains(&format!("({expected_rate:.0} records/s of sim time")),
+            "summary rate must match the per-cell durations: {line}"
+        );
+        assert!(
+            line.contains(&format!(
+                "peak extent map {} segments",
+                stats.peak_extent_segments()
+            )),
+            "{line}"
+        );
+    }
+
+    #[test]
+    fn execute_merges_phase_totals_when_accounting_is_on() {
+        // Phase accounting must surface per-cell totals through RunMetrics
+        // and merge across the matrix. Serialized reports stay unaffected
+        // (asserted separately in the engine's byte-identity tests).
+        smrseek_obs::set_phase_accounting(true);
+        let source = TraceSource::from_records("burst", burst(400));
+        let outcomes = RunMatrix::cross(&[source], &[SimConfig::no_ls(), SimConfig::ls_cache()])
+            .execute(two());
+        smrseek_obs::set_phase_accounting(false);
+        let stats = MatrixStats::from_outcomes(&outcomes);
+        let totals = stats.phase_totals();
+        for o in &outcomes {
+            assert!(
+                !o.metrics.phases.is_zero(),
+                "cell {} recorded no phases",
+                o.label
+            );
+            assert_eq!(
+                o.metrics.phases.calls(smrseek_obs::Phase::Ingest),
+                400,
+                "every record's ingest is timed"
+            );
+        }
+        assert!(totals.nanos(smrseek_obs::Phase::Lookup) > 0);
+        assert!(totals.nanos(smrseek_obs::Phase::Seek) > 0);
+        assert_eq!(totals.calls(smrseek_obs::Phase::Ingest), 2 * 400);
+        // Untimed runs stay all-zero so merged totals are not polluted.
+        let cold = RunMatrix::cross(
+            &[TraceSource::from_records("burst", burst(50))],
+            &[SimConfig::no_ls()],
+        )
+        .execute(NonZeroUsize::MIN);
+        assert!(cold[0].metrics.phases.is_zero());
     }
 
     #[test]

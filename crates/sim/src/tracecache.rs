@@ -105,14 +105,14 @@ pub fn profile_source(
     if !path.exists() {
         let records = profile.generate_scaled(opts.seed, opts.ops);
         if let Err(e) = write_sidecar(&path, &records) {
-            eprintln!("cache: {e}; running uncached");
+            smrseek_obs::warn!("cache: {e}; running uncached");
             return TraceSource::from_records(profile.name, records);
         }
     }
     match MmapTrace::open(&path) {
         Ok(map) => TraceSource::from_mmap(profile.name, Arc::new(map)),
         Err(e) => {
-            eprintln!("cache: ignoring {}: {e}; running uncached", path.display());
+            smrseek_obs::warn!("cache: ignoring {}: {e}; running uncached", path.display());
             TraceSource::from_profile(profile, opts)
         }
     }
