@@ -7,7 +7,7 @@ use rand::{Rng, SeedableRng};
 use smrseek_bench::{bench_trace, BENCH_OPS};
 use smrseek_cache::{ByteLru, RangeCache};
 use smrseek_extent::ExtentMap;
-use smrseek_sim::{simulate, SimConfig};
+use smrseek_sim::{SimConfig, Simulation};
 use smrseek_stl::count_misordered_writes;
 use smrseek_trace::binary::{write_binary_v2, MmapTrace};
 use smrseek_trace::parse::{parse_reader, CpParser};
@@ -147,7 +147,7 @@ fn simulator_throughput(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("replay_w91", name),
             &config,
-            |b, config| b.iter(|| black_box(simulate(&trace, config).seeks)),
+            |b, config| b.iter(|| black_box(Simulation::new(config).run_trace(&trace).seeks)),
         );
     }
     group.finish();
@@ -223,7 +223,13 @@ fn obs_overhead(c: &mut Criterion) {
     group.throughput(Throughput::Elements(trace.len() as u64));
     group.bench_function("replay_w91_ls_phases_on", |b| {
         smrseek_obs::set_phase_accounting(true);
-        b.iter(|| black_box(simulate(&trace, &SimConfig::log_structured()).seeks));
+        b.iter(|| {
+            black_box(
+                Simulation::new(&SimConfig::log_structured())
+                    .run_trace(&trace)
+                    .seeks,
+            )
+        });
         smrseek_obs::set_phase_accounting(false);
     });
     group.finish();

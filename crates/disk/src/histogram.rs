@@ -99,6 +99,32 @@ impl Cdf {
     pub fn samples(&self) -> &[i64] {
         &self.sorted
     }
+
+    /// Folds another CDF's samples into this one (linear-time merge of the
+    /// two sorted sample sets). The result equals building one CDF from the
+    /// concatenated raw samples.
+    pub fn merge(&mut self, other: &Cdf) {
+        if other.sorted.is_empty() {
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.sorted.len() + other.sorted.len());
+        let (mut a, mut b) = (
+            self.sorted.iter().peekable(),
+            other.sorted.iter().peekable(),
+        );
+        while let (Some(&&x), Some(&&y)) = (a.peek(), b.peek()) {
+            if x <= y {
+                merged.push(x);
+                a.next();
+            } else {
+                merged.push(y);
+                b.next();
+            }
+        }
+        merged.extend(a.copied());
+        merged.extend(b.copied());
+        self.sorted = merged;
+    }
 }
 
 impl FromIterator<i64> for Cdf {
@@ -201,6 +227,21 @@ mod tests {
     #[should_panic(expected = "quantile out of range")]
     fn quantile_validates() {
         Cdf::default().quantile(1.5);
+    }
+
+    #[test]
+    fn merge_equals_concatenated_samples() {
+        let mut a = Cdf::from_samples(vec![5, -3, 9]);
+        let b = Cdf::from_samples(vec![0, -3, 12, 7]);
+        a.merge(&b);
+        assert_eq!(a, Cdf::from_samples(vec![5, -3, 9, 0, -3, 12, 7]));
+
+        let mut empty = Cdf::default();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+        let before = a.clone();
+        a.merge(&Cdf::default());
+        assert_eq!(a, before);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //!   all                    run every experiment in order
 //!   characterize <file>    Table-I style stats for an external trace
 //!   simulate <file>        NoLS/LS/mechanism SAF for an external trace
+//!   bench                  ingest + replay throughput, serial vs sharded
 //!   convert <in> <out>     convert any trace to the v2 binary format
 //!   gen <profile>          emit a synthetic trace as CloudPhysics CSV
 //!   list                   list the 21 workload profiles
@@ -49,10 +50,9 @@ use smrseek_sim::experiments::{
     ablation, analyze, classify, cleaning, fig10, fig11, fig2, fig3, fig4, fig5, fig7, fig8,
     fragmentation, host_cache, reorder, table1, time_amp, zones, ExpOptions,
 };
-use smrseek_sim::runner::{self, parallel_map, MatrixStats, RunCell, RunMatrix};
+use smrseek_sim::runner::{self, parallel_map, MatrixStats, RunCell, RunMatrix, ShardPolicy};
 use smrseek_sim::{
-    saf, simulate_stream_checkpointed, tracecache, CheckpointStore, SimConfig, TextTable,
-    TraceSource,
+    saf, tracecache, CheckpointStore, SimConfig, Simulation, TextTable, TraceSource,
 };
 use smrseek_trace::binary::{self, MmapTrace};
 use smrseek_trace::parse::{parse_reader, BlktraceParser, CpParser, MsrParser};
@@ -116,11 +116,13 @@ struct Args {
     out: Option<String>,
     format: TraceFormat,
     threads: NonZeroUsize,
+    shards: ShardPolicy,
     cache: bool,
     addr: String,
     workers: usize,
     queue_depth: usize,
     at: Option<u64>,
+    ops_explicit: bool,
     checkpoint_dir: Option<String>,
     checkpoint_every: u64,
     verbose: bool,
@@ -140,7 +142,8 @@ fn usage() -> String {
     "usage: smrseek <table1|fig2|...|fig11|ablate|timeamp|hostcache|clean|all|list> \
      [--ops N] [--seed S] [--threads N] [--cache] [--json FILE]\n       \
      smrseek <characterize|simulate> <trace> [--format msr|cp|blktrace|binary] [--cache] \
-     [--json FILE]\n       \
+     [--shards auto|serial|N] [--json FILE]\n       \
+     smrseek bench [--ops N] [--seed S] [--json FILE]\n       \
      smrseek convert <trace> <out.smrt> [--format msr|cp|blktrace|binary]\n       \
      smrseek gen <profile> [--ops N] [--seed S] [--out FILE]\n       \
      smrseek serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--threads N] \
@@ -150,7 +153,11 @@ fn usage() -> String {
      smrseek profile <trace> [--out trace.json] [--format ...] [--cache] [--threads N]\n       \
      smrseek --version\n\
      global flags: -v/--verbose (or SMRSEEK_LOG=debug) for progress chatter, \
-     --log-json for JSON-lines stderr"
+     --log-json for JSON-lines stderr\n\
+     threads: --threads N workers run matrix cells; SMRSEEK_THREADS overrides the default \
+     (host parallelism). Within a cell, --shards splits one trace's records across \
+     ceil(threads/cells) workers (auto), a fixed count, or none (serial); sharded replay \
+     is exact for NoLS runs and falls back to serial otherwise, so reports never change."
         .to_owned()
 }
 
@@ -166,11 +173,13 @@ fn parse_args(argv: &[String]) -> Result<Args, CliError> {
         out: None,
         format: TraceFormat::Auto,
         threads: runner::default_threads(),
+        shards: ShardPolicy::Auto,
         cache: false,
         addr: "127.0.0.1:7070".to_owned(),
         workers: 2,
         queue_depth: 64,
         at: None,
+        ops_explicit: false,
         checkpoint_dir: None,
         checkpoint_every: 100_000,
         verbose: false,
@@ -184,6 +193,7 @@ fn parse_args(argv: &[String]) -> Result<Args, CliError> {
                     .ok_or_else(|| CliError::usage("--ops needs a value"))?
                     .parse()
                     .map_err(|_| CliError::usage("--ops must be an integer"))?;
+                args.ops_explicit = true;
             }
             "--seed" => {
                 args.opts.seed = it
@@ -198,6 +208,18 @@ fn parse_args(argv: &[String]) -> Result<Args, CliError> {
                     .ok_or_else(|| CliError::usage("--threads needs a value"))?
                     .parse()
                     .map_err(|_| CliError::usage("--threads must be a positive integer"))?;
+            }
+            "--shards" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::usage("--shards needs auto|serial|N"))?;
+                args.shards = match value.as_str() {
+                    "auto" => ShardPolicy::Auto,
+                    "serial" | "1" => ShardPolicy::Serial,
+                    n => ShardPolicy::Fixed(n.parse().map_err(|_| {
+                        CliError::usage("--shards must be auto, serial, or a positive integer")
+                    })?),
+                };
             }
             "--json" => {
                 args.json = Some(
@@ -520,6 +542,156 @@ fn run_profile(args: &Args) -> Result<String, CliError> {
 }
 
 /// Runs the daemon until a termination signal, then drains gracefully.
+
+/// `smrseek bench` replays `--ops` records (default 10 million — large
+/// enough that per-record overheads dominate any constant cost) of a
+/// deterministic mixed read/write workload through the NoLS baseline and
+/// reports ingest bandwidth off the binary format plus replay throughput
+/// serial vs sharded. Sharding splits one trace across threads
+/// ([`Simulation::shards`]), so speedups are bounded by the host's CPU
+/// count — reported alongside so numbers from different machines compare
+/// honestly.
+fn run_bench(args: &Args) -> Result<String, CliError> {
+    #[derive(serde::Serialize)]
+    struct BenchPhase {
+        seconds: f64,
+        records_per_s: f64,
+    }
+    #[derive(serde::Serialize)]
+    struct BenchShard {
+        shards: usize,
+        seconds: f64,
+        records_per_s: f64,
+        speedup_vs_serial: f64,
+    }
+    #[derive(serde::Serialize)]
+    struct BenchReport {
+        records: usize,
+        trace_bytes: usize,
+        host_cpus: usize,
+        default_threads: usize,
+        ingest_mib_per_s: f64,
+        ingest: BenchPhase,
+        serial: BenchPhase,
+        sharded: Vec<BenchShard>,
+    }
+
+    let n = if args.ops_explicit {
+        args.opts.ops
+    } else {
+        10_000_000
+    };
+    let seed = args.opts.seed | 1;
+    smrseek_obs::info!("bench: generating {n} records");
+    let records: Vec<TraceRecord> = (0..n as u64)
+        .map(|i| {
+            // A multiplicative scramble over a 16 GiB span: almost every
+            // record seeks, so the seek model is fully exercised.
+            let lba = smrseek_trace::Lba::new(
+                i.wrapping_mul(seed).wrapping_mul(2654435761) % (1 << 22) * 8,
+            );
+            if i % 3 == 0 {
+                TraceRecord::read(i, lba, 8)
+            } else {
+                TraceRecord::write(i, lba, 16)
+            }
+        })
+        .collect();
+    let mut buf = Vec::new();
+    binary::write_binary_v2(&mut buf, &records).map_err(|e| CliError::Io(e.to_string()))?;
+    let trace_bytes = buf.len();
+    drop(records);
+    let map = MmapTrace::from_bytes(buf).map_err(|e| CliError::Parse(e.to_string()))?;
+
+    let phase = |seconds: f64| BenchPhase {
+        seconds,
+        records_per_s: n as f64 / seconds,
+    };
+    // Ingest: one block-decode pass over the mapped bytes, no simulation.
+    let start = Instant::now();
+    let mut blocks = map.blocks();
+    let mut decoded = 0usize;
+    while let Some(block) = blocks.next_block() {
+        decoded += block.len();
+    }
+    let ingest_s = start.elapsed().as_secs_f64();
+    if decoded != n {
+        return Err(CliError::Parse(format!(
+            "bench decoded {decoded} of {n} records"
+        )));
+    }
+
+    let config = SimConfig::no_ls();
+    let replay = |shards: usize| {
+        let start = Instant::now();
+        let report = Simulation::new(&config).shards(shards).run_trace(&map);
+        (start.elapsed().as_secs_f64(), report.logical_ops)
+    };
+    // Warm the page cache and branch predictors off the books.
+    replay(1);
+    let (serial_s, serial_ops) = replay(1);
+    if serial_ops != n as u64 {
+        return Err(CliError::Parse(format!(
+            "bench replayed {serial_ops} of {n} records"
+        )));
+    }
+    let sharded = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|shards| {
+            let (seconds, _) = replay(shards);
+            smrseek_obs::info!(
+                "bench: {shards} shard(s): {:.0} records/s",
+                n as f64 / seconds
+            );
+            BenchShard {
+                shards,
+                seconds,
+                records_per_s: n as f64 / seconds,
+                speedup_vs_serial: serial_s / seconds,
+            }
+        })
+        .collect::<Vec<_>>();
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    let report = BenchReport {
+        records: n,
+        trace_bytes,
+        host_cpus,
+        default_threads: runner::default_threads().get(),
+        ingest_mib_per_s: trace_bytes as f64 / (1 << 20) as f64 / ingest_s,
+        ingest: phase(ingest_s),
+        serial: phase(serial_s),
+        sharded,
+    };
+    maybe_write_json(&args.json, &report)?;
+
+    let mut table = TextTable::new(vec!["stage", "seconds", "records/s", "speedup"]);
+    table.row(vec![
+        "ingest".into(),
+        format!("{:.3}", report.ingest.seconds),
+        format!("{:.0}", report.ingest.records_per_s),
+        String::new(),
+    ]);
+    table.row(vec![
+        "serial".into(),
+        format!("{:.3}", report.serial.seconds),
+        format!("{:.0}", report.serial.records_per_s),
+        "1.00".into(),
+    ]);
+    for s in &report.sharded {
+        table.row(vec![
+            format!("{} shard(s)", s.shards),
+            format!("{:.3}", s.seconds),
+            format!("{:.0}", s.records_per_s),
+            format!("{:.2}", s.speedup_vs_serial),
+        ]);
+    }
+    Ok(format!(
+        "bench: {n} records ({:.1} MiB binary), {host_cpus} host CPU(s)\n{table}",
+        trace_bytes as f64 / (1 << 20) as f64
+    ))
+}
+
 fn run_serve(args: &Args) -> Result<String, CliError> {
     let config = smrseek_server::ServerConfig {
         addr: args.addr.clone(),
@@ -889,7 +1061,7 @@ fn run_experiment(args: &Args) -> Result<String, CliError> {
                 .ok_or_else(|| CliError::usage("simulate needs a trace file"))?;
             let source = simulate_source(path, args.format, args.cache)?;
             let matrix = RunMatrix::cross(&[source], &SimConfig::standard_sweep());
-            let outcomes = matrix.execute(args.threads);
+            let outcomes = matrix.execute_with(args.threads, args.shards);
             smrseek_obs::info!(
                 "{}",
                 MatrixStats::from_outcomes(&outcomes).summary("simulate")
@@ -908,6 +1080,7 @@ fn run_experiment(args: &Args) -> Result<String, CliError> {
             maybe_write_json(&args.json, &safs)?;
             format!("{path}: {ops} ops\n{table}")
         }
+        "bench" => run_bench(args)?,
         "serve" => run_serve(args)?,
         "profile" => run_profile(args)?,
         "snapshot" => {
@@ -943,18 +1116,15 @@ fn run_experiment(args: &Args) -> Result<String, CliError> {
                 parallel_map(&configs, args.threads, |config| {
                     let run = config.with_frontier_hint(top).with_checkpoint_every(at);
                     let mut written = Err("no checkpoint emitted".to_owned());
-                    let report = simulate_stream_checkpointed(
-                        None,
-                        records[..at as usize].iter().copied(),
-                        &run,
-                        |snap| {
+                    let report = Simulation::new(&run)
+                        .checkpoint_sink(|snap: &smrseek_sim::EngineSnapshot| {
                             if snap.logical_ops == at {
                                 written = store
                                     .save(digest, &checkpoint_config_key(config, top), snap)
                                     .map_err(|e| e.to_string());
                             }
-                        },
-                    );
+                        })
+                        .run(records[..at as usize].iter().copied());
                     (report.layer_name, written)
                 });
             let mut out = format!(

@@ -9,9 +9,7 @@
 
 use proptest::prelude::*;
 use smrseek_sim::checkpoint::{decode_engine_snapshot, encode_engine_snapshot};
-use smrseek_sim::{
-    simulate_stream, simulate_stream_checkpointed, simulate_stream_from, EngineSnapshot, SimConfig,
-};
+use smrseek_sim::{EngineSnapshot, SimConfig, Simulation};
 use smrseek_trace::{Lba, TraceRecord};
 
 /// One arbitrary record: mixed ops, sector-aligned LBAs within a 16 MiB
@@ -55,11 +53,13 @@ fn config_strategy() -> impl Strategy<Value = SimConfig> {
 fn snapshot_at(records: &[TraceRecord], config: &SimConfig, cut: u64) -> (EngineSnapshot, String) {
     let run = config.with_checkpoint_every(cut.max(1));
     let mut snap = None;
-    let report = simulate_stream_checkpointed(None, records.iter().copied(), &run, |s| {
-        if s.logical_ops == cut {
-            snap = Some(s.clone());
-        }
-    });
+    let report = Simulation::new(&run)
+        .checkpoint_sink(|s: &EngineSnapshot| {
+            if s.logical_ops == cut {
+                snap = Some(s.clone());
+            }
+        })
+        .run(records.iter().copied());
     let whole = serde_json::to_string(&report).expect("report serializes");
     (snap.expect("cadence fires at the cut"), whole)
 }
@@ -82,11 +82,9 @@ proptest! {
         let cut = (records.len() as u64 * cut_fraction / 100).max(1);
         let (snap, whole) = snapshot_at(&records, &config, cut);
         prop_assert_eq!(snap.logical_ops, cut);
-        let resumed = simulate_stream_from(
-            &snap,
-            records[cut as usize..].iter().copied(),
-            &config,
-        );
+        let resumed = Simulation::new(&config)
+            .resume_from(&snap)
+            .run(records[cut as usize..].iter().copied());
         prop_assert_eq!(
             serde_json::to_string(&resumed).expect("report serializes"),
             whole,
@@ -111,12 +109,10 @@ proptest! {
         prop_assert_eq!(container.record_index, cut);
         let decoded = decode_engine_snapshot(&container).expect("round trip decodes");
         prop_assert_eq!(&decoded, &snap);
-        let from_decoded = simulate_stream_from(
-            &decoded,
-            records[cut as usize..].iter().copied(),
-            &config,
-        );
-        let straight = simulate_stream(records.iter().copied(), &config);
+        let from_decoded = Simulation::new(&config)
+            .resume_from(&decoded)
+            .run(records[cut as usize..].iter().copied());
+        let straight = Simulation::new(&config).run(records.iter().copied());
         prop_assert_eq!(
             serde_json::to_string(&from_decoded).expect("serializes"),
             serde_json::to_string(&straight).expect("serializes")

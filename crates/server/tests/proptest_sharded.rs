@@ -1,0 +1,115 @@
+//! Property tests for intra-trace sharded simulation.
+//!
+//! The invariant the sharded executor rests on: for ANY trace, ANY shard
+//! count, and every sweep configuration, `Simulation::shards(k)` yields a
+//! report byte-identical (as serialized JSON) to the serial run — either
+//! because the NoLS reconciliation is exact, or because a history-
+//! dependent configuration silently falls back to serial. A second
+//! property extends the identity to runs resumed from a mid-trace
+//! snapshot, where shard seeding must use absolute record indices.
+
+use proptest::prelude::*;
+use smrseek_sim::{SimConfig, Simulation};
+use smrseek_trace::{Lba, TraceRecord};
+
+/// One arbitrary record: mixed ops, sector-aligned LBAs within a 16 MiB
+/// span, 1–64 sectors long.
+fn record_strategy() -> impl Strategy<Value = TraceRecord> {
+    (0u64..1 << 12, 1u32..64, prop::bool::ANY).prop_map(|(block, sectors, is_read)| {
+        let lba = Lba::new(block * 8);
+        if is_read {
+            TraceRecord::read(block, lba, sectors)
+        } else {
+            TraceRecord::write(block, lba, sectors)
+        }
+    })
+}
+
+/// The five standard-sweep configs with the report-shaping extras
+/// (distances, long-seek series, host cache) toggled at random, so both
+/// the exactly-shardable NoLS shapes and every serial-fallback shape come
+/// under the same identity check.
+fn config_strategy() -> impl Strategy<Value = SimConfig> {
+    let sweep = SimConfig::standard_sweep();
+    (
+        0..sweep.len(),
+        prop::bool::ANY,
+        prop_oneof![
+            1 => Just(0u64),
+            2 => 1u64..200,
+        ],
+        prop_oneof![
+            2 => Just(None),
+            1 => (1u64..1 << 20).prop_map(Some),
+        ],
+    )
+        .prop_map(move |(i, distances, longseek, cache)| {
+            let mut config = sweep[i];
+            config.record_distances = distances;
+            config.longseek_bucket_ops = longseek;
+            config.host_cache_bytes = cache;
+            config
+        })
+}
+
+fn report_json(report: &smrseek_sim::RunReport) -> String {
+    serde_json::to_string(report).expect("report serializes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// shards(k).run_trace == serial run_trace, byte for byte, for
+    /// arbitrary traces, shard counts, and sweep configs.
+    #[test]
+    fn sharded_equals_serial(
+        records in prop::collection::vec(record_strategy(), 1..200),
+        shards in 1usize..=16,
+        config in config_strategy(),
+    ) {
+        let serial = report_json(&Simulation::new(&config).run_trace(&records));
+        let sharded = report_json(
+            &Simulation::new(&config).shards(shards).run_trace(&records),
+        );
+        prop_assert_eq!(
+            sharded, serial,
+            "{} shards diverged over {} records", shards, records.len()
+        );
+    }
+
+    /// Resuming from a snapshot and sharding the remainder still equals
+    /// the uninterrupted serial run: shard workers must seed their seek
+    /// counters and series buckets with absolute indices, not
+    /// remainder-relative ones.
+    #[test]
+    fn sharded_resume_equals_straight_through(
+        records in prop::collection::vec(record_strategy(), 2..160),
+        cut_fraction in 1u64..100,
+        shards in 2usize..=16,
+        config in config_strategy(),
+    ) {
+        let top = smrseek_trace::binary::top_sector(&records);
+        let config = config.with_frontier_hint(top);
+        let whole = report_json(&Simulation::new(&config).run_trace(&records));
+        let cut = ((records.len() as u64 * cut_fraction / 100).max(1) as usize)
+            .min(records.len() - 1);
+        let run = config.with_checkpoint_every(cut as u64);
+        let mut snap = None;
+        Simulation::new(&run)
+            .checkpoint_sink(|s: &smrseek_sim::EngineSnapshot| {
+                if s.logical_ops == cut as u64 {
+                    snap = Some(s.clone());
+                }
+            })
+            .run(records.iter().copied());
+        let snap = snap.expect("cadence fires at the cut");
+        let resumed = Simulation::new(&config)
+            .resume_from(&snap)
+            .shards(shards)
+            .run_trace(&records[cut..]);
+        prop_assert_eq!(
+            report_json(&resumed), whole,
+            "sharded resume from {} of {} diverged", cut, records.len()
+        );
+    }
+}

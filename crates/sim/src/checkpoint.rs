@@ -142,7 +142,7 @@ pub fn checkpoint_config_key(config: &SimConfig, top: u64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{simulate_stream_checkpointed, simulate_stream_from};
+    use crate::engine::Simulation;
     use smrseek_trace::{Lba, TraceRecord};
 
     fn trace() -> Vec<TraceRecord> {
@@ -174,30 +174,33 @@ mod tests {
             .with_checkpoint_every(20);
         let key = checkpoint_config_key(&config, 2048);
 
-        let whole = serde_json::to_string(&simulate_stream_checkpointed(
-            None,
-            trace.iter().copied(),
-            &config,
-            |snap| {
-                store.save(digest, &key, snap).expect("save");
-            },
-        ))
+        let whole = serde_json::to_string(
+            &Simulation::new(&config)
+                .checkpoint_sink(|snap: &EngineSnapshot| {
+                    store.save(digest, &key, snap).expect("save");
+                })
+                .run(trace.iter().copied()),
+        )
         .expect("report serializes");
 
         let snap = store.load(digest, &key).expect("load").expect("present");
         assert_eq!(snap.logical_ops, 60, "last emission wins");
         // Stale-by-one demo: re-save an earlier point, then resume from it.
         let mut mid = None;
-        simulate_stream_checkpointed(None, trace.iter().copied(), &config, |s| {
-            if s.logical_ops == 20 {
-                mid = Some(s.clone());
-            }
-        });
+        Simulation::new(&config)
+            .checkpoint_sink(|s: &EngineSnapshot| {
+                if s.logical_ops == 20 {
+                    mid = Some(s.clone());
+                }
+            })
+            .run(trace.iter().copied());
         let mid = mid.expect("checkpoint at 20 fired");
         store.save(digest, &key, &mid).expect("save");
         let loaded = store.load(digest, &key).expect("load").expect("present");
         assert_eq!(loaded, mid);
-        let resumed = simulate_stream_from(&loaded, trace[20..].iter().copied(), &config);
+        let resumed = Simulation::new(&config)
+            .resume_from(&loaded)
+            .run(trace[20..].iter().copied());
         assert_eq!(
             serde_json::to_string(&resumed).expect("report serializes"),
             whole
@@ -215,9 +218,9 @@ mod tests {
         let config = crate::SimConfig::no_ls();
         let report_snap = {
             let mut out = None;
-            simulate_stream_checkpointed(None, trace(), &config.with_checkpoint_every(30), |s| {
-                out = Some(s.clone())
-            });
+            Simulation::new(&config)
+                .checkpoint_every(30, |s: &EngineSnapshot| out = Some(s.clone()))
+                .run(trace());
             out.expect("emitted")
         };
         let path = store.save(digest, key, &report_snap).expect("save");
@@ -259,7 +262,9 @@ mod tests {
     fn header_and_state_record_counts_must_agree() {
         let config = crate::SimConfig::no_ls().with_checkpoint_every(10);
         let mut snap = None;
-        simulate_stream_checkpointed(None, trace(), &config, |s| snap = Some(s.clone()));
+        Simulation::new(&config)
+            .checkpoint_sink(|s: &EngineSnapshot| snap = Some(s.clone()))
+            .run(trace());
         let snap = snap.expect("emitted");
         let mut container = encode_engine_snapshot(7, "k", &snap);
         container.record_index += 1;

@@ -1,5 +1,14 @@
 //! The simulation engine: trace × translation layer → seek statistics.
+//!
+//! The single entry point is the [`Simulation`] builder: configure with a
+//! [`SimConfig`] (validated construction via [`SimConfig::builder`]), then
+//! [`run`](Simulation::run) a record stream serially or
+//! [`run_trace`](Simulation::run_trace) a random-access trace — the latter
+//! can split the record stream across worker threads
+//! ([`Simulation::shards`]) and merge the per-shard statistics into a
+//! report byte-identical to the serial run.
 
+use std::num::NonZeroUsize;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
@@ -10,6 +19,7 @@ use smrseek_stl::{
     CacheConfig, DefragConfig, FragmentAccessTracker, LogStructured, LsConfig, LsSnapshot, LsStats,
     NoLs, PrefetchConfig, TranslationLayer,
 };
+use smrseek_trace::binary::{MmapTrace, DEFAULT_BLOCK_RECORDS};
 use smrseek_trace::{stream, TraceRecord};
 
 /// Which translation layer to simulate.
@@ -53,12 +63,13 @@ pub struct SimConfig {
     /// Logical-space bound for streaming runs: one past the highest sector
     /// the trace touches. Log-structured layers place their write frontier
     /// at the first 1 MiB boundary at or above this (§III). Required by
-    /// [`simulate_stream`] for LS layers — an iterator cannot be scanned
-    /// for its maximum LBA up front; [`simulate`] derives it from the slice
-    /// when unset. Ignored for the NoLS baseline.
+    /// [`Simulation::run`] for LS layers — an iterator cannot be scanned
+    /// for its maximum LBA up front; [`Simulation::run_trace`] derives it
+    /// from the trace when unset. Ignored for the NoLS baseline.
     pub frontier_hint: Option<u64>,
-    /// Emit an engine checkpoint every this many records (consumed by
-    /// [`simulate_stream_checkpointed`]; `None` disables emission). Purely
+    /// Emit an engine checkpoint every this many records (fed to the
+    /// sink set by [`Simulation::checkpoint_sink`]; `None` disables
+    /// emission). Purely
     /// operational — it cannot change any report — so
     /// [`canonical`](Self::canonical) clears it and it never affects cache
     /// keys.
@@ -166,15 +177,15 @@ impl SimConfig {
     }
 
     /// Declares the logical-space bound (`top` = one past the highest
-    /// sector the trace touches), letting [`simulate_stream`] place the
+    /// sector the trace touches), letting [`Simulation::run`] place the
     /// write frontier without scanning the trace.
     pub fn with_frontier_hint(mut self, top: u64) -> Self {
         self.frontier_hint = Some(top);
         self
     }
 
-    /// Emits an engine checkpoint every `n_records` records when the run is
-    /// driven through [`simulate_stream_checkpointed`]. Operational only:
+    /// Emits an engine checkpoint every `n_records` records when the run
+    /// has a [`Simulation::checkpoint_sink`]. Operational only:
     /// the emitted snapshots change no report and no cache key.
     pub fn with_checkpoint_every(mut self, n_records: u64) -> Self {
         self.checkpoint_every = Some(n_records);
@@ -235,6 +246,169 @@ impl SimConfig {
     /// config difference.
     pub fn cache_key(&self, top: Option<u64>) -> String {
         serde_json::to_string(&self.canonical(top)).expect("SimConfig always serializes")
+    }
+
+    /// A validating builder over `layer`: the same knobs as the `with_*`
+    /// methods, but degenerate values (zero-byte caches, a zero checkpoint
+    /// cadence, zero-sector zones) surface as a typed [`ConfigError`] at
+    /// [`build`](SimConfigBuilder::build) time instead of panicking or
+    /// being silently clamped mid-run.
+    pub fn builder(layer: LayerChoice) -> SimConfigBuilder {
+        SimConfigBuilder {
+            config: SimConfig {
+                layer,
+                ..SimConfig::no_ls()
+            },
+            longseek_bucket_ops: None,
+        }
+    }
+}
+
+/// Why a [`SimConfigBuilder`] refused to produce a [`SimConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A host buffer cache of zero bytes can never hold a range: every
+    /// lookup would miss, which is the same as no cache — almost certainly
+    /// a unit mistake (bytes vs KiB/MiB) at the call site.
+    ZeroHostCache,
+    /// The selective cache ([`CacheConfig`]) was given zero capacity.
+    ZeroSelectiveCache,
+    /// Zones of zero sectors cannot hold any write.
+    ZeroZoneSectors,
+    /// A checkpoint cadence of zero records would either checkpoint after
+    /// every record or never, depending on interpretation; the engine used
+    /// to silently disable it — now it is rejected up front.
+    ZeroCheckpointCadence,
+    /// A long-seek series with zero operations per bucket has no time
+    /// axis ([`LongSeekSeries::new`] panics on it mid-run otherwise).
+    ZeroLongseekBucket,
+    /// Zoned logging was requested for the NoLS baseline, which keeps no
+    /// log — the knob would be silently ignored.
+    ZonesWithoutLs,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            ConfigError::ZeroHostCache => "host cache capacity must be at least one byte",
+            ConfigError::ZeroSelectiveCache => "selective cache capacity must be at least one byte",
+            ConfigError::ZeroZoneSectors => "zones must span at least one sector",
+            ConfigError::ZeroCheckpointCadence => "checkpoint cadence must be at least one record",
+            ConfigError::ZeroLongseekBucket => {
+                "long-seek series buckets must span at least one operation"
+            }
+            ConfigError::ZonesWithoutLs => "the NoLS baseline keeps no log to zone",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Typed construction of a [`SimConfig`] that validates at build time.
+///
+/// # Example
+///
+/// ```
+/// use smrseek_sim::{ConfigError, LayerChoice, SimConfig};
+///
+/// let config = SimConfig::builder(LayerChoice::NoLs)
+///     .distances()
+///     .longseek_series(1000)
+///     .build()
+///     .unwrap();
+/// assert!(config.record_distances);
+///
+/// let err = SimConfig::builder(LayerChoice::NoLs)
+///     .host_cache(0)
+///     .build()
+///     .unwrap_err();
+/// assert_eq!(err, ConfigError::ZeroHostCache);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+    /// Kept apart from the config because `longseek_bucket_ops: 0` is the
+    /// *disabled* default there: only an explicit zero is an error.
+    longseek_bucket_ops: Option<u64>,
+}
+
+impl SimConfigBuilder {
+    /// Enables seek-distance recording.
+    pub fn distances(mut self) -> Self {
+        self.config.record_distances = true;
+        self
+    }
+
+    /// Enables the long-seek series with the given bucket width.
+    pub fn longseek_series(mut self, bucket_ops: u64) -> Self {
+        self.longseek_bucket_ops = Some(bucket_ops);
+        self
+    }
+
+    /// Enables fragment tracking.
+    pub fn fragment_tracking(mut self) -> Self {
+        self.config.track_fragments = true;
+        self
+    }
+
+    /// Interposes a host buffer cache of `bytes` bytes.
+    pub fn host_cache(mut self, bytes: u64) -> Self {
+        self.config.host_cache_bytes = Some(bytes);
+        self
+    }
+
+    /// Backs the log with zones of `sectors` sectors.
+    pub fn zones(mut self, sectors: u64) -> Self {
+        self.config.zone_sectors = Some(sectors);
+        self
+    }
+
+    /// Declares the logical-space bound (see
+    /// [`SimConfig::with_frontier_hint`]).
+    pub fn frontier_hint(mut self, top: u64) -> Self {
+        self.config.frontier_hint = Some(top);
+        self
+    }
+
+    /// Emits an engine checkpoint every `n_records` records.
+    pub fn checkpoint_every(mut self, n_records: u64) -> Self {
+        self.config.checkpoint_every = Some(n_records);
+        self
+    }
+
+    /// Validates the accumulated knobs and produces the config.
+    ///
+    /// # Errors
+    ///
+    /// A [`ConfigError`] naming the first degenerate knob found; see the
+    /// variants for what each rejects.
+    pub fn build(self) -> Result<SimConfig, ConfigError> {
+        let mut config = self.config;
+        if config.host_cache_bytes == Some(0) {
+            return Err(ConfigError::ZeroHostCache);
+        }
+        if config.zone_sectors == Some(0) {
+            return Err(ConfigError::ZeroZoneSectors);
+        }
+        if config.checkpoint_every == Some(0) {
+            return Err(ConfigError::ZeroCheckpointCadence);
+        }
+        if let Some(bucket_ops) = self.longseek_bucket_ops {
+            if bucket_ops == 0 {
+                return Err(ConfigError::ZeroLongseekBucket);
+            }
+            config.longseek_bucket_ops = bucket_ops;
+        }
+        if let LayerChoice::Ls { cache, .. } = config.layer {
+            if cache.is_some_and(|cc| cc.capacity_bytes == 0) {
+                return Err(ConfigError::ZeroSelectiveCache);
+            }
+        }
+        if matches!(config.layer, LayerChoice::NoLs) && config.zone_sectors.is_some() {
+            return Err(ConfigError::ZonesWithoutLs);
+        }
+        Ok(config)
     }
 }
 
@@ -347,8 +521,8 @@ pub enum LayerSnapshot {
 
 /// Complete engine state after consuming some prefix of a trace: restoring
 /// it and replaying the remaining records yields a [`RunReport`] identical
-/// to the uninterrupted run. Produced by [`simulate_stream_checkpointed`],
-/// consumed by [`simulate_stream_from`].
+/// to the uninterrupted run. Produced by a [`Simulation::checkpoint_sink`],
+/// consumed by [`Simulation::resume_from`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineSnapshot {
     /// Translation-layer state (extent map, frontier, caches, counters).
@@ -402,9 +576,10 @@ impl EngineState {
                 cache,
             } => {
                 let top = config.frontier_hint.expect(
-                    "simulate_stream needs SimConfig::with_frontier_hint for log-structured \
-                     layers: a stream cannot be pre-scanned for its highest LBA (use simulate() \
-                     for in-memory slices, or pass the bound from a header or a first pass)",
+                    "Simulation::run needs SimConfig::with_frontier_hint for log-structured \
+                     layers: a stream cannot be pre-scanned for its highest LBA (use \
+                     Simulation::run_trace for random-access traces, or pass the bound from a \
+                     header or a first pass)",
                 );
                 let mut ls_config = LsConfig::above_sector(top);
                 ls_config.defrag = defrag;
@@ -556,36 +731,413 @@ impl EngineState {
     }
 }
 
-/// Replays a stream of records through the configured layer, feeding every
-/// physical operation to the seek model. This is the engine's core: it
-/// consumes the records one at a time and never materializes the trace, so
-/// memory stays bounded by the layer's own state (extent map, caches)
-/// regardless of trace length.
+/// A trace the engine can replay with random access: sharded execution
+/// needs the total record count (to split), any single record (to seed a
+/// shard's head position from its overlap record), and batched sequential
+/// access to an arbitrary record range. Implemented for in-memory slices
+/// (zero-copy blocks) and for [`MmapTrace`] (block decode off the shared
+/// mapping).
+pub trait ShardableTrace: Sync {
+    /// Number of records available to replay.
+    fn num_records(&self) -> usize;
+
+    /// Record `index` (random access; panics out of bounds).
+    fn record(&self, index: usize) -> TraceRecord;
+
+    /// The frontier bound derived from this trace — what an LS run uses
+    /// when [`SimConfig::frontier_hint`] is unset. Each implementation
+    /// preserves the derivation its pre-`Simulation` replay path used, so
+    /// reports stay byte-identical across the API change.
+    fn frontier_top(&self) -> u64;
+
+    /// Streams records `[start, end)` to `f` as consecutive non-empty
+    /// blocks whose concatenation is exactly that range.
+    fn for_each_block(&self, start: usize, end: usize, f: &mut dyn FnMut(&[TraceRecord]));
+}
+
+impl ShardableTrace for [TraceRecord] {
+    fn num_records(&self) -> usize {
+        self.len()
+    }
+
+    fn record(&self, index: usize) -> TraceRecord {
+        self[index]
+    }
+
+    /// Highest *starting* LBA plus one — the derivation the historical
+    /// slice-based `simulate` used (via `stream::max_lba`), kept so
+    /// derived frontiers land on the same sector.
+    fn frontier_top(&self) -> u64 {
+        stream::max_lba(self).map_or(0, |l| l.sector() + 1)
+    }
+
+    fn for_each_block(&self, start: usize, end: usize, f: &mut dyn FnMut(&[TraceRecord])) {
+        for block in self[start..end].chunks(DEFAULT_BLOCK_RECORDS) {
+            f(block);
+        }
+    }
+}
+
+impl ShardableTrace for Vec<TraceRecord> {
+    fn num_records(&self) -> usize {
+        self.len()
+    }
+
+    fn record(&self, index: usize) -> TraceRecord {
+        self[index]
+    }
+
+    fn frontier_top(&self) -> u64 {
+        self.as_slice().frontier_top()
+    }
+
+    fn for_each_block(&self, start: usize, end: usize, f: &mut dyn FnMut(&[TraceRecord])) {
+        self.as_slice().for_each_block(start, end, f);
+    }
+}
+
+impl ShardableTrace for MmapTrace {
+    fn num_records(&self) -> usize {
+        self.len()
+    }
+
+    fn record(&self, index: usize) -> TraceRecord {
+        self.get(index)
+    }
+
+    /// One past the highest sector any record touches — from the v2
+    /// header when present, exactly the hint mmap-backed replay always
+    /// passed explicitly.
+    fn frontier_top(&self) -> u64 {
+        self.top_sector()
+    }
+
+    fn for_each_block(&self, start: usize, end: usize, f: &mut dyn FnMut(&[TraceRecord])) {
+        let mut blocks = self.blocks_range(start, end, DEFAULT_BLOCK_RECORDS);
+        while let Some(block) = blocks.next_block() {
+            f(block);
+        }
+    }
+}
+
+/// One configured simulation run: the single entry point that replaces the
+/// historical `simulate` / `simulate_stream` / `simulate_stream_from` /
+/// `simulate_stream_checkpointed` family.
 ///
-/// # Panics
+/// Build one with [`Simulation::new`], optionally chain
+/// [`resume_from`](Self::resume_from) (replay continues from a snapshot),
+/// [`checkpoint_every`](Self::checkpoint_every) (emit snapshots on a
+/// cadence), and [`shards`](Self::shards) (split the record stream across
+/// worker threads), then consume records with [`run`](Self::run) (any
+/// iterator, strictly serial) or [`run_trace`](Self::run_trace)
+/// (random-access traces, shardable). Whatever the combination, the
+/// serialized [`RunReport`] is byte-identical to the plain serial run.
 ///
-/// Log-structured layers place their write frontier just above the trace's
-/// highest LBA (§III), which a stream cannot reveal up front: running an
-/// LS layer requires [`SimConfig::with_frontier_hint`] and panics without
-/// it. (The [`simulate`] slice wrapper derives the hint automatically.)
+/// # Example
+///
+/// ```
+/// use smrseek_sim::{SimConfig, Simulation};
+/// use smrseek_workloads::profiles;
+///
+/// let trace = profiles::by_name("mds_0").unwrap().generate_scaled(1, 4000);
+/// let nols = Simulation::new(&SimConfig::no_ls()).shards(4).run_trace(&trace);
+/// let ls = Simulation::new(&SimConfig::log_structured()).run_trace(&trace);
+/// // mds_0 is write-intensive: log-structuring removes most seeks.
+/// assert!(ls.seeks.total() < nols.seeks.total());
+/// ```
+pub struct Simulation<'a> {
+    config: SimConfig,
+    resume_from: Option<&'a EngineSnapshot>,
+    sink: Option<SnapshotSink<'a>>,
+    shards: usize,
+}
+
+/// Boxed checkpoint consumer installed by [`Simulation::checkpoint_sink`].
+type SnapshotSink<'a> = Box<dyn FnMut(&EngineSnapshot) + 'a>;
+
+impl<'a> Simulation<'a> {
+    /// A simulation of `config` (copied; later chained knobs act on the
+    /// copy).
+    pub fn new(config: &SimConfig) -> Simulation<'a> {
+        Simulation {
+            config: *config,
+            resume_from: None,
+            sink: None,
+            shards: 1,
+        }
+    }
+
+    /// Resumes from `snapshot`: the subsequent [`run`](Self::run) /
+    /// [`run_trace`](Self::run_trace) must be given the *remaining*
+    /// records — those from index [`EngineSnapshot::logical_ops`] onward
+    /// of the original trace — and produces a [`RunReport`]
+    /// byte-identical (as JSON) to the uninterrupted run over the whole
+    /// trace.
+    pub fn resume_from(mut self, snapshot: &'a EngineSnapshot) -> Self {
+        self.resume_from = Some(snapshot);
+        self
+    }
+
+    /// Emits an [`EngineSnapshot`] to `sink` after every `n_records`-th
+    /// consumed record, at absolute record indices counted over the whole
+    /// trace (a resumed run keeps the original cadence). Overrides any
+    /// cadence already on the config. An active sink forces serial
+    /// execution: snapshots capture total engine state at a record
+    /// boundary, which a half-merged sharded run does not have.
+    pub fn checkpoint_every(
+        mut self,
+        n_records: u64,
+        sink: impl FnMut(&EngineSnapshot) + 'a,
+    ) -> Self {
+        self.config.checkpoint_every = Some(n_records);
+        self.sink = Some(Box::new(sink));
+        self
+    }
+
+    /// Like [`checkpoint_every`](Self::checkpoint_every), but keeps the
+    /// cadence already configured via [`SimConfig::with_checkpoint_every`]
+    /// (no emission when the config sets none).
+    pub fn checkpoint_sink(mut self, sink: impl FnMut(&EngineSnapshot) + 'a) -> Self {
+        self.sink = Some(Box::new(sink));
+        self
+    }
+
+    /// Requests the record stream be split across `k` worker threads in
+    /// [`run_trace`](Self::run_trace) (clamped to at least 1; ignored by
+    /// the strictly-serial [`run`](Self::run)). Sharding applies only
+    /// where it is exact — see [`shardable`](SimConfig) conditions in the
+    /// module docs — and falls back to serial execution otherwise, so it
+    /// is always safe to request.
+    pub fn shards(mut self, k: usize) -> Self {
+        self.shards = k.max(1);
+        self
+    }
+
+    /// Whether this run would actually execute sharded on `trace`.
+    ///
+    /// Sharding is exact only when each record's physical I/O depends on
+    /// nothing but the record itself: the NoLS layer translates 1:1
+    /// statelessly, so only the seek counter carries cross-record state —
+    /// and that state is just "one past the previous I/O's end sector",
+    /// reconstructible for any shard from its one-record overlap. A
+    /// log-structured layer's extent map and a host buffer cache are both
+    /// history-dependent, and an active checkpoint sink needs total state
+    /// at record boundaries; all three force serial execution.
+    pub fn is_sharded(&self, trace: &(impl ShardableTrace + ?Sized)) -> bool {
+        self.shards > 1
+            && trace.num_records() > 1
+            && matches!(self.config.layer, LayerChoice::NoLs)
+            && self.config.host_cache_bytes.is_none()
+            && !(self.sink.is_some() && self.config.checkpoint_every.is_some_and(|n| n > 0))
+    }
+
+    /// Replays a stream of records through the configured layer, feeding
+    /// every physical operation to the seek model. Consumes the records
+    /// one at a time and never materializes the trace, so memory stays
+    /// bounded by the layer's own state regardless of trace length.
+    /// Strictly serial — a bare iterator offers no random access to split
+    /// on; use [`run_trace`](Self::run_trace) for sharded replay.
+    ///
+    /// # Panics
+    ///
+    /// Log-structured layers place their write frontier just above the
+    /// trace's highest LBA (§III), which a stream cannot reveal up front:
+    /// running an LS layer requires [`SimConfig::with_frontier_hint`] and
+    /// panics without it ([`run_trace`](Self::run_trace) derives it).
+    /// Also panics when resuming from a snapshot whose layer kind does
+    /// not match the config's.
+    pub fn run<I>(mut self, records: I) -> RunReport
+    where
+        I: IntoIterator<Item = TraceRecord>,
+    {
+        let mut state = match self.resume_from {
+            Some(snap) => EngineState::resume(&self.config, snap),
+            None => EngineState::new(&self.config),
+        };
+        let every = self.config.checkpoint_every.filter(|&n| n > 0);
+        let timing = state.timing;
+        let mut records = records.into_iter();
+        loop {
+            // Pulling the next record is where trace parse / mmap-read
+            // cost lives, so it is accounted as the ingest phase.
+            let mark = timing.then(Instant::now);
+            let Some(rec) = records.next() else { break };
+            if let Some(t) = mark {
+                state.phases.record(Phase::Ingest, t.elapsed());
+            }
+            state.step(&rec);
+            if let Some(n) = every {
+                if state.logical_ops % n == 0 {
+                    let mark = timing.then(Instant::now);
+                    let snap = state.snapshot();
+                    if let Some(sink) = &mut self.sink {
+                        sink(&snap);
+                    }
+                    if let Some(t) = mark {
+                        state.phases.record(Phase::Checkpoint, t.elapsed());
+                    }
+                }
+            }
+        }
+        state.finish()
+    }
+
+    /// Replays a random-access trace: derives the LS frontier hint from
+    /// the trace when the config leaves it unset, ingests in decoded
+    /// blocks rather than record-at-a-time, and — when
+    /// [`shards`](Self::shards) requested it and the configuration is
+    /// exactly shardable (see [`is_sharded`](Self::is_sharded)) — splits
+    /// the record range across worker threads and merges the per-shard
+    /// statistics. Serialized reports are byte-identical to
+    /// [`run`](Self::run) over the same records in every case.
+    pub fn run_trace<T>(mut self, trace: &T) -> RunReport
+    where
+        T: ShardableTrace + ?Sized,
+    {
+        if matches!(self.config.layer, LayerChoice::Ls { .. })
+            && self.config.frontier_hint.is_none()
+        {
+            self.config.frontier_hint = Some(trace.frontier_top());
+        }
+        if self.is_sharded(trace) {
+            return self.run_sharded(trace);
+        }
+        let mut state = match self.resume_from {
+            Some(snap) => EngineState::resume(&self.config, snap),
+            None => EngineState::new(&self.config),
+        };
+        let every = self.config.checkpoint_every.filter(|&n| n > 0);
+        let mut sink = self.sink;
+        let n = trace.num_records();
+        run_range(&mut state, trace, 0, n, &mut |state| {
+            if let Some(n) = every {
+                if state.logical_ops % n == 0 {
+                    let mark = state.timing.then(Instant::now);
+                    let snap = state.snapshot();
+                    if let Some(sink) = &mut sink {
+                        sink(&snap);
+                    }
+                    if let Some(t) = mark {
+                        state.phases.record(Phase::Checkpoint, t.elapsed());
+                    }
+                }
+            }
+        });
+        state.finish()
+    }
+
+    /// The sharded executor. Preconditions (`is_sharded`): NoLS layer, no
+    /// host cache, no active checkpoint sink, at least 2 records.
+    ///
+    /// Each shard replays a contiguous record range `[s, e)` seeded with
+    /// one record of overlap: because NoLS translates 1:1 and statelessly,
+    /// the only cross-record state is the head position, which after
+    /// record `s-1` is exactly that record's end sector. Shard workers
+    /// therefore start their seek counter at
+    /// `(record(s-1).end, ops_seen = s)` with zeroed statistics, and the
+    /// per-shard reports merge associatively back into the serial result:
+    /// counts add, distances concatenate in shard order, and the
+    /// long-seek series — bucketed by *absolute* logical index — sums
+    /// bucket-wise.
+    fn run_sharded<T>(self, trace: &T) -> RunReport
+    where
+        T: ShardableTrace + ?Sized,
+    {
+        let n = trace.num_records();
+        let shards = self.shards.min(n);
+        // A resumed run replays the remaining records only; seed indices
+        // stay absolute so series buckets and op indices line up.
+        let base_logical = self.resume_from.map_or(0, |s| s.logical_ops);
+        let base_head_ops = self.resume_from.map_or(0, |s| s.counter.head_ops_seen);
+        let bounds: Vec<usize> = (0..=shards).map(|i| i * n / shards).collect();
+        let ranges: Vec<(usize, usize)> = bounds.windows(2).map(|w| (w[0], w[1])).collect();
+        let config = self.config;
+        let resume_from = self.resume_from;
+        let workers = NonZeroUsize::new(shards).expect("is_sharded implies shards >= 2");
+        let reports = crate::runner::parallel_map(&ranges, workers, |&(start, end)| {
+            let mut state = if start == 0 {
+                match resume_from {
+                    Some(snap) => EngineState::resume(&config, snap),
+                    None => EngineState::new(&config),
+                }
+            } else {
+                let mut state = EngineState::new(&config);
+                let overlap = trace.record(start - 1);
+                state.counter = SeekCounter::from_state(SeekCounterState {
+                    head_position: overlap.end().sector(),
+                    head_ops_seen: base_head_ops + start as u64,
+                    stats: SeekStats::default(),
+                    record_distances: config.record_distances,
+                    distances: Vec::new(),
+                });
+                state.logical_ops = base_logical + start as u64;
+                state
+            };
+            run_range(&mut state, trace, start, end, &mut |_| {});
+            state.finish()
+        });
+        let mut reports = reports.into_iter();
+        let mut merged = reports.next().expect("at least one shard ran");
+        for shard in reports {
+            merged.seeks.merge(&shard.seeks);
+            if let (Some(all), Some(part)) = (&mut merged.distances, &shard.distances) {
+                all.extend_from_slice(part);
+            }
+            if let (Some(all), Some(part)) = (&mut merged.longseek_series, &shard.longseek_series) {
+                all.merge(part);
+            }
+            merged.phys_sectors += shard.phys_sectors;
+            merged.host_cache_hits += shard.host_cache_hits;
+            merged.logical_ops = merged.logical_ops.max(shard.logical_ops);
+            merged.peak_extent_segments =
+                merged.peak_extent_segments.max(shard.peak_extent_segments);
+            merged.phases.merge(&shard.phases);
+        }
+        merged
+    }
+}
+
+/// Replays records `[start, end)` of `trace` through `state` block by
+/// block, calling `after_step` after every record (checkpoint cadence
+/// hook; a no-op closure for shard workers). Block decode time is
+/// accounted to the ingest phase — once per block, which is the point of
+/// batching.
+fn run_range<T>(
+    state: &mut EngineState,
+    trace: &T,
+    start: usize,
+    end: usize,
+    after_step: &mut dyn FnMut(&mut EngineState),
+) where
+    T: ShardableTrace + ?Sized,
+{
+    let timing = state.timing;
+    let mut last = timing.then(Instant::now);
+    trace.for_each_block(start, end, &mut |block| {
+        if let Some(t) = &mut last {
+            state.phases.record(Phase::Ingest, t.elapsed());
+        }
+        for rec in block {
+            state.step(rec);
+            after_step(state);
+        }
+        if let Some(t) = &mut last {
+            *t = Instant::now();
+        }
+    });
+}
+
+/// Replays a stream of records through the configured layer.
+#[deprecated(note = "use `Simulation::new(&config).run(records)`")]
 pub fn simulate_stream<I>(records: I, config: &SimConfig) -> RunReport
 where
     I: IntoIterator<Item = TraceRecord>,
 {
-    simulate_stream_checkpointed(None, records, config, |_| {})
+    Simulation::new(config).run(records)
 }
 
-/// Resumes a run from `snapshot` and replays the *remaining* records —
-/// those from index [`EngineSnapshot::logical_ops`] onward of the original
-/// trace — producing a [`RunReport`] byte-identical (as JSON) to the
-/// uninterrupted run over the whole trace.
-///
-/// # Panics
-///
-/// Panics when the snapshot's layer kind does not match `config.layer`;
-/// callers should validate the snapshot's stored config key against
-/// [`SimConfig::cache_key`] first (the container in `smrseek-snapshot`
-/// carries it for exactly this purpose).
+/// Resumes a run from `snapshot` and replays the *remaining* records.
+#[deprecated(note = "use `Simulation::new(&config).resume_from(snapshot).run(remaining)`")]
 pub fn simulate_stream_from<I>(
     snapshot: &EngineSnapshot,
     remaining: I,
@@ -594,69 +1146,35 @@ pub fn simulate_stream_from<I>(
 where
     I: IntoIterator<Item = TraceRecord>,
 {
-    simulate_stream_checkpointed(Some(snapshot), remaining, config, |_| {})
+    Simulation::new(config).resume_from(snapshot).run(remaining)
 }
 
-/// The general engine entry point: optionally resumes from a snapshot,
-/// replays `records`, and — when [`SimConfig::with_checkpoint_every`] is
-/// set — calls `emit` with a fresh [`EngineSnapshot`] after every
-/// `n`-th consumed record (at absolute record indices `n`, `2n`, ...,
-/// counted over the whole trace, so a resumed run keeps the original
-/// cadence). [`simulate_stream`] and [`simulate_stream_from`] are thin
-/// wrappers over this with a no-op `emit`.
+/// Optionally resumes from a snapshot, replays `records`, and emits
+/// checkpoints on the config's cadence.
+#[deprecated(
+    note = "use `Simulation::new(&config).resume_from(..).checkpoint_sink(emit).run(records)`"
+)]
 pub fn simulate_stream_checkpointed<I, F>(
     resume_from: Option<&EngineSnapshot>,
     records: I,
     config: &SimConfig,
-    mut emit: F,
+    emit: F,
 ) -> RunReport
 where
     I: IntoIterator<Item = TraceRecord>,
     F: FnMut(&EngineSnapshot),
 {
-    let mut state = match resume_from {
-        Some(snap) => EngineState::resume(config, snap),
-        None => EngineState::new(config),
-    };
-    let every = config.checkpoint_every.filter(|&n| n > 0);
-    let timing = state.timing;
-    let mut records = records.into_iter();
-    loop {
-        // Pulling the next record is where trace parse / mmap-read cost
-        // lives, so it is accounted as the ingest phase.
-        let mark = timing.then(Instant::now);
-        let Some(rec) = records.next() else { break };
-        if let Some(t) = mark {
-            state.phases.record(Phase::Ingest, t.elapsed());
-        }
-        state.step(&rec);
-        if let Some(n) = every {
-            if state.logical_ops % n == 0 {
-                let mark = timing.then(Instant::now);
-                emit(&state.snapshot());
-                if let Some(t) = mark {
-                    state.phases.record(Phase::Checkpoint, t.elapsed());
-                }
-            }
-        }
+    let mut sim = Simulation::new(config).checkpoint_sink(emit);
+    if let Some(snap) = resume_from {
+        sim = sim.resume_from(snap);
     }
-    state.finish()
+    sim.run(records)
 }
 
 /// Replays an in-memory `trace` through the configured layer.
-///
-/// Thin wrapper over [`simulate_stream`]: for log-structured layers it
-/// scans the slice for its highest LBA first (exactly what
-/// `LsConfig::for_trace` did) so the frontier lands on the same sector and
-/// reports stay identical to the historical slice-based engine.
+#[deprecated(note = "use `Simulation::new(&config).run_trace(trace)`")]
 pub fn simulate(trace: &[TraceRecord], config: &SimConfig) -> RunReport {
-    let config = match config.layer {
-        LayerChoice::Ls { .. } if config.frontier_hint.is_none() => {
-            config.with_frontier_hint(stream::max_lba(trace).map_or(0, |l| l.sector() + 1))
-        }
-        _ => *config,
-    };
-    simulate_stream(trace.iter().copied(), &config)
+    Simulation::new(config).run_trace(trace)
 }
 
 #[cfg(test)]
@@ -674,7 +1192,7 @@ mod tests {
 
     #[test]
     fn nols_counts_trace_seeks() {
-        let report = simulate(&toy_trace(), &SimConfig::no_ls());
+        let report = Simulation::new(&SimConfig::no_ls()).run_trace(&toy_trace());
         assert_eq!(report.layer_name, "NoLS");
         assert_eq!(report.logical_ops, 3);
         // write@0 (no seek from rest at 0), write@1000 (seek), read@0 (seek)
@@ -684,27 +1202,28 @@ mod tests {
 
     #[test]
     fn ls_removes_write_seeks() {
-        let report = simulate(&toy_trace(), &SimConfig::log_structured());
+        let report = Simulation::new(&SimConfig::log_structured()).run_trace(&toy_trace());
         // Both writes land contiguously at the frontier: one frontier seek.
         assert_eq!(report.seeks.write_seeks, 1);
     }
 
     #[test]
     fn distances_recorded_when_enabled() {
-        let report = simulate(&toy_trace(), &SimConfig::no_ls().with_distances());
+        let report = Simulation::new(&SimConfig::no_ls().with_distances()).run_trace(&toy_trace());
         let cdf = report.distance_cdf().expect("distances were recorded");
         assert_eq!(cdf.len() as u64, report.seeks.total());
         assert!(
             report.distances.is_some(),
             "building the CDF must not consume the recorded samples"
         );
-        let report = simulate(&toy_trace(), &SimConfig::no_ls());
+        let report = Simulation::new(&SimConfig::no_ls()).run_trace(&toy_trace());
         assert!(report.distances.is_none());
     }
 
     #[test]
     fn distance_cdf_is_none_without_recording() {
-        assert!(simulate(&toy_trace(), &SimConfig::no_ls())
+        assert!(Simulation::new(&SimConfig::no_ls())
+            .run_trace(&toy_trace())
             .distance_cdf()
             .is_none());
     }
@@ -720,11 +1239,9 @@ mod tests {
             SimConfig::ls_prefetch(),
             SimConfig::ls_cache(),
         ] {
-            let slice = simulate(&trace, &config.with_distances());
-            let stream = simulate_stream(
-                trace.iter().copied(),
-                &config.with_distances().with_frontier_hint(top),
-            );
+            let slice = Simulation::new(&config.with_distances()).run_trace(&trace);
+            let stream = Simulation::new(&config.with_distances().with_frontier_hint(top))
+                .run(trace.iter().copied());
             assert_eq!(slice.layer_name, stream.layer_name);
             assert_eq!(slice.seeks, stream.seeks);
             assert_eq!(slice.distances, stream.distances);
@@ -743,21 +1260,21 @@ mod tests {
             10_000_000
         };
         let records = (0..n).map(|i| TraceRecord::write(i, Lba::new((i % 1024) * 8), 8));
-        let report = simulate_stream(records, &SimConfig::no_ls());
+        let report = Simulation::new(&SimConfig::no_ls()).run(records);
         assert_eq!(report.logical_ops, n);
         assert_eq!(report.peak_extent_segments, 0);
     }
 
     #[test]
     fn streaming_ls_tracks_peak_extent_size() {
-        let report = simulate(&toy_trace(), &SimConfig::log_structured());
+        let report = Simulation::new(&SimConfig::log_structured()).run_trace(&toy_trace());
         assert!(report.peak_extent_segments > 0);
     }
 
     #[test]
     #[should_panic(expected = "frontier_hint")]
     fn streaming_ls_requires_frontier_hint() {
-        simulate_stream(toy_trace(), &SimConfig::log_structured());
+        Simulation::new(&SimConfig::log_structured()).run(toy_trace());
     }
 
     #[test]
@@ -766,7 +1283,7 @@ mod tests {
             TraceRecord::write(0, Lba::new(0), 8),
             TraceRecord::read(1, Lba::new(10_000_000), 8),
         ];
-        let report = simulate(&trace, &SimConfig::no_ls().with_longseek_series(1));
+        let report = Simulation::new(&SimConfig::no_ls().with_longseek_series(1)).run_trace(&trace);
         let series = report.longseek_series.unwrap();
         assert_eq!(series.total(), 1);
         assert_eq!(series.buckets(), &[0, 1]);
@@ -852,6 +1369,71 @@ mod tests {
         }
     }
 
+    #[test]
+    fn builder_matches_with_chain() {
+        let built = SimConfig::builder(LayerChoice::NoLs)
+            .distances()
+            .longseek_series(64)
+            .host_cache(1 << 20)
+            .checkpoint_every(50)
+            .build()
+            .expect("valid config");
+        let chained = SimConfig::no_ls()
+            .with_distances()
+            .with_longseek_series(64)
+            .with_host_cache(1 << 20)
+            .with_checkpoint_every(50);
+        assert_eq!(built, chained);
+
+        let built = SimConfig::builder(SimConfig::ls_cache().layer)
+            .fragment_tracking()
+            .zones(512)
+            .frontier_hint(4096)
+            .build()
+            .expect("valid config");
+        let chained = SimConfig::ls_cache()
+            .with_fragment_tracking()
+            .with_zones(512)
+            .with_frontier_hint(4096);
+        assert_eq!(built, chained);
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_knobs() {
+        let nols = || SimConfig::builder(LayerChoice::NoLs);
+        assert_eq!(
+            nols().host_cache(0).build(),
+            Err(ConfigError::ZeroHostCache)
+        );
+        assert_eq!(
+            nols().checkpoint_every(0).build(),
+            Err(ConfigError::ZeroCheckpointCadence)
+        );
+        assert_eq!(
+            nols().longseek_series(0).build(),
+            Err(ConfigError::ZeroLongseekBucket)
+        );
+        assert_eq!(nols().zones(512).build(), Err(ConfigError::ZonesWithoutLs));
+        assert_eq!(
+            SimConfig::builder(SimConfig::log_structured().layer)
+                .zones(0)
+                .build(),
+            Err(ConfigError::ZeroZoneSectors)
+        );
+        let empty_cache = CacheConfig {
+            capacity_bytes: 0,
+            ..CacheConfig::default()
+        };
+        assert_eq!(
+            SimConfig::builder(SimConfig::ls_with(None, None, Some(empty_cache)).layer).build(),
+            Err(ConfigError::ZeroSelectiveCache)
+        );
+        // Errors render as actionable prose.
+        assert!(ConfigError::ZeroHostCache
+            .to_string()
+            .contains("host cache"));
+    }
+
     /// A mixed read/write workload long enough to exercise defrag,
     /// prefetch, caching, zones, and the host cache.
     fn busy_trace(n: u64) -> Vec<TraceRecord> {
@@ -887,7 +1469,7 @@ mod tests {
         let top = smrseek_trace::stream::max_lba(&trace).map_or(0, |l| l.sector() + 1);
         for config in resume_configs() {
             let config = config.with_frontier_hint(top);
-            let whole = serde_json::to_string(&simulate_stream(trace.iter().copied(), &config))
+            let whole = serde_json::to_string(&Simulation::new(&config).run(trace.iter().copied()))
                 .expect("report serializes");
             for split in [0usize, 1, 100, 239, 240] {
                 let mut state = EngineState::new(&config);
@@ -896,7 +1478,9 @@ mod tests {
                 }
                 let snap = state.snapshot();
                 assert_eq!(snap.logical_ops as usize, split);
-                let resumed = simulate_stream_from(&snap, trace[split..].iter().copied(), &config);
+                let resumed = Simulation::new(&config)
+                    .resume_from(&snap)
+                    .run(trace[split..].iter().copied());
                 assert_eq!(
                     serde_json::to_string(&resumed).expect("report serializes"),
                     whole,
@@ -912,7 +1496,7 @@ mod tests {
         let top = smrseek_trace::stream::max_lba(&trace).map_or(0, |l| l.sector() + 1);
         for config in resume_configs() {
             let config = config.with_frontier_hint(top);
-            let whole = serde_json::to_string(&simulate_stream(trace.iter().copied(), &config))
+            let whole = serde_json::to_string(&Simulation::new(&config).run(trace.iter().copied()))
                 .expect("report serializes");
             let mut state = EngineState::new(&config);
             for rec in &trace[..75] {
@@ -920,7 +1504,9 @@ mod tests {
             }
             let json = serde_json::to_string(&state.snapshot()).expect("snapshot serializes");
             let snap: EngineSnapshot = serde_json::from_str(&json).expect("snapshot deserializes");
-            let resumed = simulate_stream_from(&snap, trace[75..].iter().copied(), &config);
+            let resumed = Simulation::new(&config)
+                .resume_from(&snap)
+                .run(trace[75..].iter().copied());
             assert_eq!(
                 serde_json::to_string(&resumed).expect("report serializes"),
                 whole,
@@ -932,11 +1518,25 @@ mod tests {
     #[test]
     fn checkpoints_emitted_on_cadence() {
         let trace = busy_trace(35);
-        let config = SimConfig::no_ls().with_checkpoint_every(10);
+        let config = SimConfig::no_ls();
         let mut emitted = Vec::new();
-        let report = simulate_stream_checkpointed(None, trace.iter().copied(), &config, |snap| {
-            emitted.push(snap.logical_ops)
-        });
+        let report = Simulation::new(&config)
+            .checkpoint_every(10, |snap: &EngineSnapshot| emitted.push(snap.logical_ops))
+            .run(trace.iter().copied());
+        assert_eq!(report.logical_ops, 35);
+        assert_eq!(emitted, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn run_trace_honors_checkpoint_cadence() {
+        // The random-access path checkpoints on the same cadence as the
+        // streaming path, and an active sink forces serial execution.
+        let trace = busy_trace(35);
+        let mut emitted = Vec::new();
+        let report = Simulation::new(&SimConfig::no_ls())
+            .checkpoint_every(10, |snap: &EngineSnapshot| emitted.push(snap.logical_ops))
+            .shards(4)
+            .run_trace(&trace);
         assert_eq!(report.logical_ops, 35);
         assert_eq!(emitted, vec![10, 20, 30]);
     }
@@ -953,9 +1553,10 @@ mod tests {
         }
         let snap = state.snapshot();
         let mut emitted = Vec::new();
-        simulate_stream_checkpointed(Some(&snap), trace[15..].iter().copied(), &config, |s| {
-            emitted.push(s.logical_ops)
-        });
+        Simulation::new(&config)
+            .resume_from(&snap)
+            .checkpoint_sink(|s: &EngineSnapshot| emitted.push(s.logical_ops))
+            .run(trace[15..].iter().copied());
         assert_eq!(emitted, vec![20, 30]);
     }
 
@@ -964,7 +1565,9 @@ mod tests {
     fn resume_with_mismatched_layer_panics() {
         let config = SimConfig::no_ls();
         let snap = EngineState::new(&config).snapshot();
-        simulate_stream_from(&snap, toy_trace(), &SimConfig::log_structured());
+        Simulation::new(&SimConfig::log_structured())
+            .resume_from(&snap)
+            .run(toy_trace());
     }
 
     #[test]
@@ -973,5 +1576,117 @@ mod tests {
         let b = SimConfig::ls_cache();
         assert_eq!(a.canonical(Some(42)), b.canonical(Some(42)));
         assert_eq!(a.cache_key(Some(42)), b.cache_key(Some(42)));
+    }
+
+    #[test]
+    fn sharding_predicate_requires_history_free_replay() {
+        let trace = busy_trace(100);
+        let sharded = |config: &SimConfig| Simulation::new(config).shards(4).is_sharded(&trace);
+        assert!(sharded(&SimConfig::no_ls()));
+        assert!(sharded(
+            &SimConfig::no_ls().with_distances().with_longseek_series(8)
+        ));
+        // History-dependent state forces the serial path.
+        assert!(!sharded(&SimConfig::log_structured()));
+        assert!(!sharded(&SimConfig::no_ls().with_host_cache(1 << 20)));
+        // So does an active checkpoint sink...
+        let sim = Simulation::new(&SimConfig::no_ls())
+            .checkpoint_every(10, |_: &EngineSnapshot| {})
+            .shards(4);
+        assert!(!sim.is_sharded(&trace));
+        // ...but a cadence with no sink shards fine (nobody observes it).
+        let sim = Simulation::new(&SimConfig::no_ls().with_checkpoint_every(10)).shards(4);
+        assert!(sim.is_sharded(&trace));
+        // Degenerate shapes stay serial.
+        assert!(!Simulation::new(&SimConfig::no_ls()).is_sharded(&trace));
+        let single = busy_trace(1);
+        assert!(!Simulation::new(&SimConfig::no_ls())
+            .shards(4)
+            .is_sharded(&single));
+    }
+
+    #[test]
+    fn sharded_run_is_byte_identical_to_serial() {
+        let trace = busy_trace(500);
+        let configs = [
+            SimConfig::no_ls(),
+            SimConfig::no_ls().with_distances().with_longseek_series(64),
+            // Not shardable: exercises the silent serial fallback.
+            SimConfig::log_structured().with_distances(),
+            SimConfig::no_ls().with_host_cache(8 * 512),
+        ];
+        for config in configs {
+            let serial = serde_json::to_string(&Simulation::new(&config).run_trace(&trace))
+                .expect("report serializes");
+            for shards in [1usize, 2, 3, 7, 16, 500] {
+                let sharded = serde_json::to_string(
+                    &Simulation::new(&config).shards(shards).run_trace(&trace),
+                )
+                .expect("report serializes");
+                assert_eq!(sharded, serial, "shards={shards} diverged for {config:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_resume_is_byte_identical_to_serial_resume() {
+        let trace = busy_trace(300);
+        let config = SimConfig::no_ls().with_distances().with_longseek_series(32);
+        let whole = serde_json::to_string(&Simulation::new(&config).run_trace(&trace))
+            .expect("report serializes");
+        for split in [1usize, 77, 299] {
+            let mut state = EngineState::new(&config);
+            for rec in &trace[..split] {
+                state.step(rec);
+            }
+            let snap = state.snapshot();
+            let resumed = Simulation::new(&config)
+                .resume_from(&snap)
+                .shards(5)
+                .run_trace(&trace[split..]);
+            assert_eq!(
+                serde_json::to_string(&resumed).expect("report serializes"),
+                whole,
+                "sharded resume at {split} diverged"
+            );
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_simulation() {
+        let trace = busy_trace(64);
+        let config = SimConfig::no_ls()
+            .with_distances()
+            .with_checkpoint_every(20);
+        let new = serde_json::to_string(&Simulation::new(&config).run_trace(&trace))
+            .expect("report serializes");
+        let json = |report: &RunReport| serde_json::to_string(report).expect("report serializes");
+        assert_eq!(json(&simulate(&trace, &config)), new);
+        assert_eq!(json(&simulate_stream(trace.iter().copied(), &config)), new);
+        let mut state = EngineState::new(&config);
+        for rec in &trace[..10] {
+            state.step(rec);
+        }
+        let snap = state.snapshot();
+        assert_eq!(
+            json(&simulate_stream_from(
+                &snap,
+                trace[10..].iter().copied(),
+                &config
+            )),
+            new
+        );
+        let mut emitted = Vec::new();
+        assert_eq!(
+            json(&simulate_stream_checkpointed(
+                None,
+                trace.iter().copied(),
+                &config,
+                |s| emitted.push(s.logical_ops),
+            )),
+            new
+        );
+        assert_eq!(emitted, vec![20, 40, 60]);
     }
 }

@@ -10,7 +10,7 @@
 //! [`RunMatrix`] so the full ablation executes as a single parallel batch.
 
 use super::ExpOptions;
-use crate::engine::{simulate, SimConfig};
+use crate::engine::{SimConfig, Simulation};
 use crate::report::TextTable;
 use crate::runner::{MatrixStats, RunCell, RunMatrix, TraceSource};
 use crate::saf::Saf;
@@ -165,13 +165,18 @@ fn run_sweep(
     points: &[(String, SimConfig)],
 ) -> Sweep {
     let trace = profile.generate_scaled(opts.seed, opts.ops);
-    let base = simulate(&trace, &SimConfig::no_ls()).seeks;
-    let ls = Saf::from_stats(&simulate(&trace, &SimConfig::log_structured()).seeks, &base);
+    let base = Simulation::new(&SimConfig::no_ls()).run_trace(&trace).seeks;
+    let ls = Saf::from_stats(
+        &Simulation::new(&SimConfig::log_structured())
+            .run_trace(&trace)
+            .seeks,
+        &base,
+    );
     let points = points
         .iter()
         .map(|(param, config)| SweepPoint {
             param: param.clone(),
-            saf: Saf::from_stats(&simulate(&trace, config).seeks, &base),
+            saf: Saf::from_stats(&Simulation::new(config).run_trace(&trace).seeks, &base),
         })
         .collect();
     Sweep {

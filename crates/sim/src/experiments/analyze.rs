@@ -8,7 +8,7 @@
 
 use super::classify::{classify_saf, SeekClass};
 use super::ExpOptions;
-use crate::engine::{simulate, SimConfig};
+use crate::engine::{SimConfig, Simulation};
 use crate::report::TextTable;
 use crate::saf::Saf;
 use serde::Serialize;
@@ -31,8 +31,13 @@ pub struct AnalyzeRow {
 /// Analyzes one workload.
 pub fn run_one(profile: &Profile, opts: &ExpOptions) -> AnalyzeRow {
     let trace = profile.generate_scaled(opts.seed, opts.ops);
-    let base = simulate(&trace, &SimConfig::no_ls()).seeks;
-    let saf = Saf::from_stats(&simulate(&trace, &SimConfig::log_structured()).seeks, &base);
+    let base = Simulation::new(&SimConfig::no_ls()).run_trace(&trace).seeks;
+    let saf = Saf::from_stats(
+        &Simulation::new(&SimConfig::log_structured())
+            .run_trace(&trace)
+            .seeks,
+        &base,
+    );
     AnalyzeRow {
         workload: profile.name.to_owned(),
         analysis: summarize(&trace),

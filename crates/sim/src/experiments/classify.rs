@@ -4,7 +4,7 @@
 //! against the classification the paper's own Figures 2 and 11 imply.
 
 use super::ExpOptions;
-use crate::engine::{simulate, SimConfig};
+use crate::engine::{SimConfig, Simulation};
 use crate::report::TextTable;
 use crate::saf::Saf;
 use serde::{Deserialize, Serialize};
@@ -91,8 +91,13 @@ impl ClassifyRow {
 /// Classifies one workload.
 pub fn run_one(profile: &Profile, opts: &ExpOptions) -> ClassifyRow {
     let trace = profile.generate_scaled(opts.seed, opts.ops);
-    let base = simulate(&trace, &SimConfig::no_ls()).seeks;
-    let saf = Saf::from_stats(&simulate(&trace, &SimConfig::log_structured()).seeks, &base);
+    let base = Simulation::new(&SimConfig::no_ls()).run_trace(&trace).seeks;
+    let saf = Saf::from_stats(
+        &Simulation::new(&SimConfig::log_structured())
+            .run_trace(&trace)
+            .seeks,
+        &base,
+    );
     ClassifyRow {
         workload: profile.name.to_owned(),
         saf,

@@ -7,7 +7,7 @@
 //! or less" — the justification for a 64 MB selective cache.
 
 use super::ExpOptions;
-use crate::engine::{simulate, SimConfig};
+use crate::engine::{SimConfig, Simulation};
 use crate::report::TextTable;
 use serde::Serialize;
 use smrseek_stl::FragmentAccessTracker;
@@ -51,10 +51,8 @@ impl Fig10Stats {
 /// Measures one workload's fragment popularity under plain LS translation.
 pub fn run_one(profile: &Profile, opts: &ExpOptions) -> Fig10Stats {
     let trace = profile.generate_scaled(opts.seed, opts.ops);
-    let report = simulate(
-        &trace,
-        &SimConfig::log_structured().with_fragment_tracking(),
-    );
+    let report =
+        Simulation::new(&SimConfig::log_structured().with_fragment_tracking()).run_trace(&trace);
     Fig10Stats {
         workload: profile.name.to_owned(),
         tracker: report.fragments.expect("fragment tracking was enabled"),

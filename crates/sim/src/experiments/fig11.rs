@@ -7,7 +7,7 @@
 //! overall (w91 3.7 → 0.2); defragmentation can hurt (w20 worsens ~2.8x).
 
 use super::ExpOptions;
-use crate::engine::{simulate, SimConfig};
+use crate::engine::{SimConfig, Simulation};
 use crate::report::TextTable;
 use crate::saf::Saf;
 use serde::{Deserialize, Serialize};
@@ -33,8 +33,10 @@ pub struct Fig11Row {
 /// Runs one workload through the baseline and the four configurations.
 pub fn run_one(profile: &Profile, opts: &ExpOptions) -> Fig11Row {
     let trace = profile.generate_scaled(opts.seed, opts.ops);
-    let base = simulate(&trace, &SimConfig::no_ls()).seeks;
-    let saf_of = |config: &SimConfig| Saf::from_stats(&simulate(&trace, config).seeks, &base);
+    let base = Simulation::new(&SimConfig::no_ls()).run_trace(&trace).seeks;
+    let saf_of = |config: &SimConfig| {
+        Saf::from_stats(&Simulation::new(config).run_trace(&trace).seeks, &base)
+    };
     Fig11Row {
         workload: profile.name.to_owned(),
         family: profile.family,

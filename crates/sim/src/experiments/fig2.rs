@@ -8,7 +8,7 @@
 //! `w93`, `w55`.
 
 use super::ExpOptions;
-use crate::engine::{simulate, SimConfig};
+use crate::engine::{SimConfig, Simulation};
 use crate::report::TextTable;
 use crate::runner::{MatrixStats, RunMatrix, TraceSource};
 use crate::tracecache;
@@ -49,8 +49,10 @@ pub fn run_one(profile: &Profile, opts: &ExpOptions) -> Fig2Row {
     Fig2Row {
         workload: profile.name.to_owned(),
         family: profile.family,
-        nols: simulate(&trace, &SimConfig::no_ls()).seeks,
-        ls: simulate(&trace, &SimConfig::log_structured()).seeks,
+        nols: Simulation::new(&SimConfig::no_ls()).run_trace(&trace).seeks,
+        ls: Simulation::new(&SimConfig::log_structured())
+            .run_trace(&trace)
+            .seeks,
     }
 }
 

@@ -7,7 +7,7 @@
 //! significant overhead in bursts (the paper's diurnal patterns).
 
 use super::ExpOptions;
-use crate::engine::{simulate, SimConfig};
+use crate::engine::{SimConfig, Simulation};
 use crate::report::TextTable;
 use serde::Serialize;
 use smrseek_disk::series::diff_series;
@@ -63,11 +63,10 @@ impl Fig3Series {
 pub fn run_one(profile: &Profile, opts: &ExpOptions, buckets: usize) -> Fig3Series {
     let trace = profile.generate_scaled(opts.seed, opts.ops);
     let bucket_ops = (trace.len() as u64 / buckets.max(1) as u64).max(1);
-    let ls = simulate(
-        &trace,
-        &SimConfig::log_structured().with_longseek_series(bucket_ops),
-    );
-    let nols = simulate(&trace, &SimConfig::no_ls().with_longseek_series(bucket_ops));
+    let ls = Simulation::new(&SimConfig::log_structured().with_longseek_series(bucket_ops))
+        .run_trace(&trace);
+    let nols =
+        Simulation::new(&SimConfig::no_ls().with_longseek_series(bucket_ops)).run_trace(&trace);
     Fig3Series {
         workload: profile.name.to_owned(),
         bucket_ops,

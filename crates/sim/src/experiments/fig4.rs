@@ -8,7 +8,7 @@
 //! seeks within ±1 GB than the newer ones.
 
 use super::ExpOptions;
-use crate::engine::{simulate, SimConfig};
+use crate::engine::{SimConfig, Simulation};
 use crate::report::TextTable;
 use serde::Serialize;
 use smrseek_disk::Cdf;
@@ -61,8 +61,8 @@ fn within_gb(cdf: &Cdf, gb: f64) -> f64 {
 /// Computes both CDFs for one workload.
 pub fn run_one(profile: &Profile, opts: &ExpOptions) -> Fig4Cdfs {
     let trace = profile.generate_scaled(opts.seed, opts.ops);
-    let nols = simulate(&trace, &SimConfig::no_ls().with_distances());
-    let ls = simulate(&trace, &SimConfig::log_structured().with_distances());
+    let nols = Simulation::new(&SimConfig::no_ls().with_distances()).run_trace(&trace);
+    let ls = Simulation::new(&SimConfig::log_structured().with_distances()).run_trace(&trace);
     Fig4Cdfs {
         workload: profile.name.to_owned(),
         nols: nols

@@ -7,7 +7,7 @@
 //! fragmented reads, and the disparity is even higher for `w36`.
 
 use super::ExpOptions;
-use crate::engine::{simulate, SimConfig};
+use crate::engine::{SimConfig, Simulation};
 use crate::report::TextTable;
 use serde::Serialize;
 use smrseek_workloads::profiles::{self, Profile};
@@ -86,10 +86,8 @@ impl Fig5Dist {
 /// Measures one workload's fragmented-read distribution.
 pub fn run_one(profile: &Profile, opts: &ExpOptions) -> Fig5Dist {
     let trace = profile.generate_scaled(opts.seed, opts.ops);
-    let report = simulate(
-        &trace,
-        &SimConfig::log_structured().with_fragment_tracking(),
-    );
+    let report =
+        Simulation::new(&SimConfig::log_structured().with_fragment_tracking()).run_trace(&trace);
     Fig5Dist {
         workload: profile.name.to_owned(),
         per_read_fragments: report

@@ -9,7 +9,7 @@
 //! selective caching still helps on top.
 
 use super::ExpOptions;
-use crate::engine::{simulate, SimConfig};
+use crate::engine::{SimConfig, Simulation};
 use crate::report::TextTable;
 use crate::saf::Saf;
 use serde::Serialize;
@@ -53,9 +53,9 @@ pub fn run_one(profile: &Profile, opts: &ExpOptions, sizes_mib: &[u64]) -> HostC
             };
             // The baseline sees the same host cache: SAF isolates the
             // translation layer's contribution at each cache size.
-            let base = simulate(&trace, &with_host(SimConfig::no_ls()));
-            let ls = simulate(&trace, &with_host(SimConfig::log_structured()));
-            let cached = simulate(&trace, &with_host(SimConfig::ls_cache()));
+            let base = Simulation::new(&with_host(SimConfig::no_ls())).run_trace(&trace);
+            let ls = Simulation::new(&with_host(SimConfig::log_structured())).run_trace(&trace);
+            let cached = Simulation::new(&with_host(SimConfig::ls_cache())).run_trace(&trace);
             HostCachePoint {
                 host_mib: mib,
                 host_hit_fraction: if reads > 0.0 {

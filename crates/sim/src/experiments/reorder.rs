@@ -8,7 +8,7 @@
 //! (which repairs the damage after the fact).
 
 use super::ExpOptions;
-use crate::engine::{simulate, SimConfig};
+use crate::engine::{SimConfig, Simulation};
 use crate::report::TextTable;
 use crate::saf::Saf;
 use crate::scheduler::{reorder, QueueConfig};
@@ -54,10 +54,16 @@ pub fn run_one(profile: &Profile, opts: &ExpOptions) -> ReorderRow {
     };
     // Each variant is measured against its own NoLS baseline: the elevator
     // changes the baseline too (conventional drives also benefit).
-    let base_raw = simulate(&raw, &SimConfig::no_ls()).seeks;
-    let base_reord = simulate(&reordered, &SimConfig::no_ls()).seeks;
-    let ls_raw_stats = simulate(&raw, &SimConfig::log_structured()).seeks;
-    let ls_reord_stats = simulate(&reordered, &SimConfig::log_structured()).seeks;
+    let base_raw = Simulation::new(&SimConfig::no_ls()).run_trace(&raw).seeks;
+    let base_reord = Simulation::new(&SimConfig::no_ls())
+        .run_trace(&reordered)
+        .seeks;
+    let ls_raw_stats = Simulation::new(&SimConfig::log_structured())
+        .run_trace(&raw)
+        .seeks;
+    let ls_reord_stats = Simulation::new(&SimConfig::log_structured())
+        .run_trace(&reordered)
+        .seeks;
     ReorderRow {
         workload: profile.name.to_owned(),
         misordered_before: frac(&raw),
@@ -66,7 +72,12 @@ pub fn run_one(profile: &Profile, opts: &ExpOptions) -> ReorderRow {
         ls_reordered: Saf::from_stats(&ls_reord_stats, &base_reord),
         ls_raw_seeks: ls_raw_stats.total(),
         ls_reordered_seeks: ls_reord_stats.total(),
-        ls_prefetch: Saf::from_stats(&simulate(&raw, &SimConfig::ls_prefetch()).seeks, &base_raw),
+        ls_prefetch: Saf::from_stats(
+            &Simulation::new(&SimConfig::ls_prefetch())
+                .run_trace(&raw)
+                .seeks,
+            &base_raw,
+        ),
     }
 }
 

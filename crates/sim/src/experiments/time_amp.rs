@@ -8,7 +8,7 @@
 //! count-based conclusions survive cost weighting.
 
 use super::ExpOptions;
-use crate::engine::{simulate, RunReport, SimConfig};
+use crate::engine::{RunReport, SimConfig, Simulation};
 use crate::report::TextTable;
 use crate::saf::Saf;
 use serde::Serialize;
@@ -57,9 +57,9 @@ pub fn service_time_seconds(report: &RunReport, disk: &DiskProfile) -> f64 {
 pub fn run_one(profile: &Profile, opts: &ExpOptions) -> TimeAmpRow {
     let disk = DiskProfile::default();
     let trace = profile.generate_scaled(opts.seed, opts.ops);
-    let nols = simulate(&trace, &SimConfig::no_ls().with_distances());
-    let ls = simulate(&trace, &SimConfig::log_structured().with_distances());
-    let cache = simulate(&trace, &SimConfig::ls_cache().with_distances());
+    let nols = Simulation::new(&SimConfig::no_ls().with_distances()).run_trace(&trace);
+    let ls = Simulation::new(&SimConfig::log_structured().with_distances()).run_trace(&trace);
+    let cache = Simulation::new(&SimConfig::ls_cache().with_distances()).run_trace(&trace);
     TimeAmpRow {
         workload: profile.name.to_owned(),
         saf: Saf::from_stats(&ls.seeks, &nols.seeks),

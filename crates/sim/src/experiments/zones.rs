@@ -5,7 +5,7 @@
 //! the numbers move.
 
 use super::ExpOptions;
-use crate::engine::{simulate, SimConfig};
+use crate::engine::{SimConfig, Simulation};
 use crate::report::TextTable;
 use crate::saf::Saf;
 use serde::Serialize;
@@ -39,12 +39,10 @@ impl ZoneRow {
 /// Compares one workload (256 MiB zones, a common SMR zone size).
 pub fn run_one(profile: &Profile, opts: &ExpOptions) -> ZoneRow {
     let trace = profile.generate_scaled(opts.seed, opts.ops);
-    let base = simulate(&trace, &SimConfig::no_ls()).seeks;
-    let flat = simulate(&trace, &SimConfig::log_structured());
-    let zoned = simulate(
-        &trace,
-        &SimConfig::log_structured().with_zones(256 * MIB / SECTOR_SIZE),
-    );
+    let base = Simulation::new(&SimConfig::no_ls()).run_trace(&trace).seeks;
+    let flat = Simulation::new(&SimConfig::log_structured()).run_trace(&trace);
+    let zoned = Simulation::new(&SimConfig::log_structured().with_zones(256 * MIB / SECTOR_SIZE))
+        .run_trace(&trace);
     let flat_writes = flat.ls_stats.expect("LS run").phys_writes;
     let zoned_writes = zoned.ls_stats.expect("LS run").phys_writes;
     ZoneRow {

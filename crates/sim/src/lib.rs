@@ -9,12 +9,12 @@
 //! # Example
 //!
 //! ```
-//! use smrseek_sim::{simulate, SimConfig};
+//! use smrseek_sim::{SimConfig, Simulation};
 //! use smrseek_workloads::profiles;
 //!
 //! let trace = profiles::by_name("mds_0").unwrap().generate_scaled(1, 4000);
-//! let nols = simulate(&trace, &SimConfig::no_ls());
-//! let ls = simulate(&trace, &SimConfig::log_structured());
+//! let nols = Simulation::new(&SimConfig::no_ls()).run_trace(&trace);
+//! let ls = Simulation::new(&SimConfig::log_structured()).run_trace(&trace);
 //! // mds_0 is write-intensive: log-structuring removes most seeks.
 //! assert!(ls.seeks.total() < nols.seeks.total());
 //! ```
@@ -31,10 +31,12 @@ pub mod scheduler;
 pub mod tracecache;
 
 pub use checkpoint::CheckpointStore;
+#[allow(deprecated)]
+pub use engine::{simulate, simulate_stream, simulate_stream_checkpointed, simulate_stream_from};
 pub use engine::{
-    simulate, simulate_stream, simulate_stream_checkpointed, simulate_stream_from, EngineSnapshot,
-    LayerChoice, LayerSnapshot, RunReport, SimConfig,
+    ConfigError, EngineSnapshot, LayerChoice, LayerSnapshot, RunReport, ShardableTrace, SimConfig,
+    SimConfigBuilder, Simulation,
 };
 pub use report::TextTable;
-pub use runner::{CheckpointUsage, RunMatrix, RunMetrics, RunOutcome, TraceSource};
+pub use runner::{CheckpointUsage, RunMatrix, RunMetrics, RunOutcome, ShardPolicy, TraceSource};
 pub use saf::Saf;

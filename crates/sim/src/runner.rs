@@ -19,12 +19,11 @@
 
 use crate::checkpoint::{checkpoint_config_key, CheckpointStore};
 use crate::engine::{
-    simulate, simulate_stream, simulate_stream_checkpointed, EngineSnapshot, LayerChoice,
-    RunReport, SimConfig,
+    EngineSnapshot, LayerChoice, RunReport, ShardableTrace, SimConfig, Simulation,
 };
 use crate::experiments::ExpOptions;
 use smrseek_obs::{span_with, PhaseTotals};
-use smrseek_trace::binary::MmapTrace;
+use smrseek_trace::binary::{MmapTrace, DEFAULT_BLOCK_RECORDS};
 use smrseek_trace::TraceRecord;
 use smrseek_workloads::profiles::Profile;
 use std::num::NonZeroUsize;
@@ -146,15 +145,19 @@ impl TraceSource {
         }
     }
 
-    /// Replays this source through `config`, streaming from the mapping
-    /// for mmap-backed sources (the frontier hint filled from the cached
-    /// `top_sector`) and materializing for generator-backed ones.
-    fn replay(&self, config: &SimConfig) -> (RunReport, Duration) {
+    /// Replays this source through `config`, decoding in blocks straight
+    /// off the mapping for mmap-backed sources (the frontier hint filled
+    /// from the cached `top_sector`) and materializing for
+    /// generator-backed ones. `shards` asks [`Simulation`] to split the
+    /// record stream across that many worker threads where sharding is
+    /// exact (it falls back to serial otherwise, so any value is safe).
+    fn replay(&self, config: &SimConfig, shards: usize) -> (RunReport, Duration) {
         match &self.supply {
             Supply::Generate(f) => {
                 let records = f();
                 let start = Instant::now();
-                (simulate(&records, config), start.elapsed())
+                let report = Simulation::new(config).shards(shards).run_trace(&**records);
+                (report, start.elapsed())
             }
             Supply::Mapped { map, top } => {
                 let config = match config.layer {
@@ -164,7 +167,8 @@ impl TraceSource {
                     _ => *config,
                 };
                 let start = Instant::now();
-                (simulate_stream(map.iter(), &config), start.elapsed())
+                let report = Simulation::new(&config).shards(shards).run_trace(&**map);
+                (report, start.elapsed())
             }
         }
     }
@@ -174,7 +178,10 @@ impl TraceSource {
     /// skipped and the engine restored from the snapshot, and checkpoints
     /// are emitted through `emit` on the config's
     /// [`SimConfig::with_checkpoint_every`] cadence. The returned report
-    /// is byte-identical to a cold `replay` of the same cell.
+    /// is byte-identical to a cold `replay` of the same cell. `shards`
+    /// splits the remaining records across worker threads where sharding
+    /// is exact (in particular, a config that actively emits checkpoints
+    /// always replays serially).
     ///
     /// Mmap-backed sources skip by seeking the mapping (no prefix decode);
     /// generator-backed sources regenerate and slice.
@@ -183,8 +190,16 @@ impl TraceSource {
         config: &SimConfig,
         resume_from: Option<&EngineSnapshot>,
         emit: impl FnMut(&EngineSnapshot),
+        shards: usize,
     ) -> (RunReport, Duration) {
         let skip = resume_from.map_or(0, |s| s.logical_ops) as usize;
+        let simulation = |config: &SimConfig| {
+            let mut sim = Simulation::new(config).shards(shards).checkpoint_sink(emit);
+            if let Some(snap) = resume_from {
+                sim = sim.resume_from(snap);
+            }
+            sim
+        };
         match &self.supply {
             Supply::Generate(f) => {
                 let records = f();
@@ -196,12 +211,7 @@ impl TraceSource {
                 };
                 let remaining = &records[skip.min(records.len())..];
                 let start = Instant::now();
-                let report = simulate_stream_checkpointed(
-                    resume_from,
-                    remaining.iter().copied(),
-                    &config,
-                    emit,
-                );
+                let report = simulation(&config).run_trace(remaining);
                 (report, start.elapsed())
             }
             Supply::Mapped { map, top } => {
@@ -211,11 +221,46 @@ impl TraceSource {
                     }
                     _ => *config,
                 };
+                let suffix = MappedSuffix {
+                    map,
+                    skip: skip.min(map.len()),
+                };
                 let start = Instant::now();
-                let report =
-                    simulate_stream_checkpointed(resume_from, map.iter().skip(skip), &config, emit);
+                let report = simulation(&config).run_trace(&suffix);
                 (report, start.elapsed())
             }
+        }
+    }
+}
+
+/// The records of a mapping from `skip` onward, as a [`ShardableTrace`]:
+/// what a resumed mmap-backed replay hands the engine — record `i` of the
+/// suffix is record `skip + i` of the file, read without decoding the
+/// consumed prefix.
+struct MappedSuffix<'a> {
+    map: &'a MmapTrace,
+    skip: usize,
+}
+
+impl ShardableTrace for MappedSuffix<'_> {
+    fn num_records(&self) -> usize {
+        self.map.len() - self.skip
+    }
+
+    fn record(&self, index: usize) -> TraceRecord {
+        self.map.get(self.skip + index)
+    }
+
+    fn frontier_top(&self) -> u64 {
+        self.map.top_sector()
+    }
+
+    fn for_each_block(&self, start: usize, end: usize, f: &mut dyn FnMut(&[TraceRecord])) {
+        let mut blocks =
+            self.map
+                .blocks_range(self.skip + start, self.skip + end, DEFAULT_BLOCK_RECORDS);
+        while let Some(block) = blocks.next_block() {
+            f(block);
         }
     }
 }
@@ -332,11 +377,21 @@ impl RunMatrix {
 
     /// Executes every cell on up to `threads` scoped workers and returns
     /// the outcomes *in cell order* — the thread count changes wall time,
-    /// never results.
+    /// never results. Threads left idle by cell-parallelism are spent on
+    /// intra-trace shards ([`ShardPolicy::Auto`]); use
+    /// [`execute_with`](Self::execute_with) to control the split.
     pub fn execute(&self, threads: NonZeroUsize) -> Vec<RunOutcome> {
+        self.execute_with(threads, ShardPolicy::Auto)
+    }
+
+    /// [`execute`](Self::execute) with an explicit split of `threads`
+    /// between matrix cells and intra-trace shards. Reports are
+    /// byte-identical under every policy; only wall time changes.
+    pub fn execute_with(&self, threads: NonZeroUsize, policy: ShardPolicy) -> Vec<RunOutcome> {
+        let shards = policy.shards_per_cell(threads, self.cells.len());
         parallel_map(&self.cells, threads, |cell| {
             let _span = span_with(|| format!("cell:{}", cell.label));
-            let (report, wall) = cell.source.replay(&cell.config);
+            let (report, wall) = cell.source.replay(&cell.config, shards);
             let metrics = RunMetrics {
                 wall,
                 records: report.logical_ops,
@@ -372,6 +427,7 @@ impl RunMatrix {
         let hits = AtomicU64::new(0);
         let misses = AtomicU64::new(0);
         let skipped = AtomicU64::new(0);
+        let shards = ShardPolicy::Auto.shards_per_cell(threads, self.cells.len());
         let outcomes = parallel_map(&self.cells, threads, |cell| {
             let _span = span_with(|| format!("cell:{}", cell.label));
             let key = checkpoint_config_key(&cell.config, cell.source.top_sector());
@@ -386,13 +442,16 @@ impl RunMatrix {
                     None
                 }
             };
-            let (report, wall) =
-                cell.source
-                    .replay_checkpointed(&cell.config, snap.as_ref(), |snapshot| {
-                        // Save failures are non-fatal: a checkpoint is an
-                        // optimization, the replay's own result stands.
-                        store.save(trace_digest, &key, snapshot).ok();
-                    });
+            let (report, wall) = cell.source.replay_checkpointed(
+                &cell.config,
+                snap.as_ref(),
+                |snapshot| {
+                    // Save failures are non-fatal: a checkpoint is an
+                    // optimization, the replay's own result stands.
+                    store.save(trace_digest, &key, snapshot).ok();
+                },
+                shards,
+            );
             let metrics = RunMetrics {
                 wall,
                 records: report.logical_ops,
@@ -465,10 +524,56 @@ where
         .collect()
 }
 
-/// The machine's available parallelism, falling back to one worker where
-/// it cannot be queried.
+/// How [`RunMatrix::execute_with`] splits its thread budget between matrix
+/// cells and intra-trace shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// One thread per cell, no intra-trace splitting (the historical
+    /// behavior).
+    Serial,
+    /// Spend threads on cells first, then split each cell's trace across
+    /// the threads that cell-parallelism would leave idle:
+    /// `ceil(threads / cells)` shards per cell. A single-cell run on an
+    /// 8-thread budget replays its one trace 8-way sharded; an 8-cell
+    /// matrix on the same budget runs serial cells 8-wide.
+    Auto,
+    /// Exactly this many shards per cell, regardless of cell count.
+    Fixed(NonZeroUsize),
+}
+
+impl ShardPolicy {
+    /// Intra-trace shards each cell's replay should use under this policy
+    /// with `threads` total workers over `cells` cells.
+    pub fn shards_per_cell(self, threads: NonZeroUsize, cells: usize) -> usize {
+        match self {
+            ShardPolicy::Serial => 1,
+            ShardPolicy::Auto => threads.get().div_ceil(cells.max(1)),
+            ShardPolicy::Fixed(k) => k.get(),
+        }
+    }
+}
+
+/// The thread budget: the `SMRSEEK_THREADS` environment variable when set
+/// to a positive integer, otherwise the machine's available parallelism
+/// (falling back to one worker where it cannot be queried). An unset,
+/// empty, zero, or unparsable variable is ignored rather than an error —
+/// an operator typo degrades to the default, never to a refusal to run.
 pub fn default_threads() -> NonZeroUsize {
-    std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
+    std::env::var("SMRSEEK_THREADS")
+        .ok()
+        .as_deref()
+        .and_then(parse_thread_override)
+        .unwrap_or_else(|| std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN))
+}
+
+/// Parses an `SMRSEEK_THREADS` value; `None` for anything but a positive
+/// integer.
+fn parse_thread_override(value: &str) -> Option<NonZeroUsize> {
+    value
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .and_then(NonZeroUsize::new)
 }
 
 /// Per-cell metrics retained after the reports have been consumed into
@@ -797,15 +902,17 @@ mod tests {
                 "cell {} recorded no phases",
                 o.label
             );
+            // Ingest is timed per decoded *block* since batched ingest
+            // (400 records fit one block), not per record.
             assert_eq!(
                 o.metrics.phases.calls(smrseek_obs::Phase::Ingest),
-                400,
-                "every record's ingest is timed"
+                1,
+                "ingest is timed once per block"
             );
         }
         assert!(totals.nanos(smrseek_obs::Phase::Lookup) > 0);
         assert!(totals.nanos(smrseek_obs::Phase::Seek) > 0);
-        assert_eq!(totals.calls(smrseek_obs::Phase::Ingest), 2 * 400);
+        assert_eq!(totals.calls(smrseek_obs::Phase::Ingest), 2);
         // Untimed runs stay all-zero so merged totals are not polluted.
         let cold = RunMatrix::cross(
             &[TraceSource::from_records("burst", burst(50))],
@@ -820,5 +927,76 @@ mod tests {
         let source = TraceSource::from_records("t", burst(10));
         let cell = RunCell::new(source, SimConfig::no_ls()).with_label("t/NoLS");
         assert_eq!(cell.label, "t/NoLS");
+    }
+
+    #[test]
+    fn shard_policy_splits_thread_budget() {
+        let t = |n: usize| NonZeroUsize::new(n).expect("nonzero");
+        assert_eq!(ShardPolicy::Serial.shards_per_cell(t(8), 1), 1);
+        assert_eq!(ShardPolicy::Auto.shards_per_cell(t(8), 1), 8);
+        assert_eq!(ShardPolicy::Auto.shards_per_cell(t(8), 3), 3);
+        assert_eq!(ShardPolicy::Auto.shards_per_cell(t(8), 8), 1);
+        assert_eq!(ShardPolicy::Auto.shards_per_cell(t(8), 20), 1);
+        assert_eq!(ShardPolicy::Auto.shards_per_cell(t(2), 0), 2);
+        assert_eq!(ShardPolicy::Fixed(t(4)).shards_per_cell(t(1), 9), 4);
+    }
+
+    #[test]
+    fn thread_override_parses_positive_integers_only() {
+        assert_eq!(parse_thread_override("3"), NonZeroUsize::new(3));
+        assert_eq!(parse_thread_override(" 16 "), NonZeroUsize::new(16));
+        assert_eq!(parse_thread_override("0"), None);
+        assert_eq!(parse_thread_override(""), None);
+        assert_eq!(parse_thread_override("-2"), None);
+        assert_eq!(parse_thread_override("many"), None);
+    }
+
+    #[test]
+    fn env_override_steers_default_threads() {
+        std::env::set_var("SMRSEEK_THREADS", "3");
+        assert_eq!(default_threads(), NonZeroUsize::new(3).expect("nonzero"));
+        std::env::set_var("SMRSEEK_THREADS", "not-a-number");
+        let fallback = std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN);
+        assert_eq!(default_threads(), fallback);
+        std::env::remove_var("SMRSEEK_THREADS");
+        assert_eq!(default_threads(), fallback);
+    }
+
+    #[test]
+    fn sharded_policies_are_report_invariant() {
+        use smrseek_trace::binary::{write_binary_v2, MmapTrace};
+
+        let records = burst(5000);
+        let mut buf = Vec::new();
+        write_binary_v2(&mut buf, &records).expect("vec write");
+        let map = Arc::new(MmapTrace::from_bytes(buf).expect("own output maps"));
+        let configs = [
+            SimConfig::no_ls()
+                .with_distances()
+                .with_longseek_series(256),
+            SimConfig::log_structured(),
+        ];
+        for source in [
+            TraceSource::from_mmap("burst", map),
+            TraceSource::from_records("burst", records),
+        ] {
+            let matrix = RunMatrix::cross(&[source], &configs);
+            let serial = matrix.execute_with(two(), ShardPolicy::Serial);
+            let auto = matrix.execute_with(two(), ShardPolicy::Auto);
+            let fixed = matrix.execute_with(
+                NonZeroUsize::MIN,
+                ShardPolicy::Fixed(NonZeroUsize::new(7).expect("nonzero")),
+            );
+            for outcomes in [&auto, &fixed] {
+                for (a, b) in serial.iter().zip(outcomes.iter()) {
+                    assert_eq!(
+                        serde_json::to_string(&a.report).expect("report serializes"),
+                        serde_json::to_string(&b.report).expect("report serializes"),
+                        "policy changed the report for {}",
+                        a.label
+                    );
+                }
+            }
+        }
     }
 }

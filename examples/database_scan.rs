@@ -10,7 +10,7 @@
 //! cargo run --release --example database_scan
 //! ```
 
-use smrseek::sim::{simulate, Saf, SimConfig};
+use smrseek::sim::{Saf, SimConfig, Simulation};
 use smrseek::trace::{Lba, MIB, SECTOR_SIZE};
 use smrseek::workloads::TraceBuilder;
 
@@ -34,11 +34,15 @@ fn main() {
     );
     for scans in [1, 2, 4, 8] {
         let trace = scenario(scans);
-        let base = simulate(&trace, &SimConfig::no_ls());
+        let base = Simulation::new(&SimConfig::no_ls()).run_trace(&trace);
         let saf = |config: &SimConfig| {
-            Saf::from_stats(&simulate(&trace, config).seeks, &base.seeks).total
+            Saf::from_stats(
+                &Simulation::new(config).run_trace(&trace).seeks,
+                &base.seeks,
+            )
+            .total
         };
-        let ls = simulate(&trace, &SimConfig::log_structured());
+        let ls = Simulation::new(&SimConfig::log_structured()).run_trace(&trace);
         println!(
             "{:<8} {:>10} {:>10} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
             scans,

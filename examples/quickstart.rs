@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use smrseek::sim::{simulate, Saf, SimConfig};
+use smrseek::sim::{Saf, SimConfig, Simulation};
 use smrseek::workloads::profiles;
 
 fn main() {
@@ -21,7 +21,7 @@ fn main() {
     );
 
     // 2. Establish the conventional-drive baseline (NoLS).
-    let baseline = simulate(&trace, &SimConfig::no_ls());
+    let baseline = Simulation::new(&SimConfig::no_ls()).run_trace(&trace);
     println!(
         "NoLS baseline: {} read seeks, {} write seeks",
         baseline.seeks.read_seeks, baseline.seeks.write_seeks
@@ -34,7 +34,7 @@ fn main() {
         SimConfig::ls_prefetch(),
         SimConfig::ls_cache(),
     ] {
-        let report = simulate(&trace, &config);
+        let report = Simulation::new(&config).run_trace(&trace);
         let saf = Saf::from_stats(&report.seeks, &baseline.seeks);
         println!(
             "{:<12} {:>7} read seeks  {:>6} write seeks  SAF {:.2}",

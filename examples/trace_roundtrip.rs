@@ -11,7 +11,7 @@
 //! cargo run --release --example trace_roundtrip
 //! ```
 
-use smrseek::sim::{simulate, Saf, SimConfig};
+use smrseek::sim::{Saf, SimConfig, Simulation};
 use smrseek::trace::binary::{read_binary, write_binary};
 use smrseek::trace::characterize;
 use smrseek::trace::parse::{parse_reader, CpParser, MsrParser};
@@ -72,9 +72,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * stats.write_ratio()
     );
 
-    let base = simulate(&parsed, &SimConfig::no_ls());
+    let base = Simulation::new(&SimConfig::no_ls()).run_trace(&parsed);
     for config in [SimConfig::log_structured(), SimConfig::ls_cache()] {
-        let report = simulate(&parsed, &config);
+        let report = Simulation::new(&config).run_trace(&parsed);
         let saf = Saf::from_stats(&report.seeks, &base.seeks);
         println!("{:<9} {saf}", report.layer_name);
     }

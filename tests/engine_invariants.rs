@@ -2,7 +2,7 @@
 //! profile suite and over randomized workloads.
 
 use proptest::prelude::*;
-use smrseek::sim::{simulate, Saf, SimConfig};
+use smrseek::sim::{Saf, SimConfig, Simulation};
 use smrseek::trace::{Lba, TraceRecord};
 use smrseek::workloads::profiles;
 
@@ -22,8 +22,8 @@ fn simulation_is_deterministic() {
         SimConfig::ls_prefetch(),
         SimConfig::ls_cache(),
     ] {
-        let a = simulate(&trace, &config);
-        let b = simulate(&trace, &config);
+        let a = Simulation::new(&config).run_trace(&trace);
+        let b = Simulation::new(&config).run_trace(&trace);
         assert_eq!(a.seeks, b.seeks, "{}", a.layer_name);
     }
 }
@@ -34,7 +34,7 @@ fn ls_write_seeks_bounded_by_read_interruptions() {
     // from the frontier — so write seeks <= logical reads + 1.
     for profile in profiles::all() {
         let trace = profile.generate_scaled(3, 3000);
-        let report = simulate(&trace, &SimConfig::log_structured());
+        let report = Simulation::new(&SimConfig::log_structured()).run_trace(&trace);
         let reads = trace.iter().filter(|r| r.op.is_read()).count() as u64;
         assert!(
             report.seeks.write_seeks <= reads + 1,
@@ -50,9 +50,15 @@ fn ls_write_seeks_bounded_by_read_interruptions() {
 fn cache_and_prefetch_never_add_seeks() {
     for name in ["w91", "hm_1", "w20", "mds_0", "w84"] {
         let trace = quick(name);
-        let ls = simulate(&trace, &SimConfig::log_structured()).seeks;
-        let cached = simulate(&trace, &SimConfig::ls_cache()).seeks;
-        let prefetched = simulate(&trace, &SimConfig::ls_prefetch()).seeks;
+        let ls = Simulation::new(&SimConfig::log_structured())
+            .run_trace(&trace)
+            .seeks;
+        let cached = Simulation::new(&SimConfig::ls_cache())
+            .run_trace(&trace)
+            .seeks;
+        let prefetched = Simulation::new(&SimConfig::ls_prefetch())
+            .run_trace(&trace)
+            .seeks;
         assert!(
             cached.total() <= ls.total(),
             "{name}: cache {} > LS {}",
@@ -72,8 +78,8 @@ fn cache_and_prefetch_never_add_seeks() {
 fn defrag_adds_write_seeks_but_bounded() {
     for name in ["w91", "w20"] {
         let trace = quick(name);
-        let ls = simulate(&trace, &SimConfig::log_structured());
-        let defrag = simulate(&trace, &SimConfig::ls_defrag());
+        let ls = Simulation::new(&SimConfig::log_structured()).run_trace(&trace);
+        let defrag = Simulation::new(&SimConfig::ls_defrag()).run_trace(&trace);
         let rewrites = defrag.ls_stats.unwrap().defrag_rewrites;
         assert!(rewrites > 0, "{name}: expected rewrites");
         // Each rewrite costs at most one extra write seek plus one extra
@@ -91,7 +97,7 @@ fn defrag_adds_write_seeks_but_bounded() {
 #[test]
 fn saf_of_baseline_is_one() {
     let trace = quick("w33");
-    let base = simulate(&trace, &SimConfig::no_ls()).seeks;
+    let base = Simulation::new(&SimConfig::no_ls()).run_trace(&trace).seeks;
     let saf = Saf::from_stats(&base, &base);
     assert!((saf.total - 1.0).abs() < 1e-12);
     assert!((saf.read - 1.0).abs() < 1e-12);
@@ -102,10 +108,8 @@ fn saf_of_baseline_is_one() {
 fn report_counters_are_consistent() {
     for name in ["w91", "usr_0"] {
         let trace = quick(name);
-        let report = simulate(
-            &trace,
-            &SimConfig::log_structured().with_fragment_tracking(),
-        );
+        let report = Simulation::new(&SimConfig::log_structured().with_fragment_tracking())
+            .run_trace(&trace);
         let ls = report.ls_stats.expect("LS run has layer stats");
         assert_eq!(
             ls.logical_reads + ls.logical_writes,
@@ -156,7 +160,7 @@ proptest! {
             SimConfig::ls_prefetch(),
             SimConfig::ls_cache(),
         ] {
-            let report = simulate(&trace, &config);
+            let report = Simulation::new(&config).run_trace(&trace);
             let s = report.seeks;
             prop_assert!(s.total() <= s.ops, "{}: seeks > ops", report.layer_name);
             prop_assert!(s.total_long() <= s.total());
@@ -181,7 +185,7 @@ proptest! {
                 }
             })
             .collect();
-        let report = simulate(&trace, &SimConfig::no_ls());
+        let report = Simulation::new(&SimConfig::no_ls()).run_trace(&trace);
         let mut expected_read = 0u64;
         let mut expected_write = 0u64;
         let mut next = Lba::new(0);

@@ -2,7 +2,7 @@
 //! across several seeds, the headline classifications and mechanism
 //! orderings hold.
 
-use smrseek::sim::{simulate, Saf, SimConfig};
+use smrseek::sim::{Saf, SimConfig, Simulation};
 use smrseek::workloads::profiles;
 
 const SEEDS: [u64; 3] = [11, 222, 3333];
@@ -12,8 +12,8 @@ fn saf(name: &str, seed: u64, config: &SimConfig) -> f64 {
     let trace = profiles::by_name(name)
         .expect("profile exists")
         .generate_scaled(seed, OPS);
-    let base = simulate(&trace, &SimConfig::no_ls()).seeks;
-    Saf::from_stats(&simulate(&trace, config).seeks, &base).total
+    let base = Simulation::new(&SimConfig::no_ls()).run_trace(&trace).seeks;
+    Saf::from_stats(&Simulation::new(config).run_trace(&trace).seeks, &base).total
 }
 
 #[test]
