@@ -31,5 +31,5 @@
 pub mod map;
 pub mod segment;
 
-pub use map::ExtentMap;
+pub use map::{ExtentMap, ExtentMapCheckpoint};
 pub use segment::{Extent, Segment};

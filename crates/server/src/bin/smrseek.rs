@@ -157,7 +157,10 @@ fn usage() -> String {
      threads: --threads N workers run matrix cells; SMRSEEK_THREADS overrides the default \
      (host parallelism). Within a cell, --shards splits one trace's records across \
      ceil(threads/cells) workers (auto), a fixed count, or none (serial); sharded replay \
-     is exact for NoLS runs and falls back to serial otherwise, so reports never change."
+     is exact for every sweep configuration (log-structured runs shard via extent-map \
+     boundary checkpoints), so reports never change; the rare serial fallbacks \
+     (checkpoint-emitting or sub-2-record runs) warn on stderr and are noted in the \
+     matrix summary."
         .to_owned()
 }
 
@@ -546,11 +549,12 @@ fn run_profile(args: &Args) -> Result<String, CliError> {
 /// `smrseek bench` replays `--ops` records (default 10 million — large
 /// enough that per-record overheads dominate any constant cost) of a
 /// deterministic mixed read/write workload through the NoLS baseline and
-/// reports ingest bandwidth off the binary format plus replay throughput
-/// serial vs sharded. Sharding splits one trace across threads
-/// ([`Simulation::shards`]), so speedups are bounded by the host's CPU
-/// count — reported alongside so numbers from different machines compare
-/// honestly.
+/// a log-structured layer, and reports ingest bandwidth off the binary
+/// format plus replay throughput serial vs sharded for each. Sharding
+/// splits one trace across threads ([`Simulation::shards`]; the LS config
+/// pays a serial transition prepass first), so speedups are bounded by
+/// the host's CPU count — reported alongside (and warned about when it is
+/// 1) so numbers from different machines compare honestly.
 fn run_bench(args: &Args) -> Result<String, CliError> {
     #[derive(serde::Serialize)]
     struct BenchPhase {
@@ -565,6 +569,12 @@ fn run_bench(args: &Args) -> Result<String, CliError> {
         speedup_vs_serial: f64,
     }
     #[derive(serde::Serialize)]
+    struct BenchConfigRun {
+        config: &'static str,
+        serial: BenchPhase,
+        sharded: Vec<BenchShard>,
+    }
+    #[derive(serde::Serialize)]
     struct BenchReport {
         records: usize,
         trace_bytes: usize,
@@ -572,8 +582,7 @@ fn run_bench(args: &Args) -> Result<String, CliError> {
         default_threads: usize,
         ingest_mib_per_s: f64,
         ingest: BenchPhase,
-        serial: BenchPhase,
-        sharded: Vec<BenchShard>,
+        configs: Vec<BenchConfigRun>,
     }
 
     let n = if args.ops_explicit {
@@ -621,38 +630,59 @@ fn run_bench(args: &Args) -> Result<String, CliError> {
         )));
     }
 
-    let config = SimConfig::no_ls();
-    let replay = |shards: usize| {
-        let start = Instant::now();
-        let report = Simulation::new(&config).shards(shards).run_trace(&map);
-        (start.elapsed().as_secs_f64(), report.logical_ops)
-    };
-    // Warm the page cache and branch predictors off the books.
-    replay(1);
-    let (serial_s, serial_ops) = replay(1);
-    if serial_ops != n as u64 {
-        return Err(CliError::Parse(format!(
-            "bench replayed {serial_ops} of {n} records"
-        )));
-    }
-    let sharded = [1usize, 2, 4, 8]
-        .into_iter()
-        .map(|shards| {
-            let (seconds, _) = replay(shards);
-            smrseek_obs::info!(
-                "bench: {shards} shard(s): {:.0} records/s",
-                n as f64 / seconds
-            );
-            BenchShard {
-                shards,
-                seconds,
-                records_per_s: n as f64 / seconds,
-                speedup_vs_serial: serial_s / seconds,
-            }
-        })
-        .collect::<Vec<_>>();
-
     let host_cpus = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    if host_cpus == 1 {
+        smrseek_obs::warn!(
+            "bench: only 1 host CPU available — sharded replay cannot run in parallel here, \
+             so speedups measure sharding overhead, not gain"
+        );
+    }
+
+    // One history-free config (direct head seeding) and one log-structured
+    // config (checkpoint-seeded sharding with its serial prepass), so the
+    // numbers show both sharding paths.
+    let bench_configs = [
+        ("NoLS", SimConfig::no_ls()),
+        ("LS", SimConfig::log_structured()),
+    ];
+    let mut configs = Vec::with_capacity(bench_configs.len());
+    for (name, config) in bench_configs {
+        let replay = |shards: usize| {
+            let start = Instant::now();
+            let report = Simulation::new(&config).shards(shards).run_trace(&map);
+            (start.elapsed().as_secs_f64(), report.logical_ops)
+        };
+        // Warm the page cache and branch predictors off the books.
+        replay(1);
+        let (serial_s, serial_ops) = replay(1);
+        if serial_ops != n as u64 {
+            return Err(CliError::Parse(format!(
+                "bench replayed {serial_ops} of {n} records"
+            )));
+        }
+        let sharded = [1usize, 2, 4, 8]
+            .into_iter()
+            .map(|shards| {
+                let (seconds, _) = replay(shards);
+                smrseek_obs::info!(
+                    "bench: {name} {shards} shard(s): {:.0} records/s",
+                    n as f64 / seconds
+                );
+                BenchShard {
+                    shards,
+                    seconds,
+                    records_per_s: n as f64 / seconds,
+                    speedup_vs_serial: serial_s / seconds,
+                }
+            })
+            .collect::<Vec<_>>();
+        configs.push(BenchConfigRun {
+            config: name,
+            serial: phase(serial_s),
+            sharded,
+        });
+    }
+
     let report = BenchReport {
         records: n,
         trace_bytes,
@@ -660,8 +690,7 @@ fn run_bench(args: &Args) -> Result<String, CliError> {
         default_threads: runner::default_threads().get(),
         ingest_mib_per_s: trace_bytes as f64 / (1 << 20) as f64 / ingest_s,
         ingest: phase(ingest_s),
-        serial: phase(serial_s),
-        sharded,
+        configs,
     };
     maybe_write_json(&args.json, &report)?;
 
@@ -672,19 +701,21 @@ fn run_bench(args: &Args) -> Result<String, CliError> {
         format!("{:.0}", report.ingest.records_per_s),
         String::new(),
     ]);
-    table.row(vec![
-        "serial".into(),
-        format!("{:.3}", report.serial.seconds),
-        format!("{:.0}", report.serial.records_per_s),
-        "1.00".into(),
-    ]);
-    for s in &report.sharded {
+    for run in &report.configs {
         table.row(vec![
-            format!("{} shard(s)", s.shards),
-            format!("{:.3}", s.seconds),
-            format!("{:.0}", s.records_per_s),
-            format!("{:.2}", s.speedup_vs_serial),
+            format!("{} serial", run.config),
+            format!("{:.3}", run.serial.seconds),
+            format!("{:.0}", run.serial.records_per_s),
+            "1.00".into(),
         ]);
+        for s in &run.sharded {
+            table.row(vec![
+                format!("{} {} shard(s)", run.config, s.shards),
+                format!("{:.3}", s.seconds),
+                format!("{:.0}", s.records_per_s),
+                format!("{:.2}", s.speedup_vs_serial),
+            ]);
+        }
     }
     Ok(format!(
         "bench: {n} records ({:.1} MiB binary), {host_cpus} host CPU(s)\n{table}",

@@ -52,29 +52,37 @@ impl From<io::Error> for RequestError {
 /// [`RequestError::Malformed`] for oversized or syntactically invalid
 /// requests, [`RequestError::Io`] for transport failures.
 pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
-    // Read byte-at-a-time until the blank line: simple, obviously correct,
-    // and irrelevant to performance next to a simulation job. The head is
-    // capped so a hostile peer cannot balloon memory.
-    let mut head = Vec::new();
-    let mut byte = [0u8; 1];
-    loop {
-        match stream.read(&mut byte)? {
-            0 => {
-                if head.is_empty() {
-                    return Err(RequestError::Closed);
-                }
-                return Err(RequestError::Malformed("truncated request head".into()));
-            }
-            _ => head.push(byte[0]),
+    // Read in chunks and scan for the blank line; a chunk can overshoot
+    // the head, so the surplus bytes roll into the body read below. The
+    // head is capped so a hostile peer cannot balloon memory.
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut scanned = 0usize;
+    let head_len = loop {
+        // The terminator can straddle a chunk boundary, so rescan the
+        // last three bytes of the previous pass.
+        let from = scanned.saturating_sub(3);
+        if let Some(pos) = buf[from..].windows(4).position(|w| w == b"\r\n\r\n") {
+            break from + pos + 4;
         }
-        if head.ends_with(b"\r\n\r\n") {
-            break;
-        }
-        if head.len() > MAX_HEAD_BYTES {
+        scanned = buf.len();
+        if buf.len() > MAX_HEAD_BYTES {
             return Err(RequestError::Malformed("request head too large".into()));
         }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Err(RequestError::Closed);
+            }
+            return Err(RequestError::Malformed("truncated request head".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    if head_len > MAX_HEAD_BYTES {
+        return Err(RequestError::Malformed("request head too large".into()));
     }
-    let head = String::from_utf8(head)
+    let surplus = buf.split_off(head_len);
+    let head = String::from_utf8(buf)
         .map_err(|_| RequestError::Malformed("request head is not UTF-8".into()))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
@@ -110,9 +118,13 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
     if content_length > MAX_BODY_BYTES {
         return Err(RequestError::Malformed("request body too large".into()));
     }
+    // Body bytes that arrived with the head chunk come first; only the
+    // remainder is read off the stream.
     let mut body = vec![0u8; content_length];
+    let carried = surplus.len().min(content_length);
+    body[..carried].copy_from_slice(&surplus[..carried]);
     stream
-        .read_exact(&mut body)
+        .read_exact(&mut body[carried..])
         .map_err(|_| RequestError::Malformed("connection closed mid-body".into()))?;
     Ok(Request {
         method: method.to_owned(),
@@ -243,6 +255,44 @@ mod tests {
             parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nxy"),
             Err(RequestError::Malformed(_))
         ));
+    }
+
+    /// Yields at most `step` bytes per `read` call, forcing the head
+    /// terminator (and the head/body boundary) to straddle reads.
+    struct Trickle<'a> {
+        data: &'a [u8],
+        step: usize,
+    }
+
+    impl Read for Trickle<'_> {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            let n = self.data.len().min(self.step).min(out.len());
+            out[..n].copy_from_slice(&self.data[..n]);
+            self.data = &self.data[n..];
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn parses_across_any_read_fragmentation() {
+        let wire = b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 12\r\n\r\n{\"body\":true}";
+        for step in [1usize, 2, 3, 5, 7, 64, 4096] {
+            let req = read_request(&mut Trickle { data: wire, step }).expect("parses");
+            assert_eq!(req.method, "POST", "step {step}");
+            assert_eq!(req.body, b"{\"body\":true", "step {step}");
+        }
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let mut wire = b"GET /x HTTP/1.1\r\n".to_vec();
+        wire.extend_from_slice(b"x-pad: ");
+        wire.resize(MAX_HEAD_BYTES + 10, b'a');
+        wire.extend_from_slice(b"\r\n\r\n");
+        match parse(&wire) {
+            Err(RequestError::Malformed(msg)) => assert_eq!(msg, "request head too large"),
+            other => panic!("expected malformed, got {other:?}"),
+        }
     }
 
     #[test]

@@ -2,11 +2,13 @@
 //!
 //! The invariant the sharded executor rests on: for ANY trace, ANY shard
 //! count, and every sweep configuration, `Simulation::shards(k)` yields a
-//! report byte-identical (as serialized JSON) to the serial run — either
-//! because the NoLS reconciliation is exact, or because a history-
-//! dependent configuration silently falls back to serial. A second
-//! property extends the identity to runs resumed from a mid-trace
-//! snapshot, where shard seeding must use absolute record indices.
+//! report byte-identical (as serialized JSON) to the serial run. NoLS
+//! shapes seed shard heads directly; log-structured (and host-cached)
+//! shapes replay a transition-only prepass and seed shards from its
+//! extent-map boundary checkpoints — sharding is exact everywhere, no
+//! configuration falls back to serial here. A second property extends the
+//! identity to runs resumed from a mid-trace snapshot, where shard
+//! seeding must use absolute record indices.
 
 use proptest::prelude::*;
 use smrseek_sim::{SimConfig, Simulation};
@@ -26,9 +28,10 @@ fn record_strategy() -> impl Strategy<Value = TraceRecord> {
 }
 
 /// The five standard-sweep configs with the report-shaping extras
-/// (distances, long-seek series, host cache) toggled at random, so both
-/// the exactly-shardable NoLS shapes and every serial-fallback shape come
-/// under the same identity check.
+/// (distances, long-seek series, host cache, fragment tracking, zones)
+/// toggled at random, so the direct-seeded NoLS shapes and every
+/// checkpoint-seeded log-structured shape come under the same identity
+/// check.
 fn config_strategy() -> impl Strategy<Value = SimConfig> {
     let sweep = SimConfig::standard_sweep();
     (
@@ -42,12 +45,19 @@ fn config_strategy() -> impl Strategy<Value = SimConfig> {
             2 => Just(None),
             1 => (1u64..1 << 20).prop_map(Some),
         ],
+        prop::bool::ANY,
+        prop_oneof![
+            3 => Just(None),
+            1 => (8u64..1 << 16).prop_map(Some),
+        ],
     )
-        .prop_map(move |(i, distances, longseek, cache)| {
+        .prop_map(move |(i, distances, longseek, cache, fragments, zones)| {
             let mut config = sweep[i];
             config.record_distances = distances;
             config.longseek_bucket_ops = longseek;
             config.host_cache_bytes = cache;
+            config.track_fragments = fragments;
+            config.zone_sectors = zones;
             config
         })
 }

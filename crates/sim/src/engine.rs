@@ -9,11 +9,13 @@
 //! report byte-identical to the serial run.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 use smrseek_cache::RangeCache;
 use smrseek_disk::{Cdf, LongSeekSeries, SeekCounter, SeekCounterState, SeekStats};
+use smrseek_extent::ExtentMapCheckpoint;
 use smrseek_obs::{phase_accounting, Phase, PhaseTotals};
 use smrseek_stl::{
     CacheConfig, DefragConfig, FragmentAccessTracker, LogStructured, LsConfig, LsSnapshot, LsStats,
@@ -412,6 +414,59 @@ impl SimConfigBuilder {
     }
 }
 
+/// How a run was actually executed with respect to intra-trace sharding.
+///
+/// `--shards N` is a request, not a guarantee: a handful of shapes (a
+/// one-record trace, an active checkpoint sink) still force serial
+/// execution. When that happens the engine warns once per process and
+/// records the reason here, so no sweep cell can degrade silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardOutcome {
+    /// Serial execution; sharding was never requested.
+    Serial,
+    /// The record stream was split across shard workers.
+    Sharded {
+        /// Worker count actually used (the request clamped to the record
+        /// count).
+        shards: usize,
+    },
+    /// Sharding was requested but the run fell back to serial.
+    SerialFallback {
+        /// Why the run could not shard.
+        reason: &'static str,
+    },
+}
+
+impl ShardOutcome {
+    /// The degradation reason, when sharding was requested but refused.
+    pub fn fallback_reason(&self) -> Option<&'static str> {
+        match self {
+            ShardOutcome::SerialFallback { reason } => Some(reason),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ShardOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardOutcome::Serial => f.write_str("serial"),
+            ShardOutcome::Sharded { shards } => write!(f, "sharded({shards})"),
+            ShardOutcome::SerialFallback { reason } => write!(f, "serial ({reason})"),
+        }
+    }
+}
+
+/// One-shot (per process) stderr warning for a requested-but-refused
+/// shard split; every affected report still records its own reason.
+static FALLBACK_WARNED: AtomicBool = AtomicBool::new(false);
+
+fn warn_serial_fallback(reason: &'static str) {
+    if !FALLBACK_WARNED.swap(true, Ordering::Relaxed) {
+        smrseek_obs::warn!("sharding requested but running serial: {reason} (warned once)");
+    }
+}
+
 /// The result of one simulation run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -443,12 +498,17 @@ pub struct RunReport {
     /// serialized reports must stay byte-deterministic across machines,
     /// thread counts, and resume points.
     pub phases: PhaseTotals,
+    /// How the run actually executed ([`ShardOutcome`]). Execution shape,
+    /// not simulation result: excluded from the hand-written [`Serialize`]
+    /// impl below for the same reason as `phases` — serialized reports are
+    /// byte-identical across shard counts by contract.
+    pub sharding: ShardOutcome,
 }
 
 /// Hand-written (the vendored `serde_derive` has no `#[serde(skip)]`):
 /// reproduces exactly what the derive emitted for every field except
-/// `phases`, which is wall-time noise and must not reach serialized
-/// reports.
+/// `phases` and `sharding`, which are execution-shape noise and must not
+/// reach serialized reports.
 impl Serialize for RunReport {
     fn to_value(&self) -> serde::Value {
         serde::Value::Object(vec![
@@ -566,29 +626,42 @@ struct EngineState {
     phases: PhaseTotals,
 }
 
+/// The [`LsConfig`] a fresh run of `config` builds its layer from.
+///
+/// # Panics
+///
+/// Panics when `config` is log-structured without a frontier hint (see the
+/// message; [`Simulation::run_trace`] derives the hint before calling).
+fn ls_config_for(config: &SimConfig) -> Option<LsConfig> {
+    match config.layer {
+        LayerChoice::NoLs => None,
+        LayerChoice::Ls {
+            defrag,
+            prefetch,
+            cache,
+        } => {
+            let top = config.frontier_hint.expect(
+                "Simulation::run needs SimConfig::with_frontier_hint for log-structured \
+                 layers: a stream cannot be pre-scanned for its highest LBA (use \
+                 Simulation::run_trace for random-access traces, or pass the bound from a \
+                 header or a first pass)",
+            );
+            let mut ls_config = LsConfig::above_sector(top);
+            ls_config.defrag = defrag;
+            ls_config.prefetch = prefetch;
+            ls_config.cache = cache;
+            ls_config.track_fragments = config.track_fragments;
+            ls_config.zone_sectors = config.zone_sectors;
+            Some(ls_config)
+        }
+    }
+}
+
 impl EngineState {
     fn new(config: &SimConfig) -> Self {
-        let layer = match config.layer {
-            LayerChoice::NoLs => LayerImpl::NoLs(NoLs::new()),
-            LayerChoice::Ls {
-                defrag,
-                prefetch,
-                cache,
-            } => {
-                let top = config.frontier_hint.expect(
-                    "Simulation::run needs SimConfig::with_frontier_hint for log-structured \
-                     layers: a stream cannot be pre-scanned for its highest LBA (use \
-                     Simulation::run_trace for random-access traces, or pass the bound from a \
-                     header or a first pass)",
-                );
-                let mut ls_config = LsConfig::above_sector(top);
-                ls_config.defrag = defrag;
-                ls_config.prefetch = prefetch;
-                ls_config.cache = cache;
-                ls_config.track_fragments = config.track_fragments;
-                ls_config.zone_sectors = config.zone_sectors;
-                LayerImpl::Ls(Box::new(LogStructured::new(ls_config)))
-            }
+        let layer = match ls_config_for(config) {
+            None => LayerImpl::NoLs(NoLs::new()),
+            Some(ls_config) => LayerImpl::Ls(Box::new(LogStructured::new(ls_config))),
         };
         let counter = if config.record_distances {
             SeekCounter::with_distances()
@@ -727,6 +800,7 @@ impl EngineState {
             fragments,
             peak_extent_segments: self.peak_extent_segments,
             phases: self.phases,
+            sharding: ShardOutcome::Serial,
         }
     }
 }
@@ -904,31 +978,36 @@ impl<'a> Simulation<'a> {
 
     /// Requests the record stream be split across `k` worker threads in
     /// [`run_trace`](Self::run_trace) (clamped to at least 1; ignored by
-    /// the strictly-serial [`run`](Self::run)). Sharding applies only
-    /// where it is exact — see [`shardable`](SimConfig) conditions in the
-    /// module docs — and falls back to serial execution otherwise, so it
-    /// is always safe to request.
+    /// the strictly-serial [`run`](Self::run)). Every sweep configuration
+    /// shards exactly: history-free NoLS replay is seeded directly from
+    /// its one-record overlap, and everything else (log-structured layers,
+    /// host caches) replays from boundary state checkpoints captured by a
+    /// transition-only prepass. The few shapes that still force serial
+    /// execution (a one-record trace, an active checkpoint sink) warn once
+    /// and record the reason in [`RunReport::sharding`] — a shard request
+    /// is always safe, never silent.
     pub fn shards(mut self, k: usize) -> Self {
         self.shards = k.max(1);
         self
     }
 
     /// Whether this run would actually execute sharded on `trace`.
-    ///
-    /// Sharding is exact only when each record's physical I/O depends on
-    /// nothing but the record itself: the NoLS layer translates 1:1
-    /// statelessly, so only the seek counter carries cross-record state —
-    /// and that state is just "one past the previous I/O's end sector",
-    /// reconstructible for any shard from its one-record overlap. A
-    /// log-structured layer's extent map and a host buffer cache are both
-    /// history-dependent, and an active checkpoint sink needs total state
-    /// at record boundaries; all three force serial execution.
     pub fn is_sharded(&self, trace: &(impl ShardableTrace + ?Sized)) -> bool {
-        self.shards > 1
-            && trace.num_records() > 1
-            && matches!(self.config.layer, LayerChoice::NoLs)
-            && self.config.host_cache_bytes.is_none()
-            && !(self.sink.is_some() && self.config.checkpoint_every.is_some_and(|n| n > 0))
+        self.shards > 1 && self.shard_refusal(trace.num_records()).is_none()
+    }
+
+    /// Why a requested shard split cannot run, or `None` when it can.
+    /// Only two shapes refuse: a trace too short to split, and an active
+    /// checkpoint sink (snapshots capture total engine state at a record
+    /// boundary, which a half-merged sharded run does not have).
+    fn shard_refusal(&self, records: usize) -> Option<&'static str> {
+        if records < 2 {
+            return Some("trace has fewer than two records");
+        }
+        if self.sink.is_some() && self.config.checkpoint_every.is_some_and(|n| n > 0) {
+            return Some("an active checkpoint sink requires serial replay");
+        }
+        None
     }
 
     /// Replays a stream of records through the configured layer, feeding
@@ -950,6 +1029,13 @@ impl<'a> Simulation<'a> {
     where
         I: IntoIterator<Item = TraceRecord>,
     {
+        let outcome = if self.shards > 1 {
+            let reason = "record streams have no random access to split across shards";
+            warn_serial_fallback(reason);
+            ShardOutcome::SerialFallback { reason }
+        } else {
+            ShardOutcome::Serial
+        };
         let mut state = match self.resume_from {
             Some(snap) => EngineState::resume(&self.config, snap),
             None => EngineState::new(&self.config),
@@ -979,7 +1065,9 @@ impl<'a> Simulation<'a> {
                 }
             }
         }
-        state.finish()
+        let mut report = state.finish();
+        report.sharding = outcome;
+        report
     }
 
     /// Replays a random-access trace: derives the LS frontier hint from
@@ -999,9 +1087,17 @@ impl<'a> Simulation<'a> {
         {
             self.config.frontier_hint = Some(trace.frontier_top());
         }
-        if self.is_sharded(trace) {
-            return self.run_sharded(trace);
-        }
+        let outcome = if self.shards > 1 {
+            match self.shard_refusal(trace.num_records()) {
+                None => return self.run_sharded(trace),
+                Some(reason) => {
+                    warn_serial_fallback(reason);
+                    ShardOutcome::SerialFallback { reason }
+                }
+            }
+        } else {
+            ShardOutcome::Serial
+        };
         let mut state = match self.resume_from {
             Some(snap) => EngineState::resume(&self.config, snap),
             None => EngineState::new(&self.config),
@@ -1023,22 +1119,41 @@ impl<'a> Simulation<'a> {
                 }
             }
         });
-        state.finish()
+        let mut report = state.finish();
+        report.sharding = outcome;
+        report
     }
 
-    /// The sharded executor. Preconditions (`is_sharded`): NoLS layer, no
-    /// host cache, no active checkpoint sink, at least 2 records.
+    /// The sharded executor. Preconditions (`is_sharded`): at least 2
+    /// records, no active checkpoint sink.
     ///
-    /// Each shard replays a contiguous record range `[s, e)` seeded with
-    /// one record of overlap: because NoLS translates 1:1 and statelessly,
-    /// the only cross-record state is the head position, which after
-    /// record `s-1` is exactly that record's end sector. Shard workers
-    /// therefore start their seek counter at
-    /// `(record(s-1).end, ops_seen = s)` with zeroed statistics, and the
-    /// per-shard reports merge associatively back into the serial result:
-    /// counts add, distances concatenate in shard order, and the
-    /// long-seek series — bucketed by *absolute* logical index — sums
-    /// bucket-wise.
+    /// Each shard replays a contiguous record range `[s, e)` from exact
+    /// boundary state:
+    ///
+    /// * **Direct seeding** — NoLS without a host cache translates 1:1 and
+    ///   statelessly, so the only cross-record state is the head position,
+    ///   which after record `s-1` is exactly that record's end sector.
+    ///   Shard workers start their seek counter there with zeroed
+    ///   statistics; no prepass is needed.
+    /// * **Boundary checkpoints** (LFS-style checkpoint regions) — every
+    ///   other configuration carries history (extent map, caches, defrag
+    ///   queues). A serial transition-only prepass replays just the
+    ///   behaviour-relevant state ([`LogStructured::apply_transition`]: no
+    ///   seek accounting, no I/O materialization, fragment tracking off)
+    ///   and captures a normalized [`EngineSnapshot`] plus an
+    ///   [`ExtentMapCheckpoint`] fingerprint at each interior boundary;
+    ///   shard `k` then resumes from boundary `k`'s snapshot.
+    ///
+    /// Per-shard reports merge associatively back into the serial result:
+    /// counts add, distances and fragment records concatenate in shard
+    /// order, and the long-seek series — bucketed by *absolute* logical
+    /// index — sums bucket-wise. As a cross-check, each shard's end state
+    /// must agree with the next boundary's prepass checkpoint (head
+    /// position, map fingerprint, host-cache contents; full behavioural
+    /// state in debug builds, where divergence asserts). A mismatch is
+    /// expected never; if one is ever detected in release builds the run
+    /// falls back to a full serial replay rather than returning a wrong
+    /// report.
     fn run_sharded<T>(self, trace: &T) -> RunReport
     where
         T: ShardableTrace + ?Sized,
@@ -1050,17 +1165,28 @@ impl<'a> Simulation<'a> {
         let base_logical = self.resume_from.map_or(0, |s| s.logical_ops);
         let base_head_ops = self.resume_from.map_or(0, |s| s.counter.head_ops_seen);
         let bounds: Vec<usize> = (0..=shards).map(|i| i * n / shards).collect();
-        let ranges: Vec<(usize, usize)> = bounds.windows(2).map(|w| (w[0], w[1])).collect();
         let config = self.config;
         let resume_from = self.resume_from;
+        // NoLS without a host cache is history-free: seed directly.
+        let direct = matches!(config.layer, LayerChoice::NoLs) && config.host_cache_bytes.is_none();
+        let seeds: Vec<BoundarySeed> = if direct {
+            Vec::new()
+        } else {
+            prepass_seeds(&config, resume_from, trace, &bounds)
+        };
+        let ranges: Vec<(usize, usize, usize)> = bounds
+            .windows(2)
+            .enumerate()
+            .map(|(k, w)| (k, w[0], w[1]))
+            .collect();
         let workers = NonZeroUsize::new(shards).expect("is_sharded implies shards >= 2");
-        let reports = crate::runner::parallel_map(&ranges, workers, |&(start, end)| {
+        let results = crate::runner::parallel_map(&ranges, workers, |&(k, start, end)| {
             let mut state = if start == 0 {
                 match resume_from {
                     Some(snap) => EngineState::resume(&config, snap),
                     None => EngineState::new(&config),
                 }
-            } else {
+            } else if direct {
                 let mut state = EngineState::new(&config);
                 let overlap = trace.record(start - 1);
                 state.counter = SeekCounter::from_state(SeekCounterState {
@@ -1072,11 +1198,36 @@ impl<'a> Simulation<'a> {
                 });
                 state.logical_ops = base_logical + start as u64;
                 state
+            } else {
+                EngineState::resume(&config, &seeds[k - 1].snapshot)
             };
             run_range(&mut state, trace, start, end, &mut |_| {});
-            state.finish()
+            let end_state = (!direct && end < n).then(|| ShardEnd::capture(&state));
+            (state.finish(), end_state)
         });
-        let mut reports = reports.into_iter();
+        // Cross-check every interior boundary before trusting the merge:
+        // shard k must have ended in exactly the state the prepass seeded
+        // shard k+1 from.
+        for (k, seed) in seeds.iter().enumerate() {
+            let end = results[k]
+                .1
+                .as_ref()
+                .expect("checkpoint-path shards capture their end state");
+            if !end.matches_seed(seed, &config) {
+                let reason = "shard boundary state diverged from the prepass";
+                debug_assert!(false, "{reason}");
+                warn_serial_fallback(reason);
+                let mut state = match resume_from {
+                    Some(snap) => EngineState::resume(&config, snap),
+                    None => EngineState::new(&config),
+                };
+                run_range(&mut state, trace, 0, n, &mut |_| {});
+                let mut report = state.finish();
+                report.sharding = ShardOutcome::SerialFallback { reason };
+                return report;
+            }
+        }
+        let mut reports = results.into_iter().map(|(report, _)| report);
         let mut merged = reports.next().expect("at least one shard ran");
         for shard in reports {
             merged.seeks.merge(&shard.seeks);
@@ -1086,6 +1237,12 @@ impl<'a> Simulation<'a> {
             if let (Some(all), Some(part)) = (&mut merged.longseek_series, &shard.longseek_series) {
                 all.merge(part);
             }
+            if let (Some(all), Some(part)) = (&mut merged.ls_stats, &shard.ls_stats) {
+                all.merge(part);
+            }
+            if let (Some(all), Some(part)) = (&mut merged.fragments, &shard.fragments) {
+                all.merge(part);
+            }
             merged.phys_sectors += shard.phys_sectors;
             merged.host_cache_hits += shard.host_cache_hits;
             merged.logical_ops = merged.logical_ops.max(shard.logical_ops);
@@ -1093,7 +1250,208 @@ impl<'a> Simulation<'a> {
                 merged.peak_extent_segments.max(shard.peak_extent_segments);
             merged.phases.merge(&shard.phases);
         }
+        merged.sharding = ShardOutcome::Sharded { shards };
         merged
+    }
+}
+
+/// One interior shard boundary produced by the transition prepass: the
+/// normalized engine state the next shard resumes from, plus the
+/// extent-map fingerprint used to cross-check the previous shard's end
+/// state.
+///
+/// Normalization is what makes checkpoint-seeded shards mergeable: the
+/// *behavioural* state (map, frontier, caches, defrag bookkeeping, head
+/// position, host-cache contents) is exact, while every *accounting*
+/// accumulator (seek stats, distances, series, layer counters, fragment
+/// records, hit/sector/peak totals) restarts from zero so the per-shard
+/// partial sums concatenate back into the serial totals.
+struct BoundarySeed {
+    snapshot: EngineSnapshot,
+    map_check: Option<ExtentMapCheckpoint>,
+}
+
+/// A shard worker's state at its final record boundary, captured for the
+/// prepass cross-check.
+struct ShardEnd {
+    head_position: u64,
+    layer: LayerSnapshot,
+    host_cache: Option<RangeCache>,
+    map_check: Option<ExtentMapCheckpoint>,
+}
+
+impl ShardEnd {
+    fn capture(state: &EngineState) -> Self {
+        let (layer, map_check) = match &state.layer {
+            LayerImpl::NoLs(_) => (LayerSnapshot::NoLs, None),
+            LayerImpl::Ls(ls) => (
+                LayerSnapshot::Ls(Box::new(ls.to_snapshot())),
+                Some(ExtentMapCheckpoint::capture(ls.map())),
+            ),
+        };
+        ShardEnd {
+            head_position: state.counter.to_state().head_position,
+            layer,
+            host_cache: state.host_cache.clone(),
+            map_check,
+        }
+    }
+
+    /// Whether this shard's end state agrees with the seed the prepass
+    /// captured for the next shard. Release builds compare the head
+    /// position, the extent-map fingerprint, and the host-cache contents;
+    /// debug builds additionally assert full behavioural-state equality.
+    fn matches_seed(&self, seed: &BoundarySeed, config: &SimConfig) -> bool {
+        debug_assert_eq!(
+            normalize_layer(self.layer.clone(), config.track_fragments),
+            seed.snapshot.layer,
+            "prepass layer state diverged from full replay"
+        );
+        self.head_position == seed.snapshot.counter.head_position
+            && self.map_check == seed.map_check
+            && self.host_cache == seed.snapshot.host_cache
+    }
+}
+
+/// Strips the accounting fields a [`BoundarySeed`] normalizes away, so a
+/// replayed layer state can be compared against a prepass-captured one.
+fn normalize_layer(mut snap: LayerSnapshot, track_fragments: bool) -> LayerSnapshot {
+    if let LayerSnapshot::Ls(ls) = &mut snap {
+        ls.stats = LsStats::default();
+        ls.tracker = track_fragments.then(FragmentAccessTracker::new);
+    }
+    snap
+}
+
+/// The serial transition-only prepass behind checkpoint-seeded sharding:
+/// replays records `[0, bounds[shards-1])` through the behaviour-relevant
+/// state only — extent-map transitions via
+/// [`LogStructured::apply_transition`], the host-cache covers/insert
+/// mirror of [`EngineState::step`], and the head position — and captures a
+/// [`BoundarySeed`] at each interior boundary `bounds[1..shards]`.
+///
+/// Fragment tracking is disabled on the prepass layer (its records would
+/// grow without bound and are normalized away at every boundary anyway);
+/// captured snapshots reinstate the run's `track_fragments` flag with a
+/// fresh tracker so shard layers restore correctly.
+fn prepass_seeds<T>(
+    config: &SimConfig,
+    resume_from: Option<&EngineSnapshot>,
+    trace: &T,
+    bounds: &[usize],
+) -> Vec<BoundarySeed>
+where
+    T: ShardableTrace + ?Sized,
+{
+    let base_logical = resume_from.map_or(0, |s| s.logical_ops);
+    let mut layer: Option<Box<LogStructured>> = match resume_from {
+        Some(snap) => match &snap.layer {
+            LayerSnapshot::NoLs => None,
+            LayerSnapshot::Ls(ls) => {
+                let mut s = (**ls).clone();
+                s.tracker = None;
+                s.config.track_fragments = false;
+                Some(Box::new(LogStructured::from_snapshot(s)))
+            }
+        },
+        None => ls_config_for(config).map(|mut ls_config| {
+            ls_config.track_fragments = false;
+            Box::new(LogStructured::new(ls_config))
+        }),
+    };
+    let mut host_cache = match resume_from {
+        Some(snap) => snap.host_cache.clone(),
+        None => config.host_cache_bytes.map(RangeCache::with_capacity_bytes),
+    };
+    let mut head = match resume_from {
+        Some(snap) => snap.counter.head_position,
+        None => SeekCounter::new().to_state().head_position,
+    };
+    let interior = &bounds[1..bounds.len() - 1];
+    let mut seeds = Vec::with_capacity(interior.len());
+    let mut prev = bounds[0];
+    for &bound in interior {
+        trace.for_each_block(prev, bound, &mut |block| {
+            for rec in block {
+                if let Some(cache) = &mut host_cache {
+                    let key = smrseek_trace::Pba::new(rec.lba.sector());
+                    let hit = rec.op.is_read() && cache.covers(key, u64::from(rec.sectors));
+                    if !hit {
+                        cache.insert(key, u64::from(rec.sectors));
+                    }
+                    if hit {
+                        // Served from host RAM: nothing reaches the layer
+                        // or the disk head.
+                        continue;
+                    }
+                }
+                match &mut layer {
+                    // NoLS emits exactly one identity I/O per record.
+                    None => head = rec.lba.sector() + u64::from(rec.sectors),
+                    Some(ls) => {
+                        if let Some(end) = ls.apply_transition(rec) {
+                            head = end;
+                        }
+                    }
+                }
+            }
+        });
+        prev = bound;
+        seeds.push(capture_seed(
+            config,
+            layer.as_deref(),
+            &host_cache,
+            head,
+            base_logical + bound as u64,
+        ));
+    }
+    seeds
+}
+
+/// Freezes the prepass state at one boundary into a [`BoundarySeed`] (see
+/// there for the normalization contract).
+fn capture_seed(
+    config: &SimConfig,
+    layer: Option<&LogStructured>,
+    host_cache: &Option<RangeCache>,
+    head: u64,
+    logical_ops: u64,
+) -> BoundarySeed {
+    let (layer_snap, map_check) = match layer {
+        None => (LayerSnapshot::NoLs, None),
+        Some(ls) => {
+            let mut snap = ls.to_snapshot();
+            snap.stats = LsStats::default();
+            snap.config.track_fragments = config.track_fragments;
+            snap.tracker = config.track_fragments.then(FragmentAccessTracker::new);
+            (
+                LayerSnapshot::Ls(Box::new(snap)),
+                Some(ExtentMapCheckpoint::capture(ls.map())),
+            )
+        }
+    };
+    BoundarySeed {
+        snapshot: EngineSnapshot {
+            layer: layer_snap,
+            counter: SeekCounterState {
+                head_position: head,
+                // `Seek::op_index` never reaches a RunReport, so shard
+                // counters restart their op numbering — the absolute
+                // numbering lives in `logical_ops`.
+                head_ops_seen: 0,
+                stats: SeekStats::default(),
+                record_distances: config.record_distances,
+                distances: Vec::new(),
+            },
+            longseek_series: (config.longseek_bucket_ops > 0)
+                .then(|| LongSeekSeries::new(config.longseek_bucket_ops)),
+            host_cache: host_cache.clone(),
+            host_cache_hits: 0,
+            phys_sectors: 0,
+            logical_ops,
+            peak_extent_segments: 0,
+        },
+        map_check,
     }
 }
 
@@ -1125,56 +1483,6 @@ fn run_range<T>(
             *t = Instant::now();
         }
     });
-}
-
-/// Replays a stream of records through the configured layer.
-#[deprecated(note = "use `Simulation::new(&config).run(records)`")]
-pub fn simulate_stream<I>(records: I, config: &SimConfig) -> RunReport
-where
-    I: IntoIterator<Item = TraceRecord>,
-{
-    Simulation::new(config).run(records)
-}
-
-/// Resumes a run from `snapshot` and replays the *remaining* records.
-#[deprecated(note = "use `Simulation::new(&config).resume_from(snapshot).run(remaining)`")]
-pub fn simulate_stream_from<I>(
-    snapshot: &EngineSnapshot,
-    remaining: I,
-    config: &SimConfig,
-) -> RunReport
-where
-    I: IntoIterator<Item = TraceRecord>,
-{
-    Simulation::new(config).resume_from(snapshot).run(remaining)
-}
-
-/// Optionally resumes from a snapshot, replays `records`, and emits
-/// checkpoints on the config's cadence.
-#[deprecated(
-    note = "use `Simulation::new(&config).resume_from(..).checkpoint_sink(emit).run(records)`"
-)]
-pub fn simulate_stream_checkpointed<I, F>(
-    resume_from: Option<&EngineSnapshot>,
-    records: I,
-    config: &SimConfig,
-    emit: F,
-) -> RunReport
-where
-    I: IntoIterator<Item = TraceRecord>,
-    F: FnMut(&EngineSnapshot),
-{
-    let mut sim = Simulation::new(config).checkpoint_sink(emit);
-    if let Some(snap) = resume_from {
-        sim = sim.resume_from(snap);
-    }
-    sim.run(records)
-}
-
-/// Replays an in-memory `trace` through the configured layer.
-#[deprecated(note = "use `Simulation::new(&config).run_trace(trace)`")]
-pub fn simulate(trace: &[TraceRecord], config: &SimConfig) -> RunReport {
-    Simulation::new(config).run_trace(trace)
 }
 
 #[cfg(test)]
@@ -1579,17 +1887,21 @@ mod tests {
     }
 
     #[test]
-    fn sharding_predicate_requires_history_free_replay() {
+    fn sharding_predicate_accepts_every_sweep_config() {
         let trace = busy_trace(100);
         let sharded = |config: &SimConfig| Simulation::new(config).shards(4).is_sharded(&trace);
-        assert!(sharded(&SimConfig::no_ls()));
+        for config in SimConfig::standard_sweep() {
+            assert!(sharded(&config), "{config:?} must shard");
+        }
+        // History-dependent state now shards via boundary checkpoints.
+        assert!(sharded(&SimConfig::log_structured()));
+        assert!(sharded(&SimConfig::no_ls().with_host_cache(1 << 20)));
         assert!(sharded(
-            &SimConfig::no_ls().with_distances().with_longseek_series(8)
+            &SimConfig::ls_defrag()
+                .with_fragment_tracking()
+                .with_zones(1 << 16)
         ));
-        // History-dependent state forces the serial path.
-        assert!(!sharded(&SimConfig::log_structured()));
-        assert!(!sharded(&SimConfig::no_ls().with_host_cache(1 << 20)));
-        // So does an active checkpoint sink...
+        // An active checkpoint sink still forces serial replay...
         let sim = Simulation::new(&SimConfig::no_ls())
             .checkpoint_every(10, |_: &EngineSnapshot| {})
             .shards(4);
@@ -1611,9 +1923,17 @@ mod tests {
         let configs = [
             SimConfig::no_ls(),
             SimConfig::no_ls().with_distances().with_longseek_series(64),
-            // Not shardable: exercises the silent serial fallback.
             SimConfig::log_structured().with_distances(),
             SimConfig::no_ls().with_host_cache(8 * 512),
+            // The checkpoint-seeded paths, covering every layer mechanism.
+            SimConfig::log_structured()
+                .with_longseek_series(64)
+                .with_host_cache(8 * 512),
+            SimConfig::ls_defrag().with_fragment_tracking(),
+            SimConfig::ls_prefetch().with_distances(),
+            SimConfig::ls_cache()
+                .with_fragment_tracking()
+                .with_zones(1 << 12),
         ];
         for config in configs {
             let serial = serde_json::to_string(&Simulation::new(&config).run_trace(&trace))
@@ -1631,62 +1951,119 @@ mod tests {
     #[test]
     fn sharded_resume_is_byte_identical_to_serial_resume() {
         let trace = busy_trace(300);
-        let config = SimConfig::no_ls().with_distances().with_longseek_series(32);
-        let whole = serde_json::to_string(&Simulation::new(&config).run_trace(&trace))
-            .expect("report serializes");
-        for split in [1usize, 77, 299] {
-            let mut state = EngineState::new(&config);
-            for rec in &trace[..split] {
-                state.step(rec);
+        let configs = [
+            SimConfig::no_ls().with_distances().with_longseek_series(32),
+            SimConfig::ls_defrag()
+                .with_longseek_series(32)
+                .with_fragment_tracking(),
+        ];
+        for config in configs {
+            let whole = serde_json::to_string(&Simulation::new(&config).run_trace(&trace))
+                .expect("report serializes");
+            for split in [1usize, 77, 299] {
+                let mut state =
+                    EngineState::new(&config.clone().with_frontier_hint(trace.frontier_top()));
+                for rec in &trace[..split] {
+                    state.step(rec);
+                }
+                let snap = state.snapshot();
+                let resumed = Simulation::new(&config)
+                    .resume_from(&snap)
+                    .shards(5)
+                    .run_trace(&trace[split..]);
+                assert_eq!(
+                    serde_json::to_string(&resumed).expect("report serializes"),
+                    whole,
+                    "sharded resume at {split} diverged for {config:?}"
+                );
             }
-            let snap = state.snapshot();
-            let resumed = Simulation::new(&config)
-                .resume_from(&snap)
-                .shards(5)
-                .run_trace(&trace[split..]);
-            assert_eq!(
-                serde_json::to_string(&resumed).expect("report serializes"),
-                whole,
-                "sharded resume at {split} diverged"
-            );
         }
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_simulation() {
-        let trace = busy_trace(64);
-        let config = SimConfig::no_ls()
-            .with_distances()
-            .with_checkpoint_every(20);
-        let new = serde_json::to_string(&Simulation::new(&config).run_trace(&trace))
-            .expect("report serializes");
-        let json = |report: &RunReport| serde_json::to_string(report).expect("report serializes");
-        assert_eq!(json(&simulate(&trace, &config)), new);
-        assert_eq!(json(&simulate_stream(trace.iter().copied(), &config)), new);
-        let mut state = EngineState::new(&config);
-        for rec in &trace[..10] {
-            state.step(rec);
+    fn prepass_checkpoints_match_serial_map_state() {
+        // The transition-only prepass must land on exactly the map (and
+        // head, and host-cache) state a full serial replay reaches at each
+        // shard boundary.
+        let trace = busy_trace(240);
+        let configs = [
+            SimConfig::log_structured(),
+            SimConfig::ls_defrag().with_host_cache(8 * 512),
+            SimConfig::ls_prefetch(),
+            SimConfig::ls_cache().with_fragment_tracking(),
+        ];
+        for config in configs {
+            let config = config.with_frontier_hint(trace.frontier_top());
+            let bounds: Vec<usize> = (0..=4).map(|i| i * trace.len() / 4).collect();
+            let seeds = prepass_seeds(&config, None, trace.as_slice(), &bounds);
+            assert_eq!(seeds.len(), 3);
+            let mut state = EngineState::new(&config);
+            let mut prev = 0;
+            for (seed, &bound) in seeds.iter().zip(&bounds[1..]) {
+                for rec in &trace[prev..bound] {
+                    state.step(rec);
+                }
+                prev = bound;
+                let check = seed.map_check.expect("LS configs carry a fingerprint");
+                match &state.layer {
+                    LayerImpl::Ls(ls) => {
+                        assert!(check.matches(ls.map()), "digest diverged at {bound}")
+                    }
+                    LayerImpl::NoLs(_) => unreachable!("LS configs only"),
+                }
+                assert_eq!(
+                    seed.snapshot.counter.head_position,
+                    state.counter.to_state().head_position,
+                    "head diverged at {bound} for {config:?}"
+                );
+                assert_eq!(
+                    seed.snapshot.host_cache, state.host_cache,
+                    "host cache diverged at {bound}"
+                );
+                assert_eq!(seed.snapshot.logical_ops, bound as u64);
+            }
         }
-        let snap = state.snapshot();
+    }
+
+    #[test]
+    fn run_report_records_the_execution_shape() {
+        let trace = busy_trace(100);
+        let config = SimConfig::log_structured();
+        let serial = Simulation::new(&config).run_trace(&trace);
+        assert_eq!(serial.sharding, ShardOutcome::Serial);
+        let sharded = Simulation::new(&config).shards(4).run_trace(&trace);
+        assert_eq!(sharded.sharding, ShardOutcome::Sharded { shards: 4 });
+        assert_eq!(sharded.sharding.to_string(), "sharded(4)");
+        // A refused request records why it fell back.
+        let single = busy_trace(1);
+        let refused = Simulation::new(&config).shards(4).run_trace(&single);
         assert_eq!(
-            json(&simulate_stream_from(
-                &snap,
-                trace[10..].iter().copied(),
-                &config
-            )),
-            new
+            refused.sharding.fallback_reason(),
+            Some("trace has fewer than two records")
         );
-        let mut emitted = Vec::new();
+        let mut sink_hits = 0usize;
+        let report = Simulation::new(&SimConfig::no_ls().with_checkpoint_every(10))
+            .checkpoint_every(10, |_: &EngineSnapshot| sink_hits += 1)
+            .shards(4)
+            .run_trace(&trace);
         assert_eq!(
-            json(&simulate_stream_checkpointed(
-                None,
-                trace.iter().copied(),
-                &config,
-                |s| emitted.push(s.logical_ops),
-            )),
-            new
+            report.sharding.fallback_reason(),
+            Some("an active checkpoint sink requires serial replay")
         );
-        assert_eq!(emitted, vec![20, 40, 60]);
+        assert_eq!(sink_hits, 10);
+        // Streaming runs cannot shard and say so.
+        let report = Simulation::new(&config.with_frontier_hint(trace.frontier_top()))
+            .shards(4)
+            .run(trace.iter().copied());
+        assert_eq!(
+            report.sharding.fallback_reason(),
+            Some("record streams have no random access to split across shards")
+        );
+        // The outcome is an execution detail: serialized reports stay
+        // identical across shapes.
+        assert_eq!(
+            serde_json::to_string(&serial).expect("report serializes"),
+            serde_json::to_string(&sharded).expect("report serializes"),
+        );
     }
 }

@@ -31,11 +31,9 @@ pub mod scheduler;
 pub mod tracecache;
 
 pub use checkpoint::CheckpointStore;
-#[allow(deprecated)]
-pub use engine::{simulate, simulate_stream, simulate_stream_checkpointed, simulate_stream_from};
 pub use engine::{
-    ConfigError, EngineSnapshot, LayerChoice, LayerSnapshot, RunReport, ShardableTrace, SimConfig,
-    SimConfigBuilder, Simulation,
+    ConfigError, EngineSnapshot, LayerChoice, LayerSnapshot, RunReport, ShardOutcome,
+    ShardableTrace, SimConfig, SimConfigBuilder, Simulation,
 };
 pub use report::TextTable;
 pub use runner::{CheckpointUsage, RunMatrix, RunMetrics, RunOutcome, ShardPolicy, TraceSource};

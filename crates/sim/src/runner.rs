@@ -19,7 +19,7 @@
 
 use crate::checkpoint::{checkpoint_config_key, CheckpointStore};
 use crate::engine::{
-    EngineSnapshot, LayerChoice, RunReport, ShardableTrace, SimConfig, Simulation,
+    EngineSnapshot, LayerChoice, RunReport, ShardOutcome, ShardableTrace, SimConfig, Simulation,
 };
 use crate::experiments::ExpOptions;
 use smrseek_obs::{span_with, PhaseTotals};
@@ -149,8 +149,10 @@ impl TraceSource {
     /// off the mapping for mmap-backed sources (the frontier hint filled
     /// from the cached `top_sector`) and materializing for
     /// generator-backed ones. `shards` asks [`Simulation`] to split the
-    /// record stream across that many worker threads where sharding is
-    /// exact (it falls back to serial otherwise, so any value is safe).
+    /// record stream across that many worker threads — exact for every
+    /// sweep configuration (history-carrying layers shard via boundary
+    /// checkpoints); the rare refusals warn once and record their reason
+    /// in the report's [`ShardOutcome`].
     fn replay(&self, config: &SimConfig, shards: usize) -> (RunReport, Duration) {
         match &self.supply {
             Supply::Generate(f) => {
@@ -179,9 +181,10 @@ impl TraceSource {
     /// are emitted through `emit` on the config's
     /// [`SimConfig::with_checkpoint_every`] cadence. The returned report
     /// is byte-identical to a cold `replay` of the same cell. `shards`
-    /// splits the remaining records across worker threads where sharding
-    /// is exact (in particular, a config that actively emits checkpoints
-    /// always replays serially).
+    /// splits the remaining records across worker threads; sharding is
+    /// exact for every sweep configuration, but a config that actively
+    /// emits checkpoints always replays serially (recorded and warned, not
+    /// silent).
     ///
     /// Mmap-backed sources skip by seeking the mapping (no prefix decode);
     /// generator-backed sources regenerate and slice.
@@ -310,6 +313,10 @@ pub struct RunMetrics {
     /// Engine phase accounting for the cell (all zeros unless
     /// [`smrseek_obs::set_phase_accounting`] was on).
     pub phases: PhaseTotals,
+    /// How the replay executed: serial, sharded, or — when sharding was
+    /// requested but refused — serial with the recorded reason. Surfaced
+    /// in the stderr matrix summary so no cell degrades silently.
+    pub sharding: ShardOutcome,
 }
 
 impl RunMetrics {
@@ -397,6 +404,7 @@ impl RunMatrix {
                 records: report.logical_ops,
                 peak_extent_segments: report.peak_extent_segments,
                 phases: report.phases,
+                sharding: report.sharding,
             };
             RunOutcome {
                 label: cell.label.clone(),
@@ -457,6 +465,7 @@ impl RunMatrix {
                 records: report.logical_ops,
                 peak_extent_segments: report.peak_extent_segments,
                 phases: report.phases,
+                sharding: report.sharding,
             };
             RunOutcome {
                 label: cell.label.clone(),
@@ -634,9 +643,12 @@ impl MatrixStats {
         self.total_records() as f64 / self.total_wall().as_secs_f64().max(1e-9)
     }
 
-    /// One-line summary for the CLI's stderr timing report.
+    /// One-line summary for the CLI's stderr timing report. When any cell
+    /// fell back to serial replay after sharding was requested, the
+    /// summary names how many and why — a degraded run must never look
+    /// like a sharded one.
     pub fn summary(&self, command: &str) -> String {
-        format!(
+        let mut line = format!(
             "{command}: {} runs, {} records in {:.2}s sim time \
              ({:.0} records/s of sim time, peak extent map {} segments)",
             self.cells.len(),
@@ -644,7 +656,25 @@ impl MatrixStats {
             self.total_wall().as_secs_f64(),
             self.records_per_sim_sec(),
             self.peak_extent_segments(),
-        )
+        );
+        let mut reasons: Vec<&str> = Vec::new();
+        let mut fallbacks = 0usize;
+        for (_, m) in &self.cells {
+            if let Some(reason) = m.sharding.fallback_reason() {
+                fallbacks += 1;
+                if !reasons.contains(&reason) {
+                    reasons.push(reason);
+                }
+            }
+        }
+        if fallbacks > 0 {
+            line.push_str(&format!(
+                "; {fallbacks} of {} cells fell back to serial replay: {}",
+                self.cells.len(),
+                reasons.join("; "),
+            ));
+        }
+        line
     }
 }
 
@@ -728,6 +758,7 @@ mod tests {
                         records: 600,
                         peak_extent_segments: 3,
                         phases: PhaseTotals::default(),
+                        sharding: ShardOutcome::Serial,
                     },
                 ),
                 (
@@ -737,6 +768,7 @@ mod tests {
                         records: 300,
                         peak_extent_segments: 7,
                         phases: PhaseTotals::default(),
+                        sharding: ShardOutcome::Sharded { shards: 2 },
                     },
                 ),
             ],
@@ -920,6 +952,67 @@ mod tests {
         )
         .execute(NonZeroUsize::MIN);
         assert!(cold[0].metrics.phases.is_zero());
+    }
+
+    #[test]
+    fn summary_names_serial_fallbacks() {
+        let metric = |sharding| RunMetrics {
+            wall: Duration::from_secs(1),
+            records: 100,
+            peak_extent_segments: 0,
+            phases: PhaseTotals::default(),
+            sharding,
+        };
+        let clean = MatrixStats {
+            cells: vec![
+                ("a".into(), metric(ShardOutcome::Serial)),
+                ("b".into(), metric(ShardOutcome::Sharded { shards: 4 })),
+            ],
+        };
+        assert!(
+            !clean.summary("x").contains("fell back"),
+            "no fallback, no note"
+        );
+        let degraded = MatrixStats {
+            cells: vec![
+                ("a".into(), metric(ShardOutcome::Sharded { shards: 4 })),
+                (
+                    "b".into(),
+                    metric(ShardOutcome::SerialFallback {
+                        reason: "trace has fewer than two records",
+                    }),
+                ),
+                (
+                    "c".into(),
+                    metric(ShardOutcome::SerialFallback {
+                        reason: "trace has fewer than two records",
+                    }),
+                ),
+            ],
+        };
+        let line = degraded.summary("x");
+        assert!(
+            line.contains(
+                "2 of 3 cells fell back to serial replay: trace has fewer than two records"
+            ),
+            "{line}"
+        );
+    }
+
+    #[test]
+    fn executed_metrics_record_the_execution_shape() {
+        let source = TraceSource::from_records("burst", burst(600));
+        let matrix = RunMatrix::cross(&[source], &[SimConfig::log_structured()]);
+        let serial = matrix.execute_with(two(), ShardPolicy::Serial);
+        assert_eq!(serial[0].metrics.sharding, ShardOutcome::Serial);
+        let fixed = matrix.execute_with(
+            NonZeroUsize::MIN,
+            ShardPolicy::Fixed(NonZeroUsize::new(4).expect("nonzero")),
+        );
+        assert_eq!(
+            fixed[0].metrics.sharding,
+            ShardOutcome::Sharded { shards: 4 }
+        );
     }
 
     #[test]

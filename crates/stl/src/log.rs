@@ -200,34 +200,40 @@ impl LogStructured {
     /// automatically when an idle gap is detected; callable directly to
     /// model an explicit flush (e.g. at shutdown).
     pub fn flush_defrag_queue(&mut self) -> Vec<PhysIo> {
+        let mut out = Vec::new();
+        self.flush_defrag_queue_into(&mut |io| out.push(io));
+        out
+    }
+
+    /// Sink form of [`flush_defrag_queue`](Self::flush_defrag_queue): emits
+    /// the same writes in the same order without materializing a `Vec`.
+    fn flush_defrag_queue_into(&mut self, sink: &mut dyn FnMut(PhysIo)) {
         let pending = std::mem::take(&mut self.pending_defrag);
-        let mut out = Vec::with_capacity(pending.len());
         for (lba, sectors) in pending {
             // Skip ranges that became contiguous in the meantime (e.g. a
             // host overwrite re-wrote the whole range).
             if self.physical_runs(lba, sectors).len() < 2 {
                 continue;
             }
-            out.extend(self.append(lba, sectors));
+            self.append_into(lba, sectors, sink);
             self.stats.defrag_rewrites += 1;
             self.stats.defrag_sectors += sectors;
         }
-        out
     }
 
     /// Appends `sectors` at the frontier for logical range starting `lba`,
-    /// returning the physical writes (one, unless zoned backing splits the
+    /// emitting the physical writes (one, unless zoned backing splits the
     /// append at guard bands).
-    fn append(&mut self, lba: Lba, sectors: u64) -> Vec<PhysIo> {
+    fn append_into(&mut self, lba: Lba, sectors: u64, sink: &mut dyn FnMut(PhysIo)) {
         match self.config.zone_sectors {
             None => {
                 let at = self.frontier;
                 self.map.insert(lba, sectors, at);
                 self.frontier += sectors;
                 self.stats.phys_writes += 1;
-                vec![PhysIo::write(at, sectors)]
+                sink(PhysIo::write(at, sectors));
             }
-            Some(z) => self.append_zoned(lba, sectors, z),
+            Some(z) => self.append_zoned_into(lba, sectors, z, sink),
         }
     }
 
@@ -235,8 +241,7 @@ impl LogStructured {
     /// frontier skips it and the write splits into per-zone pieces. Pieces
     /// are physically non-adjacent (the guard separates them), so later
     /// reads see the discontinuity.
-    fn append_zoned(&mut self, lba: Lba, sectors: u64, z: u64) -> Vec<PhysIo> {
-        let mut out = Vec::new();
+    fn append_zoned_into(&mut self, lba: Lba, sectors: u64, z: u64, sink: &mut dyn FnMut(PhysIo)) {
         let mut cur_lba = lba;
         let mut left = sectors;
         while left > 0 {
@@ -249,13 +254,12 @@ impl LogStructured {
             let room = (z - 1) - offset;
             let take = left.min(room);
             self.map.insert(cur_lba, take, self.frontier);
-            out.push(PhysIo::write(self.frontier, take));
+            sink(PhysIo::write(self.frontier, take));
             self.stats.phys_writes += 1;
             self.frontier += take;
             cur_lba += take;
             left -= take;
         }
-        out
     }
 
     /// The physically-contiguous runs a read of `[lba, lba+sectors)` must
@@ -277,7 +281,7 @@ impl LogStructured {
         runs.into_iter().map(|(s, l)| (Pba::new(s), l)).collect()
     }
 
-    fn handle_read(&mut self, rec: &TraceRecord) -> Vec<PhysIo> {
+    fn handle_read_into(&mut self, rec: &TraceRecord, sink: &mut dyn FnMut(PhysIo)) {
         let sectors = u64::from(rec.sectors);
         let runs = self.physical_runs(rec.lba, sectors);
         let fragmented = runs.len() > 1;
@@ -288,7 +292,6 @@ impl LogStructured {
             }
         }
 
-        let mut phys = Vec::with_capacity(runs.len());
         for &(pba, len) in &runs {
             // Alg. 3: only fragments of fragmented reads consult the cache.
             if fragmented {
@@ -312,12 +315,12 @@ impl LogStructured {
                     buffer.insert(pre_start, total);
                     self.stats.prefetched_sectors += total - len;
                     self.stats.phys_reads += 1;
-                    phys.push(PhysIo::read(pre_start, total));
+                    sink(PhysIo::read(pre_start, total));
                     continue;
                 }
             }
             self.stats.phys_reads += 1;
-            phys.push(PhysIo::read(pba, len));
+            sink(PhysIo::read(pba, len));
         }
 
         // Alg. 1: opportunistic defragmentation — the fragmented data was
@@ -331,7 +334,7 @@ impl LogStructured {
                 if runs.len() >= d.min_fragments && *count >= d.min_accesses {
                     match d.timing {
                         DefragTiming::Immediate => {
-                            phys.extend(self.append(rec.lba, sectors));
+                            self.append_into(rec.lba, sectors, sink);
                             self.stats.defrag_rewrites += 1;
                             self.stats.defrag_sectors += sectors;
                         }
@@ -346,42 +349,79 @@ impl LogStructured {
                 }
             }
         }
-        phys
     }
-}
 
-impl TranslationLayer for LogStructured {
-    fn apply(&mut self, rec: &TraceRecord) -> Vec<PhysIo> {
+    /// Sink form of [`TranslationLayer::apply`]: applies one record, calling
+    /// `sink` with each physical operation in the exact order `apply` would
+    /// have returned them, without materializing a `Vec`.
+    pub fn apply_into(&mut self, rec: &TraceRecord, sink: &mut dyn FnMut(PhysIo)) {
         // Idle-time defragmentation: if the gap since the previous
         // operation was long enough, the queued rewrites happened during
         // it — emit them before this operation's I/O.
-        let mut prologue = Vec::new();
         if let Some(d) = self.config.defrag {
             if let DefragTiming::Idle { min_gap_us } = d.timing {
                 if !self.pending_defrag.is_empty()
                     && rec.timestamp_us.saturating_sub(self.last_timestamp_us) >= min_gap_us
                 {
-                    prologue = self.flush_defrag_queue();
+                    self.flush_defrag_queue_into(sink);
                 }
             }
         }
         self.last_timestamp_us = rec.timestamp_us;
-        let mut phys = match rec.op {
+        match rec.op {
             OpKind::Write => {
                 self.stats.logical_writes += 1;
-                self.append(rec.lba, u64::from(rec.sectors))
+                self.append_into(rec.lba, u64::from(rec.sectors), sink);
             }
             OpKind::Read => {
                 self.stats.logical_reads += 1;
-                self.handle_read(rec)
+                self.handle_read_into(rec, sink);
             }
-        };
-        if prologue.is_empty() {
-            phys
-        } else {
-            prologue.append(&mut phys);
-            prologue
         }
+    }
+
+    /// Applies one record to the layer's *behavioural* state only, returning
+    /// the physical sector one past the end of the last I/O a full
+    /// [`apply`](TranslationLayer::apply) would have emitted (`None` when
+    /// the record emits no I/O, in which case the disk head does not move).
+    ///
+    /// This is the sharded-replay prepass primitive: it advances everything
+    /// that influences future translations and emitted I/O — extent map,
+    /// frontier, cache and prefetch contents, defragmentation bookkeeping,
+    /// the idle-gap timestamp — while skipping I/O materialization.
+    /// Instrumentation counters are NOT kept exact (boundary snapshots
+    /// taken from a prepass layer normalize them away), so a layer driven
+    /// by this method must never surface its stats or fragment tracker.
+    pub fn apply_transition(&mut self, rec: &TraceRecord) -> Option<u64> {
+        // Fast path: a mechanism-free read mutates nothing but the
+        // timestamp, and the head lands one past the translation of the
+        // final logical sector — no need to walk the physical runs.
+        if rec.op == OpKind::Read
+            && rec.sectors != 0
+            && self.config.defrag.is_none()
+            && self.cache.is_none()
+            && self.prefetch_buffer.is_none()
+            && self.tracker.is_none()
+        {
+            self.last_timestamp_us = rec.timestamp_us;
+            let last = rec.lba.sector() + u64::from(rec.sectors) - 1;
+            let phys = self
+                .map
+                .translate(Lba::new(last))
+                .map_or(last, |p| p.sector());
+            return Some(phys + 1);
+        }
+        let mut last_end = None;
+        self.apply_into(rec, &mut |io| last_end = Some(io.end().sector()));
+        last_end
+    }
+}
+
+impl TranslationLayer for LogStructured {
+    fn apply(&mut self, rec: &TraceRecord) -> Vec<PhysIo> {
+        let mut out = Vec::new();
+        self.apply_into(rec, &mut |io| out.push(io));
+        out
     }
 
     fn name(&self) -> &str {
@@ -828,6 +868,47 @@ mod tests {
                 assert_eq!(resumed.map(), whole.map());
                 assert_eq!(resumed.frontier(), whole.frontier());
                 assert_eq!(resumed.fragment_tracker(), whole.fragment_tracker());
+            }
+        }
+    }
+
+    #[test]
+    fn apply_transition_tracks_apply_behavioural_state_and_head() {
+        use crate::config::{CacheConfig, DefragConfig, PrefetchConfig};
+        let configs = [
+            LsConfig::new(lba(100_000)),
+            LsConfig::new(lba(100_000)).with_defrag(DefragConfig::default()),
+            LsConfig::new(lba(100_000)).with_defrag(DefragConfig::idle(5_000)),
+            LsConfig::new(lba(100_000)).with_prefetch(PrefetchConfig::default()),
+            LsConfig::new(lba(100_000)).with_cache(CacheConfig {
+                capacity_bytes: 4 * 512,
+            }),
+            LsConfig::new(lba(100_000))
+                .with_fragment_tracking()
+                .with_zones(64),
+        ];
+        let trace: Vec<TraceRecord> = (0..120u64)
+            .map(|i| {
+                let l = lba((i * 37) % 512);
+                if i % 3 == 0 {
+                    TraceRecord::write(i * 2_000, l, 8)
+                } else {
+                    TraceRecord::read(i * 2_000, l, 16)
+                }
+            })
+            .collect();
+        for config in configs {
+            let mut full = LogStructured::new(config);
+            let mut transition = LogStructured::new(config);
+            for (i, rec) in trace.iter().enumerate() {
+                let ios = full.apply(rec);
+                let head = transition.apply_transition(rec);
+                assert_eq!(head, ios.last().map(|io| io.end().sector()), "rec {i}");
+                assert_eq!(transition.map(), full.map(), "rec {i}");
+                assert_eq!(transition.frontier(), full.frontier());
+                assert_eq!(transition.cache(), full.cache());
+                assert_eq!(transition.prefetch_buffer(), full.prefetch_buffer());
+                assert_eq!(transition.pending_defrag(), full.pending_defrag());
             }
         }
     }

@@ -40,6 +40,24 @@ impl LsStats {
         }
     }
 
+    /// Folds another run's counters into this one. Every field is a pure
+    /// event count, so merging the stats of two disjoint record ranges
+    /// (each replayed from the correct starting layer state) equals
+    /// counting the concatenated range.
+    pub fn merge(&mut self, other: &LsStats) {
+        self.logical_reads += other.logical_reads;
+        self.logical_writes += other.logical_writes;
+        self.fragmented_reads += other.fragmented_reads;
+        self.phys_reads += other.phys_reads;
+        self.phys_writes += other.phys_writes;
+        self.defrag_rewrites += other.defrag_rewrites;
+        self.defrag_sectors += other.defrag_sectors;
+        self.cache_hit_fragments += other.cache_hit_fragments;
+        self.cache_miss_fragments += other.cache_miss_fragments;
+        self.prefetch_hit_fragments += other.prefetch_hit_fragments;
+        self.prefetched_sectors += other.prefetched_sectors;
+    }
+
     /// Selective-cache hit rate over fragment lookups, in `[0, 1]`.
     pub fn cache_hit_rate(&self) -> f64 {
         let total = self.cache_hit_fragments + self.cache_miss_fragments;
@@ -76,6 +94,32 @@ mod tests {
         let s = LsStats::default();
         assert_eq!(s.fragmented_read_rate(), 0.0);
         assert_eq!(s.cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a = LsStats {
+            logical_reads: 1,
+            logical_writes: 2,
+            fragmented_reads: 3,
+            phys_reads: 4,
+            phys_writes: 5,
+            defrag_rewrites: 6,
+            defrag_sectors: 7,
+            cache_hit_fragments: 8,
+            cache_miss_fragments: 9,
+            prefetch_hit_fragments: 10,
+            prefetched_sectors: 11,
+        };
+        let b = LsStats {
+            logical_reads: 100,
+            ..a
+        };
+        a.merge(&b);
+        assert_eq!(a.logical_reads, 101);
+        assert_eq!(a.logical_writes, 4);
+        assert_eq!(a.prefetched_sectors, 22);
+        assert_eq!(a.cache_miss_fragments, 18);
     }
 
     #[test]

@@ -22,12 +22,12 @@
 //! # Quickstart
 //!
 //! ```
-//! use smrseek::sim::{simulate, SimConfig};
+//! use smrseek::sim::{SimConfig, Simulation};
 //! use smrseek::workloads::profiles;
 //!
 //! let trace = profiles::by_name("w91").expect("known profile").generate(42);
-//! let report = simulate(&trace, &SimConfig::log_structured());
-//! let baseline = simulate(&trace, &SimConfig::no_ls());
+//! let report = Simulation::new(&SimConfig::log_structured()).run_trace(&trace);
+//! let baseline = Simulation::new(&SimConfig::no_ls()).run_trace(&trace);
 //! let saf = report.seeks.total() as f64 / baseline.seeks.total().max(1) as f64;
 //! assert!(saf > 1.0, "w91 is the paper's most log-sensitive workload");
 //! ```
