@@ -1,0 +1,60 @@
+//! Benchmarks for the adaptive policy engine: the raw classifier's
+//! per-record cost, and the end-to-end overhead the engine (plus the
+//! flash tier it manages) adds to a fully-stacked simulation run.
+//!
+//! `adaptive_replay_w91` vs `fixed_stack_replay_w91` is the headline
+//! number: same trace, same three mechanisms — the delta is what
+//! per-record classification, gating, and tiered caching cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smrseek_bench::bench_trace;
+use smrseek_policy::{PolicyConfig, PolicyEngine};
+use smrseek_sim::{SimConfig, Simulation};
+use smrseek_trace::OpKind;
+use std::hint::black_box;
+
+/// The fixed-mechanism stack the adaptive config gates: identical layer
+/// and mechanisms, no policy engine, no flash tier — the overhead
+/// baseline.
+fn fixed_stack() -> SimConfig {
+    let mut config = SimConfig::ls_adaptive();
+    config.policy = None;
+    config.flash_cache_bytes = None;
+    config
+}
+
+fn policy_overhead(c: &mut Criterion) {
+    let trace = bench_trace("w91");
+    let mut group = c.benchmark_group("policy_overhead");
+    group.bench_function("fixed_stack_replay_w91", |b| {
+        let config = fixed_stack();
+        b.iter(|| black_box(Simulation::new(&config).run_trace(&trace)))
+    });
+    group.bench_function("adaptive_replay_w91", |b| {
+        let config = SimConfig::ls_adaptive();
+        b.iter(|| black_box(Simulation::new(&config).run_trace(&trace)))
+    });
+    group.bench_function("classifier_observe_w91", |b| {
+        // The engine alone, outside the simulator: one observe plus one
+        // fragmentation feedback per read, over the same trace.
+        b.iter(|| {
+            let mut engine = PolicyEngine::new(PolicyConfig::default());
+            for rec in &trace {
+                let is_read = rec.op == OpKind::Read;
+                black_box(engine.observe(rec.lba.sector(), is_read));
+                if is_read {
+                    engine.record_fragmented(rec.lba.sector());
+                }
+            }
+            black_box(engine.stats())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = policy;
+    config = Criterion::default().sample_size(10);
+    targets = policy_overhead,
+}
+criterion_main!(policy);

@@ -13,6 +13,9 @@
 //! * `micro` — substrate micro-benchmarks: extent-map insert/lookup, LRU
 //!   and range-cache operations, Zipf sampling, mis-order scanning, and
 //!   end-to-end simulator throughput per layer.
+//! * `policy` — the adaptive policy engine's overhead: the fixed
+//!   mechanism stack vs the same stack under the engine, plus the raw
+//!   classifier's per-record cost.
 
 #![warn(missing_docs)]
 use smrseek_sim::experiments::ExpOptions;

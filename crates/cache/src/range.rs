@@ -157,6 +157,19 @@ impl RangeCache {
     /// then evicts least-recently-used ranges to fit the budget. Returns
     /// the number of sectors evicted.
     pub fn insert(&mut self, pba: Pba, sectors: u64) -> u64 {
+        self.insert_evicting(pba, sectors, &mut |_, _| {})
+    }
+
+    /// Like [`insert`](Self::insert), but reports each evicted range to
+    /// `on_evict` as `(start, sectors)` in eviction (LRU-first) order.
+    /// Multi-level caches use this to demote RAM victims to a lower tier
+    /// instead of dropping them.
+    pub fn insert_evicting(
+        &mut self,
+        pba: Pba,
+        sectors: u64,
+        on_evict: &mut dyn FnMut(Pba, u64),
+    ) -> u64 {
         if sectors == 0 {
             return 0;
         }
@@ -195,7 +208,7 @@ impl RangeCache {
             self.sectors_used += glen;
             self.push_front(idx);
         }
-        self.evict_to_budget()
+        self.evict_to_budget(on_evict)
     }
 
     /// Drops every cached range.
@@ -264,7 +277,7 @@ impl RangeCache {
         }
     }
 
-    fn evict_to_budget(&mut self) -> u64 {
+    fn evict_to_budget(&mut self, on_evict: &mut dyn FnMut(Pba, u64)) -> u64 {
         let mut evicted = 0;
         while self.sectors_used > self.capacity_sectors && self.by_start.len() > 1 {
             let victim = self.tail;
@@ -276,6 +289,7 @@ impl RangeCache {
             self.free.push(victim);
             evicted += len;
             self.stats.evictions += 1;
+            on_evict(Pba::new(start), len);
         }
         evicted
     }
@@ -434,6 +448,21 @@ mod tests {
         c.insert(pba(200), 10); // evicts LRU = [100,110)
         assert!(c.peek_covers(pba(0), 15));
         assert!(!c.peek_covers(pba(100), 10));
+    }
+
+    #[test]
+    fn insert_evicting_reports_victims_lru_first() {
+        let mut c = RangeCache::with_capacity_sectors(30);
+        c.insert(pba(0), 10);
+        c.insert(pba(100), 10);
+        c.insert(pba(200), 10);
+        let mut victims = Vec::new();
+        let n = c.insert_evicting(pba(300), 20, &mut |p, len| victims.push((p, len)));
+        assert_eq!(n, 20);
+        assert_eq!(victims, vec![(pba(0), 10), (pba(100), 10)]);
+        assert!(!c.peek_covers(pba(0), 1));
+        assert!(c.peek_covers(pba(200), 10));
+        assert!(c.peek_covers(pba(300), 20));
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod seek;
 pub mod series;
 pub mod zone;
 
-pub use cost::DiskProfile;
+pub use cost::{DiskProfile, FlashProfile};
 pub use counter::{SeekCounter, SeekCounterState, SeekStats};
 pub use geometry::{DiskGeometry, Location, RecordingZone};
 pub use histogram::Cdf;

@@ -28,16 +28,20 @@ pub enum Phase {
     HostCache,
     /// Snapshot construction and checkpoint emission.
     Checkpoint,
+    /// Adaptive-policy work: per-region heat classification and gate
+    /// derivation.
+    Classify,
 }
 
 impl Phase {
     /// Every phase, in the order used for indexing and display.
-    pub const ALL: [Phase; 5] = [
+    pub const ALL: [Phase; 6] = [
         Phase::Ingest,
         Phase::Lookup,
         Phase::Seek,
         Phase::HostCache,
         Phase::Checkpoint,
+        Phase::Classify,
     ];
 
     /// Stable lower-case label, used as the `phase` metric label and in
@@ -49,6 +53,7 @@ impl Phase {
             Phase::Seek => "seek",
             Phase::HostCache => "host_cache",
             Phase::Checkpoint => "checkpoint",
+            Phase::Classify => "classify",
         }
     }
 
@@ -59,6 +64,7 @@ impl Phase {
             Phase::Seek => 2,
             Phase::HostCache => 3,
             Phase::Checkpoint => 4,
+            Phase::Classify => 5,
         }
     }
 }
@@ -69,8 +75,8 @@ impl Phase {
 /// threads sum into matrix totals in any order.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PhaseTotals {
-    nanos: [u64; 5],
-    calls: [u64; 5],
+    nanos: [u64; 6],
+    calls: [u64; 6],
 }
 
 impl PhaseTotals {
@@ -83,7 +89,7 @@ impl PhaseTotals {
 
     /// Folds another set of totals into this one.
     pub fn merge(&mut self, other: &PhaseTotals) {
-        for i in 0..5 {
+        for i in 0..6 {
             self.nanos[i] = self.nanos[i].saturating_add(other.nanos[i]);
             self.calls[i] = self.calls[i].saturating_add(other.calls[i]);
         }
@@ -171,7 +177,14 @@ mod tests {
         let labels: Vec<&str> = Phase::ALL.iter().map(|p| p.label()).collect();
         assert_eq!(
             labels,
-            ["ingest", "lookup", "seek", "host_cache", "checkpoint"]
+            [
+                "ingest",
+                "lookup",
+                "seek",
+                "host_cache",
+                "checkpoint",
+                "classify"
+            ]
         );
     }
 

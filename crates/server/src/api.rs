@@ -17,6 +17,7 @@
 //! content-addressed cache exists to prevent.
 
 use serde::Value;
+use smrseek_policy::PolicyConfig;
 use smrseek_sim::{LayerChoice, SimConfig};
 use std::path::PathBuf;
 
@@ -107,14 +108,15 @@ fn parse_trace_ref(v: &Value) -> Result<TraceRef, String> {
 /// Parses a `config` object into a [`SimConfig`].
 ///
 /// The `layer` field selects a constructor (`nols`, `ls`, `ls_defrag`,
-/// `ls_prefetch`, `ls_cache`, all at paper defaults); every other knob is
-/// optional and maps 1:1 onto a [`SimConfig`] field.
+/// `ls_prefetch`, `ls_cache`, `ls_adaptive`, all at paper defaults); every
+/// other knob is optional and maps 1:1 onto a [`SimConfig`] field.
 pub fn parse_config(v: &Value) -> Result<SimConfig, String> {
     let entries = v
         .as_object()
         .ok_or_else(|| "`config` must be an object".to_owned())?;
     let layer = v.get("layer").and_then(Value::as_str).ok_or_else(|| {
-        "`config.layer` must be one of nols|ls|ls_defrag|ls_prefetch|ls_cache".to_owned()
+        "`config.layer` must be one of nols|ls|ls_defrag|ls_prefetch|ls_cache|ls_adaptive"
+            .to_owned()
     })?;
     let mut config = match layer {
         "nols" => SimConfig::no_ls(),
@@ -122,6 +124,7 @@ pub fn parse_config(v: &Value) -> Result<SimConfig, String> {
         "ls_defrag" => SimConfig::ls_defrag(),
         "ls_prefetch" => SimConfig::ls_prefetch(),
         "ls_cache" => SimConfig::ls_cache(),
+        "ls_adaptive" => SimConfig::ls_adaptive(),
         other => return Err(format!("unknown layer {other:?}")),
     };
     for (key, value) in entries {
@@ -162,6 +165,15 @@ pub fn parse_config(v: &Value) -> Result<SimConfig, String> {
                         .ok_or_else(|| "`frontier_hint` must be an unsigned integer".to_owned())?,
                 );
             }
+            "flash_cache_bytes" => {
+                config.flash_cache_bytes =
+                    Some(value.as_u64().ok_or_else(|| {
+                        "`flash_cache_bytes` must be an unsigned integer".to_owned()
+                    })?);
+            }
+            "policy" => {
+                config.policy = Some(parse_policy(value)?);
+            }
             other => return Err(format!("unknown config field {other:?}")),
         }
     }
@@ -170,7 +182,58 @@ pub fn parse_config(v: &Value) -> Result<SimConfig, String> {
         // by NoLS — but accepting it would imply it did something.
         return Err("`zone_sectors` has no effect with layer \"nols\"".to_owned());
     }
+    // The adaptive knobs reuse the engine builder's validation so the API
+    // rejects exactly what `SimConfig::builder` would (zero regions, a
+    // policy with nothing to gate, a flash tier without its front cache).
+    if config.policy.is_some() || config.flash_cache_bytes.is_some() {
+        let mut builder = SimConfig::builder(config.layer);
+        if let Some(policy) = config.policy {
+            builder = builder.policy(policy);
+        }
+        if let Some(flash) = config.flash_cache_bytes {
+            builder = builder.flash_cache(flash);
+        }
+        builder.build().map_err(|e| e.to_string())?;
+    }
     Ok(config)
+}
+
+/// Parses a `config.policy` object into a [`PolicyConfig`]. Starts from
+/// the paper-default configuration; every field is optional and unknown
+/// fields are rejected (same staleness argument as [`parse_config`]).
+fn parse_policy(v: &Value) -> Result<PolicyConfig, String> {
+    let entries = v
+        .as_object()
+        .ok_or_else(|| "`config.policy` must be an object".to_owned())?;
+    let mut policy = PolicyConfig::default();
+    for (key, value) in entries {
+        let int = |name: &str| {
+            value
+                .as_i64()
+                .and_then(|i| i32::try_from(i).ok())
+                .ok_or_else(|| format!("`policy.{name}` must be an integer"))
+        };
+        match key.as_str() {
+            "region_sectors" => {
+                policy.region_sectors = value.as_u64().ok_or_else(|| {
+                    "`policy.region_sectors` must be an unsigned integer".to_owned()
+                })?;
+            }
+            "ewma_shift" => {
+                policy.ewma_shift = value
+                    .as_u64()
+                    .and_then(|u| u32::try_from(u).ok())
+                    .ok_or_else(|| "`policy.ewma_shift` must be an unsigned integer".to_owned())?;
+            }
+            "frag_weight" => policy.frag_weight = int("frag_weight")?,
+            "write_weight" => policy.write_weight = int("write_weight")?,
+            "hot_enter" => policy.hot_enter = int("hot_enter")?,
+            "hot_exit" => policy.hot_exit = int("hot_exit")?,
+            "score_clamp" => policy.score_clamp = int("score_clamp")?,
+            other => return Err(format!("unknown policy field {other:?}")),
+        }
+    }
+    Ok(policy)
 }
 
 /// The content identity of a trace reference: file traces use their
@@ -247,6 +310,35 @@ mod tests {
     }
 
     #[test]
+    fn parses_adaptive_config_request() {
+        let req = parse_job_request(
+            br#"{"trace": {"profile": "hm_1", "ops": 500},
+                 "config": {"layer": "ls_adaptive",
+                            "policy": {"region_sectors": 512, "hot_enter": 6},
+                            "flash_cache_bytes": 1048576}}"#,
+        )
+        .expect("parses");
+        let config = req.config.expect("has config");
+        let policy = config.policy.expect("has policy");
+        assert_eq!(policy.region_sectors, 512);
+        assert_eq!(policy.hot_enter, 6);
+        assert_eq!(
+            policy.ewma_shift,
+            PolicyConfig::default().ewma_shift,
+            "unset knobs keep paper defaults"
+        );
+        assert_eq!(config.flash_cache_bytes, Some(1048576));
+        // The adaptive knobs change the cache key: the same trace under a
+        // different policy must never share a cached result.
+        let base = result_key("t", Some(100), Some(&SimConfig::ls_adaptive()));
+        assert_ne!(base, result_key("t", Some(100), Some(&config)));
+        assert_ne!(
+            base,
+            result_key("t", Some(100), Some(&SimConfig::ls_cache()))
+        );
+    }
+
+    #[test]
     fn rejects_malformed_requests() {
         for (body, needle) in [
             (&b"not json"[..], "not valid JSON"),
@@ -271,6 +363,31 @@ mod tests {
             (
                 br#"{"trace": {"path": "a"}, "config": {"layer": "nols", "zone_sectors": 8}}"#,
                 "no effect",
+            ),
+            (
+                br#"{"trace": {"path": "a"},
+                     "config": {"layer": "ls_adaptive", "policy": {"warp": 1}}}"#,
+                "unknown policy field",
+            ),
+            (
+                br#"{"trace": {"path": "a"},
+                     "config": {"layer": "ls_adaptive", "policy": {"region_sectors": 0}}}"#,
+                "region",
+            ),
+            (
+                br#"{"trace": {"path": "a"},
+                     "config": {"layer": "nols", "policy": {}}}"#,
+                "NoLS",
+            ),
+            (
+                br#"{"trace": {"path": "a"},
+                     "config": {"layer": "ls", "policy": {}}}"#,
+                "mechanism",
+            ),
+            (
+                br#"{"trace": {"path": "a"},
+                     "config": {"layer": "ls_defrag", "flash_cache_bytes": 1024}}"#,
+                "selective cache",
             ),
         ] {
             let err = parse_job_request(body).expect_err("must reject");

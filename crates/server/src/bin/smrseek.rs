@@ -14,6 +14,7 @@
 //!   analyze                trace-level analysis vs seek class
 //!   frag                   static vs dynamic fragmentation (§IV-A)
 //!   ablate                 run the parameter-sweep ablations
+//!   adaptive               adaptive policy engine vs each fixed mechanism
 //!   timeamp                extension: seek-time amplification
 //!   hostcache              extension: host buffer-cache interaction
 //!   clean                  extension: finite-log cleaning sweep
@@ -47,8 +48,8 @@
 
 use smrseek_sim::checkpoint::checkpoint_config_key;
 use smrseek_sim::experiments::{
-    ablation, analyze, classify, cleaning, fig10, fig11, fig2, fig3, fig4, fig5, fig7, fig8,
-    fragmentation, host_cache, reorder, table1, time_amp, zones, ExpOptions,
+    ablation, adaptive, analyze, classify, cleaning, fig10, fig11, fig2, fig3, fig4, fig5, fig7,
+    fig8, fragmentation, host_cache, reorder, table1, time_amp, zones, ExpOptions,
 };
 use smrseek_sim::runner::{self, parallel_map, MatrixStats, RunCell, RunMatrix, ShardPolicy};
 use smrseek_sim::{
@@ -139,7 +140,7 @@ enum TraceFormat {
 }
 
 fn usage() -> String {
-    "usage: smrseek <table1|fig2|...|fig11|ablate|timeamp|hostcache|clean|all|list> \
+    "usage: smrseek <table1|fig2|...|fig11|ablate|adaptive|timeamp|hostcache|clean|all|list> \
      [--ops N] [--seed S] [--threads N] [--cache] [--json FILE]\n       \
      smrseek <characterize|simulate> <trace> [--format msr|cp|blktrace|binary] [--cache] \
      [--shards auto|serial|N] [--json FILE]\n       \
@@ -638,12 +639,21 @@ fn run_bench(args: &Args) -> Result<String, CliError> {
         );
     }
 
-    // One history-free config (direct head seeding) and one log-structured
-    // config (checkpoint-seeded sharding with its serial prepass), so the
-    // numbers show both sharding paths.
+    // One history-free config (direct head seeding), one log-structured
+    // config (checkpoint-seeded sharding with its serial prepass), and the
+    // full mechanism stack with and without the adaptive policy engine —
+    // the last pair reads off the engine's end-to-end overhead.
+    let fixed_stack = {
+        let mut c = SimConfig::ls_adaptive();
+        c.policy = None;
+        c.flash_cache_bytes = None;
+        c
+    };
     let bench_configs = [
         ("NoLS", SimConfig::no_ls()),
         ("LS", SimConfig::log_structured()),
+        ("LS+fixed", fixed_stack),
+        ("LS+adaptive", SimConfig::ls_adaptive()),
     ];
     let mut configs = Vec::with_capacity(bench_configs.len());
     for (name, config) in bench_configs {
@@ -809,6 +819,13 @@ fn run_experiment(args: &Args) -> Result<String, CliError> {
             maybe_write_json(&args.json, &sweeps)?;
             ablation::render(&sweeps)
         }
+        "adaptive" => {
+            let cache = cache_dir(args);
+            let (report, stats) = adaptive::run_cached(opts, args.threads, cache.as_deref());
+            smrseek_obs::info!("{}", stats.summary("adaptive"));
+            maybe_write_json(&args.json, &report)?;
+            adaptive::render(&report)
+        }
         "analyze" => {
             let rows = analyze::run(opts);
             maybe_write_json(&args.json, &rows)?;
@@ -954,6 +971,13 @@ fn run_experiment(args: &Args) -> Result<String, CliError> {
                     Box::new(move || {
                         let r = ablation::run(&o);
                         (ablation::render(&r), r.to_value())
+                    }),
+                ),
+                (
+                    "adaptive",
+                    Box::new(move || {
+                        let r = adaptive::run(&o);
+                        (adaptive::render(&r), r.to_value())
                     }),
                 ),
                 (

@@ -7,8 +7,10 @@
 //! job table at scrape time, which cannot drift from the truth.
 
 use crate::jobs::{JobSnapshot, JobState};
+use smrseek_cache::TierStats;
 use smrseek_disk::histogram::LogHistogram;
 use smrseek_obs::{Phase, PhaseTotals};
+use smrseek_policy::PolicyStats;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -87,7 +89,14 @@ pub struct Metrics {
     checkpoint_records_skipped: AtomicU64,
     /// Engine phase time from finished jobs, in nanoseconds, indexed in
     /// [`Phase::ALL`] order (atomics: workers fold totals in concurrently).
-    engine_phase_nanos: [AtomicU64; 5],
+    engine_phase_nanos: [AtomicU64; 6],
+    /// Adaptive-policy gate flips from finished jobs, indexed
+    /// defrag / prefetch / cache (the `mechanism` label order).
+    policy_gate_flips: [AtomicU64; 3],
+    /// Multi-level cache lookups from finished jobs, indexed RAM-hit /
+    /// flash-hit (the `tier` label order), plus total misses.
+    cache_tier_hits: [AtomicU64; 2],
+    cache_tier_misses: AtomicU64,
     /// Deliberately a `Mutex` per endpoint, not atomics: a latency
     /// observation touches three fields of one [`EndpointStats`] (count,
     /// histogram bin, sum) that must move together, and the lock is
@@ -116,6 +125,9 @@ impl Metrics {
             checkpoint_misses: AtomicU64::default(),
             checkpoint_records_skipped: AtomicU64::default(),
             engine_phase_nanos: Default::default(),
+            policy_gate_flips: Default::default(),
+            cache_tier_hits: Default::default(),
+            cache_tier_misses: AtomicU64::default(),
             endpoints: Default::default(),
         }
     }
@@ -180,6 +192,36 @@ impl Metrics {
             if nanos > 0 {
                 self.engine_phase_nanos[i].fetch_add(nanos, Ordering::Relaxed);
             }
+        }
+    }
+
+    /// Folds one finished job's adaptive-policy decision counters into the
+    /// daemon-wide gate-flip totals.
+    pub fn policy_stats(&self, stats: &PolicyStats) {
+        let flips = [
+            stats.defrag_gate_flips,
+            stats.prefetch_gate_flips,
+            stats.cache_gate_flips,
+        ];
+        for (counter, flip) in self.policy_gate_flips.iter().zip(flips) {
+            if flip > 0 {
+                counter.fetch_add(flip, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Folds one finished job's multi-level cache counters into the
+    /// daemon-wide per-tier totals.
+    pub fn tier_stats(&self, stats: &TierStats) {
+        let hits = [stats.ram_hits, stats.flash_hits];
+        for (counter, hit) in self.cache_tier_hits.iter().zip(hits) {
+            if hit > 0 {
+                counter.fetch_add(hit, Ordering::Relaxed);
+            }
+        }
+        if stats.misses > 0 {
+            self.cache_tier_misses
+                .fetch_add(stats.misses, Ordering::Relaxed);
         }
     }
 
@@ -297,6 +339,37 @@ impl Metrics {
                 nanos as f64 / 1e9,
             );
         }
+
+        out.push_str(
+            "# HELP smrseekd_policy_gate_flips_total Adaptive-policy gate transitions, \
+             by gated mechanism, summed over finished jobs.\n\
+             # TYPE smrseekd_policy_gate_flips_total counter\n",
+        );
+        for (i, mechanism) in ["defrag", "prefetch", "cache"].iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "smrseekd_policy_gate_flips_total{{mechanism=\"{mechanism}\"}} {}",
+                self.policy_gate_flips[i].load(Ordering::Relaxed)
+            );
+        }
+        out.push_str(
+            "# HELP smrseekd_cache_tier_hits_total Selective-cache lookups served, by tier, \
+             summed over finished jobs.\n\
+             # TYPE smrseekd_cache_tier_hits_total counter\n",
+        );
+        for (i, tier) in ["ram", "flash"].iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "smrseekd_cache_tier_hits_total{{tier=\"{tier}\"}} {}",
+                self.cache_tier_hits[i].load(Ordering::Relaxed)
+            );
+        }
+        out.push_str("# HELP smrseekd_cache_tier_misses_total Selective-cache lookups no tier could serve.\n# TYPE smrseekd_cache_tier_misses_total counter\n");
+        let _ = writeln!(
+            out,
+            "smrseekd_cache_tier_misses_total {}",
+            self.cache_tier_misses.load(Ordering::Relaxed)
+        );
 
         out.push_str("# HELP smrseekd_http_requests_total Requests served, by endpoint.\n# TYPE smrseekd_http_requests_total counter\n");
         for endpoint in Endpoint::ALL {
@@ -428,6 +501,150 @@ mod tests {
         assert!(text.contains("smrseekd_engine_phase_seconds_total{phase=\"lookup\"} 2.000000000"));
         assert!(text.contains("smrseekd_engine_phase_seconds_total{phase=\"seek\"} 0.000000005"));
         assert!(text.contains("smrseekd_engine_phase_seconds_total{phase=\"ingest\"} 0.000000000"));
+    }
+
+    #[test]
+    fn policy_and_tier_counters_accumulate_with_labels() {
+        let m = Metrics::new();
+        let text = m.render(&JobSnapshot::default(), 0);
+        // Families are present (zero-valued) before any adaptive job runs.
+        assert!(text.contains("smrseekd_policy_gate_flips_total{mechanism=\"defrag\"} 0"));
+        assert!(text.contains("smrseekd_cache_tier_hits_total{tier=\"flash\"} 0"));
+        assert!(text.contains("smrseekd_cache_tier_misses_total 0"));
+
+        let stats = PolicyStats {
+            defrag_gate_flips: 3,
+            prefetch_gate_flips: 2,
+            cache_gate_flips: 1,
+            ..PolicyStats::default()
+        };
+        m.policy_stats(&stats);
+        m.policy_stats(&stats);
+        let tiers = TierStats {
+            ram_hits: 10,
+            flash_hits: 4,
+            misses: 7,
+            ..TierStats::default()
+        };
+        m.tier_stats(&tiers);
+        let text = m.render(&JobSnapshot::default(), 0);
+        assert!(text.contains("smrseekd_policy_gate_flips_total{mechanism=\"defrag\"} 6"));
+        assert!(text.contains("smrseekd_policy_gate_flips_total{mechanism=\"prefetch\"} 4"));
+        assert!(text.contains("smrseekd_policy_gate_flips_total{mechanism=\"cache\"} 2"));
+        assert!(text.contains("smrseekd_cache_tier_hits_total{tier=\"ram\"} 10"));
+        assert!(text.contains("smrseekd_cache_tier_hits_total{tier=\"flash\"} 4"));
+        assert!(text.contains("smrseekd_cache_tier_misses_total 7"));
+    }
+
+    /// An offline promlint: the checks `promtool check metrics` applies to
+    /// an exposition, run against a render with every family populated.
+    #[test]
+    fn exposition_passes_promlint() {
+        let m = Metrics::new();
+        m.cache_hit();
+        m.cache_miss();
+        m.rejected();
+        m.replayed(10);
+        m.policy_stats(&PolicyStats {
+            defrag_gate_flips: 1,
+            ..PolicyStats::default()
+        });
+        m.tier_stats(&TierStats {
+            ram_hits: 1,
+            flash_hits: 1,
+            misses: 1,
+            ..TierStats::default()
+        });
+        let mut phases = PhaseTotals::default();
+        phases.record(Phase::Classify, Duration::from_millis(2));
+        m.engine_phases(&phases);
+        for endpoint in Endpoint::ALL {
+            m.observe(endpoint, Duration::from_micros(5));
+        }
+        let text = m.render(&JobSnapshot::default(), 1);
+
+        let name_ok = |name: &str| {
+            !name.is_empty()
+                && name
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        };
+        let mut helped = std::collections::HashSet::new();
+        let mut typed = std::collections::HashMap::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (name, help) = rest.split_once(' ').expect("HELP has text");
+                assert!(name_ok(name), "bad metric name {name}");
+                assert!(!help.trim().is_empty(), "{name} has empty help");
+                assert!(helped.insert(name.to_owned()), "duplicate HELP for {name}");
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, kind) = rest.split_once(' ').expect("TYPE has kind");
+                assert!(
+                    ["counter", "gauge", "histogram"].contains(&kind),
+                    "{name}: unknown type {kind}"
+                );
+                assert!(helped.contains(name), "{name}: TYPE without preceding HELP");
+                assert!(
+                    typed.insert(name.to_owned(), kind.to_owned()).is_none(),
+                    "duplicate TYPE for {name}"
+                );
+                if kind == "counter" {
+                    assert!(
+                        name.ends_with("_total"),
+                        "counter {name} must end in _total"
+                    );
+                }
+                continue;
+            }
+            assert!(!line.starts_with('#'), "unknown comment line: {line}");
+            // A sample: name{labels} value — must belong to a declared
+            // family (histograms declare via their base name).
+            let name_end = line.find(['{', ' ']).expect("sample has a name");
+            let name = &line[..name_end];
+            assert!(name_ok(name), "bad sample name {name}");
+            let family = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|suffix| {
+                    let base = name.strip_suffix(suffix)?;
+                    (typed.get(base).map(String::as_str) == Some("histogram")).then_some(base)
+                })
+                .unwrap_or(name);
+            assert!(
+                typed.contains_key(family),
+                "sample {name} has no TYPE declaration"
+            );
+            let value = line.rsplit(' ').next().expect("sample has a value");
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf",
+                "{name}: unparsable value {value}"
+            );
+            if let Some(labels) = line[name_end..].strip_prefix('{') {
+                let labels = labels.split_once('}').expect("labels close").0;
+                for pair in labels.split(',') {
+                    let (k, v) = pair.split_once('=').expect("label has =");
+                    assert!(name_ok(k), "bad label name {k}");
+                    assert!(
+                        v.starts_with('"') && v.ends_with('"') && v.len() >= 2,
+                        "{name}: unquoted label value {v}"
+                    );
+                }
+            }
+        }
+        // Families this PR adds are all present and correctly typed.
+        for family in [
+            "smrseekd_policy_gate_flips_total",
+            "smrseekd_cache_tier_hits_total",
+            "smrseekd_cache_tier_misses_total",
+        ] {
+            assert_eq!(typed.get(family).map(String::as_str), Some("counter"));
+        }
+        assert!(text.contains("phase=\"classify\""), "new phase is exported");
     }
 
     #[test]

@@ -10,7 +10,9 @@
 
 use crate::jobs::JobTable;
 use crate::metrics::Metrics;
+use smrseek_cache::TierStats;
 use smrseek_obs::PhaseTotals;
+use smrseek_policy::PolicyStats;
 use smrseek_sim::runner::RunMatrix;
 use smrseek_sim::{saf, CheckpointStore, CheckpointUsage, SimConfig, TraceSource};
 use std::num::NonZeroUsize;
@@ -68,6 +70,12 @@ pub struct JobOutcome {
     /// Engine phase timing merged across the job's cells (all zero unless
     /// phase accounting is enabled — the daemon enables it at startup).
     pub phases: PhaseTotals,
+    /// Adaptive-policy decision counters merged across the job's cells
+    /// (all zero for jobs without a policy config).
+    pub policy: PolicyStats,
+    /// Multi-level cache counters merged across the job's cells (all zero
+    /// without a flash tier).
+    pub tiers: TierStats,
 }
 
 /// Replays one job, resuming from / refreshing checkpoints when `policy`
@@ -106,8 +114,16 @@ pub fn run_job(
     };
     let records = outcomes.iter().map(|o| o.metrics.records).sum();
     let mut phases = PhaseTotals::default();
+    let mut policy_stats = PolicyStats::default();
+    let mut tiers = TierStats::default();
     for outcome in &outcomes {
         phases.merge(&outcome.metrics.phases);
+        if let Some(p) = &outcome.report.policy {
+            policy_stats.merge(p);
+        }
+        if let Some(t) = &outcome.report.cache_tiers {
+            tiers.merge(t);
+        }
     }
     let doc = match &work.kind {
         JobKind::Sweep => serde_json::to_string_pretty(&saf::sweep_safs(&outcomes)),
@@ -118,6 +134,8 @@ pub fn run_job(
         records,
         checkpoints,
         phases,
+        policy: policy_stats,
+        tiers,
     })
     .map_err(|e| format!("cannot serialize result: {e}"))
 }
@@ -144,6 +162,8 @@ pub fn spawn_workers(
                             metrics.replayed(out.records);
                             metrics.checkpoint_usage(&out.checkpoints);
                             metrics.engine_phases(&out.phases);
+                            metrics.policy_stats(&out.policy);
+                            metrics.tier_stats(&out.tiers);
                         }
                         jobs.complete(id, outcome.map(|out| out.doc));
                     }

@@ -419,7 +419,7 @@ fn all_smoke_test_runs_every_experiment() {
     }
     // The per-run timing summary goes to stderr, never stdout.
     let err = String::from_utf8_lossy(&out.stderr);
-    assert!(err.contains("18 experiments"), "timing summary on stderr");
+    assert!(err.contains("19 experiments"), "timing summary on stderr");
     assert!(!text.contains("experiments,"), "stdout stays clean");
 }
 

@@ -8,6 +8,7 @@
 //! encode/decode framing is under the same randomized scrutiny.
 
 use proptest::prelude::*;
+use smrseek_policy::PolicyConfig;
 use smrseek_sim::checkpoint::{decode_engine_snapshot, encode_engine_snapshot};
 use smrseek_sim::{EngineSnapshot, SimConfig, Simulation};
 use smrseek_trace::{Lba, TraceRecord};
@@ -25,11 +26,18 @@ fn record_strategy() -> impl Strategy<Value = TraceRecord> {
     })
 }
 
-/// The five standard-sweep configs, with the report-shaping extras
-/// (distances, fragment tracking, host cache) toggled at random so the
-/// snapshot has to carry every optional piece of engine state.
+/// The five standard-sweep configs plus the adaptive policy stack, with
+/// the report-shaping extras (distances, fragment tracking, host cache)
+/// toggled at random so the snapshot has to carry every optional piece of
+/// engine state — including the policy classifier and the tiered cache.
 fn config_strategy() -> impl Strategy<Value = SimConfig> {
-    let sweep = SimConfig::standard_sweep();
+    let mut sweep = SimConfig::standard_sweep().to_vec();
+    // Small regions so the 16 MiB trace span crosses many classifier
+    // regions and gates actually flip inside short random traces.
+    sweep.push(SimConfig::ls_adaptive().with_policy(PolicyConfig {
+        region_sectors: 512,
+        ..PolicyConfig::default()
+    }));
     (
         0..sweep.len(),
         prop::bool::ANY,

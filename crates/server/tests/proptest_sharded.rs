@@ -11,6 +11,7 @@
 //! seeding must use absolute record indices.
 
 use proptest::prelude::*;
+use smrseek_policy::PolicyConfig;
 use smrseek_sim::{SimConfig, Simulation};
 use smrseek_trace::{Lba, TraceRecord};
 
@@ -27,13 +28,25 @@ fn record_strategy() -> impl Strategy<Value = TraceRecord> {
     })
 }
 
-/// The five standard-sweep configs with the report-shaping extras
-/// (distances, long-seek series, host cache, fragment tracking, zones)
-/// toggled at random, so the direct-seeded NoLS shapes and every
-/// checkpoint-seeded log-structured shape come under the same identity
-/// check.
+/// The five standard-sweep configs plus the adaptive policy stack, with
+/// the report-shaping extras (distances, long-seek series, host cache,
+/// fragment tracking, zones) toggled at random, so the direct-seeded NoLS
+/// shapes and every checkpoint-seeded log-structured shape — including
+/// the one carrying classifier and tiered-cache state — come under the
+/// same identity check.
+fn sweep_with_adaptive() -> Vec<SimConfig> {
+    let mut configs = SimConfig::standard_sweep().to_vec();
+    // Small regions so the 16 MiB trace span crosses many classifier
+    // regions and gates actually flip inside short random traces.
+    configs.push(SimConfig::ls_adaptive().with_policy(PolicyConfig {
+        region_sectors: 512,
+        ..PolicyConfig::default()
+    }));
+    configs
+}
+
 fn config_strategy() -> impl Strategy<Value = SimConfig> {
-    let sweep = SimConfig::standard_sweep();
+    let sweep = sweep_with_adaptive();
     (
         0..sweep.len(),
         prop::bool::ANY,
@@ -122,4 +135,45 @@ proptest! {
             "sharded resume from {} of {} diverged", cut, records.len()
         );
     }
+
+    /// Policy-off reports keep the pre-policy wire shape: no sweep
+    /// configuration (none of which carries a policy or a flash tier)
+    /// may grow a `"policy"` or `"cache_tiers"` key, so downstream
+    /// consumers of archived reports never see the new fields unless the
+    /// run opted in.
+    #[test]
+    fn policy_off_reports_keep_pre_policy_shape(
+        records in prop::collection::vec(record_strategy(), 1..120),
+        config in config_strategy(),
+    ) {
+        let has_policy = config.policy.is_some();
+        let json = report_json(&Simulation::new(&config).run_trace(&records));
+        prop_assert_eq!(
+            json.contains("\"policy\""), has_policy,
+            "policy key presence must match the config: {}", json
+        );
+        prop_assert_eq!(
+            json.contains("\"cache_tiers\""), has_policy,
+            "cache_tiers key presence must match the config: {}", json
+        );
+    }
+}
+
+/// The adaptive stack is the only configuration that opts into the new
+/// report fields, and it always carries both.
+#[test]
+fn adaptive_report_carries_policy_and_tier_stats() {
+    let records: Vec<TraceRecord> = (0..64)
+        .map(|i| TraceRecord::write(i, Lba::new(i * 8), 8))
+        .chain((0..64).map(|i| TraceRecord::read(64 + i, Lba::new(i * 8), 8)))
+        .collect();
+    let report = Simulation::new(&SimConfig::ls_adaptive()).run_trace(&records);
+    assert!(
+        report.policy.is_some(),
+        "adaptive run must report PolicyStats"
+    );
+    assert!(
+        report.cache_tiers.is_some(),
+        "adaptive run must report per-tier cache stats"
+    );
 }

@@ -9,14 +9,17 @@
 //! report byte-identical to the serial run.
 
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
+use crate::checkpoint::CheckpointStore;
+
 use serde::{Deserialize, Serialize};
-use smrseek_cache::RangeCache;
+use smrseek_cache::{RangeCache, TierStats};
 use smrseek_disk::{Cdf, LongSeekSeries, SeekCounter, SeekCounterState, SeekStats};
 use smrseek_extent::ExtentMapCheckpoint;
 use smrseek_obs::{phase_accounting, Phase, PhaseTotals};
+use smrseek_policy::{PolicyConfig, PolicyEngine, PolicyStats};
 use smrseek_stl::{
     CacheConfig, DefragConfig, FragmentAccessTracker, LogStructured, LsConfig, LsSnapshot, LsStats,
     NoLs, PrefetchConfig, TranslationLayer,
@@ -62,6 +65,18 @@ pub struct SimConfig {
     /// splits; extension) instead of the paper's continuous infinite
     /// frontier. Ignored for the NoLS baseline.
     pub zone_sectors: Option<u64>,
+    /// Drive the layer's mechanisms through the adaptive policy engine
+    /// (`smrseek-policy`): per-region online heat classification gates
+    /// defrag rewrites, scales the prefetch window, and admits or denies
+    /// cache fills, per record. Requires a log-structured layer with at
+    /// least one mechanism to gate (validated by the builder).
+    pub policy: Option<PolicyConfig>,
+    /// Back the selective cache with a simulated flash tier of this many
+    /// bytes (`smrseek_cache::TieredCache`): RAM evictions demote, flash
+    /// hits promote. Requires the selective cache (validated by the
+    /// builder); the per-tier counters surface as
+    /// [`RunReport::cache_tiers`].
+    pub flash_cache_bytes: Option<u64>,
     /// Logical-space bound for streaming runs: one past the highest sector
     /// the trace touches. Log-structured layers place their write frontier
     /// at the first 1 MiB boundary at or above this (§III). Required by
@@ -88,6 +103,8 @@ impl SimConfig {
             track_fragments: false,
             host_cache_bytes: None,
             zone_sectors: None,
+            policy: None,
+            flash_cache_bytes: None,
             frontier_hint: None,
             checkpoint_every: None,
         }
@@ -106,6 +123,8 @@ impl SimConfig {
             track_fragments: false,
             host_cache_bytes: None,
             zone_sectors: None,
+            policy: None,
+            flash_cache_bytes: None,
             frontier_hint: None,
             checkpoint_every: None,
         }
@@ -143,9 +162,36 @@ impl SimConfig {
             track_fragments: false,
             host_cache_bytes: None,
             zone_sectors: None,
+            policy: None,
+            flash_cache_bytes: None,
             frontier_hint: None,
             checkpoint_every: None,
         }
+    }
+
+    /// The adaptive configuration: all three mechanisms at paper defaults,
+    /// gated per region by the policy engine, with a 256 MiB flash tier
+    /// behind the 64 MB selective cache.
+    pub fn ls_adaptive() -> Self {
+        Self::ls_with(
+            Some(DefragConfig::default()),
+            Some(PrefetchConfig::default()),
+            Some(CacheConfig::default()),
+        )
+        .with_policy(PolicyConfig::default())
+        .with_flash_cache(256 * 1024 * 1024)
+    }
+
+    /// Drives the layer's mechanisms through the adaptive policy engine.
+    pub fn with_policy(mut self, policy: PolicyConfig) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Backs the selective cache with a flash tier of `bytes` bytes.
+    pub fn with_flash_cache(mut self, bytes: u64) -> Self {
+        self.flash_cache_bytes = Some(bytes);
+        self
     }
 
     /// Enables seek-distance recording.
@@ -229,6 +275,8 @@ impl SimConfig {
                 self.zone_sectors = None;
                 self.frontier_hint = None;
                 self.track_fragments = false;
+                self.policy = None;
+                self.flash_cache_bytes = None;
             }
             LayerChoice::Ls { .. } => {
                 if self.frontier_hint.is_none() {
@@ -287,6 +335,19 @@ pub enum ConfigError {
     /// Zoned logging was requested for the NoLS baseline, which keeps no
     /// log — the knob would be silently ignored.
     ZonesWithoutLs,
+    /// The policy classifier was given zero-sector regions: every sector
+    /// would be its own region boundary division by zero.
+    ZeroPolicyRegion,
+    /// An adaptive policy was requested for the NoLS baseline, which has
+    /// no mechanisms to gate.
+    PolicyWithoutLs,
+    /// An adaptive policy was requested for a log-structured layer with no
+    /// mechanisms enabled: every gate decision would be a no-op, silently.
+    PolicyWithoutMechanisms,
+    /// The flash tier was given zero capacity.
+    ZeroFlashCache,
+    /// A flash tier was requested without the selective cache it backs.
+    FlashCacheWithoutSelectiveCache,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -300,6 +361,15 @@ impl std::fmt::Display for ConfigError {
                 "long-seek series buckets must span at least one operation"
             }
             ConfigError::ZonesWithoutLs => "the NoLS baseline keeps no log to zone",
+            ConfigError::ZeroPolicyRegion => "policy regions must span at least one sector",
+            ConfigError::PolicyWithoutLs => "the NoLS baseline has no mechanisms for a policy to gate",
+            ConfigError::PolicyWithoutMechanisms => {
+                "an adaptive policy needs at least one mechanism (defrag, prefetch, or cache) to gate"
+            }
+            ConfigError::ZeroFlashCache => "flash tier capacity must be at least one byte",
+            ConfigError::FlashCacheWithoutSelectiveCache => {
+                "a flash tier backs the selective cache; enable the cache too"
+            }
         };
         f.write_str(msg)
     }
@@ -379,6 +449,18 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Drives the layer's mechanisms through the adaptive policy engine.
+    pub fn policy(mut self, policy: PolicyConfig) -> Self {
+        self.config.policy = Some(policy);
+        self
+    }
+
+    /// Backs the selective cache with a flash tier of `bytes` bytes.
+    pub fn flash_cache(mut self, bytes: u64) -> Self {
+        self.config.flash_cache_bytes = Some(bytes);
+        self
+    }
+
     /// Validates the accumulated knobs and produces the config.
     ///
     /// # Errors
@@ -409,6 +491,43 @@ impl SimConfigBuilder {
         }
         if matches!(config.layer, LayerChoice::NoLs) && config.zone_sectors.is_some() {
             return Err(ConfigError::ZonesWithoutLs);
+        }
+        if config.flash_cache_bytes == Some(0) {
+            return Err(ConfigError::ZeroFlashCache);
+        }
+        if let Some(policy) = config.policy {
+            if policy.region_sectors == 0 {
+                return Err(ConfigError::ZeroPolicyRegion);
+            }
+        }
+        match config.layer {
+            LayerChoice::NoLs => {
+                if config.policy.is_some() {
+                    return Err(ConfigError::PolicyWithoutLs);
+                }
+                if config.flash_cache_bytes.is_some() {
+                    return Err(ConfigError::FlashCacheWithoutSelectiveCache);
+                }
+            }
+            LayerChoice::Ls {
+                defrag,
+                prefetch,
+                cache,
+            } => {
+                // Without a mechanism every gate decision is a no-op; worse,
+                // a gated prepass could not mirror the full run's classifier
+                // evidence exactly. Rejected rather than silently inert.
+                if config.policy.is_some()
+                    && defrag.is_none()
+                    && prefetch.is_none()
+                    && cache.is_none()
+                {
+                    return Err(ConfigError::PolicyWithoutMechanisms);
+                }
+                if config.flash_cache_bytes.is_some() && cache.is_none() {
+                    return Err(ConfigError::FlashCacheWithoutSelectiveCache);
+                }
+            }
         }
         Ok(config)
     }
@@ -491,6 +610,12 @@ pub struct RunReport {
     /// Largest extent-map segment count observed during the run (0 for
     /// NoLS, which keeps no map) — the run's dominant memory term.
     pub peak_extent_segments: u64,
+    /// Adaptive-policy decision and flip counters, when the run was driven
+    /// by a [`SimConfig::with_policy`] engine.
+    pub policy: Option<PolicyStats>,
+    /// Per-tier cache hit/promotion/demotion counters, when the selective
+    /// cache had a flash tier ([`SimConfig::with_flash_cache`]).
+    pub cache_tiers: Option<TierStats>,
     /// Engine phase accounting (where simulation wall time went). All
     /// zeros unless [`smrseek_obs::set_phase_accounting`] was on when the
     /// run started. A timing side channel like `RunMetrics`: deliberately
@@ -508,10 +633,12 @@ pub struct RunReport {
 /// Hand-written (the vendored `serde_derive` has no `#[serde(skip)]`):
 /// reproduces exactly what the derive emitted for every field except
 /// `phases` and `sharding`, which are execution-shape noise and must not
-/// reach serialized reports.
+/// reach serialized reports. The adaptive fields (`policy`, `cache_tiers`)
+/// are appended only when present, so reports from policy-free runs stay
+/// byte-identical to those from before the fields existed.
 impl Serialize for RunReport {
     fn to_value(&self) -> serde::Value {
-        serde::Value::Object(vec![
+        let mut fields = vec![
             (String::from("layer_name"), self.layer_name.to_value()),
             (String::from("logical_ops"), self.logical_ops.to_value()),
             (String::from("seeks"), self.seeks.to_value()),
@@ -531,7 +658,14 @@ impl Serialize for RunReport {
                 String::from("peak_extent_segments"),
                 self.peak_extent_segments.to_value(),
             ),
-        ])
+        ];
+        if self.policy.is_some() {
+            fields.push((String::from("policy"), self.policy.to_value()));
+        }
+        if self.cache_tiers.is_some() {
+            fields.push((String::from("cache_tiers"), self.cache_tiers.to_value()));
+        }
+        serde::Value::Object(fields)
     }
 }
 
@@ -602,6 +736,9 @@ pub struct EngineSnapshot {
     pub logical_ops: u64,
     /// Largest extent-map segment count observed so far.
     pub peak_extent_segments: u64,
+    /// Adaptive policy engine state (region classifier + counters), when
+    /// the run is policy-driven.
+    pub policy: Option<PolicyEngine>,
 }
 
 /// Live engine state: the deconstructed body of the historical
@@ -619,6 +756,9 @@ struct EngineState {
     phys_sectors: u64,
     logical_ops: u64,
     peak_extent_segments: u64,
+    /// The adaptive policy engine, when configured: consulted before every
+    /// record that reaches the layer, fed fragmented-read evidence after.
+    policy: Option<PolicyEngine>,
     /// Sampled from [`phase_accounting`] once at construction so a run's
     /// behavior cannot change mid-flight; when false, `step` pays a single
     /// branch and no clock reads.
@@ -650,6 +790,7 @@ fn ls_config_for(config: &SimConfig) -> Option<LsConfig> {
             ls_config.defrag = defrag;
             ls_config.prefetch = prefetch;
             ls_config.cache = cache;
+            ls_config.flash_cache_bytes = config.flash_cache_bytes;
             ls_config.track_fragments = config.track_fragments;
             ls_config.zone_sectors = config.zone_sectors;
             Some(ls_config)
@@ -675,6 +816,12 @@ impl EngineState {
         let host_cache = config
             .host_cache_bytes
             .map(smrseek_cache::RangeCache::with_capacity_bytes);
+        // Policy without LS is rejected by the builder; tolerated here by
+        // simply never constructing the engine.
+        let policy = match config.layer {
+            LayerChoice::Ls { .. } => config.policy.map(|p| fresh_policy(p, config)),
+            LayerChoice::NoLs => None,
+        };
         EngineState {
             config: *config,
             layer,
@@ -685,6 +832,7 @@ impl EngineState {
             phys_sectors: 0,
             logical_ops: 0,
             peak_extent_segments: 0,
+            policy,
             timing: phase_accounting(),
             phases: PhaseTotals::default(),
         }
@@ -711,6 +859,7 @@ impl EngineState {
             phys_sectors: snap.phys_sectors,
             logical_ops: snap.logical_ops,
             peak_extent_segments: snap.peak_extent_segments,
+            policy: snap.policy.clone(),
             timing: phase_accounting(),
             // Snapshots carry no timing (it is wall-clock noise, not
             // simulation state): a resumed run accounts only for the
@@ -742,10 +891,45 @@ impl EngineState {
                 return; // served from host RAM: nothing reaches the device
             }
         }
+        let frag_before = match (&self.policy, &self.layer) {
+            (Some(_), LayerImpl::Ls(ls)) => {
+                let s = ls.stats();
+                Some((s.fragmented_reads, s.phys_reads))
+            }
+            _ => None,
+        };
+        if let (Some(policy), LayerImpl::Ls(ls)) = (&mut self.policy, &mut self.layer) {
+            let gates = policy.observe(rec.lba.sector(), rec.op.is_read());
+            ls.set_gates(gates);
+            if let Some(t) = &mut mark {
+                self.phases.record(Phase::Classify, t.elapsed());
+                *t = Instant::now();
+            }
+        }
         let ios = self.layer.apply(rec);
         if let Some(t) = &mut mark {
             self.phases.record(Phase::Lookup, t.elapsed());
             *t = Instant::now();
+        }
+        if let Some((frag, phys)) = frag_before {
+            if let (Some(policy), LayerImpl::Ls(ls)) = (&mut self.policy, &self.layer) {
+                let s = ls.stats();
+                if s.fragmented_reads > frag {
+                    // A fragmented read that paid disk I/O is hot evidence;
+                    // one fully absorbed by the cache or prefetch buffer is
+                    // evidence the cheaper mechanisms already cover this
+                    // region, so defrag rewrites would be pure cost.
+                    if s.phys_reads > phys {
+                        policy.record_fragmented(rec.lba.sector());
+                    } else {
+                        policy.record_cache_absorbed(rec.lba.sector());
+                    }
+                }
+            }
+            if let Some(t) = &mut mark {
+                self.phases.record(Phase::Classify, t.elapsed());
+                *t = Instant::now();
+            }
         }
         for io in ios {
             self.phys_sectors += io.sectors;
@@ -776,14 +960,25 @@ impl EngineState {
             phys_sectors: self.phys_sectors,
             logical_ops: self.logical_ops,
             peak_extent_segments: self.peak_extent_segments,
+            policy: self.policy.clone(),
         }
     }
 
     fn finish(self) -> RunReport {
-        let layer_name = self.layer.name().to_owned();
-        let (ls_stats, fragments) = match self.layer {
-            LayerImpl::NoLs(_) => (None, None),
-            LayerImpl::Ls(ls) => (Some(ls.stats()), ls.fragment_tracker().cloned()),
+        let layer_name = if self.policy.is_some() {
+            // The mechanism mix is config-visible; what defines this run is
+            // that the policy engine drove it.
+            String::from("LS+adaptive")
+        } else {
+            self.layer.name().to_owned()
+        };
+        let (ls_stats, fragments, cache_tiers) = match self.layer {
+            LayerImpl::NoLs(_) => (None, None, None),
+            LayerImpl::Ls(ls) => (
+                Some(ls.stats()),
+                ls.fragment_tracker().cloned(),
+                ls.tier_stats(),
+            ),
         };
         RunReport {
             layer_name,
@@ -799,6 +994,8 @@ impl EngineState {
             ls_stats,
             fragments,
             peak_extent_segments: self.peak_extent_segments,
+            policy: self.policy.map(|p| p.stats()),
+            cache_tiers,
             phases: self.phases,
             sharding: ShardOutcome::Serial,
         }
@@ -924,6 +1121,7 @@ pub struct Simulation<'a> {
     resume_from: Option<&'a EngineSnapshot>,
     sink: Option<SnapshotSink<'a>>,
     shards: usize,
+    prepass_store: Option<(&'a CheckpointStore, u128)>,
 }
 
 /// Boxed checkpoint consumer installed by [`Simulation::checkpoint_sink`].
@@ -938,6 +1136,7 @@ impl<'a> Simulation<'a> {
             resume_from: None,
             sink: None,
             shards: 1,
+            prepass_store: None,
         }
     }
 
@@ -988,6 +1187,19 @@ impl<'a> Simulation<'a> {
     /// is always safe, never silent.
     pub fn shards(mut self, k: usize) -> Self {
         self.shards = k.max(1);
+        self
+    }
+
+    /// Persists (and reuses) the sharding prepass's boundary checkpoints
+    /// in `store`, keyed by (`trace_digest` × canonical config key ×
+    /// shard-split geometry). A later sharded run of the same work loads
+    /// its seeds instead of serially replaying the prefix; a file that is
+    /// missing, damaged, or from different work degrades to a fresh
+    /// prepass — never to wrong state (the boundary cross-check still runs
+    /// against every loaded seed). Ignored by resumed runs, whose seeds
+    /// also depend on the resume snapshot.
+    pub fn prepass_store(mut self, store: &'a CheckpointStore, trace_digest: u128) -> Self {
+        self.prepass_store = Some((store, trace_digest));
         self
     }
 
@@ -1169,10 +1381,25 @@ impl<'a> Simulation<'a> {
         let resume_from = self.resume_from;
         // NoLS without a host cache is history-free: seed directly.
         let direct = matches!(config.layer, LayerChoice::NoLs) && config.host_cache_bytes.is_none();
+        let prepass_store = self.prepass_store.filter(|_| resume_from.is_none());
         let seeds: Vec<BoundarySeed> = if direct {
             Vec::new()
+        } else if let Some(seeds) = prepass_store
+            .and_then(|(store, digest)| load_prepass_seeds(store, digest, &config, &bounds))
+        {
+            seeds
         } else {
-            prepass_seeds(&config, resume_from, trace, &bounds)
+            let seeds = prepass_seeds(&config, resume_from, trace, &bounds);
+            if let Some((store, digest)) = prepass_store {
+                for (seed, &bound) in seeds.iter().zip(&bounds[1..]) {
+                    // Save failures are non-fatal: a stored seed is an
+                    // optimization, the fresh prepass's result stands.
+                    store
+                        .save(digest, &prepass_key(&config, shards, bound), &seed.snapshot)
+                        .ok();
+                }
+            }
+            seeds
         };
         let ranges: Vec<(usize, usize, usize)> = bounds
             .windows(2)
@@ -1243,6 +1470,12 @@ impl<'a> Simulation<'a> {
             if let (Some(all), Some(part)) = (&mut merged.fragments, &shard.fragments) {
                 all.merge(part);
             }
+            if let (Some(all), Some(part)) = (&mut merged.policy, &shard.policy) {
+                all.merge(part);
+            }
+            if let (Some(all), Some(part)) = (&mut merged.cache_tiers, &shard.cache_tiers) {
+                all.merge(part);
+            }
             merged.phys_sectors += shard.phys_sectors;
             merged.host_cache_hits += shard.host_cache_hits;
             merged.logical_ops = merged.logical_ops.max(shard.logical_ops);
@@ -1278,6 +1511,9 @@ struct ShardEnd {
     layer: LayerSnapshot,
     host_cache: Option<RangeCache>,
     map_check: Option<ExtentMapCheckpoint>,
+    /// Policy engine with stats normalized away (stats are per-shard
+    /// accounting; the classifier state is what must agree).
+    policy: Option<PolicyEngine>,
 }
 
 impl ShardEnd {
@@ -1289,11 +1525,16 @@ impl ShardEnd {
                 Some(ExtentMapCheckpoint::capture(ls.map())),
             ),
         };
+        let policy = state.policy.clone().map(|mut p| {
+            p.reset_stats();
+            p
+        });
         ShardEnd {
             head_position: state.counter.to_state().head_position,
             layer,
             host_cache: state.host_cache.clone(),
             map_check,
+            policy,
         }
     }
 
@@ -1310,6 +1551,10 @@ impl ShardEnd {
         self.head_position == seed.snapshot.counter.head_position
             && self.map_check == seed.map_check
             && self.host_cache == seed.snapshot.host_cache
+            // Classifier state steers future gating but need not show in
+            // the map fingerprint (e.g. a denied cache fill), so it is
+            // compared outright even in release builds.
+            && self.policy == seed.snapshot.policy
     }
 }
 
@@ -1319,8 +1564,89 @@ fn normalize_layer(mut snap: LayerSnapshot, track_fragments: bool) -> LayerSnaps
     if let LayerSnapshot::Ls(ls) = &mut snap {
         ls.stats = LsStats::default();
         ls.tracker = track_fragments.then(FragmentAccessTracker::new);
+        if let Some(cache) = &mut ls.cache {
+            cache.reset_stats();
+        }
     }
     snap
+}
+
+/// Trace records serially consumed by sharding prepasses, process-wide.
+static PREPASS_RECORDS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Per-thread share of [`PREPASS_RECORDS`]. A prepass always runs on
+    /// the thread that invoked `run_trace`, so this isolates one caller's
+    /// prepass work from concurrent runs on other threads.
+    static PREPASS_RECORDS_THREAD: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Total trace records serially replayed by sharding prepasses since
+/// process start. Persisted boundary checkpoints
+/// ([`Simulation::prepass_store`]) exist to keep this flat on repeat runs
+/// of the same work.
+pub fn prepass_records_total() -> u64 {
+    PREPASS_RECORDS.load(Ordering::Relaxed)
+}
+
+/// Like [`prepass_records_total`], but counting only prepasses run by the
+/// calling thread — hermetic under concurrent simulations, which is what
+/// tests assert on.
+pub fn prepass_records_on_thread() -> u64 {
+    PREPASS_RECORDS_THREAD.with(|c| c.get())
+}
+
+/// Store key for the prepass boundary checkpoint at record `bound` of a
+/// `shards`-way split: the canonical config key (the frontier hint was
+/// already resolved by `run_trace`) extended with the split geometry so
+/// different shard counts never collide.
+/// Constructs a policy engine for a fresh (non-resumed) run, informing it
+/// whether the layer carries a selective cache — with one downstream, the
+/// policy reserves defrag rewrites entirely (cache fills mitigate the same
+/// fragmented reads at zero media cost; see
+/// [`PolicyEngine::set_cache_present`]).
+fn fresh_policy(config: PolicyConfig, sim: &SimConfig) -> PolicyEngine {
+    let mut engine = PolicyEngine::new(config);
+    engine.set_cache_present(matches!(sim.layer, LayerChoice::Ls { cache: Some(_), .. }));
+    engine
+}
+
+fn prepass_key(config: &SimConfig, shards: usize, bound: usize) -> String {
+    format!("{}|prepass:{shards}:{bound}", config.cache_key(None))
+}
+
+/// Loads every interior boundary seed of a `bounds` split from `store`, or
+/// `None` when any is missing or unusable — a damaged or foreign cache
+/// degrades to a fresh prepass, never to wrong state. The extent-map
+/// fingerprint is recomputed from the loaded layer state, so the
+/// shard-end cross-check holds exactly as for a fresh prepass.
+fn load_prepass_seeds(
+    store: &CheckpointStore,
+    trace_digest: u128,
+    config: &SimConfig,
+    bounds: &[usize],
+) -> Option<Vec<BoundarySeed>> {
+    let shards = bounds.len() - 1;
+    let interior = &bounds[1..bounds.len() - 1];
+    let mut seeds = Vec::with_capacity(interior.len());
+    for &bound in interior {
+        let snap = store
+            .load(trace_digest, &prepass_key(config, shards, bound))
+            .ok()
+            .flatten()?;
+        if snap.logical_ops != bound as u64 {
+            return None;
+        }
+        let map_check = match &snap.layer {
+            LayerSnapshot::NoLs => None,
+            LayerSnapshot::Ls(ls) => Some(ExtentMapCheckpoint::capture(&ls.map)),
+        };
+        seeds.push(BoundarySeed {
+            snapshot: snap,
+            map_check,
+        });
+    }
+    Some(seeds)
 }
 
 /// The serial transition-only prepass behind checkpoint-seeded sharding:
@@ -1363,6 +1689,18 @@ where
         Some(snap) => snap.host_cache.clone(),
         None => config.host_cache_bytes.map(RangeCache::with_capacity_bytes),
     };
+    // The gates steer layer behaviour, so the prepass must run the same
+    // classifier over the same evidence. Policy configs always carry a
+    // mechanism (builder-validated), which keeps `apply_transition` on its
+    // full `apply_into` path — `fragmented_reads` advances exactly as in
+    // the real run, so the classifier sees identical evidence.
+    let mut policy: Option<PolicyEngine> = match resume_from {
+        Some(snap) => snap.policy.clone(),
+        None => match config.layer {
+            LayerChoice::Ls { .. } => config.policy.map(|p| fresh_policy(p, config)),
+            LayerChoice::NoLs => None,
+        },
+    };
     let mut head = match resume_from {
         Some(snap) => snap.counter.head_position,
         None => SeekCounter::new().to_state().head_position,
@@ -1389,8 +1727,28 @@ where
                     // NoLS emits exactly one identity I/O per record.
                     None => head = rec.lba.sector() + u64::from(rec.sectors),
                     Some(ls) => {
+                        let frag_before = policy.as_ref().map(|_| {
+                            let s = ls.stats();
+                            (s.fragmented_reads, s.phys_reads)
+                        });
+                        if let Some(policy) = &mut policy {
+                            ls.set_gates(policy.observe(rec.lba.sector(), rec.op.is_read()));
+                        }
                         if let Some(end) = ls.apply_transition(rec) {
                             head = end;
+                        }
+                        if let (Some(policy), Some((frag, phys))) = (&mut policy, frag_before) {
+                            // Mirrors `step`'s feedback exactly: disk-paying
+                            // fragmented reads are hot evidence, absorbed
+                            // ones count against defrag.
+                            let s = ls.stats();
+                            if s.fragmented_reads > frag {
+                                if s.phys_reads > phys {
+                                    policy.record_fragmented(rec.lba.sector());
+                                } else {
+                                    policy.record_cache_absorbed(rec.lba.sector());
+                                }
+                            }
                         }
                     }
                 }
@@ -1401,10 +1759,14 @@ where
             config,
             layer.as_deref(),
             &host_cache,
+            policy.as_ref(),
             head,
             base_logical + bound as u64,
         ));
     }
+    let consumed = (prev - bounds[0]) as u64;
+    PREPASS_RECORDS.fetch_add(consumed, Ordering::Relaxed);
+    PREPASS_RECORDS_THREAD.with(|c| c.set(c.get() + consumed));
     seeds
 }
 
@@ -1414,6 +1776,7 @@ fn capture_seed(
     config: &SimConfig,
     layer: Option<&LogStructured>,
     host_cache: &Option<RangeCache>,
+    policy: Option<&PolicyEngine>,
     head: u64,
     logical_ops: u64,
 ) -> BoundarySeed {
@@ -1424,6 +1787,11 @@ fn capture_seed(
             snap.stats = LsStats::default();
             snap.config.track_fragments = config.track_fragments;
             snap.tracker = config.track_fragments.then(FragmentAccessTracker::new);
+            if let Some(cache) = &mut snap.cache {
+                // Tier counters are per-shard accounting, like `LsStats`:
+                // contents carry across the boundary, counts restart.
+                cache.reset_stats();
+            }
             (
                 LayerSnapshot::Ls(Box::new(snap)),
                 Some(ExtentMapCheckpoint::capture(ls.map())),
@@ -1450,6 +1818,12 @@ fn capture_seed(
             phys_sectors: 0,
             logical_ops,
             peak_extent_segments: 0,
+            // Same normalization as the tier counters: classifier state is
+            // behavioural and carries over, decision counts restart.
+            policy: policy.cloned().map(|mut p| {
+                p.reset_stats();
+                p
+            }),
         },
         map_check,
     }
@@ -1736,10 +2110,100 @@ mod tests {
             SimConfig::builder(SimConfig::ls_with(None, None, Some(empty_cache)).layer).build(),
             Err(ConfigError::ZeroSelectiveCache)
         );
+        assert_eq!(
+            SimConfig::builder(SimConfig::ls_cache().layer)
+                .flash_cache(0)
+                .build(),
+            Err(ConfigError::ZeroFlashCache)
+        );
+        assert_eq!(
+            SimConfig::builder(SimConfig::ls_cache().layer)
+                .policy(PolicyConfig {
+                    region_sectors: 0,
+                    ..PolicyConfig::default()
+                })
+                .build(),
+            Err(ConfigError::ZeroPolicyRegion)
+        );
+        assert_eq!(
+            nols().policy(PolicyConfig::default()).build(),
+            Err(ConfigError::PolicyWithoutLs)
+        );
+        assert_eq!(
+            nols().flash_cache(1 << 20).build(),
+            Err(ConfigError::FlashCacheWithoutSelectiveCache)
+        );
+        // A policy over a bare log has nothing to gate.
+        assert_eq!(
+            SimConfig::builder(SimConfig::log_structured().layer)
+                .policy(PolicyConfig::default())
+                .build(),
+            Err(ConfigError::PolicyWithoutMechanisms)
+        );
+        // A flash tier needs the selective cache in front of it.
+        assert_eq!(
+            SimConfig::builder(SimConfig::ls_defrag().layer)
+                .flash_cache(1 << 20)
+                .build(),
+            Err(ConfigError::FlashCacheWithoutSelectiveCache)
+        );
         // Errors render as actionable prose.
         assert!(ConfigError::ZeroHostCache
             .to_string()
             .contains("host cache"));
+        assert!(ConfigError::PolicyWithoutMechanisms
+            .to_string()
+            .contains("mechanism"));
+    }
+
+    #[test]
+    fn policy_off_report_bytes_are_pinned() {
+        // Reports without a policy must keep exactly the pre-policy key
+        // set, in order — downstream caches key on these bytes.
+        let trace = busy_trace(120);
+        let report = Simulation::new(&SimConfig::ls_cache()).run_trace(&trace);
+        let json = serde_json::to_string(&report).expect("report serializes");
+        assert!(!json.contains("\"policy\""));
+        assert!(!json.contains("\"cache_tiers\""));
+        let keys: Vec<&str> = json
+            .match_indices('\"')
+            .map(|(i, _)| i)
+            .collect::<Vec<_>>()
+            .chunks(2)
+            .filter_map(|c| json.get(c[0] + 1..c[1]))
+            .collect();
+        for key in [
+            "layer_name",
+            "logical_ops",
+            "seeks",
+            "distances",
+            "longseek_series",
+            "phys_sectors",
+            "host_cache_hits",
+            "ls_stats",
+            "fragments",
+            "peak_extent_segments",
+        ] {
+            assert!(keys.contains(&key), "missing report key {key}");
+        }
+    }
+
+    #[test]
+    fn adaptive_report_carries_policy_and_tier_stats() {
+        let trace = busy_trace(400);
+        let report = Simulation::new(&adaptive_config()).run_trace(&trace);
+        assert_eq!(report.layer_name, "LS+adaptive");
+        let policy = report.policy.expect("adaptive run reports policy stats");
+        assert_eq!(policy.records_observed, report.logical_ops);
+        let tiers = report
+            .cache_tiers
+            .expect("flash-tier run reports tier stats");
+        let json = serde_json::to_string(&report).expect("report serializes");
+        assert!(json.contains("\"policy\""));
+        assert!(json.contains("\"cache_tiers\""));
+        // Both tiers are accounted: every lookup lands in exactly one bin.
+        let lookups = tiers.ram_hits + tiers.flash_hits + tiers.misses;
+        assert!(lookups > 0, "cache saw no traffic");
     }
 
     /// A mixed read/write workload long enough to exercise defrag,
@@ -1757,6 +2221,15 @@ mod tests {
             .collect()
     }
 
+    /// Adaptive config sized so `busy_trace` (LBAs 0..4096) spans several
+    /// classifier regions and flips gates mid-run.
+    fn adaptive_config() -> SimConfig {
+        SimConfig::ls_adaptive().with_policy(PolicyConfig {
+            region_sectors: 512,
+            ..PolicyConfig::default()
+        })
+    }
+
     fn resume_configs() -> Vec<SimConfig> {
         let mut configs = SimConfig::standard_sweep().to_vec();
         configs.push(
@@ -1768,6 +2241,7 @@ mod tests {
         );
         configs.push(SimConfig::log_structured().with_host_cache(64 * 512));
         configs.push(SimConfig::no_ls().with_distances().with_host_cache(8 * 512));
+        configs.push(adaptive_config().with_fragment_tracking());
         configs
     }
 
@@ -1934,6 +2408,10 @@ mod tests {
             SimConfig::ls_cache()
                 .with_fragment_tracking()
                 .with_zones(1 << 12),
+            adaptive_config(),
+            adaptive_config()
+                .with_fragment_tracking()
+                .with_zones(1 << 12),
         ];
         for config in configs {
             let serial = serde_json::to_string(&Simulation::new(&config).run_trace(&trace))
@@ -1949,6 +2427,77 @@ mod tests {
     }
 
     #[test]
+    fn persisted_prepass_seeds_skip_repeat_prepasses() {
+        let trace = busy_trace(400);
+        let dir =
+            std::env::temp_dir().join(format!("smrseek_prepass_store_test_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = CheckpointStore::new(&dir);
+        let digest = 0x5eed_u128;
+        for config in [
+            SimConfig::ls_defrag().with_host_cache(8 * 512),
+            adaptive_config(),
+        ] {
+            let serial = serde_json::to_string(&Simulation::new(&config).run_trace(&trace))
+                .expect("report serializes");
+            let run = || {
+                let before = prepass_records_on_thread();
+                let report = Simulation::new(&config)
+                    .shards(4)
+                    .prepass_store(&store, digest)
+                    .run_trace(&trace);
+                (
+                    serde_json::to_string(&report).expect("report serializes"),
+                    prepass_records_on_thread() - before,
+                )
+            };
+            let (cold, cold_records) = run();
+            assert_eq!(cold_records, 300, "cold run replays up to the last bound");
+            assert_eq!(cold, serial, "cold sharded run diverged for {config:?}");
+            // Second run: every boundary seed loads, zero prepass records.
+            let (warm, warm_records) = run();
+            assert_eq!(warm_records, 0, "warm run must load every seed");
+            assert_eq!(warm, serial, "warm sharded run diverged for {config:?}");
+            // A different trace digest is different work: full prepass.
+            let before = prepass_records_on_thread();
+            Simulation::new(&config)
+                .shards(4)
+                .prepass_store(&store, digest + 1)
+                .run_trace(&trace);
+            assert_eq!(prepass_records_on_thread() - before, 300);
+            // A different shard count keys differently: full prepass.
+            let before = prepass_records_on_thread();
+            Simulation::new(&config)
+                .shards(5)
+                .prepass_store(&store, digest)
+                .run_trace(&trace);
+            assert_eq!(prepass_records_on_thread() - before, 320);
+        }
+        // Damage degrades to a fresh prepass, never to wrong state.
+        let config = SimConfig::ls_defrag().with_host_cache(8 * 512);
+        for entry in std::fs::read_dir(&dir).expect("store dir exists") {
+            let path = entry.expect("dir entry").path();
+            let mut bytes = std::fs::read(&path).expect("read seed");
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x01;
+            std::fs::write(&path, &bytes).expect("write seed");
+        }
+        let before = prepass_records_on_thread();
+        let report = Simulation::new(&config)
+            .shards(4)
+            .prepass_store(&store, digest)
+            .run_trace(&trace);
+        assert_eq!(prepass_records_on_thread() - before, 300);
+        assert_eq!(
+            serde_json::to_string(&report).expect("report serializes"),
+            serde_json::to_string(&Simulation::new(&config).run_trace(&trace))
+                .expect("report serializes"),
+        );
+        assert!(prepass_records_total() >= prepass_records_on_thread());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn sharded_resume_is_byte_identical_to_serial_resume() {
         let trace = busy_trace(300);
         let configs = [
@@ -1956,6 +2505,7 @@ mod tests {
             SimConfig::ls_defrag()
                 .with_longseek_series(32)
                 .with_fragment_tracking(),
+            adaptive_config().with_longseek_series(32),
         ];
         for config in configs {
             let whole = serde_json::to_string(&Simulation::new(&config).run_trace(&trace))
@@ -1991,6 +2541,7 @@ mod tests {
             SimConfig::ls_defrag().with_host_cache(8 * 512),
             SimConfig::ls_prefetch(),
             SimConfig::ls_cache().with_fragment_tracking(),
+            adaptive_config(),
         ];
         for config in configs {
             let config = config.with_frontier_hint(trace.frontier_top());

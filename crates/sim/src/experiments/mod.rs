@@ -6,6 +6,7 @@
 //! these modules.
 
 pub mod ablation;
+pub mod adaptive;
 pub mod analyze;
 pub mod classify;
 pub mod cleaning;

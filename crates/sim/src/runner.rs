@@ -188,18 +188,26 @@ impl TraceSource {
     ///
     /// Mmap-backed sources skip by seeking the mapping (no prefix decode);
     /// generator-backed sources regenerate and slice.
+    /// `prepass` additionally persists (and reuses) the sharding
+    /// prepass's boundary checkpoints in the given store under the given
+    /// full-trace digest, so repeat sharded runs of the same cell skip the
+    /// serial prefix replay entirely (see [`Simulation::prepass_store`]).
     pub fn replay_checkpointed(
         &self,
         config: &SimConfig,
         resume_from: Option<&EngineSnapshot>,
         emit: impl FnMut(&EngineSnapshot),
         shards: usize,
+        prepass: Option<(&CheckpointStore, u128)>,
     ) -> (RunReport, Duration) {
         let skip = resume_from.map_or(0, |s| s.logical_ops) as usize;
         let simulation = |config: &SimConfig| {
             let mut sim = Simulation::new(config).shards(shards).checkpoint_sink(emit);
             if let Some(snap) = resume_from {
                 sim = sim.resume_from(snap);
+            }
+            if let Some((store, digest)) = prepass {
+                sim = sim.prepass_store(store, digest);
             }
             sim
         };
@@ -459,6 +467,7 @@ impl RunMatrix {
                     store.save(trace_digest, &key, snapshot).ok();
                 },
                 shards,
+                Some((store, trace_digest)),
             );
             let metrics = RunMetrics {
                 wall,

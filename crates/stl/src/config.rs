@@ -130,6 +130,11 @@ pub struct LsConfig {
     pub prefetch: Option<PrefetchConfig>,
     /// Selective caching, if enabled.
     pub cache: Option<CacheConfig>,
+    /// Capacity of a simulated flash tier behind the selective cache, in
+    /// bytes. RAM evictions demote their victims here instead of dropping
+    /// them; flash hits promote back (see `smrseek_cache::TieredCache`).
+    /// Meaningless without `cache`.
+    pub flash_cache_bytes: Option<u64>,
     /// Record per-read fragment counts and per-fragment access statistics
     /// (needed by the Fig 5 / Fig 10 experiments; off by default to keep
     /// memory flat on huge traces).
@@ -152,6 +157,7 @@ impl LsConfig {
             defrag: None,
             prefetch: None,
             cache: None,
+            flash_cache_bytes: None,
             track_fragments: false,
             zone_sectors: None,
         }
@@ -192,6 +198,14 @@ impl LsConfig {
     /// Enables selective caching.
     pub fn with_cache(mut self, cache: CacheConfig) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Backs the selective cache with a simulated flash tier of `bytes`
+    /// bytes (no effect unless [`with_cache`](Self::with_cache) is also
+    /// set).
+    pub fn with_flash_cache(mut self, bytes: u64) -> Self {
+        self.flash_cache_bytes = Some(bytes);
         self
     }
 

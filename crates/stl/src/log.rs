@@ -6,9 +6,10 @@ use crate::fragstats::FragmentAccessTracker;
 use crate::layer::TranslationLayer;
 use crate::stats::LsStats;
 use serde::{Deserialize, Serialize};
-use smrseek_cache::RangeCache;
+use smrseek_cache::{RangeCache, TierLookup, TierStats, TieredCache};
 use smrseek_disk::PhysIo;
 use smrseek_extent::{ExtentMap, Segment};
+use smrseek_policy::GateSet;
 use smrseek_trace::{Lba, OpKind, Pba, TraceRecord};
 use std::collections::HashMap;
 
@@ -31,8 +32,9 @@ pub struct LsSnapshot {
     pub stats: LsStats,
     /// Fragment statistics, when tracking was enabled.
     pub tracker: Option<FragmentAccessTracker>,
-    /// Selective-cache contents, when enabled.
-    pub cache: Option<RangeCache>,
+    /// Selective-cache contents (RAM tier plus optional flash tier),
+    /// when enabled.
+    pub cache: Option<TieredCache>,
     /// Prefetch-buffer contents, when enabled.
     pub prefetch_buffer: Option<RangeCache>,
     /// Defragmentation access gate: `(lba, sectors, count)` triples, sorted
@@ -74,8 +76,14 @@ pub struct LogStructured {
     frontier: Pba,
     stats: LsStats,
     tracker: Option<FragmentAccessTracker>,
-    cache: Option<RangeCache>,
+    cache: Option<TieredCache>,
     prefetch_buffer: Option<RangeCache>,
+    /// Per-region mechanism gates for the *next* record, set by an
+    /// adaptive policy engine via [`set_gates`](Self::set_gates). Purely
+    /// transient (the engine re-derives them every record), so they are
+    /// neither snapshotted nor compared; the default is fully permissive —
+    /// exactly the fixed-mechanism behaviour of a policy-free run.
+    gates: GateSet,
     /// Fragmented-read access counts per exact logical range, for the
     /// defragmentation `min_accesses` gate.
     range_accesses: HashMap<(u64, u32), u64>,
@@ -93,12 +101,14 @@ impl LogStructured {
             map: ExtentMap::new(),
             stats: LsStats::default(),
             tracker: config.track_fragments.then(FragmentAccessTracker::new),
-            cache: config
-                .cache
-                .map(|c| RangeCache::with_capacity_bytes(c.capacity_bytes)),
+            cache: config.cache.map(|c| match config.flash_cache_bytes {
+                Some(flash) => TieredCache::with_flash_bytes(c.capacity_bytes, flash),
+                None => TieredCache::single_bytes(c.capacity_bytes),
+            }),
             prefetch_buffer: config
                 .prefetch
                 .map(|p| RangeCache::with_capacity_bytes(p.buffer_bytes)),
+            gates: GateSet::default(),
             range_accesses: HashMap::new(),
             pending_defrag: Vec::new(),
             last_timestamp_us: 0,
@@ -137,9 +147,37 @@ impl LogStructured {
         self.tracker.as_ref()
     }
 
-    /// The selective cache, when enabled.
-    pub fn cache(&self) -> Option<&RangeCache> {
+    /// The selective cache (RAM tier plus optional flash), when enabled.
+    pub fn cache(&self) -> Option<&TieredCache> {
         self.cache.as_ref()
+    }
+
+    /// Tier-level event counters of the selective cache, when it is
+    /// configured with a flash tier (a single-tier cache has nothing
+    /// tier-level to report).
+    pub fn tier_stats(&self) -> Option<TierStats> {
+        self.cache
+            .as_ref()
+            .filter(|c| c.has_flash())
+            .map(|c| c.stats())
+    }
+
+    /// Zeroes the tiered cache's event counters, keeping contents intact
+    /// (sharded-replay boundary normalization; see
+    /// `TieredCache::reset_stats`).
+    pub fn reset_tier_stats(&mut self) {
+        if let Some(cache) = &mut self.cache {
+            cache.reset_stats();
+        }
+    }
+
+    /// Sets the per-region mechanism gates the *next* record is served
+    /// under. An adaptive policy engine calls this before every
+    /// [`apply`](TranslationLayer::apply); without a policy the gates stay
+    /// at their permissive default and behaviour is identical to the fixed
+    /// mechanisms.
+    pub fn set_gates(&mut self, gates: GateSet) {
+        self.gates = gates;
     }
 
     /// The prefetch buffer, when enabled.
@@ -184,6 +222,7 @@ impl LogStructured {
             tracker: snap.tracker,
             cache: snap.cache,
             prefetch_buffer: snap.prefetch_buffer,
+            gates: GateSet::default(),
             range_accesses: snap
                 .range_accesses
                 .into_iter()
@@ -296,22 +335,34 @@ impl LogStructured {
             // Alg. 3: only fragments of fragmented reads consult the cache.
             if fragmented {
                 if let Some(cache) = &mut self.cache {
-                    if cache.covers(pba, len) {
-                        self.stats.cache_hit_fragments += 1;
-                        continue; // served from RAM: no physical I/O
+                    match cache.lookup(pba, len) {
+                        // A flash hit pays the flash latency but, like a
+                        // RAM hit, avoids the disk entirely (and the range
+                        // was promoted back into RAM).
+                        TierLookup::Ram | TierLookup::Flash => {
+                            self.stats.cache_hit_fragments += 1;
+                            continue; // served from cache: no physical I/O
+                        }
+                        // Alg. 3: ReadDisk(fragment); WriteCache(fragment)
+                        // — unless the policy denies this region the fill.
+                        TierLookup::Miss if self.gates.cache_admit => {
+                            cache.admit(pba, len);
+                            self.stats.cache_miss_fragments += 1;
+                        }
+                        TierLookup::Miss => {}
                     }
-                    // Alg. 3: ReadDisk(fragment); WriteCache(fragment).
-                    cache.insert(pba, len);
-                    self.stats.cache_miss_fragments += 1;
                 }
-                // Alg. 2: look-ahead-behind around fragments.
+                // Alg. 2: look-ahead-behind around fragments; the policy
+                // gate widens or narrows the window per region.
                 if let (Some(buffer), Some(p)) = (&mut self.prefetch_buffer, self.config.prefetch) {
                     if buffer.covers(pba, len) {
                         self.stats.prefetch_hit_fragments += 1;
                         continue; // already in the drive buffer
                     }
-                    let pre_start = Pba::new(pba.sector().saturating_sub(p.behind_sectors));
-                    let total = (pba.sector() - pre_start.sector()) + len + p.ahead_sectors;
+                    let behind = self.gates.prefetch.apply(p.behind_sectors);
+                    let ahead = self.gates.prefetch.apply(p.ahead_sectors);
+                    let pre_start = Pba::new(pba.sector().saturating_sub(behind));
+                    let total = (pba.sector() - pre_start.sector()) + len + ahead;
                     buffer.insert(pre_start, total);
                     self.stats.prefetched_sectors += total - len;
                     self.stats.phys_reads += 1;
@@ -331,7 +382,10 @@ impl LogStructured {
                 let key = (rec.lba.sector(), rec.sectors);
                 let count = self.range_accesses.entry(key).or_insert(0);
                 *count += 1;
-                if runs.len() >= d.min_fragments && *count >= d.min_accesses {
+                // The policy gate can veto the rewrite for cold regions;
+                // the access count keeps accumulating so the range rewrites
+                // promptly once its region earns the gate.
+                if self.gates.defrag && runs.len() >= d.min_fragments && *count >= d.min_accesses {
                     match d.timing {
                         DefragTiming::Immediate => {
                             self.append_into(rec.lba, sectors, sink);
@@ -433,6 +487,7 @@ impl TranslationLayer for LogStructured {
             (false, false, false) => "LS",
             (true, false, false) => "LS+defrag",
             (false, true, false) => "LS+prefetch",
+            (false, false, true) if self.config.flash_cache_bytes.is_some() => "LS+cache2",
             (false, false, true) => "LS+cache",
             _ => "LS+combined",
         }
@@ -678,6 +733,111 @@ mod tests {
     }
 
     #[test]
+    fn flash_tier_serves_fragments_evicted_from_ram() {
+        // RAM holds only 4 sectors; the flash tier holds the rest. A
+        // single-tier cache this small would thrash and re-read from disk.
+        let cfg = LsConfig::new(lba(100_000))
+            .with_cache(CacheConfig {
+                capacity_bytes: 4 * 512,
+            })
+            .with_flash_cache(1 << 20);
+        let mut ls = LogStructured::new(cfg);
+        // Two separate fragmented ranges, each with 4-sector fragments.
+        for (t, base) in [(0u64, 0u64), (10, 100)] {
+            ls.apply(&TraceRecord::write(t, lba(base), 8));
+            ls.apply(&TraceRecord::write(t + 1, lba(base + 2), 2));
+        }
+        ls.apply(&TraceRecord::read(20, lba(0), 8)); // fills RAM, misses
+        ls.apply(&TraceRecord::read(21, lba(100), 8)); // evicts range 0 to flash
+        let r = ls.apply(&TraceRecord::read(22, lba(0), 8));
+        assert!(r.is_empty(), "flash absorbed the re-read: {r:?}");
+        let tiers = ls.tier_stats().unwrap();
+        assert!(tiers.flash_hits > 0, "{tiers:?}");
+        assert!(tiers.demoted_sectors > 0, "{tiers:?}");
+    }
+
+    #[test]
+    fn cache_admit_gate_denies_fills() {
+        let cfg = LsConfig::new(lba(1000)).with_cache(CacheConfig::default());
+        let mut ls = LogStructured::new(cfg);
+        ls.apply(&TraceRecord::write(0, lba(0), 6));
+        ls.apply(&TraceRecord::write(1, lba(2), 1));
+        ls.set_gates(GateSet {
+            cache_admit: false,
+            ..GateSet::default()
+        });
+        let r1 = ls.apply(&TraceRecord::read(2, lba(0), 6));
+        let r2 = ls.apply(&TraceRecord::read(3, lba(0), 6));
+        assert_eq!(r1.len(), 3);
+        assert_eq!(r2.len(), 3, "denied fills: second read still hits disk");
+        assert_eq!(ls.stats().cache_hit_fragments, 0);
+        assert_eq!(ls.stats().cache_miss_fragments, 0, "denied fills uncounted");
+        // Re-admitting restores Alg. 3 behaviour.
+        ls.set_gates(GateSet::default());
+        ls.apply(&TraceRecord::read(4, lba(0), 6));
+        let r = ls.apply(&TraceRecord::read(5, lba(0), 6));
+        assert!(r.is_empty());
+        assert_eq!(ls.stats().cache_hit_fragments, 3);
+    }
+
+    #[test]
+    fn defrag_gate_denies_rewrites_but_accumulates_evidence() {
+        let cfg = LsConfig::new(lba(1000)).with_defrag(DefragConfig {
+            min_accesses: 2,
+            ..DefragConfig::default()
+        });
+        let mut ls = LogStructured::new(cfg);
+        ls.apply(&TraceRecord::write(0, lba(0), 6));
+        ls.apply(&TraceRecord::write(1, lba(2), 1));
+        ls.set_gates(GateSet {
+            defrag: false,
+            ..GateSet::default()
+        });
+        ls.apply(&TraceRecord::read(2, lba(0), 6));
+        ls.apply(&TraceRecord::read(3, lba(0), 6));
+        ls.apply(&TraceRecord::read(4, lba(0), 6));
+        assert_eq!(ls.stats().defrag_rewrites, 0, "gate vetoed every rewrite");
+        // The access count kept accumulating, so the first gated-open
+        // fragmented read rewrites immediately.
+        ls.set_gates(GateSet::default());
+        ls.apply(&TraceRecord::read(5, lba(0), 6));
+        assert_eq!(ls.stats().defrag_rewrites, 1);
+    }
+
+    #[test]
+    fn prefetch_gate_scales_the_window() {
+        use smrseek_policy::PrefetchWindow;
+        let p = PrefetchConfig {
+            behind_sectors: 8,
+            ahead_sectors: 8,
+            buffer_bytes: 1 << 20,
+        };
+        let mut prefetched = Vec::new();
+        for window in [
+            PrefetchWindow::Narrow,
+            PrefetchWindow::Normal,
+            PrefetchWindow::Wide,
+        ] {
+            let mut ls = LogStructured::new(LsConfig::new(lba(100_000)).with_prefetch(p));
+            // Fragments far enough apart that every window misses on the
+            // same two fragments and hits the third — only the prefetched
+            // volume varies with the gate.
+            ls.apply(&TraceRecord::write(0, lba(0), 4)); // @100000
+            ls.apply(&TraceRecord::write(1, lba(1000), 5000)); // push frontier
+            ls.apply(&TraceRecord::write(2, lba(2), 1)); // @105004
+            ls.set_gates(GateSet {
+                prefetch: window,
+                ..GateSet::default()
+            });
+            ls.apply(&TraceRecord::read(3, lba(0), 4));
+            assert_eq!(ls.stats().prefetch_hit_fragments, 1);
+            prefetched.push(ls.stats().prefetched_sectors);
+        }
+        assert!(prefetched[0] < prefetched[1], "{prefetched:?}");
+        assert!(prefetched[1] < prefetched[2], "{prefetched:?}");
+    }
+
+    #[test]
     fn name_reflects_mechanisms() {
         assert_eq!(plain(0).name(), "LS");
         let d = LogStructured::new(LsConfig::default().with_defrag(DefragConfig::default()));
@@ -686,6 +846,12 @@ mod tests {
         assert_eq!(p.name(), "LS+prefetch");
         let c = LogStructured::new(LsConfig::default().with_cache(CacheConfig::default()));
         assert_eq!(c.name(), "LS+cache");
+        let c2 = LogStructured::new(
+            LsConfig::default()
+                .with_cache(CacheConfig::default())
+                .with_flash_cache(1 << 20),
+        );
+        assert_eq!(c2.name(), "LS+cache2");
         let all = LogStructured::new(
             LsConfig::default()
                 .with_defrag(DefragConfig::default())
@@ -836,6 +1002,11 @@ mod tests {
             LsConfig::new(lba(100_000)).with_cache(CacheConfig {
                 capacity_bytes: 4 * 512,
             }),
+            LsConfig::new(lba(100_000))
+                .with_cache(CacheConfig {
+                    capacity_bytes: 4 * 512,
+                })
+                .with_flash_cache(16 * 512),
             LsConfig::new(lba(100_000))
                 .with_fragment_tracking()
                 .with_zones(64),

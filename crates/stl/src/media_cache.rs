@@ -89,6 +89,11 @@ pub struct MediaCacheStl {
     cache_frontier: Pba,
     cache_used: u64,
     stats: MediaCacheStats,
+    /// When closed, capacity-triggered merges are deferred (the cache runs
+    /// over budget) until the gate reopens — the media-cache analogue of
+    /// the policy engine's defrag gate: merge work is shifted out of hot
+    /// phases. Transient; defaults to open.
+    merge_gate: bool,
 }
 
 impl MediaCacheStl {
@@ -105,8 +110,17 @@ impl MediaCacheStl {
             map: ExtentMap::new(),
             cache_used: 0,
             stats: MediaCacheStats::default(),
+            merge_gate: true,
             config,
         }
+    }
+
+    /// Opens or closes the merge gate. While closed, cache fills no longer
+    /// trigger merges (the cache runs over budget); reopening does not
+    /// merge by itself — the next capacity-checked write does, or call
+    /// [`merge`](Self::merge) explicitly.
+    pub fn set_merge_gate(&mut self, open: bool) {
+        self.merge_gate = open;
     }
 
     /// Instrumentation counters.
@@ -175,7 +189,7 @@ impl TranslationLayer for MediaCacheStl {
                 self.stats.host_write_sectors += sectors;
                 self.stats.media_write_sectors += sectors;
                 let mut phys = vec![PhysIo::write(at, sectors)];
-                if self.cache_used >= self.config.capacity_sectors {
+                if self.merge_gate && self.cache_used >= self.config.capacity_sectors {
                     phys.extend(self.merge());
                 }
                 phys
@@ -291,5 +305,23 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn zero_capacity_panics() {
         MediaCacheStl::new(cfg(0));
+    }
+
+    #[test]
+    fn closed_merge_gate_defers_capacity_merges() {
+        let mut stl = MediaCacheStl::new(cfg(16));
+        stl.set_merge_gate(false);
+        stl.apply(&TraceRecord::write(0, Lba::new(10), 8));
+        stl.apply(&TraceRecord::write(1, Lba::new(150), 8));
+        stl.apply(&TraceRecord::write(2, Lba::new(300), 8));
+        assert_eq!(stl.stats().merges, 0, "gate closed: no merge");
+        assert_eq!(stl.cache_used(), 24, "cache ran over budget");
+        // Reopening lets the next capacity-checked write merge everything.
+        stl.set_merge_gate(true);
+        let phys = stl.apply(&TraceRecord::write(3, Lba::new(450), 8));
+        assert_eq!(stl.stats().merges, 1);
+        assert_eq!(stl.stats().zones_rewritten, 4);
+        assert_eq!(stl.cache_used(), 0);
+        assert!(phys.len() > 1);
     }
 }
