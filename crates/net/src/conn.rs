@@ -1,0 +1,238 @@
+//! Incremental HTTP/1.1 request framing for nonblocking reads.
+//!
+//! The reactor feeds whatever bytes `read(2)` returned into a
+//! [`RequestFramer`]; the framer finds the end of the request head, parses
+//! `Content-Length`, enforces size limits, and reports when the complete
+//! request (head + body) has arrived. It does **not** parse the request
+//! line or other headers — the dispatcher re-parses the framed bytes with
+//! its own HTTP parser, keeping one source of truth for request semantics.
+
+/// Size limits enforced while framing a request.
+#[derive(Debug, Clone, Copy)]
+pub struct FramingLimits {
+    /// Maximum bytes of request head (request line + headers + blank line).
+    pub max_head: usize,
+    /// Maximum `Content-Length` accepted.
+    pub max_body: usize,
+}
+
+impl Default for FramingLimits {
+    fn default() -> Self {
+        FramingLimits {
+            max_head: 16 * 1024,
+            max_body: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// Outcome of feeding bytes to a [`RequestFramer`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameStatus {
+    /// More bytes are needed.
+    Partial,
+    /// A complete request: the exact head + body bytes, ready to parse.
+    Complete(Vec<u8>),
+    /// The head or declared body exceeds the configured limit. The payload
+    /// names which; the connection should answer with the paired HTTP
+    /// status and close.
+    Oversized(&'static str),
+    /// The head arrived but its `Content-Length` is unusable.
+    Malformed(&'static str),
+}
+
+/// Accumulates request bytes until one full HTTP/1.1 request is buffered.
+#[derive(Debug)]
+pub struct RequestFramer {
+    buf: Vec<u8>,
+    scanned: usize,
+    /// Byte offset one past the head's terminating `\r\n\r\n`, once seen.
+    head_end: Option<usize>,
+    /// Total bytes needed (head + declared body), once the head is parsed.
+    need: usize,
+    limits: FramingLimits,
+}
+
+impl RequestFramer {
+    /// Creates a framer enforcing `limits`.
+    pub fn new(limits: FramingLimits) -> RequestFramer {
+        RequestFramer {
+            buf: Vec::new(),
+            scanned: 0,
+            head_end: None,
+            need: 0,
+            limits,
+        }
+    }
+
+    /// Bytes buffered so far.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Feeds freshly read bytes; call repeatedly until non-[`Partial`].
+    ///
+    /// [`Partial`]: FrameStatus::Partial
+    pub fn push(&mut self, bytes: &[u8]) -> FrameStatus {
+        self.buf.extend_from_slice(bytes);
+        if self.head_end.is_none() {
+            // Rescan from 3 bytes back so a terminator split across reads
+            // is still found.
+            let start = self.scanned.saturating_sub(3);
+            match find_terminator(&self.buf[start..]) {
+                Some(at) => {
+                    let head_end = start + at + 4;
+                    if head_end > self.limits.max_head {
+                        return FrameStatus::Oversized("request head exceeds limit");
+                    }
+                    let body_len = match content_length(&self.buf[..head_end]) {
+                        Ok(n) => n,
+                        Err(msg) => return FrameStatus::Malformed(msg),
+                    };
+                    if body_len > self.limits.max_body {
+                        return FrameStatus::Oversized("request body exceeds limit");
+                    }
+                    self.head_end = Some(head_end);
+                    self.need = head_end + body_len;
+                }
+                None => {
+                    self.scanned = self.buf.len();
+                    if self.buf.len() > self.limits.max_head {
+                        return FrameStatus::Oversized("request head exceeds limit");
+                    }
+                    return FrameStatus::Partial;
+                }
+            }
+        }
+        if self.buf.len() >= self.need {
+            let mut request = std::mem::take(&mut self.buf);
+            // A compliant client sends nothing past the declared body on a
+            // Connection: close exchange; drop any surplus.
+            request.truncate(self.need);
+            return FrameStatus::Complete(request);
+        }
+        FrameStatus::Partial
+    }
+}
+
+fn find_terminator(hay: &[u8]) -> Option<usize> {
+    hay.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parses `Content-Length` out of a complete request head. Absent means 0;
+/// duplicates must agree; the value must be a plain decimal.
+fn content_length(head: &[u8]) -> Result<usize, &'static str> {
+    let text = std::str::from_utf8(head).map_err(|_| "request head is not valid UTF-8")?;
+    let mut found: Option<usize> = None;
+    for line in text.split("\r\n").skip(1) {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if !name.eq_ignore_ascii_case("content-length") {
+            continue;
+        }
+        let parsed: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| "content-length is not a number")?;
+        match found {
+            Some(prev) if prev != parsed => return Err("conflicting content-length headers"),
+            _ => found = Some(parsed),
+        }
+    }
+    Ok(found.unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn framer() -> RequestFramer {
+        RequestFramer::new(FramingLimits::default())
+    }
+
+    #[test]
+    fn frames_request_with_body_in_one_push() {
+        let raw = b"POST /v1/jobs HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd";
+        match framer().push(raw) {
+            FrameStatus::Complete(bytes) => assert_eq!(bytes, raw),
+            other => panic!("unexpected status: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frames_request_across_byte_by_byte_pushes() {
+        let raw = b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n";
+        let mut f = framer();
+        for (i, b) in raw.iter().enumerate() {
+            match f.push(std::slice::from_ref(b)) {
+                FrameStatus::Partial => assert!(i + 1 < raw.len(), "finished early"),
+                FrameStatus::Complete(bytes) => {
+                    assert_eq!(i + 1, raw.len(), "finished late");
+                    assert_eq!(bytes, raw);
+                    return;
+                }
+                other => panic!("unexpected status: {other:?}"),
+            }
+        }
+        panic!("request never completed");
+    }
+
+    #[test]
+    fn body_split_across_pushes() {
+        let mut f = framer();
+        assert_eq!(
+            f.push(b"POST / HTTP/1.1\r\nContent-Length: 6\r\n\r\nab"),
+            FrameStatus::Partial
+        );
+        match f.push(b"cdef") {
+            FrameStatus::Complete(bytes) => assert!(bytes.ends_with(b"abcdef")),
+            other => panic!("unexpected status: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn surplus_after_declared_body_is_dropped() {
+        let mut f = framer();
+        match f.push(b"POST / HTTP/1.1\r\ncontent-length: 2\r\n\r\nokEXTRA") {
+            FrameStatus::Complete(bytes) => assert!(bytes.ends_with(b"ok")),
+            other => panic!("unexpected status: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let mut f = RequestFramer::new(FramingLimits {
+            max_head: 64,
+            max_body: 1024,
+        });
+        let long = vec![b'a'; 128];
+        assert!(matches!(f.push(&long), FrameStatus::Oversized(_)));
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected_before_body_arrives() {
+        let mut f = RequestFramer::new(FramingLimits {
+            max_head: 1024,
+            max_body: 8,
+        });
+        let status = f.push(b"POST / HTTP/1.1\r\ncontent-length: 9\r\n\r\n");
+        assert_eq!(status, FrameStatus::Oversized("request body exceeds limit"));
+    }
+
+    #[test]
+    fn bad_content_length_is_malformed() {
+        let status = framer().push(b"POST / HTTP/1.1\r\ncontent-length: lots\r\n\r\n");
+        assert!(matches!(status, FrameStatus::Malformed(_)));
+        let status =
+            framer().push(b"POST / HTTP/1.1\r\ncontent-length: 1\r\ncontent-length: 2\r\n\r\nx");
+        assert!(matches!(status, FrameStatus::Malformed(_)));
+    }
+
+    #[test]
+    fn missing_content_length_means_empty_body() {
+        match framer().push(b"GET /metrics HTTP/1.1\r\n\r\n") {
+            FrameStatus::Complete(bytes) => assert!(bytes.ends_with(b"\r\n\r\n")),
+            other => panic!("unexpected status: {other:?}"),
+        }
+    }
+}

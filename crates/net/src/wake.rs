@@ -1,0 +1,81 @@
+//! Self-pipe waker: lets any thread interrupt a blocked `epoll_wait`.
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::sync::Arc;
+
+use crate::sys;
+
+#[derive(Debug)]
+struct WakePipe {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        // SAFETY: both fds came from a successful pipe2 and are closed
+        // exactly once here.
+        unsafe {
+            sys::close(self.read_fd);
+            sys::close(self.write_fd);
+        }
+    }
+}
+
+/// A cloneable handle that wakes the event loop from any thread.
+///
+/// Built on a nonblocking `pipe2(2)` self-pipe: [`Waker::wake`] writes one
+/// byte (a full pipe means a wake is already pending, which is fine), and
+/// the loop registers the read end with its poller and drains it on wakeup.
+#[derive(Debug, Clone)]
+pub struct Waker {
+    inner: Arc<WakePipe>,
+}
+
+impl Waker {
+    /// Creates the pipe pair (nonblocking, close-on-exec).
+    pub fn new() -> io::Result<Waker> {
+        let mut fds = [0i32; 2];
+        // SAFETY: fds is a live 2-element array as pipe2 requires.
+        let rc = unsafe { sys::pipe2(fds.as_mut_ptr(), sys::O_NONBLOCK | sys::O_CLOEXEC) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Waker {
+            inner: Arc::new(WakePipe {
+                read_fd: fds[0],
+                write_fd: fds[1],
+            }),
+        })
+    }
+
+    /// Wakes the loop. Never blocks; a full pipe already guarantees the
+    /// next `epoll_wait` returns immediately.
+    pub fn wake(&self) {
+        let byte = 1u8;
+        // SAFETY: writes one byte from a live stack buffer to an owned fd;
+        // EAGAIN (pipe full) is deliberately ignored.
+        unsafe {
+            sys::write(self.inner.write_fd, (&byte as *const u8).cast(), 1);
+        }
+    }
+
+    /// The read end, for registration with a [`crate::Poller`].
+    pub fn read_fd(&self) -> RawFd {
+        self.inner.read_fd
+    }
+
+    /// Drains all pending wake bytes so level-triggered polling settles.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            // SAFETY: reads into a live stack buffer from an owned
+            // nonblocking fd.
+            let n = unsafe { sys::read(self.inner.read_fd, buf.as_mut_ptr().cast(), buf.len()) };
+            if n <= 0 {
+                return;
+            }
+        }
+    }
+}

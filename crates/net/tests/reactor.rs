@@ -1,0 +1,262 @@
+//! End-to-end tests of the readiness loop with real sockets.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use smrseek_net::{serve, Action, EventStream, FramingLimits, NetConfig, NetHandle};
+
+fn response_bytes(body: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 200 OK\r\ncontent-type: text/plain\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+fn quick_config() -> NetConfig {
+    NetConfig {
+        limits: FramingLimits::default(),
+        idle_timeout: Duration::from_millis(400),
+        ping_interval: Duration::from_millis(200),
+        aux_threads: 2,
+    }
+}
+
+/// Starts a reactor whose dispatcher echoes the raw request length.
+fn echo_server(config: NetConfig) -> NetHandle {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    serve(
+        listener,
+        Arc::new(|raw: Vec<u8>| Action::Respond(response_bytes(&format!("len={}", raw.len())))),
+        config,
+    )
+    .expect("serve")
+}
+
+fn roundtrip(handle: &NetHandle, request: &[u8]) -> String {
+    let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    stream.write_all(request).expect("write");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read");
+    out
+}
+
+#[test]
+fn inline_respond_roundtrip() {
+    let handle = echo_server(quick_config());
+    let req = b"GET / HTTP/1.1\r\n\r\n";
+    let resp = roundtrip(&handle, req);
+    assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "got: {resp}");
+    assert!(resp.ends_with(&format!("len={}", req.len())), "got: {resp}");
+    assert_eq!(handle.stats().accepted.load(Ordering::Relaxed), 1);
+    handle.shutdown();
+}
+
+#[test]
+fn deferred_respond_roundtrip() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let handle = serve(
+        listener,
+        Arc::new(|raw: Vec<u8>| {
+            Action::Defer(Box::new(move || {
+                // Simulates blocking work off the reactor thread.
+                std::thread::sleep(Duration::from_millis(20));
+                Action::Respond(response_bytes(&format!("deferred len={}", raw.len())))
+            }))
+        }),
+        quick_config(),
+    )
+    .expect("serve");
+    let resp = roundtrip(&handle, b"POST /x HTTP/1.1\r\ncontent-length: 3\r\n\r\nabc");
+    assert!(resp.contains("deferred len="), "got: {resp}");
+    assert_eq!(handle.stats().deferred.load(Ordering::Relaxed), 1);
+    handle.shutdown();
+}
+
+#[test]
+fn many_concurrent_connections_all_answered() {
+    let handle = echo_server(NetConfig {
+        idle_timeout: Duration::from_secs(5),
+        ..quick_config()
+    });
+    let addr = handle.local_addr();
+    let mut conns: Vec<TcpStream> = (0..64)
+        .map(|_| TcpStream::connect(addr).expect("connect"))
+        .collect();
+    // Interleave partial writes so many requests are in flight at once.
+    for stream in &mut conns {
+        stream
+            .write_all(b"GET /a HTTP/1.1\r\n")
+            .expect("write head");
+    }
+    for stream in &mut conns {
+        stream.write_all(b"\r\n").expect("finish head");
+    }
+    for mut stream in conns {
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read");
+        assert!(out.starts_with("HTTP/1.1 200 OK\r\n"), "got: {out}");
+    }
+    assert_eq!(handle.stats().accepted.load(Ordering::Relaxed), 64);
+    handle.shutdown();
+}
+
+#[test]
+fn stalled_mid_head_connection_is_reaped() {
+    let handle = echo_server(quick_config());
+    let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    // Send part of a request head and then stall: a slow-loris client.
+    stream
+        .write_all(b"GET /slow HTTP/1.1\r\nx-part")
+        .expect("write");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let mut out = Vec::new();
+    // The reactor must reap us (EOF) rather than waiting forever.
+    stream.read_to_end(&mut out).expect("read to eof");
+    assert!(out.is_empty(), "no response expected, got {out:?}");
+    assert_eq!(handle.stats().reaped_idle.load(Ordering::Relaxed), 1);
+    assert_eq!(handle.stats().active.load(Ordering::Relaxed), 0);
+    handle.shutdown();
+}
+
+#[test]
+fn stalled_mid_body_connection_is_reaped() {
+    let handle = echo_server(quick_config());
+    let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    stream
+        .write_all(b"POST /x HTTP/1.1\r\ncontent-length: 100\r\n\r\nonly-a-bit")
+        .expect("write");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let mut out = Vec::new();
+    stream.read_to_end(&mut out).expect("read to eof");
+    assert!(out.is_empty(), "no response expected, got {out:?}");
+    assert_eq!(handle.stats().reaped_idle.load(Ordering::Relaxed), 1);
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_head_gets_431() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let handle = serve(
+        listener,
+        Arc::new(|_raw: Vec<u8>| Action::Respond(response_bytes("unreachable"))),
+        NetConfig {
+            limits: FramingLimits {
+                max_head: 256,
+                max_body: 1024,
+            },
+            ..quick_config()
+        },
+    )
+    .expect("serve");
+    let mut request = b"GET / HTTP/1.1\r\nx-pad: ".to_vec();
+    request.extend(vec![b'a'; 512]);
+    request.extend_from_slice(b"\r\n\r\n");
+    let resp = roundtrip(&handle, &request);
+    assert!(resp.starts_with("HTTP/1.1 431 "), "got: {resp}");
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_body_gets_413() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let handle = serve(
+        listener,
+        Arc::new(|_raw: Vec<u8>| Action::Respond(response_bytes("unreachable"))),
+        NetConfig {
+            limits: FramingLimits {
+                max_head: 1024,
+                max_body: 16,
+            },
+            ..quick_config()
+        },
+    )
+    .expect("serve");
+    let resp = roundtrip(&handle, b"POST / HTTP/1.1\r\ncontent-length: 64\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 413 "), "got: {resp}");
+    handle.shutdown();
+}
+
+#[test]
+fn streaming_replays_history_and_follows_appends() {
+    let stream_log = Arc::new(EventStream::new());
+    // Two chunks exist before any subscriber connects.
+    stream_log.append(b"event: a\ndata: 1\n\n");
+    stream_log.append(b"event: b\ndata: 2\n\n");
+    let dispatch_log = Arc::clone(&stream_log);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let handle = serve(
+        listener,
+        Arc::new(move |_raw: Vec<u8>| Action::Stream {
+            head:
+                b"HTTP/1.1 200 OK\r\ncontent-type: text/event-stream\r\nconnection: close\r\n\r\n"
+                    .to_vec(),
+            stream: Arc::clone(&dispatch_log),
+        }),
+        quick_config(),
+    )
+    .expect("serve");
+    let mut conn = TcpStream::connect(handle.local_addr()).expect("connect");
+    conn.write_all(b"GET /events HTTP/1.1\r\n\r\n")
+        .expect("write");
+    conn.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    // Late append + close: the subscriber sees history, the live event,
+    // and then EOF.
+    std::thread::sleep(Duration::from_millis(100));
+    stream_log.append(b"event: c\ndata: 3\n\n");
+    stream_log.close();
+    let mut out = String::new();
+    conn.read_to_string(&mut out).expect("read");
+    assert!(out.contains("text/event-stream"), "got: {out}");
+    let a = out.find("event: a").expect("chunk a");
+    let b = out.find("event: b").expect("chunk b");
+    let c = out.find("event: c").expect("chunk c");
+    assert!(a < b && b < c, "events out of order: {out}");
+    handle.shutdown();
+}
+
+#[test]
+fn idle_stream_receives_ping_comments() {
+    let stream_log = Arc::new(EventStream::new());
+    let dispatch_log = Arc::clone(&stream_log);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let handle = serve(
+        listener,
+        Arc::new(move |_raw: Vec<u8>| Action::Stream {
+            head:
+                b"HTTP/1.1 200 OK\r\ncontent-type: text/event-stream\r\nconnection: close\r\n\r\n"
+                    .to_vec(),
+            stream: Arc::clone(&dispatch_log),
+        }),
+        quick_config(),
+    )
+    .expect("serve");
+    let mut conn = TcpStream::connect(handle.local_addr()).expect("connect");
+    conn.write_all(b"GET /events HTTP/1.1\r\n\r\n")
+        .expect("write");
+    conn.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    // No events arrive; after ping_interval the loop writes a comment.
+    std::thread::sleep(Duration::from_millis(600));
+    stream_log.close();
+    let mut out = String::new();
+    conn.read_to_string(&mut out).expect("read");
+    assert!(out.contains(": ping"), "expected keep-alive comment: {out}");
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_content_length_gets_400() {
+    let handle = echo_server(quick_config());
+    let resp = roundtrip(&handle, b"POST / HTTP/1.1\r\ncontent-length: nope\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 400 "), "got: {resp}");
+    handle.shutdown();
+}

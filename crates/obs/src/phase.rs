@@ -119,6 +119,16 @@ impl PhaseTotals {
     pub fn is_zero(&self) -> bool {
         self.total_nanos() == 0 && self.calls.iter().all(|&c| c == 0)
     }
+
+    /// Every phase with its accumulated `(nanos, calls)`, in
+    /// [`Phase::ALL`] order — the iteration consumers (SSE progress
+    /// events, exporters) use to serialize totals without knowing the
+    /// phase set.
+    pub fn iter(&self) -> impl Iterator<Item = (Phase, u64, u64)> + '_ {
+        Phase::ALL
+            .into_iter()
+            .map(|phase| (phase, self.nanos(phase), self.calls(phase)))
+    }
 }
 
 /// Process-wide switch the engine samples at run start.
@@ -186,6 +196,19 @@ mod tests {
                 "classify"
             ]
         );
+    }
+
+    #[test]
+    fn iter_yields_all_phases_in_order() {
+        let mut t = PhaseTotals::default();
+        t.record(Phase::Lookup, Duration::from_nanos(40));
+        t.record(Phase::Lookup, Duration::from_nanos(2));
+        let pairs: Vec<(Phase, u64, u64)> = t.iter().collect();
+        assert_eq!(pairs.len(), Phase::ALL.len());
+        assert_eq!(pairs[1], (Phase::Lookup, 42, 2));
+        assert_eq!(pairs[0], (Phase::Ingest, 0, 0));
+        let order: Vec<Phase> = pairs.iter().map(|&(p, _, _)| p).collect();
+        assert_eq!(order, Phase::ALL.to_vec());
     }
 
     #[test]

@@ -29,6 +29,8 @@
 //!   gen <profile>          emit a synthetic trace as CloudPhysics CSV
 //!   list                   list the 21 workload profiles
 //!   serve                  run the smrseekd HTTP daemon (see crate docs)
+//!   bench-daemon           drive a running daemon with concurrent
+//!                          submissions; p50/p99/p999 latency + drops
 //!   snapshot <trace> <dir> checkpoint the sweep --at N records into <dir>
 //!   resume <trace> <dir>   run the sweep, resuming from <dir>'s checkpoints
 //!   profile <trace>        replay the sweep under span recording and write
@@ -122,6 +124,10 @@ struct Args {
     addr: String,
     workers: usize,
     queue_depth: usize,
+    peers: Vec<String>,
+    requests: usize,
+    concurrency: usize,
+    distinct: usize,
     at: Option<u64>,
     ops_explicit: bool,
     checkpoint_dir: Option<String>,
@@ -148,7 +154,9 @@ fn usage() -> String {
      smrseek convert <trace> <out.smrt> [--format msr|cp|blktrace|binary]\n       \
      smrseek gen <profile> [--ops N] [--seed S] [--out FILE]\n       \
      smrseek serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--threads N] \
-     [--checkpoint-dir DIR] [--checkpoint-every N]\n       \
+     [--checkpoint-dir DIR] [--checkpoint-every N] [--peers ADDR,ADDR,...]\n       \
+     smrseek bench-daemon [--addr HOST:PORT] [--requests N] [--concurrency N] \
+     [--distinct N] [--ops N] [--json FILE]\n       \
      smrseek snapshot <trace> <dir> --at N [--format ...] [--cache]\n       \
      smrseek resume <trace> <dir> [--format ...] [--cache] [--json FILE]\n       \
      smrseek profile <trace> [--out trace.json] [--format ...] [--cache] [--threads N]\n       \
@@ -182,6 +190,10 @@ fn parse_args(argv: &[String]) -> Result<Args, CliError> {
         addr: "127.0.0.1:7070".to_owned(),
         workers: 2,
         queue_depth: 64,
+        peers: Vec::new(),
+        requests: 2000,
+        concurrency: 256,
+        distinct: 16,
         at: None,
         ops_explicit: false,
         checkpoint_dir: None,
@@ -280,6 +292,36 @@ fn parse_args(argv: &[String]) -> Result<Args, CliError> {
                     .ok_or_else(|| CliError::usage("--queue-depth needs a value"))?
                     .parse()
                     .map_err(|_| CliError::usage("--queue-depth must be an integer"))?;
+            }
+            "--peers" => {
+                args.peers = it
+                    .next()
+                    .ok_or_else(|| CliError::usage("--peers needs addr,addr,..."))?
+                    .split(',')
+                    .filter(|p| !p.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+            }
+            "--requests" => {
+                args.requests = it
+                    .next()
+                    .ok_or_else(|| CliError::usage("--requests needs a value"))?
+                    .parse()
+                    .map_err(|_| CliError::usage("--requests must be an integer"))?;
+            }
+            "--concurrency" => {
+                args.concurrency = it
+                    .next()
+                    .ok_or_else(|| CliError::usage("--concurrency needs a value"))?
+                    .parse()
+                    .map_err(|_| CliError::usage("--concurrency must be a positive integer"))?;
+            }
+            "--distinct" => {
+                args.distinct = it
+                    .next()
+                    .ok_or_else(|| CliError::usage("--distinct needs a value"))?
+                    .parse()
+                    .map_err(|_| CliError::usage("--distinct must be a positive integer"))?;
             }
             "--at" => {
                 args.at = Some(
@@ -741,6 +783,8 @@ fn run_serve(args: &Args) -> Result<String, CliError> {
         job_threads: args.threads,
         checkpoint_dir: args.checkpoint_dir.as_ref().map(PathBuf::from),
         checkpoint_every: args.checkpoint_every,
+        peers: args.peers.clone(),
+        ..smrseek_server::ServerConfig::default()
     };
     let handle = smrseek_server::start(config)
         .map_err(|e| CliError::Io(format!("cannot bind {}: {e}", args.addr)))?;
@@ -759,6 +803,39 @@ fn run_serve(args: &Args) -> Result<String, CliError> {
     handle.shutdown();
     Ok(format!(
         "smrseekd: clean shutdown ({hits} cache hits, {misses} misses)\n"
+    ))
+}
+
+/// `smrseek bench-daemon`: drives `--requests` submissions at a running
+/// daemon with up to `--concurrency` in flight and reports completion,
+/// drop, and backpressure counts plus the p50/p99/p999 latency tail.
+/// The daemon must already be listening on `--addr` (typically
+/// `smrseek serve` in another process).
+fn run_bench_daemon(args: &Args) -> Result<String, CliError> {
+    let addr = args
+        .addr
+        .parse()
+        .map_err(|e| CliError::usage(format!("--addr must be a literal host:port: {e}")))?;
+    let config = smrseek_server::loadgen::LoadConfig {
+        addr,
+        requests: args.requests,
+        concurrency: args.concurrency.max(1),
+        distinct: args.distinct.max(1),
+        ops: if args.ops_explicit {
+            args.opts.ops as u64
+        } else {
+            smrseek_server::loadgen::LoadConfig::default().ops
+        },
+        ..smrseek_server::loadgen::LoadConfig::default()
+    };
+    let report = smrseek_server::loadgen::run(&config)
+        .map_err(|e| CliError::Io(format!("load generator failed: {e}")))?;
+    maybe_write_json(&args.json, &report.to_json())?;
+    Ok(format!(
+        "bench-daemon: {} requests at concurrency {} against {addr}\n{}",
+        args.requests,
+        config.concurrency,
+        report.render_text()
     ))
 }
 
@@ -1137,6 +1214,7 @@ fn run_experiment(args: &Args) -> Result<String, CliError> {
         }
         "bench" => run_bench(args)?,
         "serve" => run_serve(args)?,
+        "bench-daemon" => run_bench_daemon(args)?,
         "profile" => run_profile(args)?,
         "snapshot" => {
             let path = args

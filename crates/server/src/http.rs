@@ -22,8 +22,21 @@ pub struct Request {
     /// Request target path (query strings are not used by the API and are
     /// kept attached verbatim).
     pub target: String,
+    /// Headers as `(name, value)` pairs in arrival order, names as
+    /// received (matching is case-insensitive via [`Request::header`]).
+    pub headers: Vec<(String, String)>,
     /// Request body (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header named `name` (case-insensitive), trimmed.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Why a request could not be parsed. Distinguishes "peer went away"
@@ -102,6 +115,7 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
     }
 
     let mut content_length = 0usize;
+    let mut headers = Vec::new();
     for line in lines {
         if line.is_empty() {
             continue;
@@ -113,6 +127,7 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
                     .parse()
                     .map_err(|_| RequestError::Malformed("bad Content-Length".into()))?;
             }
+            headers.push((name.to_owned(), value.trim().to_owned()));
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -129,6 +144,7 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
     Ok(Request {
         method: method.to_owned(),
         target: target.to_owned(),
+        headers,
         body,
     })
 }
@@ -183,10 +199,48 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
+            502 => "Bad Gateway",
             503 => "Service Unavailable",
             _ => "Status",
         }
+    }
+}
+
+/// Serializes `response` to wire bytes (what [`write_response`] would
+/// send) — the form the nonblocking reactor queues for flushing.
+pub fn response_bytes(response: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(response.body.len() + 256);
+    write_response(&mut out, response).expect("writing to a Vec cannot fail");
+    out
+}
+
+/// Splits raw response bytes (a full `Connection: close` exchange) into
+/// `(status, body)`. Used by the fleet forwarder and the load generator,
+/// which read peer responses to EOF.
+///
+/// # Errors
+///
+/// Returns a message when the bytes do not look like an HTTP/1.1 response.
+pub fn parse_response(raw: &[u8]) -> Result<(u16, Vec<u8>), String> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| "response head never terminated".to_owned())?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| "response head is not UTF-8".to_owned())?;
+    let status_line = head.lines().next().unwrap_or_default();
+    let mut parts = status_line.split(' ');
+    match (parts.next(), parts.next()) {
+        (Some(version), Some(code)) if version.starts_with("HTTP/1.") => {
+            let status: u16 = code
+                .parse()
+                .map_err(|_| format!("bad status code {code:?}"))?;
+            Ok((status, raw[head_end + 4..].to_vec()))
+        }
+        _ => Err(format!("bad status line {status_line:?}")),
     }
 }
 
@@ -293,6 +347,26 @@ mod tests {
             Err(RequestError::Malformed(msg)) => assert_eq!(msg, "request head too large"),
             other => panic!("expected malformed, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn headers_are_kept_and_matched_case_insensitively() {
+        let req = parse(b"POST /v1/jobs HTTP/1.1\r\nX-Smrseek-Forwarded: 1\r\nHost: a\r\n\r\n")
+            .expect("parses");
+        assert_eq!(req.header("x-smrseek-forwarded"), Some("1"));
+        assert_eq!(req.header("HOST"), Some("a"));
+        assert_eq!(req.header("absent"), None);
+    }
+
+    #[test]
+    fn parse_response_splits_status_and_body() {
+        let resp = Response::json(503, r#"{"error":"full"}"#).with_header("retry-after", "1");
+        let raw = response_bytes(&resp);
+        let (status, body) = parse_response(&raw).expect("parses");
+        assert_eq!(status, 503);
+        assert_eq!(body, br#"{"error":"full"}"#);
+        assert!(parse_response(b"not-http").is_err());
+        assert!(parse_response(b"SPAM/9 200\r\n\r\n").is_err());
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //! `Retry-After`) rather than queueing unboundedly or blocking the
 //! connection handler.
 
+use crate::sse;
 use crate::worker::JobWork;
+use smrseek_net::EventStream;
+use smrseek_obs::PhaseTotals;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -65,6 +68,9 @@ struct Job {
     /// Request id of the submission that created the job, echoed in every
     /// status response so clients and the access log correlate.
     request_id: String,
+    /// The job's progress log as pre-encoded SSE frames; closed after the
+    /// terminal `done`/`failed` frame. Late subscribers replay history.
+    events: Arc<EventStream>,
 }
 
 /// A point-in-time view of one job, as served by `GET /v1/jobs/<id>`.
@@ -162,6 +168,11 @@ impl JobTable {
         }
         inner.next_id += 1;
         let id = inner.next_id;
+        let events = Arc::new(EventStream::new());
+        events.append(&sse::encode_event(
+            "queued",
+            &sse::status_data(id, "queued", None),
+        ));
         inner.jobs.insert(
             id,
             Job {
@@ -170,6 +181,7 @@ impl JobTable {
                 result: None,
                 error: None,
                 request_id,
+                events,
             },
         );
         inner.queue.push_back(id);
@@ -191,13 +203,18 @@ impl JobTable {
             if let Some(id) = inner.queue.pop_front() {
                 let job = inner.jobs.get_mut(&id).expect("queued job exists");
                 job.state = JobState::Running;
+                job.events.append(&sse::encode_event(
+                    "running",
+                    &sse::status_data(id, "running", None),
+                ));
                 return Some((id, Arc::clone(&job.work)));
             }
             inner = self.ready.wait(inner).expect("job table lock poisoned");
         }
     }
 
-    /// Records a job's outcome.
+    /// Records a job's outcome, emits the terminal progress frame, and
+    /// closes the job's event stream (subscribers see EOF).
     pub fn complete(&self, id: JobId, outcome: Result<String, String>) {
         let mut inner = self.lock();
         let job = inner.jobs.get_mut(&id).expect("completed job exists");
@@ -205,12 +222,44 @@ impl JobTable {
             Ok(doc) => {
                 job.result = Some(Arc::new(doc));
                 job.state = JobState::Done;
+                job.events.append(&sse::encode_event(
+                    "done",
+                    &sse::status_data(id, "done", None),
+                ));
             }
             Err(msg) => {
+                job.events.append(&sse::encode_event(
+                    "failed",
+                    &sse::status_data(id, "failed", Some(&msg)),
+                ));
                 job.error = Some(msg);
                 job.state = JobState::Failed;
             }
         }
+        job.events.close();
+    }
+
+    /// Publishes the `phases` progress frame for a finishing job: the
+    /// engine's per-phase timing from `smrseek-obs`, merged across the
+    /// job's cells. Workers call this just before [`complete`].
+    ///
+    /// [`complete`]: Self::complete
+    pub fn publish_phases(&self, id: JobId, phases: &PhaseTotals) {
+        if phases.is_zero() {
+            return;
+        }
+        let inner = self.lock();
+        if let Some(job) = inner.jobs.get(&id) {
+            job.events
+                .append(&sse::encode_event("phases", &sse::phases_data(id, phases)));
+        }
+    }
+
+    /// The progress event stream of a job, or `None` for an unknown id —
+    /// the backing for `GET /v1/jobs/<id>/events`.
+    pub fn events(&self, id: JobId) -> Option<Arc<EventStream>> {
+        let inner = self.lock();
+        inner.jobs.get(&id).map(|job| Arc::clone(&job.events))
     }
 
     /// The current status of a job, or `None` for an unknown id.

@@ -17,8 +17,19 @@
 //! | `GET /v1/jobs`             | every known job as `{id, status}` pairs      |
 //! | `GET /v1/jobs/<id>`        | status envelope, result inlined when done    |
 //! | `GET /v1/jobs/<id>/result` | the raw result document, byte-stable         |
+//! | `GET /v1/jobs/<id>/events` | live job progress as Server-Sent Events (see [`sse`]) |
 //! | `GET /healthz`             | liveness probe (text: `ok`, workers, queue depth/capacity) |
 //! | `GET /metrics`             | Prometheus text exposition                   |
+//!
+//! Since PR 9 the daemon fronts everything with the nonblocking
+//! event-loop core in `smrseek-net`: one reactor thread multiplexes
+//! every connection through epoll, slow or stalled clients are reaped on
+//! a deadline instead of pinning a thread, quick GETs answer inline on
+//! the reactor, and submissions (which may mmap a trace or forward to a
+//! peer) run on a small auxiliary pool — worker threads only ever replay
+//! simulations. With `--peers`, N daemons shard the result cache by
+//! consistent hashing on the job key so each unique sweep is computed
+//! exactly once fleet-wide (see [`fleet`]).
 //!
 //! With `--checkpoint-dir`, workers also persist periodic engine
 //! snapshots keyed like the result cache; a resubmitted job (same trace ×
@@ -32,26 +43,31 @@
 //! [`metrics`] for observability, [`api`] for request parsing.
 
 pub mod api;
+pub mod fleet;
 pub mod http;
 pub mod jobs;
+pub mod loadgen;
 pub mod metrics;
+pub mod sse;
 pub mod worker;
 
 use crate::api::{JobRequest, TraceRef};
-use crate::http::{read_request, write_response, Request, RequestError, Response};
+use crate::fleet::Fleet;
+use crate::http::{read_request, Request, RequestError, Response};
 use crate::jobs::{JobId, JobState, JobTable, Submit};
 use crate::metrics::{Endpoint, Metrics};
 use crate::worker::{CheckpointPolicy, JobKind, JobWork};
 use serde::{Number, Value};
+use smrseek_net::{Action, NetConfig, NetHandle};
 use smrseek_sim::experiments::ExpOptions;
 use smrseek_sim::tracecache::TraceRegistry;
 use smrseek_sim::{CheckpointStore, TraceSource};
 use smrseek_workloads::profiles;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::num::NonZeroUsize;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -84,6 +100,16 @@ pub struct ServerConfig {
     pub checkpoint_dir: Option<PathBuf>,
     /// Checkpoint emission cadence (records) when `checkpoint_dir` is set.
     pub checkpoint_every: u64,
+    /// The full fleet peer list (every daemon's advertised address,
+    /// including this one's bound address) for sharding the result cache.
+    /// Empty means a standalone daemon.
+    pub peers: Vec<String>,
+    /// How long a connection may sit without delivering a complete
+    /// request (or draining a response) before the reactor reaps it.
+    pub idle_timeout: Duration,
+    /// Auxiliary dispatch threads for work too slow for the reactor
+    /// (trace loading, peer forwarding).
+    pub aux_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +121,9 @@ impl Default for ServerConfig {
             job_threads: NonZeroUsize::MIN,
             checkpoint_dir: None,
             checkpoint_every: 100_000,
+            peers: Vec::new(),
+            idle_timeout: Duration::from_secs(10),
+            aux_threads: 2,
         }
     }
 }
@@ -109,7 +138,6 @@ pub struct ServerState {
     pub registry: TraceRegistry,
     /// Configured worker-thread count, reported by `/healthz`.
     pub workers: usize,
-    accepting: AtomicBool,
 }
 
 impl ServerState {
@@ -122,7 +150,6 @@ impl ServerState {
             metrics: Arc::new(Metrics::new()),
             registry: TraceRegistry::new(),
             workers,
-            accepting: AtomicBool::new(true),
         }
     }
 }
@@ -132,7 +159,7 @@ impl ServerState {
 pub struct Handle {
     addr: SocketAddr,
     state: Arc<ServerState>,
-    accept: Option<JoinHandle<()>>,
+    net: Option<NetHandle>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -147,18 +174,14 @@ impl Handle {
         &self.state
     }
 
-    /// Graceful shutdown: stop accepting, wake the listener, let every
-    /// worker finish the job it is running (queued jobs are dropped),
-    /// and join all threads.
+    /// Graceful shutdown: stop the reactor (open connections are closed,
+    /// no new ones accepted), let every worker finish the job it is
+    /// running (queued jobs are dropped), and join all threads.
     pub fn shutdown(mut self) {
-        self.state.accepting.store(false, Ordering::SeqCst);
-        self.state.jobs.shutdown();
-        // The accept loop blocks in `accept(2)`; poke it awake with a
-        // throwaway connection so it can observe the flag.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        if let Some(net) = self.net.take() {
+            net.shutdown();
         }
+        self.state.jobs.shutdown();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -178,6 +201,14 @@ pub fn start(config: ServerConfig) -> io::Result<Handle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let state = Arc::new(ServerState::new(config.queue_depth, config.workers));
+    let fleet = if config.peers.is_empty() {
+        None
+    } else {
+        let fleet = Fleet::new(addr, &config.peers)
+            .map_err(|msg| io::Error::new(io::ErrorKind::InvalidInput, msg))?;
+        state.metrics.register_peers(&fleet.remote_labels());
+        Some(Arc::new(fleet))
+    };
     let policy = config.checkpoint_dir.as_ref().map(|dir| {
         Arc::new(CheckpointPolicy {
             store: CheckpointStore::new(dir),
@@ -191,61 +222,48 @@ pub fn start(config: ServerConfig) -> io::Result<Handle> {
         config.job_threads,
         policy,
     );
-    let accept = {
-        let state = Arc::clone(&state);
-        std::thread::Builder::new()
-            .name("smrseekd-accept".to_owned())
-            .spawn(move || accept_loop(&listener, &state))?
-    };
+    let dispatcher = Arc::new(DaemonDispatcher {
+        state: Arc::clone(&state),
+        fleet,
+    });
+    let net = smrseek_net::serve(
+        listener,
+        dispatcher,
+        NetConfig {
+            idle_timeout: config.idle_timeout,
+            aux_threads: config.aux_threads.max(1),
+            ..NetConfig::default()
+        },
+    )?;
+    state.metrics.set_net_stats(net.stats());
     Ok(Handle {
         addr,
         state,
-        accept: Some(accept),
+        net: Some(net),
         workers,
     })
 }
 
-fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
-    loop {
-        let Ok((stream, _peer)) = listener.accept() else {
-            // Transient accept errors (EMFILE, aborted handshakes) are
-            // not fatal to the daemon; check for shutdown and continue.
-            if !state.accepting.load(Ordering::SeqCst) {
-                return;
-            }
-            continue;
-        };
-        if !state.accepting.load(Ordering::SeqCst) {
-            return; // the shutdown poke itself lands here
-        }
-        let state = Arc::clone(state);
-        // One thread per connection: each serves exactly one request
-        // (Connection: close), so threads are short-lived and bounded by
-        // the OS backlog, not by an open-ended keep-alive population.
-        let _ = std::thread::Builder::new()
-            .name("smrseekd-conn".to_owned())
-            .spawn(move || serve_connection(stream, &state));
-    }
+/// Bridges the reactor to daemon routing. Quick GETs answer inline on
+/// the reactor thread; `POST /v1/jobs` defers to the auxiliary pool
+/// (resolving a trace can mmap + digest a file, and fleet forwarding
+/// blocks on a peer); `GET /v1/jobs/<id>/events` returns the job's live
+/// event stream.
+struct DaemonDispatcher {
+    state: Arc<ServerState>,
+    fleet: Option<Arc<Fleet>>,
 }
 
-fn serve_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let started = Instant::now();
-    let request_id = next_request_id();
-    let (line, (endpoint, response)) = match read_request(&mut stream) {
-        Ok(request) => {
-            let line = format!("{} {}", request.method, request.target);
-            (line, route(state, &request, &request_id))
-        }
-        Err(RequestError::Closed | RequestError::Io(_)) => return,
-        Err(RequestError::Malformed(msg)) => (
-            "(malformed)".to_owned(),
-            (Endpoint::Other, Response::json(400, error_body(&msg))),
-        ),
-    };
-    let response = response.with_header("x-request-id", &request_id);
-    let _ = write_response(&mut stream, &response);
+/// Logs and accounts one finished request, returning the wire bytes.
+fn finish(
+    state: &ServerState,
+    endpoint: Endpoint,
+    line: &str,
+    request_id: &str,
+    response: Response,
+    started: Instant,
+) -> Vec<u8> {
+    let response = response.with_header("x-request-id", request_id);
     let elapsed = started.elapsed();
     smrseek_obs::info!(
         "request_id={request_id} {line} status={} duration_us={}",
@@ -253,6 +271,112 @@ fn serve_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
         elapsed.as_micros()
     );
     state.metrics.observe(endpoint, elapsed);
+    http::response_bytes(&response)
+}
+
+impl DaemonDispatcher {
+    fn respond(
+        &self,
+        endpoint: Endpoint,
+        line: &str,
+        request_id: &str,
+        response: Response,
+        started: Instant,
+    ) -> Action {
+        Action::Respond(finish(
+            &self.state,
+            endpoint,
+            line,
+            request_id,
+            response,
+            started,
+        ))
+    }
+
+    /// `GET /v1/jobs/<id>/events`: hand the connection the job's event
+    /// stream. The latency observed is subscription setup, not stream
+    /// lifetime.
+    fn subscribe(&self, raw_id: &str, line: &str, request_id: &str, started: Instant) -> Action {
+        let stream = raw_id
+            .parse::<JobId>()
+            .ok()
+            .and_then(|id| self.state.jobs.events(id));
+        match stream {
+            Some(stream) => {
+                let elapsed = started.elapsed();
+                smrseek_obs::info!(
+                    "request_id={request_id} {line} status=200 duration_us={} stream=open",
+                    elapsed.as_micros()
+                );
+                self.state.metrics.observe(Endpoint::JobEvents, elapsed);
+                Action::Stream {
+                    head: sse::response_head(request_id),
+                    stream,
+                }
+            }
+            None => self.respond(
+                Endpoint::JobEvents,
+                line,
+                request_id,
+                Response::json(404, error_body("no such job")),
+                started,
+            ),
+        }
+    }
+}
+
+impl smrseek_net::Dispatcher for DaemonDispatcher {
+    fn dispatch(&self, raw: Vec<u8>) -> Action {
+        let started = Instant::now();
+        let request_id = next_request_id();
+        let request = match read_request(&mut &raw[..]) {
+            Ok(request) => request,
+            Err(RequestError::Malformed(msg)) => {
+                return self.respond(
+                    Endpoint::Other,
+                    "(malformed)",
+                    &request_id,
+                    Response::json(400, error_body(&msg)),
+                    started,
+                );
+            }
+            // The framer only hands over complete requests, so a short
+            // read here means the head itself was malformed.
+            Err(RequestError::Closed | RequestError::Io(_)) => {
+                return self.respond(
+                    Endpoint::Other,
+                    "(malformed)",
+                    &request_id,
+                    Response::json(400, error_body("truncated request")),
+                    started,
+                );
+            }
+        };
+        let line = format!("{} {}", request.method, request.target);
+        let path = request.target.split('?').next().unwrap_or("");
+        if request.method == "GET" && path.starts_with("/v1/jobs/") {
+            if let Some(raw_id) = path["/v1/jobs/".len()..].strip_suffix("/events") {
+                return self.subscribe(raw_id, &line, &request_id, started);
+            }
+        }
+        if request.method == "POST" && path == "/v1/jobs" {
+            let state = Arc::clone(&self.state);
+            let fleet = self.fleet.clone();
+            return Action::Defer(Box::new(move || {
+                let response = submit_routed(&state, fleet.as_deref(), &request, &request_id);
+                Action::Respond(finish(
+                    &state,
+                    Endpoint::JobsPost,
+                    &line,
+                    &request_id,
+                    response,
+                    started,
+                ))
+            }));
+        }
+        let (endpoint, response) = route(&self.state, &request, &request_id);
+        self.respond(endpoint, &line, &request_id, response, started)
+    }
 }
 
 /// Routes one request against the daemon state. Connection threads call
@@ -372,6 +496,60 @@ fn submit_job(state: &ServerState, body: &[u8], request_id: &str) -> Response {
         Ok(resolved) => resolved,
         Err(msg) => return Response::json(400, error_body(&msg)),
     };
+    submit_local(state, key, work, request_id)
+}
+
+/// The fleet-aware submission path the dispatcher defers to: resolve the
+/// job key, forward to its consistent-hash owner when that is another
+/// peer, otherwise enqueue locally. A request already marked
+/// [`fleet::FORWARDED_HEADER`] is always handled locally — the owner
+/// check happened on the first hop, and honoring the marker means a
+/// misconfigured fleet degrades to local computation instead of a
+/// forwarding loop.
+fn submit_routed(
+    state: &ServerState,
+    fleet: Option<&Fleet>,
+    request: &Request,
+    request_id: &str,
+) -> Response {
+    let job_request = match api::parse_job_request(&request.body) {
+        Ok(parsed) => parsed,
+        Err(msg) => return Response::json(400, error_body(&msg)),
+    };
+    let (key, work) = match resolve(state, &job_request) {
+        Ok(resolved) => resolved,
+        Err(msg) => return Response::json(400, error_body(&msg)),
+    };
+    if let Some(fleet) = fleet {
+        let owner = fleet.owner(&key);
+        if !fleet.is_self(owner) && request.header(fleet::FORWARDED_HEADER).is_none() {
+            let peer = fleet.peer(owner);
+            let label = peer.to_string();
+            return match fleet::forward(peer, &request.body, request_id) {
+                Ok((status, body)) => {
+                    state.metrics.forwarded(&label);
+                    let relayed = Response::json(status, String::from_utf8_lossy(&body))
+                        .with_header(fleet::PEER_HEADER, &label);
+                    // parse_response flattens headers, so re-add the one
+                    // contract header a 503 carries.
+                    if status == 503 {
+                        relayed.with_header("retry-after", "1")
+                    } else {
+                        relayed
+                    }
+                }
+                Err(msg) => {
+                    state.metrics.forward_error(&label);
+                    Response::json(502, error_body(&msg))
+                }
+            };
+        }
+    }
+    submit_local(state, key, work, request_id)
+}
+
+/// Enqueues resolved work against the local job table / result cache.
+fn submit_local(state: &ServerState, key: String, work: JobWork, request_id: &str) -> Response {
     match state.jobs.submit(key, work, request_id.to_owned()) {
         Submit::Queued(id) => {
             state.metrics.cache_miss();
@@ -520,6 +698,7 @@ mod tests {
         let request = Request {
             method: "GET".to_owned(),
             target: target.to_owned(),
+            headers: Vec::new(),
             body: Vec::new(),
         };
         route(state, &request, "rq-test").1
@@ -529,6 +708,7 @@ mod tests {
         let request = Request {
             method: "POST".to_owned(),
             target: target.to_owned(),
+            headers: Vec::new(),
             body: body.as_bytes().to_vec(),
         };
         route(state, &request, "rq-test").1
@@ -553,6 +733,7 @@ mod tests {
         let delete = Request {
             method: "DELETE".to_owned(),
             target: "/metrics".to_owned(),
+            headers: Vec::new(),
             body: Vec::new(),
         };
         assert_eq!(route(&state, &delete, "rq-test").1.status, 405);
@@ -653,6 +834,7 @@ mod tests {
         let submit = Request {
             method: "POST".to_owned(),
             target: "/v1/jobs".to_owned(),
+            headers: Vec::new(),
             body: body.as_bytes().to_vec(),
         };
         let first = route(&state, &submit, "rq-creator").1;

@@ -9,11 +9,12 @@
 use crate::jobs::{JobSnapshot, JobState};
 use smrseek_cache::TierStats;
 use smrseek_disk::histogram::LogHistogram;
+use smrseek_net::LoopStats;
 use smrseek_obs::{Phase, PhaseTotals};
 use smrseek_policy::PolicyStats;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// The API surface, as labeled in per-endpoint metrics.
@@ -29,18 +30,22 @@ pub enum Endpoint {
     JobsGet,
     /// `GET /v1/jobs/<id>/result`
     JobResult,
+    /// `GET /v1/jobs/<id>/events` (SSE subscriptions; latency is the
+    /// time to start the stream, not its lifetime).
+    JobEvents,
     /// Anything else (404s, bad methods).
     Other,
 }
 
 impl Endpoint {
     /// All endpoints, in exposition order.
-    pub const ALL: [Endpoint; 6] = [
+    pub const ALL: [Endpoint; 7] = [
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::JobsPost,
         Endpoint::JobsGet,
         Endpoint::JobResult,
+        Endpoint::JobEvents,
         Endpoint::Other,
     ];
 
@@ -52,6 +57,7 @@ impl Endpoint {
             Endpoint::JobsPost => "jobs_post",
             Endpoint::JobsGet => "jobs_get",
             Endpoint::JobResult => "job_result",
+            Endpoint::JobEvents => "job_events",
             Endpoint::Other => "other",
         }
     }
@@ -63,9 +69,17 @@ impl Endpoint {
             Endpoint::JobsPost => 2,
             Endpoint::JobsGet => 3,
             Endpoint::JobResult => 4,
-            Endpoint::Other => 5,
+            Endpoint::JobEvents => 5,
+            Endpoint::Other => 6,
         }
     }
+}
+
+/// Per-peer forwarding counters for a sharded fleet.
+struct PeerStats {
+    addr: String,
+    forwarded: AtomicU64,
+    errors: AtomicU64,
 }
 
 #[derive(Default)]
@@ -103,7 +117,13 @@ pub struct Metrics {
     /// per-endpoint and held for nanoseconds once per *completed* request
     /// — far off the hot path, and different endpoints never contend.
     /// Revisit only if a profile ever shows same-endpoint convoying.
-    endpoints: [Mutex<EndpointStats>; 6],
+    endpoints: [Mutex<EndpointStats>; 7],
+    /// Event-loop counters, wired in once the reactor starts (absent in
+    /// in-process tests; the families render as zeros then).
+    net: OnceLock<Arc<LoopStats>>,
+    /// Fleet peers this daemon forwards to, registered once at startup so
+    /// every per-peer family exports zero-valued samples from scrape one.
+    peers: OnceLock<Vec<PeerStats>>,
 }
 
 impl Default for Metrics {
@@ -129,7 +149,62 @@ impl Metrics {
             cache_tier_hits: Default::default(),
             cache_tier_misses: AtomicU64::default(),
             endpoints: Default::default(),
+            net: OnceLock::new(),
+            peers: OnceLock::new(),
         }
+    }
+
+    /// Wires the reactor's event-loop counters into the exposition. The
+    /// daemon calls this once after `smrseek_net::serve` returns; later
+    /// calls are ignored.
+    pub fn set_net_stats(&self, stats: Arc<LoopStats>) {
+        let _ = self.net.set(stats);
+    }
+
+    /// Registers the fleet peers this daemon may forward to (their
+    /// advertised addresses, excluding itself). Call once at startup;
+    /// later calls are ignored.
+    pub fn register_peers(&self, addrs: &[String]) {
+        let _ = self.peers.set(
+            addrs
+                .iter()
+                .map(|addr| PeerStats {
+                    addr: addr.clone(),
+                    forwarded: AtomicU64::default(),
+                    errors: AtomicU64::default(),
+                })
+                .collect(),
+        );
+    }
+
+    /// A submission was forwarded to `peer` (its consistent-hash owner).
+    pub fn forwarded(&self, peer: &str) {
+        self.bump_peer(peer, |p| &p.forwarded);
+    }
+
+    /// A forward to `peer` failed (refused, timed out, or bad relay).
+    pub fn forward_error(&self, peer: &str) {
+        self.bump_peer(peer, |p| &p.errors);
+    }
+
+    fn bump_peer(&self, peer: &str, field: impl Fn(&PeerStats) -> &AtomicU64) {
+        if let Some(peers) = self.peers.get() {
+            if let Some(stats) = peers.iter().find(|p| p.addr == peer) {
+                field(stats).fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Current `(forwarded, errors)` counters for `peer`, when registered.
+    pub fn forward_counts(&self, peer: &str) -> Option<(u64, u64)> {
+        self.peers.get().and_then(|peers| {
+            peers.iter().find(|p| p.addr == peer).map(|p| {
+                (
+                    p.forwarded.load(Ordering::Relaxed),
+                    p.errors.load(Ordering::Relaxed),
+                )
+            })
+        })
     }
 
     /// A submission matched an existing job (any state).
@@ -371,6 +446,79 @@ impl Metrics {
             self.cache_tier_misses.load(Ordering::Relaxed)
         );
 
+        // Event-loop counters: zeros until the reactor is wired in, so
+        // the families are stable across in-process and daemon scrapes.
+        let net_load = |f: fn(&LoopStats) -> &AtomicU64| {
+            self.net
+                .get()
+                .map_or(0, |stats| f(stats).load(Ordering::Relaxed))
+        };
+        out.push_str("# HELP smrseekd_connections_accepted_total Connections accepted by the event loop.\n# TYPE smrseekd_connections_accepted_total counter\n");
+        let _ = writeln!(
+            out,
+            "smrseekd_connections_accepted_total {}",
+            net_load(|s| &s.accepted)
+        );
+        out.push_str("# HELP smrseekd_accept_errors_total accept(2) failures (e.g. fd exhaustion).\n# TYPE smrseekd_accept_errors_total counter\n");
+        let _ = writeln!(
+            out,
+            "smrseekd_accept_errors_total {}",
+            net_load(|s| &s.accept_errors)
+        );
+        out.push_str("# HELP smrseekd_connections_active Currently open client connections.\n# TYPE smrseekd_connections_active gauge\n");
+        let _ = writeln!(
+            out,
+            "smrseekd_connections_active {}",
+            net_load(|s| &s.active)
+        );
+        out.push_str("# HELP smrseekd_connections_reaped_total Connections closed by the idle/slow-client timeout.\n# TYPE smrseekd_connections_reaped_total counter\n");
+        let _ = writeln!(
+            out,
+            "smrseekd_connections_reaped_total {}",
+            net_load(|s| &s.reaped_idle)
+        );
+        out.push_str("# HELP smrseekd_dispatch_deferred_total Requests handed to the auxiliary dispatch pool.\n# TYPE smrseekd_dispatch_deferred_total counter\n");
+        let _ = writeln!(
+            out,
+            "smrseekd_dispatch_deferred_total {}",
+            net_load(|s| &s.deferred)
+        );
+        out.push_str("# HELP smrseekd_eventloop_wakeups_total Times the reactor woke from epoll_wait.\n# TYPE smrseekd_eventloop_wakeups_total counter\n");
+        let _ = writeln!(
+            out,
+            "smrseekd_eventloop_wakeups_total {}",
+            net_load(|s| &s.wakeups)
+        );
+        out.push_str("# HELP smrseekd_sse_streams_active Connections currently following a job event stream.\n# TYPE smrseekd_sse_streams_active gauge\n");
+        let _ = writeln!(
+            out,
+            "smrseekd_sse_streams_active {}",
+            net_load(|s| &s.streaming)
+        );
+
+        out.push_str("# HELP smrseekd_forwarded_total Submissions forwarded to their consistent-hash owner, by peer.\n# TYPE smrseekd_forwarded_total counter\n");
+        if let Some(peers) = self.peers.get() {
+            for peer in peers {
+                let _ = writeln!(
+                    out,
+                    "smrseekd_forwarded_total{{peer=\"{}\"}} {}",
+                    peer.addr,
+                    peer.forwarded.load(Ordering::Relaxed)
+                );
+            }
+        }
+        out.push_str("# HELP smrseekd_forward_errors_total Failed submission forwards, by peer.\n# TYPE smrseekd_forward_errors_total counter\n");
+        if let Some(peers) = self.peers.get() {
+            for peer in peers {
+                let _ = writeln!(
+                    out,
+                    "smrseekd_forward_errors_total{{peer=\"{}\"}} {}",
+                    peer.addr,
+                    peer.errors.load(Ordering::Relaxed)
+                );
+            }
+        }
+
         out.push_str("# HELP smrseekd_http_requests_total Requests served, by endpoint.\n# TYPE smrseekd_http_requests_total counter\n");
         for endpoint in Endpoint::ALL {
             let stats = self.endpoints[endpoint.index()]
@@ -561,6 +709,15 @@ mod tests {
         for endpoint in Endpoint::ALL {
             m.observe(endpoint, Duration::from_micros(5));
         }
+        // Populate the event-loop and fleet families too, so the lint
+        // walks every sample this daemon can ever emit.
+        let net = Arc::new(LoopStats::default());
+        net.accepted.fetch_add(9, Ordering::Relaxed);
+        net.streaming.fetch_add(1, Ordering::Relaxed);
+        m.set_net_stats(net);
+        m.register_peers(&["127.0.0.1:9001".to_owned()]);
+        m.forwarded("127.0.0.1:9001");
+        m.forward_error("127.0.0.1:9001");
         let text = m.render(&JobSnapshot::default(), 1);
 
         let name_ok = |name: &str| {
@@ -641,10 +798,49 @@ mod tests {
             "smrseekd_policy_gate_flips_total",
             "smrseekd_cache_tier_hits_total",
             "smrseekd_cache_tier_misses_total",
+            "smrseekd_connections_accepted_total",
+            "smrseekd_accept_errors_total",
+            "smrseekd_connections_reaped_total",
+            "smrseekd_dispatch_deferred_total",
+            "smrseekd_eventloop_wakeups_total",
+            "smrseekd_forwarded_total",
+            "smrseekd_forward_errors_total",
         ] {
-            assert_eq!(typed.get(family).map(String::as_str), Some("counter"));
+            assert_eq!(
+                typed.get(family).map(String::as_str),
+                Some("counter"),
+                "{family}"
+            );
+        }
+        for family in ["smrseekd_connections_active", "smrseekd_sse_streams_active"] {
+            assert_eq!(
+                typed.get(family).map(String::as_str),
+                Some("gauge"),
+                "{family}"
+            );
         }
         assert!(text.contains("phase=\"classify\""), "new phase is exported");
+        assert!(text.contains("smrseekd_connections_accepted_total 9"));
+        assert!(text.contains("smrseekd_sse_streams_active 1"));
+        assert!(text.contains("smrseekd_forwarded_total{peer=\"127.0.0.1:9001\"} 1"));
+        assert!(text.contains("smrseekd_forward_errors_total{peer=\"127.0.0.1:9001\"} 1"));
+        assert!(
+            text.contains("endpoint=\"job_events\""),
+            "SSE endpoint is labeled"
+        );
+    }
+
+    #[test]
+    fn net_and_peer_families_render_zero_valued_before_wiring() {
+        let m = Metrics::new();
+        let text = m.render(&JobSnapshot::default(), 0);
+        assert!(text.contains("smrseekd_connections_accepted_total 0"));
+        assert!(text.contains("smrseekd_connections_active 0"));
+        assert!(text.contains("smrseekd_sse_streams_active 0"));
+        // No peers registered: the families declare but carry no samples.
+        assert!(text.contains("# TYPE smrseekd_forwarded_total counter"));
+        assert!(!text.contains("smrseekd_forwarded_total{"));
+        assert_eq!(m.forward_counts("anyone"), None);
     }
 
     #[test]

@@ -164,6 +164,7 @@ pub fn spawn_workers(
                             metrics.engine_phases(&out.phases);
                             metrics.policy_stats(&out.policy);
                             metrics.tier_stats(&out.tiers);
+                            jobs.publish_phases(id, &out.phases);
                         }
                         jobs.complete(id, outcome.map(|out| out.doc));
                     }

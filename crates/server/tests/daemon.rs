@@ -393,9 +393,7 @@ fn full_queue_backpressure_over_the_wire() {
         addr: "127.0.0.1:0".to_owned(),
         queue_depth: 1,
         workers: 0,
-        job_threads: std::num::NonZeroUsize::MIN,
-        checkpoint_dir: None,
-        checkpoint_every: 100_000,
+        ..smrseek_server::ServerConfig::default()
     })
     .expect("start in-process daemon");
     let addr = handle.addr().to_string();
@@ -546,6 +544,331 @@ fn request_ids_propagate_and_phase_metrics_export() {
         log.contains(&format!("request_id={rid} POST /v1/jobs status=202")),
         "access log names the submit request:\n{log}"
     );
+}
+
+#[test]
+fn stalled_clients_are_reaped_without_blocking_live_traffic() {
+    // Short idle timeout so the test is quick; only the in-process API
+    // exposes the knob.
+    let handle = smrseek_server::start(smrseek_server::ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 0,
+        idle_timeout: Duration::from_millis(400),
+        ..smrseek_server::ServerConfig::default()
+    })
+    .expect("start in-process daemon");
+    let addr = handle.addr().to_string();
+
+    // One client stalls mid-head, one mid-body; neither ever finishes.
+    let mut mid_head = TcpStream::connect(&addr).expect("connect");
+    mid_head
+        .write_all(b"POST /v1/jobs HTTP/1.1\r\ncontent-le")
+        .expect("send partial head");
+    let mut mid_body = TcpStream::connect(&addr).expect("connect");
+    mid_body
+        .write_all(b"POST /v1/jobs HTTP/1.1\r\ncontent-length: 500\r\n\r\n{\"trace\"")
+        .expect("send partial body");
+
+    // The daemon keeps answering other clients while the stalled pair
+    // sits there.
+    assert_eq!(request(&addr, "GET", "/healthz", None).status, 200);
+
+    // Both stalled connections get closed by the reaper (EOF on read),
+    // with nothing written back.
+    for (name, stream) in [("mid-head", &mut mid_head), ("mid-body", &mut mid_body)] {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("set timeout");
+        let mut buf = Vec::new();
+        stream
+            .read_to_end(&mut buf)
+            .unwrap_or_else(|e| panic!("{name}: daemon reset instead of close: {e}"));
+        assert!(
+            buf.is_empty(),
+            "{name}: reaped connection got a response: {:?}",
+            String::from_utf8_lossy(&buf)
+        );
+    }
+
+    let text = request(&addr, "GET", "/metrics", None).body_str();
+    assert_eq!(
+        metric(&text, "smrseekd_connections_reaped_total"),
+        Some(2),
+        "both stalled connections were reaped:\n{text}"
+    );
+    assert!(
+        metric(&text, "smrseekd_connections_accepted_total").expect("accepted metric") >= 4,
+        "{text}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn sse_events_stream_replays_job_lifecycle() {
+    let handle = smrseek_server::start(smrseek_server::ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        ..smrseek_server::ServerConfig::default()
+    })
+    .expect("start in-process daemon");
+    let addr = handle.addr().to_string();
+
+    let submit = request(
+        &addr,
+        "POST",
+        "/v1/jobs",
+        Some(r#"{"trace": {"profile": "hm_1", "ops": 300}}"#),
+    );
+    assert_eq!(submit.status, 202, "{}", submit.body_str());
+
+    // Subscribe immediately: the stream replays history from the queued
+    // frame and follows the job to its terminal frame, then closes.
+    let events = request(&addr, "GET", "/v1/jobs/1/events", None);
+    assert_eq!(events.status, 200);
+    assert_eq!(
+        events.header("content-type"),
+        Some("text/event-stream"),
+        "events endpoint speaks SSE"
+    );
+    let body = events.body_str();
+    let position = |frame: &str| {
+        body.find(&format!("event: {frame}\n"))
+            .unwrap_or_else(|| panic!("stream carries a {frame} frame: {body}"))
+    };
+    let (queued, running, done) = (position("queued"), position("running"), position("done"));
+    assert!(
+        queued < running && running < done,
+        "frames arrive in lifecycle order: {body}"
+    );
+    // The daemon runs with phase accounting on, so the finishing job
+    // publishes its engine phase split before the terminal frame.
+    let phases = position("phases");
+    assert!(running < phases && phases < done, "{body}");
+    assert!(body.contains("\"seconds\":"), "{body}");
+    assert!(
+        body.contains(r#"data: {"id":1,"status":"done"}"#),
+        "terminal frame carries the status JSON: {body}"
+    );
+
+    // A late subscriber to the finished job replays the same history.
+    let replay = request(&addr, "GET", "/v1/jobs/1/events", None);
+    assert_eq!(replay.body_str(), body, "late subscribers see full history");
+
+    assert_eq!(
+        request(&addr, "GET", "/v1/jobs/99/events", None).status,
+        404
+    );
+    handle.shutdown();
+}
+
+/// Reserves two loopback ports by binding and dropping ephemeral
+/// listeners. A tiny race (the kernel could hand the port to someone
+/// else before the daemon rebinds) is accepted; callers retry.
+fn reserve_ports() -> (u16, u16) {
+    let a = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let b = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let (pa, pb) = (
+        a.local_addr().expect("addr").port(),
+        b.local_addr().expect("addr").port(),
+    );
+    (pa, pb)
+}
+
+#[test]
+fn two_daemon_fleet_computes_each_unique_sweep_exactly_once() {
+    // Start two in-process daemons sharing a --peers list. Ports must be
+    // known before either binds, so reserve-then-rebind with retries.
+    let (handle_a, handle_b, peers) = {
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let (pa, pb) = reserve_ports();
+            let peers = vec![format!("127.0.0.1:{pa}"), format!("127.0.0.1:{pb}")];
+            let config = |addr: &str| smrseek_server::ServerConfig {
+                addr: addr.to_owned(),
+                workers: 1,
+                peers: peers.clone(),
+                ..smrseek_server::ServerConfig::default()
+            };
+            match smrseek_server::start(config(&peers[0])) {
+                Ok(a) => match smrseek_server::start(config(&peers[1])) {
+                    Ok(b) => break (a, b, peers),
+                    Err(e) => {
+                        a.shutdown();
+                        assert!(attempt < 5, "could not bind reserved port: {e}");
+                    }
+                },
+                Err(e) => assert!(attempt < 5, "could not bind reserved port: {e}"),
+            }
+        }
+    };
+
+    // Submit 8 distinct sweeps, every one through daemon A. Each must be
+    // computed exactly once somewhere in the fleet, and the result must
+    // match the offline (in-process, no daemon) replay byte-for-byte.
+    let mut forwarded = 0;
+    for seed in 0..8u64 {
+        let body = format!(r#"{{"trace": {{"profile": "hm_1", "seed": {seed}, "ops": 120}}}}"#);
+        let submit = request(&peers[0], "POST", "/v1/jobs", Some(&body));
+        assert_eq!(submit.status, 202, "{}", submit.body_str());
+        assert!(
+            submit.body_str().contains("\"cache\":\"miss\""),
+            "distinct seeds never collide: {}",
+            submit.body_str()
+        );
+        // The relay header names the peer that owns (and computed) it.
+        let owner_addr = match submit.header("x-smrseek-peer") {
+            Some(peer) => {
+                assert_eq!(peer, peers[1], "only the other daemon is a relay target");
+                forwarded += 1;
+                peers[1].clone()
+            }
+            None => peers[0].clone(),
+        };
+        let id: u64 = submit
+            .body_str()
+            .split("\"id\":")
+            .nth(1)
+            .and_then(|s| {
+                s.chars()
+                    .take_while(char::is_ascii_digit)
+                    .collect::<String>()
+                    .parse()
+                    .ok()
+            })
+            .expect("submit body has an id");
+
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let fleet_doc = loop {
+            let poll = request(&owner_addr, "GET", &format!("/v1/jobs/{id}/result"), None);
+            match poll.status {
+                200 => break poll.body,
+                202 => {
+                    assert!(Instant::now() < deadline, "job finished in time");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                other => panic!("poll got {other}: {}", poll.body_str()),
+            }
+        };
+
+        // Offline truth, computed with the same engine entry point the
+        // CLI uses — no daemon involved.
+        let profile = smrseek_workloads::profiles::by_name("hm_1").expect("profile exists");
+        let source = smrseek_sim::TraceSource::from_profile(
+            &profile,
+            &smrseek_sim::experiments::ExpOptions { seed, ops: 120 },
+        );
+        let work = smrseek_server::worker::JobWork {
+            source,
+            kind: smrseek_server::worker::JobKind::Sweep,
+            digest: None,
+        };
+        let offline = smrseek_server::worker::run_job(&work, std::num::NonZeroUsize::MIN, None)
+            .expect("offline replay");
+        assert_eq!(
+            String::from_utf8(fleet_doc).expect("utf8 result"),
+            offline.doc,
+            "fleet result is byte-identical to the offline replay (seed {seed})"
+        );
+    }
+    assert!(
+        forwarded > 0,
+        "with 8 distinct keys and 128 vnodes, some keys must land on daemon B"
+    );
+
+    // Fleet-wide accounting: exactly 8 misses total (each unique sweep
+    // computed once), split across the two daemons; A forwarded the rest.
+    let text_a = request(&peers[0], "GET", "/metrics", None).body_str();
+    let text_b = request(&peers[1], "GET", "/metrics", None).body_str();
+    let misses_a = metric(&text_a, "smrseekd_result_cache_misses_total").expect("metric");
+    let misses_b = metric(&text_b, "smrseekd_result_cache_misses_total").expect("metric");
+    assert_eq!(
+        misses_a + misses_b,
+        8,
+        "each unique sweep enqueued exactly once fleet-wide:\n{text_a}\n{text_b}"
+    );
+    assert_eq!(
+        misses_b as usize, forwarded,
+        "B only computed forwarded keys"
+    );
+    let forwarded_metric = text_a
+        .lines()
+        .find(|l| {
+            l.starts_with(&format!(
+                "smrseekd_forwarded_total{{peer=\"{}\"}}",
+                peers[1]
+            ))
+        })
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse::<u64>().ok())
+        .expect("per-peer forward counter exported");
+    assert_eq!(forwarded_metric as usize, forwarded);
+
+    // Submitting a duplicate of a forwarded key through A is a hit on B.
+    let dup = request(
+        &peers[0],
+        "POST",
+        "/v1/jobs",
+        Some(r#"{"trace": {"profile": "hm_1", "seed": 0, "ops": 120}}"#),
+    );
+    assert_eq!(dup.status, 200, "{}", dup.body_str());
+    assert!(
+        dup.body_str().contains("\"cache\":\"hit\""),
+        "{}",
+        dup.body_str()
+    );
+
+    handle_a.shutdown();
+    handle_b.shutdown();
+}
+
+#[test]
+fn loadgen_thousand_concurrent_submissions_zero_drops() {
+    let handle = smrseek_server::start(smrseek_server::ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        queue_depth: 64,
+        ..smrseek_server::ServerConfig::default()
+    })
+    .expect("start in-process daemon");
+
+    let report = smrseek_server::loadgen::run(&smrseek_server::loadgen::LoadConfig {
+        addr: handle.addr(),
+        requests: 1000,
+        concurrency: 128,
+        distinct: 4,
+        ops: 100,
+        timeout: Duration::from_secs(60),
+    })
+    .expect("load generator runs");
+
+    assert_eq!(report.dropped, 0, "no silent drops: {report:?}");
+    assert_eq!(
+        report.completed, 1000,
+        "every submission got a response: {report:?}"
+    );
+    for status in report.statuses.keys() {
+        assert!(
+            [200, 202, 503].contains(status),
+            "unexpected status {status}: {report:?}"
+        );
+    }
+    assert!(report.p50_us > 0, "latencies were measured: {report:?}");
+    assert!(report.p50_us <= report.p99_us && report.p99_us <= report.p999_us);
+
+    // The daemon saw all thousand connections and reaped none of them.
+    let addr = handle.addr().to_string();
+    let text = request(&addr, "GET", "/metrics", None).body_str();
+    assert!(
+        metric(&text, "smrseekd_connections_accepted_total").expect("accepted metric") >= 1000,
+        "{text}"
+    );
+    assert_eq!(
+        metric(&text, "smrseekd_connections_reaped_total"),
+        Some(0),
+        "healthy clients are never reaped:\n{text}"
+    );
+    handle.shutdown();
 }
 
 #[test]

@@ -214,6 +214,7 @@ fn metrics_route_is_lint_clean() {
     let request = Request {
         method: "GET".to_owned(),
         target: "/metrics".to_owned(),
+        headers: Vec::new(),
         body: Vec::new(),
     };
     let response = route(&state, &request, "rq-lint").1;
