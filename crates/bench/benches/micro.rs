@@ -252,6 +252,32 @@ fn obs_overhead(c: &mut Criterion) {
         smrseek_obs::span::stop_recording();
         black_box(smrseek_obs::span::take_events().1);
     });
+    // Registry handle hot paths: what the daemon pays per request to
+    // bump a counter or feed a latency histogram. Both are single
+    // relaxed atomic RMWs (the histogram adds a leading_zeros bucket
+    // pick), so they should sit within a few ns of the disabled span.
+    let registry = smrseek_obs::Registry::new();
+    let counter = registry.counter("bench_requests_total", "Bench counter.");
+    group.bench_function("registry_counter_100k", |b| {
+        b.iter(|| {
+            for _ in 0..100_000 {
+                counter.inc();
+            }
+            black_box(counter.get())
+        })
+    });
+    let histogram =
+        registry.labeled_histogram("bench_latency_us", "Bench histogram.", "endpoint", "jobs");
+    group.bench_function("registry_histogram_100k", |b| {
+        let mut us = 0u64;
+        b.iter(|| {
+            for _ in 0..100_000 {
+                us = us.wrapping_add(977) & 0xffff;
+                histogram.observe(us);
+            }
+            black_box(histogram.count())
+        })
+    });
     let trace = bench_trace("w91");
     group.throughput(Throughput::Elements(trace.len() as u64));
     group.bench_function("replay_w91_ls_phases_on", |b| {

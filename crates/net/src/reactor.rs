@@ -109,6 +109,33 @@ pub struct LoopStats {
     pub streaming: AtomicU64,
 }
 
+/// A plain-fn accessor for one [`LoopStats`] counter, usable as a
+/// metrics callback without capturing anything.
+pub type StatReader = fn(&LoopStats) -> u64;
+
+impl LoopStats {
+    /// Stable `(name, reader)` pairs for every event-loop counter, in
+    /// exposition order. This is the hook a metrics registry uses to
+    /// surface the reactor's counters as callback-backed series without
+    /// this crate growing a dependency on any metrics machinery: each
+    /// reader is a plain fn the caller can wrap in a closure over its
+    /// `Arc<LoopStats>`.
+    pub fn readers() -> [(&'static str, StatReader); 7] {
+        fn read(cell: &AtomicU64) -> u64 {
+            cell.load(Ordering::Relaxed)
+        }
+        [
+            ("accepted", |s: &LoopStats| read(&s.accepted)),
+            ("accept_errors", |s: &LoopStats| read(&s.accept_errors)),
+            ("active", |s: &LoopStats| read(&s.active)),
+            ("reaped_idle", |s: &LoopStats| read(&s.reaped_idle)),
+            ("deferred", |s: &LoopStats| read(&s.deferred)),
+            ("wakeups", |s: &LoopStats| read(&s.wakeups)),
+            ("streaming", |s: &LoopStats| read(&s.streaming)),
+        ]
+    }
+}
+
 type AuxTask = Box<dyn FnOnce() -> Action + Send + 'static>;
 
 struct AuxQueue {

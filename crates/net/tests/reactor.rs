@@ -260,3 +260,33 @@ fn malformed_content_length_gets_400() {
     assert!(resp.starts_with("HTTP/1.1 400 "), "got: {resp}");
     handle.shutdown();
 }
+
+#[test]
+fn loop_stats_readers_cover_every_counter() {
+    use smrseek_net::LoopStats;
+
+    let stats = LoopStats::default();
+    stats.accepted.fetch_add(2, Ordering::Relaxed);
+    stats.accept_errors.fetch_add(3, Ordering::Relaxed);
+    stats.active.fetch_add(5, Ordering::Relaxed);
+    stats.reaped_idle.fetch_add(7, Ordering::Relaxed);
+    stats.deferred.fetch_add(11, Ordering::Relaxed);
+    stats.wakeups.fetch_add(13, Ordering::Relaxed);
+    stats.streaming.fetch_add(17, Ordering::Relaxed);
+    let readers = LoopStats::readers();
+    let names: Vec<&str> = readers.iter().map(|(name, _)| *name).collect();
+    assert_eq!(
+        names,
+        [
+            "accepted",
+            "accept_errors",
+            "active",
+            "reaped_idle",
+            "deferred",
+            "wakeups",
+            "streaming"
+        ]
+    );
+    let values: Vec<u64> = readers.iter().map(|(_, read)| read(&stats)).collect();
+    assert_eq!(values, [2, 3, 5, 7, 11, 13, 17]);
+}

@@ -10,6 +10,7 @@
 
 use std::io::{self, Write};
 
+use crate::dtrace::DistSpan;
 use crate::phase::{Phase, PhaseTotals};
 use crate::span::SpanEvent;
 
@@ -38,6 +39,112 @@ pub fn write_trace(out: &mut impl Write, events: &[SpanEvent]) -> io::Result<()>
         }
         write_event(out, ev, pid)?;
     }
+    out.write_all(b"]}")?;
+    Ok(())
+}
+
+fn escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    crate::log::json_escape_into(&mut out, s);
+    out
+}
+
+/// `"key":<µs with 3 decimals>` from nanoseconds (full precision in a
+/// decimal field).
+fn us_field(key: &str, ns: u64) -> String {
+    format!("\"{key}\":{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Writes distributed spans — typically the merged fragments of one
+/// fleet trace — as a complete Chrome trace.
+///
+/// Unlike [`write_trace`], the events span multiple processes: each
+/// distinct pid gets a `process_name` metadata event (the label from
+/// `processes`, or `pid <n>` when unlisted) and each `(pid, tid)` pair a
+/// `thread_name` event, so Perfetto titles the per-daemon tracks.
+/// Parent/child links that cross a track boundary additionally emit a
+/// flow arrow (`"ph":"s"` on the parent, `"ph":"f"` on the child) — the
+/// cross-daemon hop renders as one connected timeline. Timestamps are
+/// wall-clock, normalized to the earliest span so the trace starts at 0.
+pub fn write_dist_trace(
+    out: &mut impl Write,
+    spans: &[DistSpan],
+    processes: &[(u32, String)],
+) -> io::Result<()> {
+    let t0 = spans.iter().map(|s| s.start_unix_ns).min().unwrap_or(0);
+    let mut events: Vec<String> = Vec::with_capacity(spans.len() * 2);
+    // Track-naming metadata: one process_name per pid, one thread_name
+    // per (pid, tid), in order of first appearance.
+    let mut named_pids: Vec<u32> = Vec::new();
+    let mut named_tids: Vec<(u32, u64)> = Vec::new();
+    for span in spans {
+        if !named_pids.contains(&span.pid) {
+            named_pids.push(span.pid);
+            let label = processes
+                .iter()
+                .find(|(pid, _)| *pid == span.pid)
+                .map_or_else(|| format!("pid {}", span.pid), |(_, name)| name.clone());
+            events.push(format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\"args\":{{\"name\":\"{}\"}}}}",
+                span.pid,
+                escaped(&label)
+            ));
+        }
+        if !named_tids.contains(&(span.pid, span.tid)) {
+            named_tids.push((span.pid, span.tid));
+            events.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\"args\":{{\"name\":\"tid {}\"}}}}",
+                span.pid, span.tid, span.tid
+            ));
+        }
+    }
+    for span in spans {
+        let parent = span.parent_span_id.map_or(String::new(), |p| {
+            format!("\"parent_span_id\":\"{p:016x}\",")
+        });
+        events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"X\",{},{},\"pid\":{},\"tid\":{},\"args\":{{\"span_id\":\"{:016x}\",{parent}\"request_id\":\"{}\"}}}}",
+            escaped(&span.name),
+            us_field("ts", span.start_unix_ns.saturating_sub(t0)),
+            us_field("dur", span.dur_ns),
+            span.pid,
+            span.tid,
+            span.span_id,
+            escaped(&span.request_id)
+        ));
+    }
+    // Flow arrows for links that cross a (pid, tid) track: time
+    // containment cannot express those, so Perfetto needs explicit
+    // start/finish events sharing the child's span id.
+    for span in spans {
+        let Some(parent_id) = span.parent_span_id else {
+            continue;
+        };
+        let Some(parent) = spans.iter().find(|p| p.span_id == parent_id) else {
+            continue;
+        };
+        if (parent.pid, parent.tid) == (span.pid, span.tid) {
+            continue;
+        }
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"fleet\",\"ph\":\"s\",\"id\":{},{},\"pid\":{},\"tid\":{}}}",
+            escaped(&span.name),
+            span.span_id,
+            us_field("ts", parent.start_unix_ns.saturating_sub(t0)),
+            parent.pid,
+            parent.tid
+        ));
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"fleet\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{},{},\"pid\":{},\"tid\":{}}}",
+            escaped(&span.name),
+            span.span_id,
+            us_field("ts", span.start_unix_ns.saturating_sub(t0)),
+            span.pid,
+            span.tid
+        ));
+    }
+    out.write_all(b"{\"traceEvents\":[")?;
+    out.write_all(events.join(",").as_bytes())?;
     out.write_all(b"]}")?;
     Ok(())
 }
@@ -121,6 +228,109 @@ mod tests {
         let mut buf = Vec::new();
         write_trace(&mut buf, &[]).expect("write");
         assert_eq!(buf, b"{\"traceEvents\":[]}");
+    }
+
+    fn dist(
+        pid: u32,
+        tid: u64,
+        span_id: u64,
+        parent: Option<u64>,
+        name: &str,
+        start: u64,
+        dur: u64,
+    ) -> DistSpan {
+        DistSpan {
+            trace_id: 7,
+            span_id,
+            parent_span_id: parent,
+            name: name.to_owned(),
+            request_id: format!("rq-{pid}"),
+            start_unix_ns: start,
+            dur_ns: dur,
+            pid,
+            tid,
+        }
+    }
+
+    #[test]
+    fn dist_trace_names_processes_and_draws_cross_process_flows() {
+        // Daemon A (pid 100) dispatches and forwards; daemon B (pid 200)
+        // dispatches as a child of the forward span.
+        let spans = vec![
+            dist(100, 1, 0x10, None, "dispatch", 1_000_000_000, 5_000_000),
+            dist(
+                100,
+                1,
+                0x11,
+                Some(0x10),
+                "forward",
+                1_001_000_000,
+                3_000_000,
+            ),
+            dist(
+                200,
+                2,
+                0x20,
+                Some(0x11),
+                "dispatch",
+                1_002_000_000,
+                1_000_000,
+            ),
+        ];
+        let mut buf = Vec::new();
+        write_dist_trace(
+            &mut buf,
+            &spans,
+            &[(100, "smrseekd 127.0.0.1:9001".to_owned())],
+        )
+        .expect("write");
+        let text = String::from_utf8(buf).expect("utf-8");
+        let doc: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        let list = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        // 2 process_name + 2 thread_name + 3 slices + 1 flow pair.
+        assert_eq!(list.len(), 2 + 2 + 3 + 2, "{text}");
+        let by_ph = |ph: &str| -> Vec<&serde_json::Value> {
+            list.iter()
+                .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some(ph))
+                .collect()
+        };
+        let meta = by_ph("M");
+        assert!(meta.iter().any(|e| {
+            e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(|v| v.as_str())
+                == Some("smrseekd 127.0.0.1:9001")
+        }));
+        assert!(meta.iter().any(|e| {
+            e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(|v| v.as_str())
+                == Some("pid 200")
+        }));
+        // Timestamps are normalized to the earliest span.
+        let slices = by_ph("X");
+        assert_eq!(slices[0].get("ts").and_then(|v| v.as_f64()), Some(0.0));
+        assert_eq!(
+            slices[0]
+                .get("args")
+                .and_then(|a| a.get("span_id"))
+                .and_then(|v| v.as_str()),
+            Some("0000000000000010")
+        );
+        // Only the cross-process link (forward -> B's dispatch) flows.
+        let starts = by_ph("s");
+        let finishes = by_ph("f");
+        assert_eq!(starts.len(), 1, "{text}");
+        assert_eq!(finishes.len(), 1);
+        assert_eq!(starts[0].get("pid").and_then(|v| v.as_u64()), Some(100));
+        assert_eq!(finishes[0].get("pid").and_then(|v| v.as_u64()), Some(200));
+        assert_eq!(
+            starts[0].get("id").and_then(|v| v.as_u64()),
+            finishes[0].get("id").and_then(|v| v.as_u64()),
+        );
     }
 
     #[test]

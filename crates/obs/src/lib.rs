@@ -18,15 +18,27 @@
 //!   [`phase::PhaseTotals`]. Gated by a process-wide flag so the hot loop
 //!   pays a single branch when profiling is off.
 //! * [`chrome`] — serializes collected span events as Chrome trace-event
-//!   JSON, loadable in `chrome://tracing` or Perfetto.
+//!   JSON, loadable in `chrome://tracing` or Perfetto; multi-process
+//!   traces get `process_name` metadata and cross-process flow arrows.
+//! * [`dtrace`] — distributed tracing for the fleet: a W3C-style
+//!   [`dtrace::TraceContext`] propagated across daemon hops, wall-clock
+//!   [`dtrace::DistSpan`]s with explicit parent links, and a bounded
+//!   per-process [`dtrace::SpanStore`] served by `GET /v1/trace/<id>`.
+//! * [`metrics`] — a [`metrics::Registry`] of labeled counters, gauges,
+//!   and log₂ histograms with a Prometheus text renderer; handle updates
+//!   are single relaxed atomic RMWs.
 
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod dtrace;
 pub mod log;
+pub mod metrics;
 pub mod phase;
 pub mod span;
 
+pub use dtrace::{current_tid, unix_nanos, DistSpan, SpanStore, TraceContext};
 pub use log::Level;
+pub use metrics::{Counter, Gauge, Histogram, Registry, ValueFormat};
 pub use phase::{phase_accounting, set_phase_accounting, Phase, PhaseTotals};
 pub use span::{span, span_with, Span, SpanEvent};

@@ -36,6 +36,11 @@
 //!   profile <trace>        replay the sweep under span recording and write
 //!                          a Chrome trace-event JSON (`--out`, default
 //!                          trace.json) viewable in Perfetto
+//!   trace <trace-id>       fetch a distributed trace from a daemon
+//!                          (`--addr`) or a whole fleet (`--peers`),
+//!                          stitch the spans, and write a Chrome
+//!                          trace-event JSON (`--out`, default
+//!                          trace.json) viewable in Perfetto
 //! ```
 //!
 //! Diagnostics go through the `smrseek-obs` leveled logger: quiet (warn)
@@ -160,6 +165,7 @@ fn usage() -> String {
      smrseek snapshot <trace> <dir> --at N [--format ...] [--cache]\n       \
      smrseek resume <trace> <dir> [--format ...] [--cache] [--json FILE]\n       \
      smrseek profile <trace> [--out trace.json] [--format ...] [--cache] [--threads N]\n       \
+     smrseek trace <trace-id> [--addr HOST:PORT] [--peers ADDR,ADDR,...] [--out trace.json]\n       \
      smrseek --version\n\
      global flags: -v/--verbose (or SMRSEEK_LOG=debug) for progress chatter, \
      --log-json for JSON-lines stderr\n\
@@ -839,6 +845,152 @@ fn run_bench_daemon(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+/// One `GET /v1/trace/<id>` against a daemon, relayed as `(status, body)`.
+fn fetch_trace(addr: &str, id: &str) -> Result<(u16, Vec<u8>), CliError> {
+    let timeout = std::time::Duration::from_secs(5);
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| CliError::Io(format!("connect to {addr}: {e}")))?;
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let head = format!("GET /v1/trace/{id} HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\n\r\n");
+    stream
+        .write_all(head.as_bytes())
+        .map_err(|e| CliError::Io(format!("send to {addr}: {e}")))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| CliError::Io(format!("read from {addr}: {e}")))?;
+    smrseek_server::http::parse_response(&raw)
+        .map_err(|e| CliError::Parse(format!("bad response from {addr}: {e}")))
+}
+
+/// Decodes a `GET /v1/trace/<id>` body into [`smrseek_obs::DistSpan`]s.
+fn parse_trace_body(body: &[u8]) -> Result<Vec<smrseek_obs::DistSpan>, String> {
+    use serde::Value;
+    fn hex_span_id(value: &Value) -> Option<u64> {
+        value.as_str().and_then(|s| u64::from_str_radix(s, 16).ok())
+    }
+    fn number(span: &Value, key: &str) -> Result<u64, String> {
+        span.get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("span is missing {key}"))
+    }
+    let text = std::str::from_utf8(body).map_err(|_| "trace body is not UTF-8".to_owned())?;
+    let root: Value =
+        serde_json::from_str(text).map_err(|e| format!("trace body is not JSON: {e}"))?;
+    let trace_id = root
+        .get("trace_id")
+        .and_then(Value::as_str)
+        .and_then(smrseek_obs::dtrace::parse_trace_id)
+        .ok_or("trace body has no trace_id")?;
+    let spans = root
+        .get("spans")
+        .and_then(Value::as_array)
+        .ok_or("trace body has no spans array")?;
+    spans
+        .iter()
+        .map(|span| {
+            Ok(smrseek_obs::DistSpan {
+                trace_id,
+                span_id: span
+                    .get("span_id")
+                    .and_then(hex_span_id)
+                    .ok_or("span is missing span_id")?,
+                parent_span_id: span.get("parent_span_id").and_then(hex_span_id),
+                name: span
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or("span is missing name")?
+                    .to_owned(),
+                request_id: span
+                    .get("request_id")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_owned(),
+                start_unix_ns: number(span, "start_unix_ns")?,
+                dur_ns: number(span, "dur_ns")?,
+                pid: u32::try_from(number(span, "pid")?).map_err(|_| "pid overflows u32")?,
+                tid: number(span, "tid")?,
+            })
+        })
+        .collect()
+}
+
+/// `smrseek trace`: fetches `GET /v1/trace/<trace-id>` from a daemon
+/// (`--addr`) or every member of a fleet (`--peers`), stitches the spans
+/// into one timeline, and writes a Chrome trace-event JSON (loadable in
+/// Perfetto) to `--out`. Daemons that answer 404 simply never touched
+/// the trace — a forwarded job leaves spans on exactly two fleet
+/// members — so 404s are skipped, not fatal; only a trace no daemon
+/// holds is an error.
+fn run_trace_fetch(args: &Args) -> Result<String, CliError> {
+    let id = args
+        .file
+        .as_ref()
+        .ok_or_else(|| CliError::usage("trace needs a trace id (32 lowercase hex digits)"))?;
+    if smrseek_obs::dtrace::parse_trace_id(id).is_none() {
+        return Err(CliError::usage(format!(
+            "{id:?} is not a trace id (expected 32 lowercase hex digits, \
+             e.g. from a POST /v1/jobs x-smrseek-trace response header)"
+        )));
+    }
+    let addrs: &[String] = if args.peers.is_empty() {
+        std::slice::from_ref(&args.addr)
+    } else {
+        &args.peers
+    };
+    let mut spans: Vec<smrseek_obs::DistSpan> = Vec::new();
+    let mut processes: Vec<(u32, String)> = Vec::new();
+    let mut holders = 0usize;
+    for addr in addrs {
+        let (status, body) = fetch_trace(addr, id)?;
+        match status {
+            200 => {}
+            404 => continue,
+            other => {
+                return Err(CliError::Io(format!(
+                    "daemon {addr} answered {other} for trace {id}: {}",
+                    String::from_utf8_lossy(&body).trim()
+                )))
+            }
+        }
+        holders += 1;
+        let parsed =
+            parse_trace_body(&body).map_err(|e| CliError::Parse(format!("{addr}: {e}")))?;
+        for span in parsed {
+            if !processes.iter().any(|&(pid, _)| pid == span.pid) {
+                processes.push((span.pid, format!("smrseekd {addr} (pid {})", span.pid)));
+            }
+            // `--addr` may also appear in `--peers`; keep one copy of
+            // each span rather than double-drawing its slice.
+            if !spans
+                .iter()
+                .any(|s| s.span_id == span.span_id && s.pid == span.pid)
+            {
+                spans.push(span);
+            }
+        }
+    }
+    if spans.is_empty() {
+        return Err(CliError::Io(format!(
+            "no daemon at {} holds trace {id} (traces are evicted FIFO; re-run the job?)",
+            addrs.join(", ")
+        )));
+    }
+    spans.sort_by_key(|s| (s.start_unix_ns, s.span_id));
+    let out = args.out.clone().unwrap_or_else(|| "trace.json".to_owned());
+    let file = File::create(&out).map_err(|e| CliError::Io(format!("cannot create {out}: {e}")))?;
+    let mut writer = BufWriter::new(file);
+    smrseek_obs::chrome::write_dist_trace(&mut writer, &spans, &processes)
+        .and_then(|()| writer.flush())
+        .map_err(|e| CliError::Io(format!("cannot write {out}: {e}")))?;
+    Ok(format!(
+        "trace {id}: {} span(s) across {} process(es) from {holders} daemon(s) -> {out}\n",
+        spans.len(),
+        processes.len()
+    ))
+}
+
 fn run_experiment(args: &Args) -> Result<String, CliError> {
     let opts = &args.opts;
     Ok(match args.command.as_str() {
@@ -1216,6 +1368,7 @@ fn run_experiment(args: &Args) -> Result<String, CliError> {
         "serve" => run_serve(args)?,
         "bench-daemon" => run_bench_daemon(args)?,
         "profile" => run_profile(args)?,
+        "trace" => run_trace_fetch(args)?,
         "snapshot" => {
             let path = args
                 .file

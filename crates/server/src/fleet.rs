@@ -139,6 +139,15 @@ impl Fleet {
         self.peers.len()
     }
 
+    /// Virtual nodes this daemon owns on the ring (its share of the key
+    /// space is proportional; `/healthz` reports it).
+    pub fn self_vnodes(&self) -> usize {
+        self.ring
+            .iter()
+            .filter(|&&(_, index)| index == self.self_index)
+            .count()
+    }
+
     /// A fleet is never empty ([`Fleet::new`] refuses an empty list).
     pub fn is_empty(&self) -> bool {
         false
@@ -150,18 +159,32 @@ impl Fleet {
 /// read, and write — callers run on the auxiliary dispatch pool, never
 /// the reactor thread.
 ///
+/// `trace` is the [`smrseek_obs::dtrace::TRACE_HEADER`] value for the hop
+/// (the origin's trace id plus its `forward` span id), when the request
+/// is traced; the owner's `dispatch` span parents to it, stitching both
+/// daemons into one trace. The origin's `x-request-id` rides along
+/// unconditionally so both hops log the same id.
+///
 /// # Errors
 ///
 /// Connect/IO failures and malformed relayed responses return a message
 /// the caller wraps in a 502.
-pub fn forward(peer: SocketAddr, body: &[u8], request_id: &str) -> Result<(u16, Vec<u8>), String> {
+pub fn forward(
+    peer: SocketAddr,
+    body: &[u8],
+    request_id: &str,
+    trace: Option<&str>,
+) -> Result<(u16, Vec<u8>), String> {
     use std::io::{Read, Write};
     let mut stream = TcpStream::connect_timeout(&peer, FORWARD_TIMEOUT)
         .map_err(|e| format!("connect to peer {peer}: {e}"))?;
     let _ = stream.set_read_timeout(Some(FORWARD_TIMEOUT));
     let _ = stream.set_write_timeout(Some(FORWARD_TIMEOUT));
+    let trace_line = trace.map_or(String::new(), |value| {
+        format!("{}: {value}\r\n", smrseek_obs::dtrace::TRACE_HEADER)
+    });
     let head = format!(
-        "POST /v1/jobs HTTP/1.1\r\nhost: {peer}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n{FORWARDED_HEADER}: 1\r\nx-request-id: {request_id}\r\nconnection: close\r\n\r\n",
+        "POST /v1/jobs HTTP/1.1\r\nhost: {peer}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n{FORWARDED_HEADER}: 1\r\nx-request-id: {request_id}\r\n{trace_line}connection: close\r\n\r\n",
         body.len()
     );
     stream
@@ -246,8 +269,16 @@ mod tests {
     #[test]
     fn forward_to_dead_peer_reports_error() {
         // Port 1 on localhost refuses connections (nothing listens there).
-        let err =
-            forward("127.0.0.1:1".parse().expect("parses"), b"{}", "rq-x").expect_err("dead peer");
+        let err = forward("127.0.0.1:1".parse().expect("parses"), b"{}", "rq-x", None)
+            .expect_err("dead peer");
         assert!(err.contains("peer 127.0.0.1:1"), "{err}");
+    }
+
+    #[test]
+    fn every_peer_holds_its_vnode_share() {
+        let addrs = ["127.0.0.1:9001", "127.0.0.1:9002"];
+        for addr in addrs {
+            assert_eq!(fleet(&addrs, addr).self_vnodes(), VNODES);
+        }
     }
 }

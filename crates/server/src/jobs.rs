@@ -18,7 +18,7 @@
 use crate::sse;
 use crate::worker::JobWork;
 use smrseek_net::EventStream;
-use smrseek_obs::PhaseTotals;
+use smrseek_obs::{PhaseTotals, TraceContext};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -58,6 +58,19 @@ impl JobState {
     ];
 }
 
+/// Distributed-trace linkage a job carries from submission to replay: the
+/// worker's `queue` and `replay` spans parent to the owner's `dispatch`
+/// span through this.
+#[derive(Debug, Clone, Copy)]
+pub struct JobTrace {
+    /// The creating request's trace id plus its `dispatch` span id (the
+    /// parent of every span the worker records for this job).
+    pub parent: TraceContext,
+    /// Wall-clock submission time; the worker's `queue` span covers
+    /// submit → dequeue.
+    pub queued_unix_ns: u64,
+}
+
 struct Job {
     state: JobState,
     work: Arc<JobWork>,
@@ -68,6 +81,8 @@ struct Job {
     /// Request id of the submission that created the job, echoed in every
     /// status response so clients and the access log correlate.
     request_id: String,
+    /// Trace linkage from the creating submission, when it was traced.
+    trace: Option<JobTrace>,
     /// The job's progress log as pre-encoded SSE frames; closed after the
     /// terminal `done`/`failed` frame. Late subscribers replay history.
     events: Arc<EventStream>,
@@ -159,6 +174,20 @@ impl JobTable {
     /// `request_id` is retained on a miss (the id of the request that
     /// created the job); hits keep the original submission's id.
     pub fn submit(&self, key: String, work: JobWork, request_id: String) -> Submit {
+        self.submit_traced(key, work, request_id, None)
+    }
+
+    /// [`submit`](Self::submit) plus the distributed-trace linkage the
+    /// worker's spans parent to. Like the request id, the trace is
+    /// retained only on a miss — a cache hit joins the original job and
+    /// its original trace.
+    pub fn submit_traced(
+        &self,
+        key: String,
+        work: JobWork,
+        request_id: String,
+        trace: Option<JobTrace>,
+    ) -> Submit {
         let mut inner = self.lock();
         if let Some(&id) = inner.by_key.get(&key) {
             return Submit::Existing(id);
@@ -181,6 +210,7 @@ impl JobTable {
                 result: None,
                 error: None,
                 request_id,
+                trace,
                 events,
             },
         );
@@ -253,6 +283,17 @@ impl JobTable {
             job.events
                 .append(&sse::encode_event("phases", &sse::phases_data(id, phases)));
         }
+    }
+
+    /// A job's trace linkage and request id, when the creating submission
+    /// was traced. Workers call this once per dequeued job to record the
+    /// `queue`/`replay` spans.
+    pub fn job_trace(&self, id: JobId) -> Option<(JobTrace, String)> {
+        let inner = self.lock();
+        inner
+            .jobs
+            .get(&id)
+            .and_then(|job| job.trace.map(|trace| (trace, job.request_id.clone())))
     }
 
     /// The progress event stream of a job, or `None` for an unknown id —

@@ -18,7 +18,8 @@
 //! | `GET /v1/jobs/<id>`        | status envelope, result inlined when done    |
 //! | `GET /v1/jobs/<id>/result` | the raw result document, byte-stable         |
 //! | `GET /v1/jobs/<id>/events` | live job progress as Server-Sent Events (see [`sse`]) |
-//! | `GET /healthz`             | liveness probe (text: `ok`, workers, queue depth/capacity) |
+//! | `GET /v1/trace/<trace-id>` | every distributed span this daemon recorded for a trace |
+//! | `GET /healthz`             | liveness probe (text: `ok`, workers, queue depth/capacity, fleet view) |
 //! | `GET /metrics`             | Prometheus text exposition                   |
 //!
 //! Since PR 9 the daemon fronts everything with the nonblocking
@@ -54,15 +55,18 @@ pub mod worker;
 use crate::api::{JobRequest, TraceRef};
 use crate::fleet::Fleet;
 use crate::http::{read_request, Request, RequestError, Response};
-use crate::jobs::{JobId, JobState, JobTable, Submit};
+use crate::jobs::{JobId, JobState, JobTable, JobTrace, Submit};
 use crate::metrics::{Endpoint, Metrics};
 use crate::worker::{CheckpointPolicy, JobKind, JobWork};
 use serde::{Number, Value};
 use smrseek_net::{Action, NetConfig, NetHandle};
+use smrseek_obs::dtrace::{self, TRACE_HEADER};
+use smrseek_obs::{DistSpan, SpanStore, TraceContext};
 use smrseek_sim::experiments::ExpOptions;
 use smrseek_sim::tracecache::TraceRegistry;
 use smrseek_sim::{CheckpointStore, TraceSource};
 use smrseek_workloads::profiles;
+use std::fmt::Write as _;
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::num::NonZeroUsize;
@@ -80,6 +84,26 @@ fn next_request_id() -> String {
     static SEQ: AtomicU64 = AtomicU64::new(0);
     let seq = SEQ.fetch_add(1, Ordering::Relaxed) + 1;
     format!("{:08x}-{seq:06}", std::process::id())
+}
+
+/// Distinct traces the per-daemon span store retains before evicting
+/// whole traces FIFO. A trace is a handful of spans; 256 comfortably
+/// covers "submit a sweep, then go fetch its trace".
+const SPAN_STORE_TRACES: usize = 256;
+
+/// A client-supplied `x-request-id` the daemon will honor: 1–64 bytes of
+/// `[A-Za-z0-9_-]`. Anything else (absent, empty, too long, or containing
+/// characters that would corrupt the access log or response headers) is
+/// ignored and the daemon mints its own id instead. Forwarded hops always
+/// pass the origin's id, so one fleet-wide submission logs one id.
+fn client_request_id(request: &Request) -> Option<String> {
+    let id = request.header("x-request-id")?;
+    let valid = !id.is_empty()
+        && id.len() <= 64
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-');
+    valid.then(|| id.to_owned())
 }
 
 /// Daemon configuration.
@@ -136,6 +160,9 @@ pub struct ServerState {
     pub metrics: Arc<Metrics>,
     /// Shared open traces (one mapping per file trace, process-wide).
     pub registry: TraceRegistry,
+    /// Distributed spans recorded by this process, served by
+    /// `GET /v1/trace/<trace-id>`.
+    pub spans: Arc<SpanStore>,
     /// Configured worker-thread count, reported by `/healthz`.
     pub workers: usize,
 }
@@ -149,6 +176,7 @@ impl ServerState {
             jobs: Arc::new(JobTable::new(queue_depth)),
             metrics: Arc::new(Metrics::new()),
             registry: TraceRegistry::new(),
+            spans: Arc::new(SpanStore::new(SPAN_STORE_TRACES)),
             workers,
         }
     }
@@ -219,6 +247,7 @@ pub fn start(config: ServerConfig) -> io::Result<Handle> {
         config.workers,
         Arc::clone(&state.jobs),
         Arc::clone(&state.metrics),
+        Arc::clone(&state.spans),
         config.job_threads,
         policy,
     );
@@ -352,6 +381,9 @@ impl smrseek_net::Dispatcher for DaemonDispatcher {
                 );
             }
         };
+        // Honor a well-formed client-supplied id (a forwarding peer always
+        // sends the origin's), otherwise keep the minted one.
+        let request_id = client_request_id(&request).unwrap_or(request_id);
         let line = format!("{} {}", request.method, request.target);
         let path = request.target.split('?').next().unwrap_or("");
         if request.method == "GET" && path.starts_with("/v1/jobs/") {
@@ -360,10 +392,30 @@ impl smrseek_net::Dispatcher for DaemonDispatcher {
             }
         }
         if request.method == "POST" && path == "/v1/jobs" {
+            // The submission's trace context: continue the caller's trace
+            // (its header span — a peer's `forward` span, or a client's
+            // own root — becomes the parent), or mint a fresh root.
+            let incoming = request.header(TRACE_HEADER).and_then(TraceContext::parse);
+            let ctx = incoming.map_or_else(TraceContext::mint, |parent| parent.child());
+            let parent_span = incoming.map(|parent| parent.span_id);
             let state = Arc::clone(&self.state);
             let fleet = self.fleet.clone();
             return Action::Defer(Box::new(move || {
-                let response = submit_routed(&state, fleet.as_deref(), &request, &request_id);
+                let dispatch_start = dtrace::unix_nanos();
+                let response = submit_routed(&state, fleet.as_deref(), &request, &request_id, ctx);
+                state.spans.record(DistSpan {
+                    trace_id: ctx.trace_id,
+                    span_id: ctx.span_id,
+                    parent_span_id: parent_span,
+                    name: "dispatch".to_owned(),
+                    request_id: request_id.clone(),
+                    start_unix_ns: dispatch_start,
+                    dur_ns: dtrace::unix_nanos().saturating_sub(dispatch_start),
+                    pid: std::process::id(),
+                    tid: smrseek_obs::current_tid(),
+                });
+                // Echo the context so the submitter can fetch the trace.
+                let response = response.with_header(TRACE_HEADER, ctx.header_value());
                 Action::Respond(finish(
                     &state,
                     Endpoint::JobsPost,
@@ -374,30 +426,38 @@ impl smrseek_net::Dispatcher for DaemonDispatcher {
                 ))
             }));
         }
-        let (endpoint, response) = route(&self.state, &request, &request_id);
+        let (endpoint, response) = route(&self.state, self.fleet.as_deref(), &request, &request_id);
         self.respond(endpoint, &line, &request_id, response, started)
     }
 }
 
 /// Routes one request against the daemon state. Connection threads call
 /// this; it is public so tests can exercise the full API in-process.
-/// `request_id` is echoed in submit/status envelopes and retained on any
-/// job this request creates.
-pub fn route(state: &ServerState, request: &Request, request_id: &str) -> (Endpoint, Response) {
+/// `fleet` (when sharded) feeds the `/healthz` fleet view; `request_id`
+/// is echoed in submit/status envelopes and retained on any job this
+/// request creates.
+pub fn route(
+    state: &ServerState,
+    fleet: Option<&Fleet>,
+    request: &Request,
+    request_id: &str,
+) -> (Endpoint, Response) {
     let path = request.target.split('?').next().unwrap_or("");
     match (request.method.as_str(), path) {
         ("GET", "/healthz") => {
             let snap = state.jobs.snapshot();
-            (
-                Endpoint::Healthz,
-                Response::text(
-                    200,
-                    format!(
-                        "ok\nworkers: {}\nqueue_depth: {}\nqueue_capacity: {}\n",
-                        state.workers, snap.queue_depth, snap.capacity
-                    ),
-                ),
-            )
+            let mut body = format!(
+                "ok\nworkers: {}\nqueue_depth: {}\nqueue_capacity: {}\n",
+                state.workers, snap.queue_depth, snap.capacity
+            );
+            if let Some(fleet) = fleet {
+                let _ = writeln!(body, "fleet_peers: {}", fleet.len());
+                let _ = writeln!(body, "self_vnodes: {}", fleet.self_vnodes());
+                for (peer, forwarded, errors) in state.metrics.peer_counts() {
+                    let _ = writeln!(body, "peer {peer} forwarded={forwarded} errors={errors}");
+                }
+            }
+            (Endpoint::Healthz, Response::text(200, body))
         }
         ("GET", "/metrics") => {
             let body = state
@@ -418,6 +478,10 @@ pub fn route(state: &ServerState, request: &Request, request_id: &str) -> (Endpo
                 (Endpoint::JobsGet, job_status(state, rest))
             }
         }
+        ("GET", path) if path.starts_with("/v1/trace/") => (
+            Endpoint::Trace,
+            trace_spans(state, &path["/v1/trace/".len()..]),
+        ),
         (_, "/healthz" | "/metrics" | "/v1/jobs") => (
             Endpoint::Other,
             Response::json(405, error_body("method not allowed")),
@@ -427,6 +491,64 @@ pub fn route(state: &ServerState, request: &Request, request_id: &str) -> (Endpo
             Response::json(404, error_body("not found")),
         ),
     }
+}
+
+/// `GET /v1/trace/<trace-id>`: every distributed span this process
+/// recorded for the trace, in record order. A fleet collector (the CLI's
+/// `trace` subcommand) asks each daemon and merges the fragments by the
+/// shared trace id.
+fn trace_spans(state: &ServerState, raw_id: &str) -> Response {
+    let Some(trace_id) = dtrace::parse_trace_id(raw_id) else {
+        return Response::json(
+            400,
+            error_body("malformed trace id (32 lowercase hex digits)"),
+        );
+    };
+    let Some(spans) = state.spans.get(trace_id) else {
+        return Response::json(404, error_body("no such trace"));
+    };
+    let spans_json: Vec<Value> = spans
+        .iter()
+        .map(|span| {
+            Value::Object(vec![
+                (
+                    "span_id".to_owned(),
+                    Value::String(format!("{:016x}", span.span_id)),
+                ),
+                (
+                    "parent_span_id".to_owned(),
+                    span.parent_span_id
+                        .map_or(Value::Null, |id| Value::String(format!("{id:016x}"))),
+                ),
+                ("name".to_owned(), Value::String(span.name.clone())),
+                (
+                    "request_id".to_owned(),
+                    Value::String(span.request_id.clone()),
+                ),
+                (
+                    "start_unix_ns".to_owned(),
+                    Value::Number(Number::U(span.start_unix_ns)),
+                ),
+                ("dur_ns".to_owned(), Value::Number(Number::U(span.dur_ns))),
+                (
+                    "pid".to_owned(),
+                    Value::Number(Number::U(u64::from(span.pid))),
+                ),
+                ("tid".to_owned(), Value::Number(Number::U(span.tid))),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        serde_json::to_string(&Value::Object(vec![
+            (
+                "trace_id".to_owned(),
+                Value::String(format!("{trace_id:032x}")),
+            ),
+            ("spans".to_owned(), Value::Array(spans_json)),
+        ]))
+        .expect("trace body serializes"),
+    )
 }
 
 fn error_body(msg: &str) -> String {
@@ -475,7 +597,7 @@ fn resolve(state: &ServerState, request: &JobRequest) -> Result<(String, JobWork
     let key = api::result_key(&trace_key, top, request.config.as_ref());
     let kind = match request.config {
         None => JobKind::Sweep,
-        Some(config) => JobKind::Single(config),
+        Some(config) => JobKind::Single(Box::new(config)),
     };
     Ok((
         key,
@@ -496,7 +618,7 @@ fn submit_job(state: &ServerState, body: &[u8], request_id: &str) -> Response {
         Ok(resolved) => resolved,
         Err(msg) => return Response::json(400, error_body(&msg)),
     };
-    submit_local(state, key, work, request_id)
+    submit_local(state, key, work, request_id, None)
 }
 
 /// The fleet-aware submission path the dispatcher defers to: resolve the
@@ -511,6 +633,7 @@ fn submit_routed(
     fleet: Option<&Fleet>,
     request: &Request,
     request_id: &str,
+    ctx: TraceContext,
 ) -> Response {
     let job_request = match api::parse_job_request(&request.body) {
         Ok(parsed) => parsed,
@@ -525,7 +648,28 @@ fn submit_routed(
         if !fleet.is_self(owner) && request.header(fleet::FORWARDED_HEADER).is_none() {
             let peer = fleet.peer(owner);
             let label = peer.to_string();
-            return match fleet::forward(peer, &request.body, request_id) {
+            // The hop gets its own span: the owner's `dispatch` parents to
+            // it through the forwarded header, stitching both daemons.
+            let forward_ctx = ctx.child();
+            let forward_start = dtrace::unix_nanos();
+            let relayed = fleet::forward(
+                peer,
+                &request.body,
+                request_id,
+                Some(&forward_ctx.header_value()),
+            );
+            state.spans.record(DistSpan {
+                trace_id: forward_ctx.trace_id,
+                span_id: forward_ctx.span_id,
+                parent_span_id: Some(ctx.span_id),
+                name: "forward".to_owned(),
+                request_id: request_id.to_owned(),
+                start_unix_ns: forward_start,
+                dur_ns: dtrace::unix_nanos().saturating_sub(forward_start),
+                pid: std::process::id(),
+                tid: smrseek_obs::current_tid(),
+            });
+            return match relayed {
                 Ok((status, body)) => {
                     state.metrics.forwarded(&label);
                     let relayed = Response::json(status, String::from_utf8_lossy(&body))
@@ -545,12 +689,25 @@ fn submit_routed(
             };
         }
     }
-    submit_local(state, key, work, request_id)
+    let trace = JobTrace {
+        parent: ctx,
+        queued_unix_ns: dtrace::unix_nanos(),
+    };
+    submit_local(state, key, work, request_id, Some(trace))
 }
 
 /// Enqueues resolved work against the local job table / result cache.
-fn submit_local(state: &ServerState, key: String, work: JobWork, request_id: &str) -> Response {
-    match state.jobs.submit(key, work, request_id.to_owned()) {
+fn submit_local(
+    state: &ServerState,
+    key: String,
+    work: JobWork,
+    request_id: &str,
+    trace: Option<JobTrace>,
+) -> Response {
+    match state
+        .jobs
+        .submit_traced(key, work, request_id.to_owned(), trace)
+    {
         Submit::Queued(id) => {
             state.metrics.cache_miss();
             Response::json(202, submit_body(id, "queued", "miss", request_id))
@@ -681,6 +838,7 @@ mod tests {
             workers,
             Arc::clone(&state.jobs),
             Arc::clone(&state.metrics),
+            Arc::clone(&state.spans),
             NonZeroUsize::MIN,
             None,
         );
@@ -701,7 +859,7 @@ mod tests {
             headers: Vec::new(),
             body: Vec::new(),
         };
-        route(state, &request, "rq-test").1
+        route(state, None, &request, "rq-test").1
     }
 
     fn post(state: &ServerState, target: &str, body: &str) -> Response {
@@ -711,7 +869,7 @@ mod tests {
             headers: Vec::new(),
             body: body.as_bytes().to_vec(),
         };
-        route(state, &request, "rq-test").1
+        route(state, None, &request, "rq-test").1
     }
 
     fn body_str(resp: &Response) -> String {
@@ -736,7 +894,7 @@ mod tests {
             headers: Vec::new(),
             body: Vec::new(),
         };
-        assert_eq!(route(&state, &delete, "rq-test").1.status, 405);
+        assert_eq!(route(&state, None, &delete, "rq-test").1.status, 405);
         stop(&state, handles);
     }
 
@@ -837,7 +995,7 @@ mod tests {
             headers: Vec::new(),
             body: body.as_bytes().to_vec(),
         };
-        let first = route(&state, &submit, "rq-creator").1;
+        let first = route(&state, None, &submit, "rq-creator").1;
         assert_eq!(first.status, 202);
         assert!(
             body_str(&first).contains(r#""request_id":"rq-creator""#),
@@ -846,7 +1004,7 @@ mod tests {
         );
         // A duplicate submission echoes *its own* request id in the
         // submit response, but the job keeps its creator's id.
-        let second = route(&state, &submit, "rq-duplicate").1;
+        let second = route(&state, None, &submit, "rq-duplicate").1;
         assert_eq!(second.status, 200);
         assert!(
             body_str(&second).contains(r#""request_id":"rq-duplicate""#),
@@ -865,6 +1023,100 @@ mod tests {
         assert!(!listed.contains("request_id"), "{listed}");
         let minted = next_request_id();
         assert_eq!(minted.len(), 8 + 1 + 6, "pid-hex dash seq: {minted}");
+        stop(&state, handles);
+    }
+
+    #[test]
+    fn client_request_ids_are_validated_not_trusted() {
+        let with_header = |value: &str| Request {
+            method: "POST".to_owned(),
+            target: "/v1/jobs".to_owned(),
+            headers: vec![("x-request-id".to_owned(), value.to_owned())],
+            body: Vec::new(),
+        };
+        assert_eq!(
+            client_request_id(&with_header("bench-42_A")).as_deref(),
+            Some("bench-42_A")
+        );
+        assert_eq!(
+            client_request_id(&with_header(&"a".repeat(64))).as_deref(),
+            Some("a".repeat(64)).as_deref(),
+            "64 bytes is the inclusive cap"
+        );
+        // Anything unusable in logs or headers is discarded; the daemon
+        // mints its own id instead of echoing attacker-shaped bytes.
+        for bad in [
+            "",
+            " ",
+            "rq id",
+            "rq/../x",
+            "rq\r\nset-cookie: x",
+            &"a".repeat(65),
+        ] {
+            assert_eq!(client_request_id(&with_header(bad)), None, "{bad:?}");
+        }
+        let no_header = Request {
+            method: "POST".to_owned(),
+            target: "/v1/jobs".to_owned(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(client_request_id(&no_header), None);
+    }
+
+    #[test]
+    fn trace_endpoint_serves_stored_spans_and_rejects_junk() {
+        let (state, handles) = test_state(0, 4);
+        // Malformed ids are 400, never a lookup.
+        for bad in ["xyz", "123", &"A".repeat(32), &"0".repeat(32)] {
+            let resp = get(&state, &format!("/v1/trace/{bad}"));
+            assert_eq!(resp.status, 400, "{bad:?}");
+        }
+        // Well-formed but unknown ids are 404.
+        let unknown = format!("/v1/trace/{:032x}", 0xdead_beefu128);
+        assert_eq!(get(&state, &unknown).status, 404);
+        // A recorded span comes back in the JSON body with hex ids.
+        let ctx = TraceContext::mint();
+        state.spans.record(DistSpan {
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent_span_id: None,
+            name: "dispatch".to_owned(),
+            request_id: "rq-trace".to_owned(),
+            start_unix_ns: 17,
+            dur_ns: 3,
+            pid: std::process::id(),
+            tid: smrseek_obs::current_tid(),
+        });
+        let resp = get(&state, &format!("/v1/trace/{}", ctx.trace_hex()));
+        assert_eq!(resp.status, 200);
+        let body = body_str(&resp);
+        let value: serde::Value = serde_json::from_str(&body).expect("valid JSON: {body}");
+        assert_eq!(
+            value.get("trace_id").and_then(serde::Value::as_str),
+            Some(ctx.trace_hex().as_str())
+        );
+        let spans = value
+            .get("spans")
+            .and_then(serde::Value::as_array)
+            .expect("spans array");
+        assert_eq!(spans.len(), 1);
+        let span = &spans[0];
+        assert_eq!(
+            span.get("span_id").and_then(serde::Value::as_str),
+            Some(format!("{:016x}", ctx.span_id).as_str())
+        );
+        assert!(span
+            .get("parent_span_id")
+            .is_some_and(serde::Value::is_null));
+        assert_eq!(
+            span.get("name").and_then(serde::Value::as_str),
+            Some("dispatch")
+        );
+        assert_eq!(
+            span.get("start_unix_ns").and_then(serde::Value::as_u64),
+            Some(17)
+        );
         stop(&state, handles);
     }
 }

@@ -265,10 +265,10 @@ pub fn run(config: &LoadConfig) -> std::io::Result<LoadReport> {
 
         // Reap flights past their deadline: those are silent drops.
         let now = Instant::now();
-        for slot in 0..flights.len() {
-            let expired = flights[slot].as_ref().is_some_and(|f| now >= f.deadline);
+        for (slot, entry) in flights.iter_mut().enumerate() {
+            let expired = entry.as_ref().is_some_and(|f| now >= f.deadline);
             if expired {
-                let flight = flights[slot].take().expect("flight present");
+                let flight = entry.take().expect("flight present");
                 let _ = poller.delete(flight.stream.as_raw_fd());
                 report.dropped += 1;
                 free.push(slot);

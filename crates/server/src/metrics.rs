@@ -1,20 +1,23 @@
 //! Daemon metrics and their Prometheus text exposition (`GET /metrics`).
 //!
-//! Counters are lock-free atomics bumped on the request path; per-endpoint
-//! latency reuses the log₂-binned [`LogHistogram`] from the seek model
-//! (one mutex per endpoint, touched once per request). Job-state gauges
+//! Every family lives in one [`smrseek_obs::Registry`]; this module keeps
+//! only what is the daemon's — family names, help strings, and the typed
+//! handles the request path bumps. Counters are relaxed atomics behind
+//! registry handles; per-endpoint latency is a registry log₂ histogram
+//! (three relaxed adds per completed request, no locks). Job-state gauges
 //! are not tracked incrementally at all — they are recomputed from the
 //! job table at scrape time, which cannot drift from the truth.
+//!
+//! Exposition order, family names, label sets, and value formats are
+//! byte-compatible with the pre-registry hand-rendered exposition (the
+//! golden test below pins it), so dashboards survive the migration.
 
 use crate::jobs::{JobSnapshot, JobState};
 use smrseek_cache::TierStats;
-use smrseek_disk::histogram::LogHistogram;
 use smrseek_net::LoopStats;
-use smrseek_obs::{Phase, PhaseTotals};
+use smrseek_obs::{Counter, Gauge, Histogram, Phase, PhaseTotals, Registry, ValueFormat};
 use smrseek_policy::PolicyStats;
-use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// The API surface, as labeled in per-endpoint metrics.
@@ -33,19 +36,22 @@ pub enum Endpoint {
     /// `GET /v1/jobs/<id>/events` (SSE subscriptions; latency is the
     /// time to start the stream, not its lifetime).
     JobEvents,
+    /// `GET /v1/trace/<trace-id>` (distributed-trace export).
+    Trace,
     /// Anything else (404s, bad methods).
     Other,
 }
 
 impl Endpoint {
     /// All endpoints, in exposition order.
-    pub const ALL: [Endpoint; 7] = [
+    pub const ALL: [Endpoint; 8] = [
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::JobsPost,
         Endpoint::JobsGet,
         Endpoint::JobResult,
         Endpoint::JobEvents,
+        Endpoint::Trace,
         Endpoint::Other,
     ];
 
@@ -58,6 +64,7 @@ impl Endpoint {
             Endpoint::JobsGet => "jobs_get",
             Endpoint::JobResult => "job_result",
             Endpoint::JobEvents => "job_events",
+            Endpoint::Trace => "trace",
             Endpoint::Other => "other",
         }
     }
@@ -70,60 +77,61 @@ impl Endpoint {
             Endpoint::JobsGet => 3,
             Endpoint::JobResult => 4,
             Endpoint::JobEvents => 5,
-            Endpoint::Other => 6,
+            Endpoint::Trace => 6,
+            Endpoint::Other => 7,
         }
     }
 }
 
-/// Per-peer forwarding counters for a sharded fleet.
-struct PeerStats {
-    addr: String,
-    forwarded: AtomicU64,
-    errors: AtomicU64,
-}
+const FORWARDED_HELP: &str = "Submissions forwarded to their consistent-hash owner, by peer.";
+const FORWARD_ERRORS_HELP: &str = "Failed submission forwards, by peer.";
 
-#[derive(Default)]
-struct EndpointStats {
-    requests: u64,
-    latency_us: LogHistogram,
-    latency_sum_us: u64,
+/// Per-peer forwarding counters for a sharded fleet.
+struct PeerCounters {
+    addr: String,
+    forwarded: Counter,
+    errors: Counter,
 }
 
 /// All daemon metrics. One instance lives in the server state; every
 /// method is safe to call from any thread.
 pub struct Metrics {
-    /// Construction time, for the uptime gauge.
+    registry: Registry,
+    /// Construction time, for the uptime gauge (stored as nanoseconds,
+    /// rendered as fractional seconds at scrape time).
     started: Instant,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    jobs_rejected: AtomicU64,
-    records_replayed: AtomicU64,
-    checkpoint_hits: AtomicU64,
-    checkpoint_misses: AtomicU64,
-    checkpoint_records_skipped: AtomicU64,
+    uptime: Gauge,
+    /// Scrape-time gauges recomputed from the job snapshot, indexed in
+    /// [`JobState::ALL`] order.
+    jobs_by_state: [Gauge; 4],
+    queue_depth: Gauge,
+    queue_capacity: Gauge,
+    traces_registered: Gauge,
+    records_replayed: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    jobs_rejected: Counter,
+    checkpoint_hits: Counter,
+    checkpoint_misses: Counter,
+    checkpoint_records_skipped: Counter,
     /// Engine phase time from finished jobs, in nanoseconds, indexed in
-    /// [`Phase::ALL`] order (atomics: workers fold totals in concurrently).
-    engine_phase_nanos: [AtomicU64; 6],
+    /// [`Phase::ALL`] order (rendered as seconds with 9 decimals).
+    engine_phase_nanos: [Counter; 6],
     /// Adaptive-policy gate flips from finished jobs, indexed
     /// defrag / prefetch / cache (the `mechanism` label order).
-    policy_gate_flips: [AtomicU64; 3],
+    policy_gate_flips: [Counter; 3],
     /// Multi-level cache lookups from finished jobs, indexed RAM-hit /
     /// flash-hit (the `tier` label order), plus total misses.
-    cache_tier_hits: [AtomicU64; 2],
-    cache_tier_misses: AtomicU64,
-    /// Deliberately a `Mutex` per endpoint, not atomics: a latency
-    /// observation touches three fields of one [`EndpointStats`] (count,
-    /// histogram bin, sum) that must move together, and the lock is
-    /// per-endpoint and held for nanoseconds once per *completed* request
-    /// — far off the hot path, and different endpoints never contend.
-    /// Revisit only if a profile ever shows same-endpoint convoying.
-    endpoints: [Mutex<EndpointStats>; 7],
+    cache_tier_hits: [Counter; 2],
+    cache_tier_misses: Counter,
     /// Event-loop counters, wired in once the reactor starts (absent in
-    /// in-process tests; the families render as zeros then).
-    net: OnceLock<Arc<LoopStats>>,
+    /// in-process tests; the callback series render as zeros then).
+    net: Arc<OnceLock<Arc<LoopStats>>>,
     /// Fleet peers this daemon forwards to, registered once at startup so
     /// every per-peer family exports zero-valued samples from scrape one.
-    peers: OnceLock<Vec<PeerStats>>,
+    peers: OnceLock<Vec<PeerCounters>>,
+    endpoint_requests: [Counter; 8],
+    endpoint_latency: [Histogram; 8],
 }
 
 impl Default for Metrics {
@@ -133,25 +141,200 @@ impl Default for Metrics {
 }
 
 impl Metrics {
-    /// Fresh, all-zero metrics; uptime counts from this call.
+    /// Fresh, all-zero metrics; uptime counts from this call. Every
+    /// family is registered here, in exposition order.
     pub fn new() -> Self {
-        Metrics {
-            started: Instant::now(),
-            cache_hits: AtomicU64::default(),
-            cache_misses: AtomicU64::default(),
-            jobs_rejected: AtomicU64::default(),
-            records_replayed: AtomicU64::default(),
-            checkpoint_hits: AtomicU64::default(),
-            checkpoint_misses: AtomicU64::default(),
-            checkpoint_records_skipped: AtomicU64::default(),
-            engine_phase_nanos: Default::default(),
-            policy_gate_flips: Default::default(),
-            cache_tier_hits: Default::default(),
-            cache_tier_misses: AtomicU64::default(),
-            endpoints: Default::default(),
-            net: OnceLock::new(),
-            peers: OnceLock::new(),
+        let registry = Registry::new();
+
+        registry
+            .labeled_gauge(
+                "smrseekd_build_info",
+                "Build metadata; always 1.",
+                "version",
+                env!("CARGO_PKG_VERSION"),
+            )
+            .set(1);
+        let uptime = registry.gauge_fmt(
+            "smrseekd_uptime_seconds",
+            "Seconds since the daemon started.",
+            ValueFormat::NanosSeconds3,
+        );
+        let jobs_by_state = JobState::ALL.map(|state| {
+            registry.labeled_gauge(
+                "smrseekd_jobs",
+                "Jobs by lifecycle state.",
+                "state",
+                state.label(),
+            )
+        });
+        let queue_depth = registry.gauge("smrseekd_queue_depth", "Jobs waiting for a worker.");
+        let queue_capacity = registry.gauge("smrseekd_queue_capacity", "Configured queue bound.");
+        let traces_registered = registry.gauge(
+            "smrseekd_traces_registered",
+            "Distinct traces held open by the registry.",
+        );
+        let records_replayed = registry.counter(
+            "smrseekd_records_replayed_total",
+            "Logical records replayed by finished jobs.",
+        );
+        let cache_hits = registry.counter(
+            "smrseekd_result_cache_hits_total",
+            "Submissions served by an existing job.",
+        );
+        let cache_misses = registry.counter(
+            "smrseekd_result_cache_misses_total",
+            "Submissions that enqueued new work.",
+        );
+        let jobs_rejected = registry.counter(
+            "smrseekd_jobs_rejected_total",
+            "Submissions refused with 503 (queue full).",
+        );
+        let checkpoint_hits = registry.counter(
+            "smrseekd_checkpoint_hits_total",
+            "Run cells resumed from a stored checkpoint.",
+        );
+        let checkpoint_misses = registry.counter(
+            "smrseekd_checkpoint_misses_total",
+            "Run cells replayed from record zero.",
+        );
+        let checkpoint_records_skipped = registry.counter(
+            "smrseekd_checkpoint_records_skipped_total",
+            "Records not replayed thanks to checkpoint resume.",
+        );
+        let engine_phase_nanos = Phase::ALL.map(|phase| {
+            registry.labeled_counter_fmt(
+                "smrseekd_engine_phase_seconds_total",
+                "Simulation engine time by phase, summed over finished jobs.",
+                "phase",
+                phase.label(),
+                ValueFormat::NanosSeconds9,
+            )
+        });
+        let policy_gate_flips = ["defrag", "prefetch", "cache"].map(|mechanism| {
+            registry.labeled_counter(
+                "smrseekd_policy_gate_flips_total",
+                "Adaptive-policy gate transitions, by gated mechanism, summed over finished jobs.",
+                "mechanism",
+                mechanism,
+            )
+        });
+        let cache_tier_hits = ["ram", "flash"].map(|tier| {
+            registry.labeled_counter(
+                "smrseekd_cache_tier_hits_total",
+                "Selective-cache lookups served, by tier, summed over finished jobs.",
+                "tier",
+                tier,
+            )
+        });
+        let cache_tier_misses = registry.counter(
+            "smrseekd_cache_tier_misses_total",
+            "Selective-cache lookups no tier could serve.",
+        );
+
+        // Event-loop counters render through callbacks reading the
+        // reactor's own atomics: zeros until `set_net_stats` wires the
+        // source in, live afterwards, no copying either way.
+        let net: Arc<OnceLock<Arc<LoopStats>>> = Arc::new(OnceLock::new());
+        for (name, read) in LoopStats::readers() {
+            let (family, help, is_gauge) = match name {
+                "accepted" => (
+                    "smrseekd_connections_accepted_total",
+                    "Connections accepted by the event loop.",
+                    false,
+                ),
+                "accept_errors" => (
+                    "smrseekd_accept_errors_total",
+                    "accept(2) failures (e.g. fd exhaustion).",
+                    false,
+                ),
+                "active" => (
+                    "smrseekd_connections_active",
+                    "Currently open client connections.",
+                    true,
+                ),
+                "reaped_idle" => (
+                    "smrseekd_connections_reaped_total",
+                    "Connections closed by the idle/slow-client timeout.",
+                    false,
+                ),
+                "deferred" => (
+                    "smrseekd_dispatch_deferred_total",
+                    "Requests handed to the auxiliary dispatch pool.",
+                    false,
+                ),
+                "wakeups" => (
+                    "smrseekd_eventloop_wakeups_total",
+                    "Times the reactor woke from epoll_wait.",
+                    false,
+                ),
+                "streaming" => (
+                    "smrseekd_sse_streams_active",
+                    "Connections currently following a job event stream.",
+                    true,
+                ),
+                other => unreachable!("unknown LoopStats reader {other}"),
+            };
+            let source = Arc::clone(&net);
+            let value = move || source.get().map_or(0, |stats| read(stats));
+            if is_gauge {
+                registry.callback_gauge(family, help, value);
+            } else {
+                registry.callback_counter(family, help, value);
+            }
         }
+
+        // Per-peer families declare up front so a standalone daemon (no
+        // peers) still exposes stable `# HELP`/`# TYPE` headers.
+        registry.declare_counter("smrseekd_forwarded_total", FORWARDED_HELP, "peer");
+        registry.declare_counter("smrseekd_forward_errors_total", FORWARD_ERRORS_HELP, "peer");
+
+        let endpoint_requests = Endpoint::ALL.map(|endpoint| {
+            registry.labeled_counter(
+                "smrseekd_http_requests_total",
+                "Requests served, by endpoint.",
+                "endpoint",
+                endpoint.label(),
+            )
+        });
+        let endpoint_latency = Endpoint::ALL.map(|endpoint| {
+            registry.labeled_histogram(
+                "smrseekd_http_request_duration_us",
+                "Request latency in microseconds.",
+                "endpoint",
+                endpoint.label(),
+            )
+        });
+
+        Metrics {
+            registry,
+            started: Instant::now(),
+            uptime,
+            jobs_by_state,
+            queue_depth,
+            queue_capacity,
+            traces_registered,
+            records_replayed,
+            cache_hits,
+            cache_misses,
+            jobs_rejected,
+            checkpoint_hits,
+            checkpoint_misses,
+            checkpoint_records_skipped,
+            engine_phase_nanos,
+            policy_gate_flips,
+            cache_tier_hits,
+            cache_tier_misses,
+            net,
+            peers: OnceLock::new(),
+            endpoint_requests,
+            endpoint_latency,
+        }
+    }
+
+    /// The registry behind the exposition, for callers registering extra
+    /// families (they render after the daemon's own, in call order).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Wires the reactor's event-loop counters into the exposition. The
@@ -165,16 +348,28 @@ impl Metrics {
     /// advertised addresses, excluding itself). Call once at startup;
     /// later calls are ignored.
     pub fn register_peers(&self, addrs: &[String]) {
-        let _ = self.peers.set(
-            addrs
-                .iter()
-                .map(|addr| PeerStats {
-                    addr: addr.clone(),
-                    forwarded: AtomicU64::default(),
-                    errors: AtomicU64::default(),
-                })
-                .collect(),
-        );
+        if self.peers.get().is_some() {
+            return;
+        }
+        let peers = addrs
+            .iter()
+            .map(|addr| PeerCounters {
+                addr: addr.clone(),
+                forwarded: self.registry.labeled_counter(
+                    "smrseekd_forwarded_total",
+                    FORWARDED_HELP,
+                    "peer",
+                    addr,
+                ),
+                errors: self.registry.labeled_counter(
+                    "smrseekd_forward_errors_total",
+                    FORWARD_ERRORS_HELP,
+                    "peer",
+                    addr,
+                ),
+            })
+            .collect();
+        let _ = self.peers.set(peers);
     }
 
     /// A submission was forwarded to `peer` (its consistent-hash owner).
@@ -187,10 +382,10 @@ impl Metrics {
         self.bump_peer(peer, |p| &p.errors);
     }
 
-    fn bump_peer(&self, peer: &str, field: impl Fn(&PeerStats) -> &AtomicU64) {
+    fn bump_peer(&self, peer: &str, field: impl Fn(&PeerCounters) -> &Counter) {
         if let Some(peers) = self.peers.get() {
             if let Some(stats) = peers.iter().find(|p| p.addr == peer) {
-                field(stats).fetch_add(1, Ordering::Relaxed);
+                field(stats).inc();
             }
         }
     }
@@ -198,64 +393,67 @@ impl Metrics {
     /// Current `(forwarded, errors)` counters for `peer`, when registered.
     pub fn forward_counts(&self, peer: &str) -> Option<(u64, u64)> {
         self.peers.get().and_then(|peers| {
-            peers.iter().find(|p| p.addr == peer).map(|p| {
-                (
-                    p.forwarded.load(Ordering::Relaxed),
-                    p.errors.load(Ordering::Relaxed),
-                )
-            })
+            peers
+                .iter()
+                .find(|p| p.addr == peer)
+                .map(|p| (p.forwarded.get(), p.errors.get()))
+        })
+    }
+
+    /// Every registered peer with its `(forwarded, errors)` counters, in
+    /// registration order (the `/healthz` fleet view walks this).
+    pub fn peer_counts(&self) -> Vec<(String, u64, u64)> {
+        self.peers.get().map_or_else(Vec::new, |peers| {
+            peers
+                .iter()
+                .map(|p| (p.addr.clone(), p.forwarded.get(), p.errors.get()))
+                .collect()
         })
     }
 
     /// A submission matched an existing job (any state).
     pub fn cache_hit(&self) {
-        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.inc();
     }
 
     /// A submission enqueued new work.
     pub fn cache_miss(&self) {
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.cache_misses.inc();
     }
 
     /// A submission was refused because the queue was full.
     pub fn rejected(&self) {
-        self.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+        self.jobs_rejected.inc();
     }
 
     /// A worker finished replaying `records` logical records.
     pub fn replayed(&self, records: u64) {
-        self.records_replayed.fetch_add(records, Ordering::Relaxed);
+        self.records_replayed.add(records);
     }
 
     /// Total logical records replayed so far.
     pub fn replayed_total(&self) -> u64 {
-        self.records_replayed.load(Ordering::Relaxed)
+        self.records_replayed.get()
     }
 
     /// Current cache hit/miss counters (used by tests and the CLI).
     pub fn cache_counts(&self) -> (u64, u64) {
-        (
-            self.cache_hits.load(Ordering::Relaxed),
-            self.cache_misses.load(Ordering::Relaxed),
-        )
+        (self.cache_hits.get(), self.cache_misses.get())
     }
 
     /// Folds in one job's checkpoint prefix-reuse accounting.
     pub fn checkpoint_usage(&self, usage: &smrseek_sim::CheckpointUsage) {
-        self.checkpoint_hits
-            .fetch_add(usage.hits, Ordering::Relaxed);
-        self.checkpoint_misses
-            .fetch_add(usage.misses, Ordering::Relaxed);
-        self.checkpoint_records_skipped
-            .fetch_add(usage.records_skipped, Ordering::Relaxed);
+        self.checkpoint_hits.add(usage.hits);
+        self.checkpoint_misses.add(usage.misses);
+        self.checkpoint_records_skipped.add(usage.records_skipped);
     }
 
     /// Current checkpoint counters `(hits, misses, records_skipped)`.
     pub fn checkpoint_counts(&self) -> (u64, u64, u64) {
         (
-            self.checkpoint_hits.load(Ordering::Relaxed),
-            self.checkpoint_misses.load(Ordering::Relaxed),
-            self.checkpoint_records_skipped.load(Ordering::Relaxed),
+            self.checkpoint_hits.get(),
+            self.checkpoint_misses.get(),
+            self.checkpoint_records_skipped.get(),
         )
     }
 
@@ -265,7 +463,7 @@ impl Metrics {
         for (i, phase) in Phase::ALL.iter().enumerate() {
             let nanos = phases.nanos(*phase);
             if nanos > 0 {
-                self.engine_phase_nanos[i].fetch_add(nanos, Ordering::Relaxed);
+                self.engine_phase_nanos[i].add(nanos);
             }
         }
     }
@@ -280,7 +478,7 @@ impl Metrics {
         ];
         for (counter, flip) in self.policy_gate_flips.iter().zip(flips) {
             if flip > 0 {
-                counter.fetch_add(flip, Ordering::Relaxed);
+                counter.add(flip);
             }
         }
     }
@@ -291,290 +489,35 @@ impl Metrics {
         let hits = [stats.ram_hits, stats.flash_hits];
         for (counter, hit) in self.cache_tier_hits.iter().zip(hits) {
             if hit > 0 {
-                counter.fetch_add(hit, Ordering::Relaxed);
+                counter.add(hit);
             }
         }
         if stats.misses > 0 {
-            self.cache_tier_misses
-                .fetch_add(stats.misses, Ordering::Relaxed);
+            self.cache_tier_misses.add(stats.misses);
         }
     }
 
     /// Records one served request on `endpoint` taking `elapsed`.
     pub fn observe(&self, endpoint: Endpoint, elapsed: Duration) {
         let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
-        let mut stats = self.endpoints[endpoint.index()]
-            .lock()
-            .expect("endpoint metrics lock poisoned");
-        stats.requests += 1;
-        stats.latency_sum_us = stats.latency_sum_us.saturating_add(us);
-        stats
-            .latency_us
-            .record(i64::try_from(us).unwrap_or(i64::MAX));
+        self.endpoint_latency[endpoint.index()].observe(us);
+        self.endpoint_requests[endpoint.index()].inc();
     }
 
     /// Renders the Prometheus text exposition. `jobs` is a fresh snapshot
-    /// of the job table; `traces` the registry size.
+    /// of the job table; `traces` the registry size. Scrape-time gauges
+    /// (uptime, job states, queue) are recomputed here, then the registry
+    /// renders every family in registration order.
     pub fn render(&self, jobs: &JobSnapshot, traces: usize) -> String {
-        let mut out = String::with_capacity(2048);
-
-        out.push_str(
-            "# HELP smrseekd_build_info Build metadata; always 1.\n\
-             # TYPE smrseekd_build_info gauge\n",
-        );
-        let _ = writeln!(
-            out,
-            "smrseekd_build_info{{version=\"{}\"}} 1",
-            env!("CARGO_PKG_VERSION")
-        );
-        out.push_str(
-            "# HELP smrseekd_uptime_seconds Seconds since the daemon started.\n\
-             # TYPE smrseekd_uptime_seconds gauge\n",
-        );
-        let _ = writeln!(
-            out,
-            "smrseekd_uptime_seconds {:.3}",
-            self.started.elapsed().as_secs_f64()
-        );
-
-        out.push_str("# HELP smrseekd_jobs Jobs by lifecycle state.\n# TYPE smrseekd_jobs gauge\n");
-        for state in JobState::ALL {
-            let _ = writeln!(
-                out,
-                "smrseekd_jobs{{state=\"{}\"}} {}",
-                state.label(),
-                jobs.count(state)
-            );
+        self.uptime
+            .set(u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        for (gauge, state) in self.jobs_by_state.iter().zip(JobState::ALL) {
+            gauge.set(jobs.count(state));
         }
-
-        out.push_str("# HELP smrseekd_queue_depth Jobs waiting for a worker.\n# TYPE smrseekd_queue_depth gauge\n");
-        let _ = writeln!(out, "smrseekd_queue_depth {}", jobs.queue_depth);
-        out.push_str("# HELP smrseekd_queue_capacity Configured queue bound.\n# TYPE smrseekd_queue_capacity gauge\n");
-        let _ = writeln!(out, "smrseekd_queue_capacity {}", jobs.capacity);
-
-        out.push_str("# HELP smrseekd_traces_registered Distinct traces held open by the registry.\n# TYPE smrseekd_traces_registered gauge\n");
-        let _ = writeln!(out, "smrseekd_traces_registered {traces}");
-
-        out.push_str("# HELP smrseekd_records_replayed_total Logical records replayed by finished jobs.\n# TYPE smrseekd_records_replayed_total counter\n");
-        let _ = writeln!(
-            out,
-            "smrseekd_records_replayed_total {}",
-            self.records_replayed.load(Ordering::Relaxed)
-        );
-
-        out.push_str("# HELP smrseekd_result_cache_hits_total Submissions served by an existing job.\n# TYPE smrseekd_result_cache_hits_total counter\n");
-        let _ = writeln!(
-            out,
-            "smrseekd_result_cache_hits_total {}",
-            self.cache_hits.load(Ordering::Relaxed)
-        );
-        out.push_str("# HELP smrseekd_result_cache_misses_total Submissions that enqueued new work.\n# TYPE smrseekd_result_cache_misses_total counter\n");
-        let _ = writeln!(
-            out,
-            "smrseekd_result_cache_misses_total {}",
-            self.cache_misses.load(Ordering::Relaxed)
-        );
-        out.push_str("# HELP smrseekd_jobs_rejected_total Submissions refused with 503 (queue full).\n# TYPE smrseekd_jobs_rejected_total counter\n");
-        let _ = writeln!(
-            out,
-            "smrseekd_jobs_rejected_total {}",
-            self.jobs_rejected.load(Ordering::Relaxed)
-        );
-
-        out.push_str("# HELP smrseekd_checkpoint_hits_total Run cells resumed from a stored checkpoint.\n# TYPE smrseekd_checkpoint_hits_total counter\n");
-        let _ = writeln!(
-            out,
-            "smrseekd_checkpoint_hits_total {}",
-            self.checkpoint_hits.load(Ordering::Relaxed)
-        );
-        out.push_str("# HELP smrseekd_checkpoint_misses_total Run cells replayed from record zero.\n# TYPE smrseekd_checkpoint_misses_total counter\n");
-        let _ = writeln!(
-            out,
-            "smrseekd_checkpoint_misses_total {}",
-            self.checkpoint_misses.load(Ordering::Relaxed)
-        );
-        out.push_str("# HELP smrseekd_checkpoint_records_skipped_total Records not replayed thanks to checkpoint resume.\n# TYPE smrseekd_checkpoint_records_skipped_total counter\n");
-        let _ = writeln!(
-            out,
-            "smrseekd_checkpoint_records_skipped_total {}",
-            self.checkpoint_records_skipped.load(Ordering::Relaxed)
-        );
-
-        out.push_str(
-            "# HELP smrseekd_engine_phase_seconds_total Simulation engine time by phase, \
-             summed over finished jobs.\n\
-             # TYPE smrseekd_engine_phase_seconds_total counter\n",
-        );
-        for (i, phase) in Phase::ALL.iter().enumerate() {
-            let nanos = self.engine_phase_nanos[i].load(Ordering::Relaxed);
-            let _ = writeln!(
-                out,
-                "smrseekd_engine_phase_seconds_total{{phase=\"{}\"}} {:.9}",
-                phase.label(),
-                nanos as f64 / 1e9,
-            );
-        }
-
-        out.push_str(
-            "# HELP smrseekd_policy_gate_flips_total Adaptive-policy gate transitions, \
-             by gated mechanism, summed over finished jobs.\n\
-             # TYPE smrseekd_policy_gate_flips_total counter\n",
-        );
-        for (i, mechanism) in ["defrag", "prefetch", "cache"].iter().enumerate() {
-            let _ = writeln!(
-                out,
-                "smrseekd_policy_gate_flips_total{{mechanism=\"{mechanism}\"}} {}",
-                self.policy_gate_flips[i].load(Ordering::Relaxed)
-            );
-        }
-        out.push_str(
-            "# HELP smrseekd_cache_tier_hits_total Selective-cache lookups served, by tier, \
-             summed over finished jobs.\n\
-             # TYPE smrseekd_cache_tier_hits_total counter\n",
-        );
-        for (i, tier) in ["ram", "flash"].iter().enumerate() {
-            let _ = writeln!(
-                out,
-                "smrseekd_cache_tier_hits_total{{tier=\"{tier}\"}} {}",
-                self.cache_tier_hits[i].load(Ordering::Relaxed)
-            );
-        }
-        out.push_str("# HELP smrseekd_cache_tier_misses_total Selective-cache lookups no tier could serve.\n# TYPE smrseekd_cache_tier_misses_total counter\n");
-        let _ = writeln!(
-            out,
-            "smrseekd_cache_tier_misses_total {}",
-            self.cache_tier_misses.load(Ordering::Relaxed)
-        );
-
-        // Event-loop counters: zeros until the reactor is wired in, so
-        // the families are stable across in-process and daemon scrapes.
-        let net_load = |f: fn(&LoopStats) -> &AtomicU64| {
-            self.net
-                .get()
-                .map_or(0, |stats| f(stats).load(Ordering::Relaxed))
-        };
-        out.push_str("# HELP smrseekd_connections_accepted_total Connections accepted by the event loop.\n# TYPE smrseekd_connections_accepted_total counter\n");
-        let _ = writeln!(
-            out,
-            "smrseekd_connections_accepted_total {}",
-            net_load(|s| &s.accepted)
-        );
-        out.push_str("# HELP smrseekd_accept_errors_total accept(2) failures (e.g. fd exhaustion).\n# TYPE smrseekd_accept_errors_total counter\n");
-        let _ = writeln!(
-            out,
-            "smrseekd_accept_errors_total {}",
-            net_load(|s| &s.accept_errors)
-        );
-        out.push_str("# HELP smrseekd_connections_active Currently open client connections.\n# TYPE smrseekd_connections_active gauge\n");
-        let _ = writeln!(
-            out,
-            "smrseekd_connections_active {}",
-            net_load(|s| &s.active)
-        );
-        out.push_str("# HELP smrseekd_connections_reaped_total Connections closed by the idle/slow-client timeout.\n# TYPE smrseekd_connections_reaped_total counter\n");
-        let _ = writeln!(
-            out,
-            "smrseekd_connections_reaped_total {}",
-            net_load(|s| &s.reaped_idle)
-        );
-        out.push_str("# HELP smrseekd_dispatch_deferred_total Requests handed to the auxiliary dispatch pool.\n# TYPE smrseekd_dispatch_deferred_total counter\n");
-        let _ = writeln!(
-            out,
-            "smrseekd_dispatch_deferred_total {}",
-            net_load(|s| &s.deferred)
-        );
-        out.push_str("# HELP smrseekd_eventloop_wakeups_total Times the reactor woke from epoll_wait.\n# TYPE smrseekd_eventloop_wakeups_total counter\n");
-        let _ = writeln!(
-            out,
-            "smrseekd_eventloop_wakeups_total {}",
-            net_load(|s| &s.wakeups)
-        );
-        out.push_str("# HELP smrseekd_sse_streams_active Connections currently following a job event stream.\n# TYPE smrseekd_sse_streams_active gauge\n");
-        let _ = writeln!(
-            out,
-            "smrseekd_sse_streams_active {}",
-            net_load(|s| &s.streaming)
-        );
-
-        out.push_str("# HELP smrseekd_forwarded_total Submissions forwarded to their consistent-hash owner, by peer.\n# TYPE smrseekd_forwarded_total counter\n");
-        if let Some(peers) = self.peers.get() {
-            for peer in peers {
-                let _ = writeln!(
-                    out,
-                    "smrseekd_forwarded_total{{peer=\"{}\"}} {}",
-                    peer.addr,
-                    peer.forwarded.load(Ordering::Relaxed)
-                );
-            }
-        }
-        out.push_str("# HELP smrseekd_forward_errors_total Failed submission forwards, by peer.\n# TYPE smrseekd_forward_errors_total counter\n");
-        if let Some(peers) = self.peers.get() {
-            for peer in peers {
-                let _ = writeln!(
-                    out,
-                    "smrseekd_forward_errors_total{{peer=\"{}\"}} {}",
-                    peer.addr,
-                    peer.errors.load(Ordering::Relaxed)
-                );
-            }
-        }
-
-        out.push_str("# HELP smrseekd_http_requests_total Requests served, by endpoint.\n# TYPE smrseekd_http_requests_total counter\n");
-        for endpoint in Endpoint::ALL {
-            let stats = self.endpoints[endpoint.index()]
-                .lock()
-                .expect("endpoint metrics lock poisoned");
-            let _ = writeln!(
-                out,
-                "smrseekd_http_requests_total{{endpoint=\"{}\"}} {}",
-                endpoint.label(),
-                stats.requests
-            );
-        }
-
-        out.push_str(
-            "# HELP smrseekd_http_request_duration_us Request latency in microseconds.\n\
-             # TYPE smrseekd_http_request_duration_us histogram\n",
-        );
-        for endpoint in Endpoint::ALL {
-            let stats = self.endpoints[endpoint.index()]
-                .lock()
-                .expect("endpoint metrics lock poisoned");
-            if stats.requests == 0 {
-                continue;
-            }
-            // The log histogram's bin i covers [2^i, 2^(i+1)), so each bin
-            // closes at le = 2^(i+1); zeros fall in every bucket.
-            let mut cumulative = stats.latency_us.zeros();
-            for (floor, count) in stats.latency_us.nonzero_bins() {
-                cumulative += count;
-                let _ = writeln!(
-                    out,
-                    "smrseekd_http_request_duration_us_bucket{{endpoint=\"{}\",le=\"{}\"}} {cumulative}",
-                    endpoint.label(),
-                    floor.saturating_mul(2),
-                );
-            }
-            let _ = writeln!(
-                out,
-                "smrseekd_http_request_duration_us_bucket{{endpoint=\"{}\",le=\"+Inf\"}} {}",
-                endpoint.label(),
-                stats.latency_us.count(),
-            );
-            let _ = writeln!(
-                out,
-                "smrseekd_http_request_duration_us_sum{{endpoint=\"{}\"}} {}",
-                endpoint.label(),
-                stats.latency_sum_us,
-            );
-            let _ = writeln!(
-                out,
-                "smrseekd_http_request_duration_us_count{{endpoint=\"{}\"}} {}",
-                endpoint.label(),
-                stats.requests,
-            );
-        }
-        out
+        self.queue_depth.set(jobs.queue_depth as u64);
+        self.queue_capacity.set(jobs.capacity as u64);
+        self.traces_registered.set(traces as u64);
+        self.registry.render()
     }
 }
 
@@ -712,8 +655,10 @@ mod tests {
         // Populate the event-loop and fleet families too, so the lint
         // walks every sample this daemon can ever emit.
         let net = Arc::new(LoopStats::default());
-        net.accepted.fetch_add(9, Ordering::Relaxed);
-        net.streaming.fetch_add(1, Ordering::Relaxed);
+        net.accepted
+            .fetch_add(9, std::sync::atomic::Ordering::Relaxed);
+        net.streaming
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         m.set_net_stats(net);
         m.register_peers(&["127.0.0.1:9001".to_owned()]);
         m.forwarded("127.0.0.1:9001");
@@ -793,7 +738,7 @@ mod tests {
                 }
             }
         }
-        // Families this PR adds are all present and correctly typed.
+        // Every family the daemon exports is present and correctly typed.
         for family in [
             "smrseekd_policy_gate_flips_total",
             "smrseekd_cache_tier_hits_total",
@@ -828,6 +773,10 @@ mod tests {
             text.contains("endpoint=\"job_events\""),
             "SSE endpoint is labeled"
         );
+        assert!(
+            text.contains("endpoint=\"trace\""),
+            "trace-export endpoint is labeled"
+        );
     }
 
     #[test]
@@ -841,6 +790,7 @@ mod tests {
         assert!(text.contains("# TYPE smrseekd_forwarded_total counter"));
         assert!(!text.contains("smrseekd_forwarded_total{"));
         assert_eq!(m.forward_counts("anyone"), None);
+        assert!(m.peer_counts().is_empty());
     }
 
     #[test]
@@ -863,5 +813,128 @@ mod tests {
         assert!(text.contains("smrseekd_http_request_duration_us_count{endpoint=\"healthz\"} 3"));
         // Endpoints never hit do not emit empty histogram series.
         assert!(!text.contains("endpoint=\"jobs_post\",le="));
+    }
+
+    /// The registry migration must not move, rename, or reformat a single
+    /// family: this golden render pins the entire zero-valued exposition
+    /// byte for byte (the uptime sample is the one nondeterministic line,
+    /// normalized before comparing).
+    #[test]
+    fn golden_zero_valued_exposition_is_byte_stable() {
+        let m = Metrics::new();
+        let text = m.render(&JobSnapshot::default(), 0);
+        let normalized: String = text
+            .lines()
+            .map(|line| {
+                if line.starts_with("smrseekd_uptime_seconds ") {
+                    "smrseekd_uptime_seconds 0.000\n".to_owned()
+                } else {
+                    format!("{line}\n")
+                }
+            })
+            .collect();
+        let expected = format!(
+            "# HELP smrseekd_build_info Build metadata; always 1.\n\
+             # TYPE smrseekd_build_info gauge\n\
+             smrseekd_build_info{{version=\"{version}\"}} 1\n\
+             # HELP smrseekd_uptime_seconds Seconds since the daemon started.\n\
+             # TYPE smrseekd_uptime_seconds gauge\n\
+             smrseekd_uptime_seconds 0.000\n\
+             # HELP smrseekd_jobs Jobs by lifecycle state.\n\
+             # TYPE smrseekd_jobs gauge\n\
+             smrseekd_jobs{{state=\"queued\"}} 0\n\
+             smrseekd_jobs{{state=\"running\"}} 0\n\
+             smrseekd_jobs{{state=\"done\"}} 0\n\
+             smrseekd_jobs{{state=\"failed\"}} 0\n\
+             # HELP smrseekd_queue_depth Jobs waiting for a worker.\n\
+             # TYPE smrseekd_queue_depth gauge\n\
+             smrseekd_queue_depth 0\n\
+             # HELP smrseekd_queue_capacity Configured queue bound.\n\
+             # TYPE smrseekd_queue_capacity gauge\n\
+             smrseekd_queue_capacity 0\n\
+             # HELP smrseekd_traces_registered Distinct traces held open by the registry.\n\
+             # TYPE smrseekd_traces_registered gauge\n\
+             smrseekd_traces_registered 0\n\
+             # HELP smrseekd_records_replayed_total Logical records replayed by finished jobs.\n\
+             # TYPE smrseekd_records_replayed_total counter\n\
+             smrseekd_records_replayed_total 0\n\
+             # HELP smrseekd_result_cache_hits_total Submissions served by an existing job.\n\
+             # TYPE smrseekd_result_cache_hits_total counter\n\
+             smrseekd_result_cache_hits_total 0\n\
+             # HELP smrseekd_result_cache_misses_total Submissions that enqueued new work.\n\
+             # TYPE smrseekd_result_cache_misses_total counter\n\
+             smrseekd_result_cache_misses_total 0\n\
+             # HELP smrseekd_jobs_rejected_total Submissions refused with 503 (queue full).\n\
+             # TYPE smrseekd_jobs_rejected_total counter\n\
+             smrseekd_jobs_rejected_total 0\n\
+             # HELP smrseekd_checkpoint_hits_total Run cells resumed from a stored checkpoint.\n\
+             # TYPE smrseekd_checkpoint_hits_total counter\n\
+             smrseekd_checkpoint_hits_total 0\n\
+             # HELP smrseekd_checkpoint_misses_total Run cells replayed from record zero.\n\
+             # TYPE smrseekd_checkpoint_misses_total counter\n\
+             smrseekd_checkpoint_misses_total 0\n\
+             # HELP smrseekd_checkpoint_records_skipped_total Records not replayed thanks to checkpoint resume.\n\
+             # TYPE smrseekd_checkpoint_records_skipped_total counter\n\
+             smrseekd_checkpoint_records_skipped_total 0\n\
+             # HELP smrseekd_engine_phase_seconds_total Simulation engine time by phase, summed over finished jobs.\n\
+             # TYPE smrseekd_engine_phase_seconds_total counter\n\
+             smrseekd_engine_phase_seconds_total{{phase=\"ingest\"}} 0.000000000\n\
+             smrseekd_engine_phase_seconds_total{{phase=\"lookup\"}} 0.000000000\n\
+             smrseekd_engine_phase_seconds_total{{phase=\"seek\"}} 0.000000000\n\
+             smrseekd_engine_phase_seconds_total{{phase=\"host_cache\"}} 0.000000000\n\
+             smrseekd_engine_phase_seconds_total{{phase=\"checkpoint\"}} 0.000000000\n\
+             smrseekd_engine_phase_seconds_total{{phase=\"classify\"}} 0.000000000\n\
+             # HELP smrseekd_policy_gate_flips_total Adaptive-policy gate transitions, by gated mechanism, summed over finished jobs.\n\
+             # TYPE smrseekd_policy_gate_flips_total counter\n\
+             smrseekd_policy_gate_flips_total{{mechanism=\"defrag\"}} 0\n\
+             smrseekd_policy_gate_flips_total{{mechanism=\"prefetch\"}} 0\n\
+             smrseekd_policy_gate_flips_total{{mechanism=\"cache\"}} 0\n\
+             # HELP smrseekd_cache_tier_hits_total Selective-cache lookups served, by tier, summed over finished jobs.\n\
+             # TYPE smrseekd_cache_tier_hits_total counter\n\
+             smrseekd_cache_tier_hits_total{{tier=\"ram\"}} 0\n\
+             smrseekd_cache_tier_hits_total{{tier=\"flash\"}} 0\n\
+             # HELP smrseekd_cache_tier_misses_total Selective-cache lookups no tier could serve.\n\
+             # TYPE smrseekd_cache_tier_misses_total counter\n\
+             smrseekd_cache_tier_misses_total 0\n\
+             # HELP smrseekd_connections_accepted_total Connections accepted by the event loop.\n\
+             # TYPE smrseekd_connections_accepted_total counter\n\
+             smrseekd_connections_accepted_total 0\n\
+             # HELP smrseekd_accept_errors_total accept(2) failures (e.g. fd exhaustion).\n\
+             # TYPE smrseekd_accept_errors_total counter\n\
+             smrseekd_accept_errors_total 0\n\
+             # HELP smrseekd_connections_active Currently open client connections.\n\
+             # TYPE smrseekd_connections_active gauge\n\
+             smrseekd_connections_active 0\n\
+             # HELP smrseekd_connections_reaped_total Connections closed by the idle/slow-client timeout.\n\
+             # TYPE smrseekd_connections_reaped_total counter\n\
+             smrseekd_connections_reaped_total 0\n\
+             # HELP smrseekd_dispatch_deferred_total Requests handed to the auxiliary dispatch pool.\n\
+             # TYPE smrseekd_dispatch_deferred_total counter\n\
+             smrseekd_dispatch_deferred_total 0\n\
+             # HELP smrseekd_eventloop_wakeups_total Times the reactor woke from epoll_wait.\n\
+             # TYPE smrseekd_eventloop_wakeups_total counter\n\
+             smrseekd_eventloop_wakeups_total 0\n\
+             # HELP smrseekd_sse_streams_active Connections currently following a job event stream.\n\
+             # TYPE smrseekd_sse_streams_active gauge\n\
+             smrseekd_sse_streams_active 0\n\
+             # HELP smrseekd_forwarded_total Submissions forwarded to their consistent-hash owner, by peer.\n\
+             # TYPE smrseekd_forwarded_total counter\n\
+             # HELP smrseekd_forward_errors_total Failed submission forwards, by peer.\n\
+             # TYPE smrseekd_forward_errors_total counter\n\
+             # HELP smrseekd_http_requests_total Requests served, by endpoint.\n\
+             # TYPE smrseekd_http_requests_total counter\n\
+             smrseekd_http_requests_total{{endpoint=\"healthz\"}} 0\n\
+             smrseekd_http_requests_total{{endpoint=\"metrics\"}} 0\n\
+             smrseekd_http_requests_total{{endpoint=\"jobs_post\"}} 0\n\
+             smrseekd_http_requests_total{{endpoint=\"jobs_get\"}} 0\n\
+             smrseekd_http_requests_total{{endpoint=\"job_result\"}} 0\n\
+             smrseekd_http_requests_total{{endpoint=\"job_events\"}} 0\n\
+             smrseekd_http_requests_total{{endpoint=\"trace\"}} 0\n\
+             smrseekd_http_requests_total{{endpoint=\"other\"}} 0\n\
+             # HELP smrseekd_http_request_duration_us Request latency in microseconds.\n\
+             # TYPE smrseekd_http_request_duration_us histogram\n",
+            version = env!("CARGO_PKG_VERSION"),
+        );
+        assert_eq!(normalized, expected);
     }
 }

@@ -11,7 +11,7 @@
 use crate::jobs::JobTable;
 use crate::metrics::Metrics;
 use smrseek_cache::TierStats;
-use smrseek_obs::PhaseTotals;
+use smrseek_obs::{DistSpan, PhaseTotals, SpanStore};
 use smrseek_policy::PolicyStats;
 use smrseek_sim::runner::RunMatrix;
 use smrseek_sim::{saf, CheckpointStore, CheckpointUsage, SimConfig, TraceSource};
@@ -26,7 +26,9 @@ pub enum JobKind {
     /// `Vec<(layer, Saf)>` JSON that `smrseek simulate --json` writes.
     Sweep,
     /// One configuration; the result document is its full `RunReport`.
-    Single(SimConfig),
+    /// Boxed so the queued-job footprint is one pointer, not a whole
+    /// `SimConfig`, which dwarfs the dataless `Sweep` variant.
+    Single(Box<SimConfig>),
 }
 
 /// A resolved, ready-to-run job: the trace source is already loaded (and
@@ -93,7 +95,7 @@ pub fn run_job(
 ) -> Result<JobOutcome, String> {
     let mut configs: Vec<SimConfig> = match &work.kind {
         JobKind::Sweep => SimConfig::standard_sweep().to_vec(),
-        JobKind::Single(config) => vec![*config],
+        JobKind::Single(config) => vec![**config],
     };
     let (outcomes, checkpoints) = match policy {
         None => {
@@ -140,11 +142,49 @@ pub fn run_job(
     .map_err(|e| format!("cannot serialize result: {e}"))
 }
 
+/// Records the worker-side spans of one traced job: `queue` (submission
+/// to dequeue — jobs that sat behind a deep queue show it here, not as
+/// mysteriously slow replays) and `replay` (the engine run itself), both
+/// children of the owner's `dispatch` span.
+fn record_job_spans(
+    spans: &SpanStore,
+    jobs: &JobTable,
+    id: crate::jobs::JobId,
+) -> Option<DistSpan> {
+    let (trace, request_id) = jobs.job_trace(id)?;
+    let dequeued = smrseek_obs::unix_nanos();
+    let queue = trace.parent.child();
+    spans.record(DistSpan {
+        trace_id: trace.parent.trace_id,
+        span_id: queue.span_id,
+        parent_span_id: Some(trace.parent.span_id),
+        name: "queue".to_owned(),
+        request_id: request_id.clone(),
+        start_unix_ns: trace.queued_unix_ns,
+        dur_ns: dequeued.saturating_sub(trace.queued_unix_ns),
+        pid: std::process::id(),
+        tid: smrseek_obs::current_tid(),
+    });
+    let replay = trace.parent.child();
+    Some(DistSpan {
+        trace_id: trace.parent.trace_id,
+        span_id: replay.span_id,
+        parent_span_id: Some(trace.parent.span_id),
+        name: "replay".to_owned(),
+        request_id,
+        start_unix_ns: dequeued,
+        dur_ns: 0,
+        pid: std::process::id(),
+        tid: smrseek_obs::current_tid(),
+    })
+}
+
 /// Spawns `count` worker threads draining `jobs` until shutdown.
 pub fn spawn_workers(
     count: usize,
     jobs: Arc<JobTable>,
     metrics: Arc<Metrics>,
+    spans: Arc<SpanStore>,
     threads: NonZeroUsize,
     policy: Option<Arc<CheckpointPolicy>>,
 ) -> Vec<JoinHandle<()>> {
@@ -152,12 +192,19 @@ pub fn spawn_workers(
         .map(|i| {
             let jobs = Arc::clone(&jobs);
             let metrics = Arc::clone(&metrics);
+            let spans = Arc::clone(&spans);
             let policy = policy.clone();
             std::thread::Builder::new()
                 .name(format!("smrseekd-worker-{i}"))
                 .spawn(move || {
                     while let Some((id, work)) = jobs.next_job() {
+                        let replay_span = record_job_spans(&spans, &jobs, id);
                         let outcome = run_job(&work, threads, policy.as_deref());
+                        if let Some(mut span) = replay_span {
+                            span.dur_ns =
+                                smrseek_obs::unix_nanos().saturating_sub(span.start_unix_ns);
+                            spans.record(span);
+                        }
                         if let Ok(out) = &outcome {
                             metrics.replayed(out.records);
                             metrics.checkpoint_usage(&out.checkpoints);
@@ -249,7 +296,7 @@ mod tests {
     fn single_job_returns_full_report() {
         let work = JobWork {
             source: source(),
-            kind: JobKind::Single(SimConfig::ls_cache().with_distances()),
+            kind: JobKind::Single(Box::new(SimConfig::ls_cache().with_distances())),
             digest: None,
         };
         let out = run_job(&work, NonZeroUsize::MIN, None).expect("job runs");
@@ -277,7 +324,7 @@ mod tests {
                     format!("k{i}"),
                     JobWork {
                         source: source(),
-                        kind: JobKind::Single(SimConfig::no_ls()),
+                        kind: JobKind::Single(Box::new(SimConfig::no_ls())),
                         digest: None,
                     },
                     format!("rq-{i}"),
@@ -291,6 +338,7 @@ mod tests {
             2,
             Arc::clone(&jobs),
             Arc::clone(&metrics),
+            Arc::new(SpanStore::new(8)),
             NonZeroUsize::MIN,
             None,
         );

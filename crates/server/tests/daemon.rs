@@ -60,6 +60,11 @@ fn request(addr: &str, method: &str, path: &str, body: Option<&str>) -> HttpResp
     stream.write_all(body.as_bytes()).expect("send body");
     let mut raw = Vec::new();
     stream.read_to_end(&mut raw).expect("read response");
+    parse_http(&raw)
+}
+
+/// Splits a raw HTTP/1.1 response into status, headers, and body.
+fn parse_http(raw: &[u8]) -> HttpResponse {
     let split = raw
         .windows(4)
         .position(|w| w == b"\r\n\r\n")
@@ -80,6 +85,23 @@ fn request(addr: &str, method: &str, path: &str, body: Option<&str>) -> HttpResp
         headers,
         body: raw[split + 4..].to_vec(),
     }
+}
+
+/// A `POST /v1/jobs` carrying a client-chosen `x-request-id` header.
+fn request_with_id(addr: &str, body: &str, request_id: &str) -> HttpResponse {
+    let mut stream = TcpStream::connect(addr).expect("connect to daemon");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("set timeout");
+    let head = format!(
+        "POST /v1/jobs HTTP/1.1\r\nhost: {addr}\r\nx-request-id: {request_id}\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("send head");
+    stream.write_all(body.as_bytes()).expect("send body");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    parse_http(&raw)
 }
 
 /// Pulls one numeric metric value out of a Prometheus exposition.
@@ -902,4 +924,246 @@ fn usage_errors_always_carry_the_usage_string() {
             "{argv:?} stderr carries usage:\n{err}"
         );
     }
+}
+
+/// Spawns `smrseek serve` pinned to `addr` as a fleet member. `None`
+/// means the reserved port was stolen between release and bind — the
+/// caller reserves fresh ports and retries.
+fn try_spawn_at(addr: &str, peers: &str) -> Option<Child> {
+    let mut child = Command::new(bin())
+        .args(["serve", "--addr", addr, "--peers", peers])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn smrseek serve");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read startup line");
+    if !line.contains("listening") {
+        let _ = child.kill();
+        let _ = child.wait();
+        return None;
+    }
+    // Keep draining stdout so the shutdown message never hits a closed
+    // pipe (which would fail the final print and dirty the exit code).
+    std::thread::spawn(move || {
+        let mut rest = String::new();
+        let _ = reader.read_to_string(&mut rest);
+    });
+    Some(child)
+}
+
+/// `(name, pid, span_id, parent_span_id, request_id)` rows from one
+/// daemon's `GET /v1/trace/<id>` span array.
+fn span_rows(spans: &[serde::Value]) -> Vec<(String, u64, String, Option<String>, String)> {
+    use serde::Value;
+    spans
+        .iter()
+        .map(|s| {
+            (
+                s.get("name")
+                    .and_then(Value::as_str)
+                    .expect("name")
+                    .to_owned(),
+                s.get("pid").and_then(Value::as_u64).expect("pid"),
+                s.get("span_id")
+                    .and_then(Value::as_str)
+                    .expect("span_id")
+                    .to_owned(),
+                s.get("parent_span_id")
+                    .and_then(Value::as_str)
+                    .map(str::to_owned),
+                s.get("request_id")
+                    .and_then(Value::as_str)
+                    .expect("request_id")
+                    .to_owned(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn forwarded_job_yields_one_stitched_trace_across_two_pids() {
+    // Two real `smrseek serve` processes sharing a --peers list, so the
+    // stitched trace genuinely spans two OS pids (in-process daemons
+    // would share one).
+    let (child_a, child_b, peers) = {
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let (pa, pb) = reserve_ports();
+            let peers = vec![format!("127.0.0.1:{pa}"), format!("127.0.0.1:{pb}")];
+            let list = peers.join(",");
+            let Some(a) = try_spawn_at(&peers[0], &list) else {
+                assert!(attempt < 5, "could not bind reserved ports");
+                continue;
+            };
+            match try_spawn_at(&peers[1], &list) {
+                Some(b) => break (a, b, peers),
+                None => {
+                    terminate(a);
+                    assert!(attempt < 5, "could not bind reserved ports");
+                }
+            }
+        }
+    };
+
+    // Submit distinct sweeps through A until one forwards to B. A
+    // client-chosen request id rides along so every span of the trace
+    // carries it on both daemons.
+    let mut forwarded = None;
+    for seed in 0..8u64 {
+        let body = format!(r#"{{"trace": {{"profile": "hm_1", "seed": {seed}, "ops": 120}}}}"#);
+        let submit = request_with_id(&peers[0], &body, "rq-stitch");
+        assert_eq!(submit.status, 202, "{}", submit.body_str());
+        let trace = submit
+            .header("x-smrseek-trace")
+            .expect("every submission response names its trace context")
+            .to_owned();
+        if submit.header("x-smrseek-peer").is_some() {
+            let id: u64 = submit
+                .body_str()
+                .split("\"id\":")
+                .nth(1)
+                .and_then(|s| {
+                    s.chars()
+                        .take_while(char::is_ascii_digit)
+                        .collect::<String>()
+                        .parse()
+                        .ok()
+                })
+                .expect("submit body has an id");
+            forwarded = Some((trace, id));
+            break;
+        }
+    }
+    let (trace_header, id) =
+        forwarded.expect("with 8 distinct keys and 128 vnodes, some key lands on daemon B");
+    let (trace_id, dispatch_span) = trace_header
+        .split_once('-')
+        .expect("header is <trace>-<span>");
+    assert_eq!(trace_id.len(), 32, "{trace_header}");
+    assert_eq!(dispatch_span.len(), 16, "{trace_header}");
+
+    // Wait for the owner to finish so its queue/replay spans exist.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let poll = request(&peers[1], "GET", &format!("/v1/jobs/{id}/result"), None);
+        match poll.status {
+            200 => break,
+            202 => {
+                assert!(Instant::now() < deadline, "job finished in time");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            other => panic!("poll got {other}: {}", poll.body_str()),
+        }
+    }
+
+    // Each daemon serves its own half of the trace.
+    let fetch = |addr: &str| {
+        let resp = request(addr, "GET", &format!("/v1/trace/{trace_id}"), None);
+        assert_eq!(resp.status, 200, "{addr}: {}", resp.body_str());
+        let value: serde::Value =
+            serde_json::from_str(&resp.body_str()).expect("trace body is JSON");
+        assert_eq!(
+            value.get("trace_id").and_then(serde::Value::as_str),
+            Some(trace_id)
+        );
+        span_rows(
+            value
+                .get("spans")
+                .and_then(serde::Value::as_array)
+                .expect("spans array"),
+        )
+    };
+    let rows_a = fetch(&peers[0]);
+    let rows_b = fetch(&peers[1]);
+
+    let find = |rows: &[(String, u64, String, Option<String>, String)], name: &str| {
+        rows.iter()
+            .find(|(n, ..)| n == name)
+            .unwrap_or_else(|| panic!("{name} span present in {rows:?}"))
+            .clone()
+    };
+    let a_dispatch = find(&rows_a, "dispatch");
+    let a_forward = find(&rows_a, "forward");
+    let b_dispatch = find(&rows_b, "dispatch");
+    let b_queue = find(&rows_b, "queue");
+    let b_replay = find(&rows_b, "replay");
+    assert_eq!(
+        rows_a.len(),
+        2,
+        "origin records dispatch+forward: {rows_a:?}"
+    );
+    assert_eq!(
+        rows_b.len(),
+        3,
+        "owner records dispatch+queue+replay: {rows_b:?}"
+    );
+
+    // One trace, two pids, five spans, fully linked: the origin's
+    // dispatch is the root, its forward child carries the hop, the
+    // owner's dispatch parents to the forward span, and queue/replay
+    // hang off the owner's dispatch.
+    assert_ne!(a_dispatch.1, b_dispatch.1, "two distinct OS pids");
+    assert_eq!(
+        a_dispatch.2, dispatch_span,
+        "response header names the root span"
+    );
+    assert_eq!(a_dispatch.3, None, "root span has no parent");
+    assert_eq!(a_forward.3.as_deref(), Some(a_dispatch.2.as_str()));
+    assert_eq!(b_dispatch.3.as_deref(), Some(a_forward.2.as_str()));
+    assert_eq!(b_queue.3.as_deref(), Some(b_dispatch.2.as_str()));
+    assert_eq!(b_replay.3.as_deref(), Some(b_dispatch.2.as_str()));
+    for (name, _, _, _, request_id) in [&a_dispatch, &a_forward, &b_dispatch, &b_queue, &b_replay] {
+        assert_eq!(
+            request_id, "rq-stitch",
+            "{name} carries the client-chosen request id on both daemons"
+        );
+    }
+
+    // The origin's /healthz shows the fleet view, including the forward
+    // it just made.
+    let health = request(&peers[0], "GET", "/healthz", None).body_str();
+    assert!(health.contains("fleet_peers: 2"), "{health}");
+    assert!(health.contains("self_vnodes: 64"), "{health}");
+    assert!(
+        health.contains(&format!("peer {} forwarded=1 errors=0", peers[1])),
+        "{health}"
+    );
+
+    // `smrseek trace` stitches both halves into one Perfetto file with
+    // cross-pid flow arrows.
+    let out = temp_dir("stitched").join("trace.json");
+    let output = Command::new(bin())
+        .args([
+            "trace",
+            trace_id,
+            "--peers",
+            &peers.join(","),
+            "--out",
+            out.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("run smrseek trace");
+    assert!(
+        output.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let summary = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        summary.contains("5 span(s) across 2 process(es) from 2 daemon(s)"),
+        "{summary}"
+    );
+    let doc = std::fs::read_to_string(&out).expect("trace file written");
+    assert!(
+        doc.contains("\"ph\":\"s\"") && doc.contains("\"ph\":\"f\""),
+        "cross-pid flow arrows present: {doc}"
+    );
+
+    terminate(child_a);
+    terminate(child_b);
 }

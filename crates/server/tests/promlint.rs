@@ -217,7 +217,7 @@ fn metrics_route_is_lint_clean() {
         headers: Vec::new(),
         body: Vec::new(),
     };
-    let response = route(&state, &request, "rq-lint").1;
+    let response = route(&state, None, &request, "rq-lint").1;
     assert_eq!(response.status, 200);
     let text = String::from_utf8(response.body().to_vec()).expect("utf8 exposition");
     let errors = lint(&text);
